@@ -1,0 +1,60 @@
+"""CONF — bounded-exhaustive confluence: 'every fair run' made literal.
+
+The transducer claims of Section 4 quantify over every fair run.  The
+sampling in the THM4.x benchmarks covers many schedules; this benchmark
+explores ALL reachable configurations (under the duplicate-idempotent
+set-buffer abstraction) for small inputs, and shows the sharpest finding of
+the reproduction: the naive broadcast strategy on a non-monotone query can
+be *confluent but uniformly wrong* — every schedule converges to the same
+incorrect output, which is exactly why 'distributedly computes Q' compares
+against Q(I) rather than just demanding schedule-independence.
+"""
+
+from conftest import run_once
+
+from repro.datalog import Instance, parse_facts
+from repro.queries import complement_tc_query, transitive_closure_query
+from repro.transducers import (
+    Network,
+    TransducerNetwork,
+    broadcast_transducer,
+    explore_runs,
+    hash_policy,
+)
+
+
+def confluence_sweep():
+    network = Network(["a", "b"])
+    tc = transitive_closure_query()
+    cotc = complement_tc_query()
+    tc_instance = Instance(parse_facts("E(1,2). E(2,3)."))
+    cycle = Instance(parse_facts("E(1,2). E(2,1)."))
+
+    good = explore_runs(
+        TransducerNetwork(
+            network, broadcast_transducer(tc), hash_policy(tc.input_schema, network)
+        ),
+        tc_instance,
+    )
+    wrong = explore_runs(
+        TransducerNetwork(
+            network, broadcast_transducer(cotc), hash_policy(cotc.input_schema, network)
+        ),
+        cycle,
+    )
+    return good, wrong, tc(tc_instance), cotc(cycle)
+
+
+def test_confluence_exploration(benchmark):
+    good, wrong, tc_expected, cotc_expected = run_once(benchmark, confluence_sweep)
+    print("\nCONF — exhaustive run exploration (2 nodes):")
+    print(f"  broadcast/TC:   {good.describe()}")
+    print(f"  broadcast/coTC: {wrong.describe()}")
+    assert good.complete and good.confluent
+    assert good.outputs[0] == tc_expected
+    assert wrong.complete and wrong.confluent
+    assert wrong.outputs[0] != cotc_expected
+    print(
+        "  -> broadcast/coTC is confluent but WRONG on every schedule: "
+        "confluence alone does not make a strategy compute Q."
+    )

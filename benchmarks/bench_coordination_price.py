@@ -1,0 +1,78 @@
+"""COORD — the price of coordination (Sections 4.1.5 / 4.3 made concrete).
+
+Claim embodied: with `All`, a transducer can compute ANY query via a global
+barrier — but that barrier is exactly what coordination-freeness forbids
+(no heartbeat-only witness), and it costs extra handshake messaging even
+for queries that did not need it.
+Measured: (a) the barrier transducer computes a query outside Mdisjoint;
+(b) it has no heartbeat witness while the disjoint protocol (on its member
+query) does; (c) message cost of barrier vs disjoint protocol on the same
+Mdisjoint query and input.
+"""
+
+from conftest import run_once
+
+from repro.datalog import Instance, parse_facts
+from repro.queries import complement_tc_query, triangle_unless_two_disjoint_query
+from repro.transducers import (
+    FairScheduler,
+    Network,
+    TransducerNetwork,
+    check_distributed_computation,
+    disjoint_protocol_transducer,
+    domain_guided_policy,
+    global_barrier_transducer,
+    hash_domain_assignment,
+    heartbeat_witness,
+)
+
+TRIANGLE = Instance(parse_facts("E(1,2). E(2,3). E(3,1)."))
+GRAPH = Instance(parse_facts("E(1,2). E(2,1). E(3,4). E(4,5)."))
+
+
+def coordination_price():
+    network = Network(["a", "b", "c"])
+    triangle_query = triangle_unless_two_disjoint_query()
+    barrier = global_barrier_transducer(triangle_query)
+
+    beyond = check_distributed_computation(
+        barrier, triangle_query, TRIANGLE, seeds=(0,), include_trickle=False
+    )
+    no_witness = not heartbeat_witness(
+        barrier, triangle_query, network, TRIANGLE, max_heartbeats=20
+    ).found
+
+    cotc = complement_tc_query()
+    policy = domain_guided_policy(
+        cotc.input_schema, network, hash_domain_assignment(network)
+    )
+    free_run = TransducerNetwork(
+        network, disjoint_protocol_transducer(cotc), policy
+    ).new_run(GRAPH)
+    free_run.run_to_quiescence(scheduler=FairScheduler(0))
+
+    barrier_run = TransducerNetwork(
+        network, global_barrier_transducer(cotc), policy
+    ).new_run(GRAPH)
+    barrier_run.run_to_quiescence(scheduler=FairScheduler(0))
+
+    return beyond, no_witness, free_run.metrics, barrier_run.metrics
+
+
+def test_coordination_price(benchmark):
+    beyond, no_witness, free_metrics, barrier_metrics = run_once(
+        benchmark, coordination_price
+    )
+    print("\nCOORD — the price of coordination:")
+    print(f"  barrier computes a query outside Mdisjoint: {beyond.consistent}")
+    print(f"  barrier has NO heartbeat-only witness: {no_witness}")
+    print(
+        f"  coTC via disjoint protocol: {free_metrics.message_facts_sent} "
+        f"message-facts, {free_metrics.rounds} rounds"
+    )
+    print(
+        f"  coTC via global barrier:   {barrier_metrics.message_facts_sent} "
+        f"message-facts, {barrier_metrics.rounds} rounds"
+    )
+    assert beyond.consistent
+    assert no_witness

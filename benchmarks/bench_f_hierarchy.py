@@ -1,0 +1,18 @@
+"""F-HIER — the strict hierarchy F0 ⊊ F1 ⊊ F2 ⊊ C of coordination-free
+classes ([32], completed by this paper's monotonicity characterizations).
+
+Each level's membership is demonstrated by its protocol; each strictness by
+a monotonicity violation of the matching kind (sound exclusions because
+F0 = M, F1 = Mdistinct, F2 = Mdisjoint — Theorems 4.3/4.4 + [13]).
+"""
+
+from conftest import assert_rows_ok, run_once
+
+from repro.core import hierarchy_f_experiment, render_rows
+
+
+def test_f_hierarchy(benchmark):
+    rows = run_once(benchmark, hierarchy_f_experiment)
+    print("\nF-HIER — F0 ⊊ F1 ⊊ F2 ⊊ C:")
+    print(render_rows(rows))
+    assert_rows_ok(rows)

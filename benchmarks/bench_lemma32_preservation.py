@@ -1,0 +1,92 @@
+"""L3.2 — H ⊊ Hinj = M ⊊ E = Mdistinct.
+
+Paper claim (Lemma 3.2): the preservation classes line up with the
+monotonicity classes; in particular E = Mdistinct because J is an induced
+subinstance of I iff I \\ J is domain distinct from J.
+Measured: the E-condition and the Mdistinct-condition agree pair by pair on
+an exhaustive family; TC separates H from nothing here but witnesses the
+positive memberships; coTC refutes Hinj and E.
+"""
+
+from conftest import run_once
+
+from repro.monotonicity import (
+    AdditionKind,
+    exhaustive_graph_pairs,
+    preserved_under_extensions_on,
+    preserved_under_homomorphism_on,
+    preserved_under_injective_homomorphism_on,
+    violation_on,
+)
+from repro.queries import complement_tc_query, transitive_closure_query
+
+
+def lemma32_agreement():
+    tc = transitive_closure_query()
+    cotc = complement_tc_query()
+    pairs = list(
+        exhaustive_graph_pairs(
+            max_base_nodes=2,
+            max_base_edges=3,
+            kind=AdditionKind.DOMAIN_DISTINCT,
+            max_addition_size=1,
+        )
+    )
+    agreements = 0
+    for query in (tc, cotc):
+        for base, addition in pairs:
+            whole = base | addition
+            distinct_ok = violation_on(query, base, addition) is None
+            extension_ok = preserved_under_extensions_on(query, whole, base)
+            assert distinct_ok == extension_ok
+            agreements += 1
+    # Hinj = M on a spot check: the Theorem 3.1 coTC witness violates the
+    # monotonicity condition AND the injective-homomorphism condition on
+    # the same (I, I ∪ J) pair — the Lemma 3.2 equality in action.
+    from repro.monotonicity import witness_cotc_not_distinct
+
+    witness = witness_cotc_not_distinct()
+    assert violation_on(cotc, witness.base, witness.addition) is not None
+    ok, _ = preserved_under_injective_homomorphism_on(
+        cotc, witness.base, witness.base | witness.addition
+    )
+    assert not ok
+    return agreements
+
+
+def test_lemma32_preservation(benchmark):
+    agreements = run_once(benchmark, lemma32_agreement)
+    print(f"\nL3.2 — E = Mdistinct agreed on {agreements} (query, pair) checks")
+    assert agreements > 100
+
+
+def test_lemma32_h_strictness(benchmark):
+    """H ⊊ Hinj: the Datalog(≠) query 'edges between distinct endpoints' is
+    monotone (= Hinj) but NOT preserved under arbitrary homomorphisms — the
+    collapse homomorphism merges the endpoints and kills the output.  Also
+    spot-checks Datalog ⊆ H on TC (Figure 2's folklore row)."""
+    from repro.datalog import Instance, parse_facts
+    from repro.queries import DatalogQuery, zoo_program
+
+    def strictness():
+        neq = DatalogQuery(zoo_program("neq-pairs"), "neq-pairs")
+        source = Instance(parse_facts("E(1,2)."))
+        collapsed = Instance(parse_facts("E(3,3)."))
+        not_h, collapse_map = preserved_under_homomorphism_on(neq, source, collapsed)
+        in_hinj, _ = preserved_under_injective_homomorphism_on(
+            neq, source, source | Instance(parse_facts("E(4,5)."))
+        )
+
+        tc = transitive_closure_query()
+        bigger = Instance(parse_facts("E(7,7)."))
+        tc_in_h, _ = preserved_under_homomorphism_on(tc, source, bigger)
+        return not_h, collapse_map, in_hinj, tc_in_h
+
+    not_h, collapse_map, in_hinj, tc_in_h = run_once(benchmark, strictness)
+    print("\nL3.2 — H ⊊ Hinj:")
+    print(f"  neq-pairs ∉ H (collapse {collapse_map} kills O(1,2)): {not not_h}")
+    print(f"  neq-pairs ∈ Hinj on the extension spot check: {in_hinj}")
+    print(f"  TC ∈ H on the collapse spot check (Datalog ⊆ H): {tc_in_h}")
+    assert not not_h       # the homomorphism condition FAILS
+    assert in_hinj         # the injective condition holds
+    assert tc_in_h         # positive Datalog is preserved under homs

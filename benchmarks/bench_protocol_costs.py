@@ -1,0 +1,69 @@
+"""PROTO — protocol cost profiles (the Section 4.3 discussion, quantified).
+
+Paper discussion: the three evaluation strategies are increasingly
+"knowledge-hungry" — M broadcasts facts, Mdistinct additionally broadcasts
+absences, Mdisjoint runs per-value handshakes.  None coordinates globally,
+but the richer classes pay more data-driven messaging.
+Measured: transitions / message-facts / rounds for the three protocols on a
+fixed input as the network grows.  Expected shape: broadcast cheapest,
+distinct and disjoint higher and growing faster with node count.
+"""
+
+from conftest import run_once
+
+from repro.core import protocol_cost_sweep, protocol_size_sweep
+
+
+def test_protocol_cost_sweep(benchmark):
+    results = run_once(
+        benchmark, protocol_cost_sweep, node_counts=(1, 2, 3, 4), edge_count=8
+    )
+    print("\nPROTO — protocol cost profile (8-edge graph):")
+    print(f"  {'protocol':<20} {'nodes':>5} {'transitions':>12} {'msg-facts':>10} {'rounds':>7}")
+    table = {}
+    for label, nodes, metrics in results:
+        table[(label, nodes)] = metrics
+        print(
+            f"  {label:<20} {nodes:>5} {metrics.transitions:>12} "
+            f"{metrics.message_facts_sent:>10} {metrics.rounds:>7}"
+        )
+
+    # Shape assertions: single-node runs are silent; broadcast is the
+    # cheapest strategy at every multi-node size.
+    for label in ("broadcast/M", "distinct/Mdistinct", "disjoint/Mdisjoint"):
+        assert table[(label, 1)].message_facts_sent == 0
+    for nodes in (2, 3, 4):
+        broadcast = table[("broadcast/M", nodes)].message_facts_sent
+        assert broadcast < table[("distinct/Mdistinct", nodes)].message_facts_sent
+        assert broadcast < table[("disjoint/Mdisjoint", nodes)].message_facts_sent
+
+    # Message cost grows with the network for the policy-aware protocols.
+    assert (
+        table[("distinct/Mdistinct", 4)].message_facts_sent
+        > table[("distinct/Mdistinct", 2)].message_facts_sent
+    )
+    assert (
+        table[("disjoint/Mdisjoint", 4)].message_facts_sent
+        > table[("disjoint/Mdisjoint", 2)].message_facts_sent
+    )
+
+
+def test_protocol_size_sweep(benchmark):
+    results = run_once(
+        benchmark, protocol_size_sweep, edge_counts=(4, 8, 16), nodes=3
+    )
+    print("\nPROTO — protocol cost vs. instance size (3 nodes):")
+    print(f"  {'protocol':<20} {'edges':>5} {'transitions':>12} {'msg-facts':>10}")
+    table = {}
+    for label, edges, metrics in results:
+        table[(label, edges)] = metrics
+        print(
+            f"  {label:<20} {edges:>5} {metrics.transitions:>12} "
+            f"{metrics.message_facts_sent:>10}"
+        )
+    # Message cost grows with the input for every protocol:
+    for label in ("broadcast/M", "distinct/Mdistinct", "disjoint/Mdisjoint"):
+        assert (
+            table[(label, 16)].message_facts_sent
+            > table[(label, 4)].message_facts_sent
+        )

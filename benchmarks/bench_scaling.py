@@ -1,0 +1,75 @@
+"""SCALE — substrate scaling sweeps.
+
+Not a paper figure: these measure the reproduction's own substrates so the
+protocol measurements elsewhere can be put in perspective — how much of a
+distributed run's cost is the Datalog engine vs the network simulation.
+
+(a) semi-naive TC across growing random graphs;
+(b) well-founded win-move across growing random games;
+(c) the disjoint protocol across growing inputs on a fixed 3-node network.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.datalog import winmove_program
+from repro.datalog.evaluation import SemiNaiveEvaluator
+from repro.datalog.wellfounded import evaluate_well_founded
+from repro.datalog.parser import parse_program
+from repro.queries import complement_tc_query, random_game_graph, random_graph
+from repro.transducers import (
+    FairScheduler,
+    Network,
+    TransducerNetwork,
+    disjoint_protocol_transducer,
+    domain_guided_policy,
+    hash_domain_assignment,
+)
+
+TC = parse_program(
+    "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z).", output_relations=["T"]
+)
+
+
+@pytest.mark.parametrize("nodes,edges", [(10, 20), (20, 50), (40, 120)])
+def test_scaling_tc(benchmark, nodes, edges):
+    instance = random_graph(nodes, edges, seed=nodes)
+    evaluator = SemiNaiveEvaluator(TC)
+    result = benchmark(lambda: evaluator.run(instance))
+    closure = {f for f in result if f.relation == "T"}
+    print(f"\nSCALE(a) TC: {nodes} nodes / {edges} edges -> {len(closure)} pairs")
+
+
+@pytest.mark.parametrize("positions,moves", [(15, 30), (30, 70), (60, 150)])
+def test_scaling_winmove(benchmark, positions, moves):
+    game = random_game_graph(positions, moves, seed=positions)
+    program = winmove_program()
+    model = benchmark(lambda: evaluate_well_founded(program, game))
+    print(
+        f"\nSCALE(b) win-move: {positions} positions -> "
+        f"{len(model.true)} true, {len(model.undefined)} undefined"
+    )
+
+
+@pytest.mark.parametrize("edges", [4, 8, 12])
+def test_scaling_disjoint_protocol(benchmark, edges):
+    cotc = complement_tc_query()
+    instance = random_graph(6, edges, seed=edges)
+    network = Network(["a", "b", "c"])
+    policy = domain_guided_policy(
+        cotc.input_schema, network, hash_domain_assignment(network)
+    )
+
+    def distributed():
+        run = TransducerNetwork(
+            network, disjoint_protocol_transducer(cotc), policy
+        ).new_run(instance)
+        output = run.run_to_quiescence(scheduler=FairScheduler(0))
+        return output, run.metrics
+
+    (output, metrics) = run_once(benchmark, distributed)
+    assert output == cotc(instance)
+    print(
+        f"\nSCALE(c) disjoint protocol: {edges} edges -> "
+        f"{metrics.transitions} transitions, {metrics.message_facts_sent} msg-facts"
+    )

@@ -1,0 +1,48 @@
+"""SCEN — scenario workloads end to end: one per hierarchy level.
+
+Routing (M / F0), distributed GC (Mdisjoint via con-Datalog¬ / F2) and
+deadlock detection (Mdisjoint via connected WFS / F2) each run the full
+pipeline — analyze, pick the protocol, distribute over three nodes, verify
+against centralized evaluation — at two input sizes, with the protocol
+cost recorded.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.core import analyze, plan_distribution, run_distributed
+from repro.queries.scenarios import SCENARIOS, scenario
+
+
+@pytest.mark.parametrize("name", [s.name for s in SCENARIOS])
+def test_scenario_placement(benchmark, name):
+    entry = scenario(name)
+
+    def placement():
+        analysis = analyze(entry.program)
+        plan = plan_distribution(entry.program)
+        return analysis, plan
+
+    analysis, plan = run_once(benchmark, placement)
+    print(f"\nSCEN[{name}] — {entry.description}")
+    print(f"  {plan.describe()}")
+    assert analysis.fragment == entry.expected_fragment
+    assert analysis.monotonicity == entry.expected_class
+
+
+@pytest.mark.parametrize("name,size", [(s.name, size) for s in SCENARIOS for size in (10, 24)])
+def test_scenario_distributed(benchmark, name, size):
+    entry = scenario(name)
+    instance = entry.generate(size, seed=size)
+    plan = plan_distribution(entry.program)
+    expected = plan.query(instance)
+
+    def distributed():
+        return run_distributed(entry.program, instance, seed=1)
+
+    output = run_once(benchmark, distributed)
+    assert output == expected
+    print(
+        f"\nSCEN[{name}] size={size}: |I|={len(instance)}, "
+        f"|Q(I)|={len(expected)} — distributed == centralized"
+    )

@@ -1,0 +1,21 @@
+"""THM4.3 — F1 = Mdistinct.
+
+Paper claim: a query is computable by a coordination-free *policy-aware*
+transducer network iff it is domain-distinct-monotone.
+Measured, ⊇ (membership): the Theorem 4.3 absence-broadcast protocol
+computes an SP-Datalog query (SP-Datalog ⊆ Mdistinct) consistently over
+sampled networks / policies / schedules, with a heartbeat-only witness.
+Measured, ⊆ (refutation): coTC ∉ Mdistinct, and the relocation construction
+of the proof makes the same protocol output a wrong fact — so coTC ∉ F1.
+"""
+
+from conftest import assert_rows_ok, run_once
+
+from repro.core import render_rows, theorem43_experiment
+
+
+def test_thm43_policy_aware(benchmark):
+    rows = run_once(benchmark, theorem43_experiment)
+    print("\nTHM4.3 — F1 = Mdistinct:")
+    print(render_rows(rows))
+    assert_rows_ok(rows)

@@ -1,0 +1,22 @@
+"""THM4.4 — F2 = Mdisjoint.
+
+Paper claim: a query is computable by a transducer network that is
+coordination-free *under domain guidance* iff it is domain-disjoint-
+monotone.
+Measured, ⊇: the Theorem 4.4 handshake protocol computes coTC and win-move
+(both in Mdisjoint, neither in Mdistinct) consistently under domain-guided
+policies, each with a heartbeat-only witness.
+Measured, ⊆: the triangles-unless-two-disjoint query ∉ Mdisjoint and the
+relocation construction makes the protocol output a wrong triangle.
+"""
+
+from conftest import assert_rows_ok, run_once
+
+from repro.core import render_rows, theorem44_experiment
+
+
+def test_thm44_domain_guided(benchmark):
+    rows = run_once(benchmark, theorem44_experiment)
+    print("\nTHM4.4 — F2 = Mdisjoint:")
+    print(render_rows(rows))
+    assert_rows_ok(rows)

@@ -1,0 +1,48 @@
+"""THM5.4 — semi-connected wILOG¬ and Mdisjoint.
+
+Paper claim: semi-connected weakly safe ILOG¬ computes precisely Mdisjoint.
+The capture direction is a simulation argument; the reproducible half is the
+containment: semicon-wILOG¬ queries are domain-disjoint-monotone, value
+invention included.  Also exercised: weak-safety analysis (unsafe programs
+leak Skolem terms; weakly safe ones never do) and divergence detection.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.datalog import Instance, parse_facts
+from repro.ilog import (
+    DivergenceError,
+    diverging_counter,
+    evaluate_ilog,
+    is_weakly_safe,
+    tc_with_witnesses,
+    unsafe_leak,
+)
+
+
+def test_thm54_wilog_containment(benchmark):
+    from repro.core import render_rows, theorem54_experiment
+
+    rows = run_once(benchmark, theorem54_experiment)
+    print("\nTHM5.4 — (semi-connected) wILOG¬ and Mdisjoint:")
+    print(render_rows(rows))
+    assert all(row.ok for row in rows), "\n".join(
+        f"{row.claim}: {row.detail}" for row in rows if not row.ok
+    )
+
+
+def test_thm54_safety_boundary(benchmark):
+    """Weak safety separates programs whose outputs stay invention-free."""
+
+    def boundary():
+        assert is_weakly_safe(tc_with_witnesses())
+        assert not is_weakly_safe(unsafe_leak())
+        with pytest.raises(DivergenceError):
+            evaluate_ilog(
+                diverging_counter(), Instance(parse_facts("Start(1).")), max_depth=5
+            )
+        return True
+
+    assert run_once(benchmark, boundary)
+    print("\nTHM5.4 — weak-safety + divergence boundary checks passed")

@@ -1,0 +1,16 @@
+"""Benchmark helpers: every benchmark regenerates one paper artifact; the
+measured quantity is the wall-clock of the regeneration, and the assertion
+is that every claim in the artifact verifies."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """pytest-benchmark pedantic single-shot: these drivers are verification
+    workloads, not microbenchmarks — one round is the honest measurement."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def assert_rows_ok(rows):
+    failed = [r for r in rows if not r.ok]
+    assert not failed, "\n".join(f"{r.claim}: {r.detail}" for r in failed)

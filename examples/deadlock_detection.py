@@ -1,0 +1,79 @@
+"""Distributed deadlock detection: the win-move query wearing work clothes.
+
+Processes wait on each other (``Move(p, q)`` = "p waits for q").  Under the
+game reading of the well-founded semantics:
+
+* a process with no outstanding waits runs to completion — *lost* in game
+  terms, "terminates" here;
+* ``Win(p)`` (p has a wait on a terminating process) means p eventually
+  unblocks through that dependency;
+* the *drawn* processes are exactly the deadlocked ones — they sit on or
+  behind a cycle of waits with no escape.
+
+This script solves a wait-for graph three ways — retrograde analysis, the
+well-founded semantics, and a coordination-free distributed run of the
+Theorem 4.4 protocol — and checks all three agree.
+
+Run:  python examples/deadlock_detection.py
+"""
+
+from repro.datalog import Instance, parse_facts
+from repro.datalog.games import solve_game
+from repro.datalog.wellfounded import winmove_truths
+from repro.queries import win_move_query
+from repro.transducers import (
+    Network,
+    TransducerNetwork,
+    disjoint_protocol_transducer,
+    domain_guided_policy,
+    hash_domain_assignment,
+)
+
+WAIT_FOR = """
+    Move('etl', 'db').
+    Move('db', 'disk').
+    Move('api', 'cache'). Move('cache', 'api').
+    Move('cron', 'api').
+    Move('batch', 'lock_a'). Move('lock_a', 'lock_b'). Move('lock_b', 'batch').
+"""
+
+
+def main() -> None:
+    waits = Instance(parse_facts(WAIT_FOR))
+
+    print("== Retrograde analysis of the wait-for graph ==")
+    solution = solve_game(waits)
+    print("  terminate (no escape needed):", sorted(solution.lost))
+    print("  unblock via a dependency:    ", sorted(solution.won))
+    print("  DEADLOCKED:                  ", sorted(solution.drawn))
+
+    print("\n== Cross-check: well-founded semantics ==")
+    won, drawn, lost = winmove_truths(waits)
+    assert {f.values[0] for f in drawn} == solution.drawn
+    assert {f.values[0] for f in won} == solution.won
+    print("  well-founded model agrees with retrograde analysis: OK")
+
+    print("\n== Distributed detection, coordination-free (Theorem 4.4) ==")
+    query = win_move_query()
+    network = Network(["monitor1", "monitor2"])
+    policy = domain_guided_policy(
+        query.input_schema, network, hash_domain_assignment(network)
+    )
+    run = TransducerNetwork(
+        network, disjoint_protocol_transducer(query), policy
+    ).new_run(waits)
+    output = run.run_to_quiescence()
+    assert output == query(waits)
+    unblockers = {f.values[0] for f in output}
+    deadlocked = set(waits.adom()) - unblockers - solution.lost
+    print("  monitors computed unblocking processes:", sorted(unblockers))
+    print("  hence deadlocked:", sorted(deadlocked))
+    assert deadlocked == solution.drawn
+    print(
+        f"  cost: {run.metrics.transitions} transitions, "
+        f"{run.metrics.message_facts_sent} message-facts — and no global barrier"
+    )
+
+
+if __name__ == "__main__":
+    main()

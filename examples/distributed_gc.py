@@ -1,0 +1,69 @@
+"""Distributed garbage collection as a CALM case study.
+
+A heap of objects is sharded across storage nodes; objects reference each
+other across shards, and some objects are GC roots.  The collector must
+find the *collectible* objects: those not reachable from any root.
+
+Reachability from roots is monotone (coordination-free, F0) — but
+*collectibility* is its complement, a non-monotone query.  Classic CALM
+says it needs coordination.  The refinement reproduced in this repository
+says: the program is **semi-connected**, so with a domain-guided sharding
+(each object id owned by a shard that holds all facts mentioning it) the
+collector runs coordination-free in the F2 sense — nodes wait only on the
+data distribution, never on a global barrier.
+
+Run:  python examples/distributed_gc.py
+"""
+
+from repro.core import analyze, plan_distribution, run_distributed
+from repro.datalog import Instance, evaluate, parse_facts, parse_program
+
+GC_PROGRAM = """
+    Reachable(x) :- Root(x).
+    Reachable(y) :- Reachable(x), Ref(x, y).
+    O(x) :- Obj(x), not Reachable(x).
+"""
+
+HEAP = """
+    Root(10).
+    Obj(10). Obj(11). Obj(12). Obj(13). Obj(14).
+    Ref(10, 11). Ref(11, 12).
+    Ref(13, 14). Ref(14, 13).
+
+    Root(20).
+    Obj(20). Obj(21). Obj(22).
+    Ref(20, 21). Ref(22, 22).
+"""
+
+
+def main() -> None:
+    program = parse_program(GC_PROGRAM)
+    heap = Instance(parse_facts(HEAP))
+
+    print("== Collector analysis ==")
+    analysis = analyze(program)
+    print(" ", analysis.describe())
+    plan = plan_distribution(program)
+    print(" ", plan.describe())
+    assert analysis.coordination_class == "F2"
+
+    print("\n== Centralized mark & sweep ==")
+    collectible = evaluate(program, heap)
+    print("  collectible:", sorted(f.values[0] for f in collectible))
+
+    print("\n== Distributed collection over 3 shards (domain-guided) ==")
+    distributed = run_distributed(program, heap, nodes=("shard1", "shard2", "shard3"))
+    print("  collectible:", sorted(f.values[0] for f in distributed))
+    assert distributed == collectible
+    print("  distributed == centralized: OK")
+
+    print(
+        "\n  Why it is sound to collect incrementally: collectibility is\n"
+        "  domain-disjoint-monotone — objects in a *new* disjoint heap\n"
+        "  region can never resurrect an old object, so a shard may sweep\n"
+        "  as soon as its known region is complete."
+    )
+
+
+if __name__ == "__main__":
+    main()

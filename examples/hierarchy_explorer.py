@@ -1,0 +1,48 @@
+"""Explore the Figure 1 monotonicity hierarchy interactively:
+regenerate every Theorem 3.1 claim, then dissect one separating witness.
+
+Run:  python examples/hierarchy_explorer.py
+"""
+
+from repro.core import figure1_experiment, render_rows
+from repro.monotonicity import (
+    AdditionKind,
+    check_monotonicity,
+    exhaustive_graph_pairs,
+    witness_star_bounded_disjoint,
+)
+from repro.queries import star_query
+
+
+def main() -> None:
+    print("== Theorem 3.1 / Figure 1, regenerated ==")
+    rows = figure1_experiment(max_i=2)
+    print(render_rows(rows))
+    failed = [row for row in rows if not row.ok]
+    print(f"\n  {len(rows) - len(failed)}/{len(rows)} claims verified")
+    assert not failed
+
+    print("\n== Dissecting one separation: star[3] and the bounded classes ==")
+    query = star_query(3)
+
+    verdict = check_monotonicity(
+        query,
+        AdditionKind.DOMAIN_DISJOINT,
+        exhaustive_graph_pairs(kind=AdditionKind.DOMAIN_DISJOINT, max_addition_size=2),
+        bound=2,
+    )
+    print(f"  within M^2_disjoint? {verdict.describe()}")
+
+    witness = witness_star_bounded_disjoint(2)
+    print(f"  outside M^3_disjoint? {witness.describe()}")
+    print(f"    I = {witness.base}")
+    print(f"    J = {witness.addition}")
+    print(
+        "    Three domain-disjoint edges assemble a brand-new 3-spoke star,\n"
+        "    emptying the output — but two edges never can.  Exactly the\n"
+        "    boundary the bounded hierarchy of Figure 1 draws."
+    )
+
+
+if __name__ == "__main__":
+    main()

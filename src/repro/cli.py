@@ -1,0 +1,191 @@
+"""Command-line interface: analyze, evaluate and distribute Datalog¬
+programs from files.
+
+Usage (also via ``python -m repro``):
+
+    repro analyze PROGRAM.dl
+        Classify the program: fragment, monotonicity class, transducer
+        model, coordination-free class, chosen protocol.
+
+    repro eval PROGRAM.dl FACTS.dl
+        Centralized evaluation under the program's natural semantics
+        (stratified, or well-founded when unstratifiable).
+
+    repro run PROGRAM.dl FACTS.dl [--nodes N] [--seed S]
+        Distributed evaluation on a simulated N-node network using the
+        analyzer's strategy; prints the output and the run metrics.
+
+    repro solve-game FACTS.dl
+        Solve the win-move game in FACTS.dl (Move facts) by retrograde
+        analysis: won / drawn / lost positions and winning moves.
+
+Program files use the conventional syntax (``O(x) :- E(x, y), not S(y).``);
+fact files are plain facts (``E(1, 2).``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.analyzer import analyze, plan_distribution, query_for, run_distributed
+from .datalog.games import solve_game
+from .datalog.instance import Instance
+from .datalog.parser import parse_facts, parse_program
+
+__all__ = ["main", "build_parser"]
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_program(path: str):
+    return parse_program(_read(path))
+
+
+def _load_facts(path: str) -> Instance:
+    return Instance(parse_facts(_read(path)))
+
+
+def _print_instance(instance: Instance, out) -> None:
+    for fact in instance.sorted_facts():
+        print(f"  {fact!r}", file=out)
+    if not instance:
+        print("  (empty)", file=out)
+
+
+def _cmd_analyze(args, out) -> int:
+    if args.ilog:
+        return _cmd_analyze_ilog(args, out)
+    program = _load_program(args.program)
+    analysis = analyze(program)
+    plan = plan_distribution(program)
+    print(f"rules:        {len(program)}", file=out)
+    print(f"edb:          {', '.join(sorted(program.edb())) or '-'}", file=out)
+    print(f"output:       {', '.join(sorted(program.output_relations))}", file=out)
+    print(f"fragment:     {analysis.fragment}", file=out)
+    print(f"class:        {analysis.monotonicity or 'no guarantee'}", file=out)
+    print(f"model:        {analysis.model or 'requires global barrier'}", file=out)
+    print(f"cf-class:     {analysis.coordination_class or '-'}", file=out)
+    print(f"strategy:     {plan.transducer.name}", file=out)
+    if plan.requires_domain_guided:
+        print("policy:       requires a domain-guided distribution", file=out)
+    if plan.requires_barrier:
+        print("warning:      strategy coordinates (waits on every node)", file=out)
+    if args.explain:
+        from .core.explain import explain
+
+        print("", file=out)
+        print(explain(program).describe(), file=out)
+    return 0
+
+
+def _cmd_analyze_ilog(args, out) -> int:
+    from .core.analyzer import plan_ilog_distribution
+    from .ilog.program import parse_ilog_program
+
+    program = parse_ilog_program(_read(args.program))
+    plan = plan_ilog_distribution(program)
+    analysis = plan.analysis
+    print(f"rules:        {len(program)}", file=out)
+    print(f"invention:    {', '.join(sorted(program.invention_relations)) or '-'}", file=out)
+    print(f"fragment:     {analysis.fragment}", file=out)
+    print(f"class:        {analysis.monotonicity or 'no guarantee'}", file=out)
+    print(f"model:        {analysis.model or 'requires global barrier'}", file=out)
+    print(f"cf-class:     {analysis.coordination_class or '-'}", file=out)
+    print(f"strategy:     {plan.transducer.name}", file=out)
+    return 0
+
+
+def _cmd_eval(args, out) -> int:
+    program = _load_program(args.program)
+    instance = _load_facts(args.facts)
+    result = query_for(program)(instance)
+    print(f"{len(result)} output fact(s):", file=out)
+    _print_instance(result, out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    program = _load_program(args.program)
+    instance = _load_facts(args.facts)
+    plan = plan_distribution(program)
+    nodes = tuple(f"n{i + 1}" for i in range(args.nodes))
+    result = run_distributed(program, instance, nodes=nodes, seed=args.seed)
+    expected = plan.query(instance)
+    print(f"strategy:     {plan.transducer.name}", file=out)
+    print(f"network:      {', '.join(nodes)}", file=out)
+    print(f"{len(result)} output fact(s):", file=out)
+    _print_instance(result, out)
+    status = "OK" if result == expected else "MISMATCH"
+    print(f"matches centralized evaluation: {status}", file=out)
+    return 0 if result == expected else 1
+
+
+def _cmd_solve_game(args, out) -> int:
+    instance = _load_facts(args.facts)
+    solution = solve_game(instance)
+    print(f"won:   {', '.join(map(repr, sorted(solution.won, key=repr))) or '-'}", file=out)
+    print(f"drawn: {', '.join(map(repr, sorted(solution.drawn, key=repr))) or '-'}", file=out)
+    print(f"lost:  {', '.join(map(repr, sorted(solution.lost, key=repr))) or '-'}", file=out)
+    for position in sorted(solution.won, key=repr):
+        moves = ", ".join(map(repr, sorted(solution.winning_moves(position), key=repr)))
+        print(f"  {position!r} wins via: {moves}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CALM-hierarchy toolkit: analyze and distribute Datalog¬ programs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze_cmd = commands.add_parser("analyze", help="classify a program")
+    analyze_cmd.add_argument("program", help="path to a .dl program file")
+    analyze_cmd.add_argument(
+        "--explain", action="store_true", help="per-rule diagnosis and advice"
+    )
+    analyze_cmd.add_argument(
+        "--ilog", action="store_true",
+        help="treat the program as ILOG¬ (value invention via '*' heads)",
+    )
+    analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    eval_cmd = commands.add_parser("eval", help="evaluate centrally")
+    eval_cmd.add_argument("program")
+    eval_cmd.add_argument("facts")
+    eval_cmd.set_defaults(handler=_cmd_eval)
+
+    run_cmd = commands.add_parser("run", help="evaluate on a simulated network")
+    run_cmd.add_argument("program")
+    run_cmd.add_argument("facts")
+    run_cmd.add_argument("--nodes", type=int, default=3)
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.set_defaults(handler=_cmd_run)
+
+    game_cmd = commands.add_parser("solve-game", help="solve a win-move game")
+    game_cmd.add_argument("facts")
+    game_cmd.set_defaults(handler=_cmd_solve_game)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Exception as error:  # surfaced as a message, not a traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Executable renditions of the CALM theorems (Sections 4.2 and 4.3).
+
+Two directions per theorem:
+
+* **Membership (⊇)** — the constructive direction: the protocol transducer
+  for a class-member query distributedly computes it (sampled over
+  networks, policies, schedules) and admits a heartbeat-only witness under
+  an ideal policy.  Covered by
+  :func:`repro.transducers.coordination.coordination_free_report`.
+* **Refutation (⊆)** — the semantic direction, made executable through the
+  paper's own proof construction (:func:`refute_by_relocation`): given a
+  violation pair Q(I) ⊄ Q(I ∪ J), build the two-node policy P2 that hands
+  J to node y while x sees exactly the ideal distribution of I.  Heartbeats
+  at x then reproduce x's single-handed computation of Q(I), outputting a
+  fact outside Q(I ∪ J) — so *no* transducer that behaves coordination-
+  freely on I can distributedly compute Q.  Applied to our protocol
+  transducers this demonstrates, run by run, why class-outsiders are not
+  coordination-free.
+
+Theorem 4.5 (the no-``All`` variants) reuses the same machinery under
+``POLICY_AWARE_NO_ALL``; Corollary 4.6 under ``ORIGINAL`` / ``OBLIVIOUS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from ..datalog.instance import Instance
+from ..monotonicity.classes import violation_on
+from ..queries.base import Query
+from ..transducers.policy import (
+    Network,
+    dict_domain_assignment,
+    domain_guided_policy,
+    override_policy,
+    single_node_assignment,
+    single_node_policy,
+)
+from ..transducers.runtime import TransducerNetwork
+from ..transducers.transducer import Transducer
+
+__all__ = [
+    "RelocationRefutation",
+    "refute_by_relocation",
+    "relocation_policies",
+]
+
+
+@dataclass(frozen=True)
+class RelocationRefutation:
+    """The outcome of the proof-construction experiment.
+
+    ``refuted`` is True when heartbeats at x on input I ∪ J (under the
+    relocated policy P2) produced a fact outside Q(I ∪ J) — certifying that
+    the transducer does not distributedly compute Q.
+    """
+
+    refuted: bool
+    node: Hashable | None = None
+    heartbeats: int = 0
+    wrong_facts: Instance = Instance()
+    detail: str = ""
+
+    def describe(self) -> str:
+        if self.refuted:
+            wrong = ", ".join(repr(f) for f in self.wrong_facts.sorted_facts())
+            return (
+                f"refuted: node {self.node!r} output {wrong} after "
+                f"{self.heartbeats} heartbeats — not in Q(I ∪ J)"
+            )
+        return f"not refuted ({self.detail})"
+
+
+def relocation_policies(
+    query: Query,
+    network: Network,
+    x: Hashable,
+    y: Hashable,
+    addition: Instance,
+    *,
+    domain_guided: bool = False,
+):
+    """The pair (P1, P2) from the proofs of Theorems 4.3 / 4.4.
+
+    P1 is the ideal all-to-x policy.  P2 relocates J to y: fact overrides
+    for arbitrary policies; a value split along adom(J) for domain-guided
+    policies (J must be domain-disjoint for the split to be well defined —
+    exactly the hypothesis of the domain-guided theorem).
+    """
+    schema = query.input_schema
+    if domain_guided:
+        ideal = domain_guided_policy(
+            schema, network, single_node_assignment(network, x), name=f"dg-all-to-{x!r}"
+        )
+        assignment = dict_domain_assignment(
+            network, {value: [y] for value in addition.adom()}, default=x
+        )
+        relocated = domain_guided_policy(
+            schema, network, assignment, name=f"dg-J-to-{y!r}"
+        )
+    else:
+        ideal = single_node_policy(schema, network, x)
+        relocated = override_policy(
+            ideal, {fact: [y] for fact in addition}, name=f"J-to-{y!r}"
+        )
+    return ideal, relocated
+
+
+def refute_by_relocation(
+    make_transducer: Callable[[Query], Transducer],
+    query: Query,
+    base: Instance,
+    addition: Instance,
+    *,
+    domain_guided: bool = False,
+    max_heartbeats: int = 100,
+) -> RelocationRefutation:
+    """Run the F1 ⊆ Mdistinct / F2 ⊆ Mdisjoint proof construction.
+
+    Requires a genuine violation pair: Q(base) ⊄ Q(base ∪ addition), with
+    *addition* of the appropriate kind.  Steps:
+
+    1. sanity-check the violation and (for domain-guided) disjointness;
+    2. build P2 relocating the addition to y;
+    3. check x's local input on I ∪ J under P2 equals its local input on I
+       under the ideal P1 (the crux of the proof);
+    4. run heartbeat-only transitions at x until it outputs a fact outside
+       Q(I ∪ J).
+    """
+    violation = violation_on(query, base, addition)
+    if violation is None:
+        return RelocationRefutation(
+            refuted=False, detail="Q(I) ⊆ Q(I ∪ J): the pair is not a violation"
+        )
+    if domain_guided and not addition.is_domain_disjoint_from(base):
+        return RelocationRefutation(
+            refuted=False, detail="J is not domain-disjoint from I"
+        )
+
+    x, y = "x_node", "y_node"
+    network = Network([x, y])
+    transducer = make_transducer(query)
+    ideal, relocated = relocation_policies(
+        query, network, x, y, addition, domain_guided=domain_guided
+    )
+
+    combined = base | addition
+    run_ideal = TransducerNetwork(network, transducer, ideal).new_run(base)
+    run_relocated = TransducerNetwork(network, transducer, relocated).new_run(combined)
+    if run_ideal.local_input(x) != run_relocated.local_input(x):
+        return RelocationRefutation(
+            refuted=False,
+            detail="relocation failed: x's local input differs between P1(I) "
+            "and P2(I ∪ J)",
+        )
+
+    wrong_target = query(combined)
+    for step in range(1, max_heartbeats + 1):
+        run_relocated.heartbeat(x)
+        produced = run_relocated.state(x).output
+        wrong = produced - wrong_target
+        if wrong:
+            return RelocationRefutation(
+                refuted=True,
+                node=x,
+                heartbeats=step,
+                wrong_facts=wrong,
+                detail="",
+            )
+    return RelocationRefutation(
+        refuted=False,
+        detail=f"no wrong output after {max_heartbeats} heartbeats "
+        "(the transducer may be coordinating)",
+    )

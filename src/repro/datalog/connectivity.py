@@ -1,0 +1,159 @@
+"""Rule connectivity and the (semi-)connected Datalog¬ fragments (Sec. 5.1).
+
+For a rule phi, ``graph+(phi)`` is the graph whose nodes are the variables of
+the *positive* body atoms, with an edge between two variables when they occur
+together in a positive body atom.  A rule is *connected* when graph+ is
+connected.
+
+* **con-Datalog¬** — stratifiable programs admitting a stratification in
+  which every stratum is a connected SP-Datalog program.  Since
+  connectivity is a per-rule property, this holds iff the program is
+  stratifiable and every rule is connected.
+* **semicon-Datalog¬** — stratifiable programs admitting a stratification in
+  which every stratum *except possibly the last* is connected.  This holds
+  iff the program is stratifiable and the disconnected rules can all be
+  pushed into a single top stratum: no relation that (transitively,
+  positively) depends on the head of a disconnected rule may occur negated
+  anywhere in the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .program import Program
+from .rules import Rule
+from .stratification import is_stratifiable
+from .terms import Variable
+
+__all__ = [
+    "rule_variable_graph",
+    "is_connected_rule",
+    "is_connected_program",
+    "is_con_datalog",
+    "is_semicon_datalog",
+    "semicon_violations",
+    "ConnectivityReport",
+    "analyze_connectivity",
+]
+
+
+def rule_variable_graph(rule: Rule) -> dict[Variable, set[Variable]]:
+    """``graph+(rule)``: adjacency over the variables of positive body atoms."""
+    adjacency: dict[Variable, set[Variable]] = {}
+    for atom in rule.pos:
+        variables = sorted(atom.variables(), key=lambda v: v.name)
+        for variable in variables:
+            adjacency.setdefault(variable, set())
+        for i, left in enumerate(variables):
+            for right in variables[i + 1 :]:
+                adjacency[left].add(right)
+                adjacency[right].add(left)
+    return adjacency
+
+
+def is_connected_rule(rule: Rule) -> bool:
+    """True when graph+(rule) is connected (vacuously true without variables)."""
+    adjacency = rule_variable_graph(rule)
+    if len(adjacency) <= 1:
+        return True
+    start = next(iter(adjacency))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == len(adjacency)
+
+
+def is_connected_program(program: Program) -> bool:
+    """True when every rule of *program* is connected."""
+    return all(is_connected_rule(rule) for rule in program)
+
+
+def is_con_datalog(program: Program) -> bool:
+    """Membership in con-Datalog¬ (stratifiable + all rules connected)."""
+    return is_connected_program(program) and is_stratifiable(program)
+
+
+def _must_be_top(program: Program) -> set[str]:
+    """The upward positive closure of the heads of disconnected rules.
+
+    These are the idb relations forced into the last stratum once every
+    disconnected rule is placed there.
+    """
+    idb = set(program.idb())
+    forced = {
+        rule.head.relation for rule in program if not is_connected_rule(rule)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            head = rule.head.relation
+            if head in forced:
+                continue
+            if any(atom.relation in forced for atom in rule.pos if atom.relation in idb):
+                forced.add(head)
+                changed = True
+    return forced
+
+
+def semicon_violations(program: Program) -> list[str]:
+    """Human-readable reasons why *program* fails to be semicon-Datalog¬.
+
+    Empty list == the program is semi-connected.
+    """
+    reasons: list[str] = []
+    if not is_stratifiable(program):
+        reasons.append("program is not syntactically stratifiable")
+        return reasons
+    forced = _must_be_top(program)
+    for rule in program:
+        for atom in rule.neg:
+            if atom.relation in forced:
+                reasons.append(
+                    f"relation {atom.relation} must live in the last stratum "
+                    f"(it depends on a disconnected rule) but is negated in a "
+                    f"rule for {rule.head.relation}"
+                )
+    return reasons
+
+
+def is_semicon_datalog(program: Program) -> bool:
+    """Membership in semicon-Datalog¬.
+
+    Every SP-Datalog program is semi-connected (its single stratum is the
+    last one); every con-Datalog¬ program is semi-connected as well.
+    """
+    return not semicon_violations(program)
+
+
+@dataclass(frozen=True)
+class ConnectivityReport:
+    """A full connectivity classification of a program."""
+
+    connected_rules: tuple[Rule, ...]
+    disconnected_rules: tuple[Rule, ...]
+    is_connected: bool
+    is_con_datalog: bool
+    is_semicon_datalog: bool
+    violations: tuple[str, ...]
+
+
+def analyze_connectivity(program: Program) -> ConnectivityReport:
+    """Classify *program* against the Section 5.1 fragments."""
+    connected = tuple(rule for rule in program if is_connected_rule(rule))
+    disconnected = tuple(rule for rule in program if not is_connected_rule(rule))
+    violations = tuple(semicon_violations(program))
+    return ConnectivityReport(
+        connected_rules=connected,
+        disconnected_rules=disconnected,
+        is_connected=not disconnected,
+        is_con_datalog=not disconnected and is_stratifiable(program),
+        is_semicon_datalog=not violations,
+        violations=violations,
+    )

@@ -1,0 +1,152 @@
+"""Conjunctive queries and containment via the homomorphism theorem.
+
+Single positive nonrecursive Datalog rules are conjunctive queries (CQs).
+The Chandra–Merlin homomorphism theorem decides containment: Q1 ⊆ Q2 iff
+there is a homomorphism from Q2's canonical (frozen) instance to Q1's that
+maps Q2's head to Q1's head.  CQs are preserved under homomorphisms — the
+class H of Definition 2 — which is how this module ties into the paper's
+Section 3.2: the strictly monotone end of Figure 1's hierarchy is populated
+by exactly these queries (and their unions / recursive closure, Datalog).
+
+Provided:
+
+* :func:`canonical_instance` — freeze a CQ's body into an instance;
+* :func:`cq_contained_in` — containment of one CQ in another;
+* :func:`cq_equivalent` — mutual containment;
+* :func:`minimize_cq` — the core of a CQ (removing redundant body atoms).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .instance import Instance
+from .rules import Rule
+from .terms import Fact, Variable
+
+__all__ = [
+    "FrozenCQ",
+    "is_conjunctive_query",
+    "canonical_instance",
+    "cq_contained_in",
+    "cq_equivalent",
+    "minimize_cq",
+]
+
+
+class _FrozenVariable:
+    """A frozen variable: a fresh constant standing for a CQ variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"~{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _FrozenVariable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("frozen", self.name))
+
+
+class FrozenCQ:
+    """The canonical instance of a CQ plus its frozen head tuple."""
+
+    def __init__(self, instance: Instance, head: Fact) -> None:
+        self.instance = instance
+        self.head = head
+
+
+def is_conjunctive_query(rule: Rule) -> bool:
+    """True when *rule* is a plain CQ: positive, no inequalities."""
+    return rule.is_positive() and not rule.has_inequalities()
+
+
+def _freeze(term: Hashable) -> Hashable:
+    if isinstance(term, Variable):
+        return _FrozenVariable(term.name)
+    return term
+
+
+def canonical_instance(rule: Rule) -> FrozenCQ:
+    """Freeze the body of a CQ into its canonical instance.
+
+    Variables become fresh frozen constants; real constants stay themselves
+    (so containment respects constants, per the standard extension of the
+    homomorphism theorem).
+    """
+    if not is_conjunctive_query(rule):
+        raise ValueError("containment machinery handles plain CQs only")
+    body = Instance(
+        Fact(atom.relation, tuple(_freeze(t) for t in atom.terms))
+        for atom in rule.pos
+    )
+    head = Fact(rule.head.relation, tuple(_freeze(t) for t in rule.head.terms))
+    return FrozenCQ(instance=body, head=head)
+
+
+def cq_contained_in(first: Rule, second: Rule) -> bool:
+    """Chandra–Merlin: Q1 ⊆ Q2 iff a homomorphism maps frozen(Q2) into
+    frozen(Q1) sending Q2's head tuple to Q1's head tuple."""
+    if first.head.relation != second.head.relation:
+        return False
+    if first.head.arity != second.head.arity:
+        return False
+    target = canonical_instance(first)
+    source = canonical_instance(second)
+    return _head_preserving_homomorphism_exists(source, target)
+
+
+def _head_preserving_homomorphism_exists(source: FrozenCQ, target: FrozenCQ) -> bool:
+    from ..monotonicity.preservation import homomorphisms
+
+    required = {}
+    for from_value, to_value in zip(source.head.values, target.head.values):
+        if isinstance(from_value, _FrozenVariable):
+            if required.setdefault(from_value, to_value) != to_value:
+                return False  # one head variable forced to two images
+        elif from_value != to_value:
+            return False
+    for mapping in homomorphisms(source.instance, target.instance):
+        # Constants of the source must stay fixed (homomorphisms() ranges
+        # over adom(target), so an absent constant can never satisfy this).
+        if any(
+            not isinstance(value, _FrozenVariable) and mapping[value] != value
+            for value in source.instance.adom()
+        ):
+            continue
+        # Head variables occur in the body by safety, hence in the mapping.
+        if all(mapping[var] == image for var, image in required.items()):
+            return True
+    return False
+
+
+def cq_equivalent(first: Rule, second: Rule) -> bool:
+    """Mutual containment."""
+    return cq_contained_in(first, second) and cq_contained_in(second, first)
+
+
+def minimize_cq(rule: Rule) -> Rule:
+    """The core of a CQ: greedily drop body atoms while preserving
+    equivalence.  The result is a minimal equivalent CQ (unique up to
+    isomorphism by the classical core theorem)."""
+    if not is_conjunctive_query(rule):
+        raise ValueError("containment machinery handles plain CQs only")
+    atoms = list(rule.pos)
+    changed = True
+    while changed and len(atoms) > 1:
+        changed = False
+        for index in range(len(atoms)):
+            candidate_atoms = atoms[:index] + atoms[index + 1 :]
+            try:
+                candidate = Rule(rule.head, candidate_atoms)
+            except Exception:
+                continue  # dropping the atom breaks safety
+            if cq_equivalent(candidate, rule):
+                atoms = candidate_atoms
+                changed = True
+                break
+    return Rule(rule.head, atoms)

@@ -1,0 +1,296 @@
+"""Fixpoint evaluation for (semi-)positive Datalog¬ programs.
+
+Implements the semantics of Section 2 of the paper: the immediate consequence
+operator ``T_P`` and its minimal fixpoint, computed semi-naively.  Negation
+is permitted only over relations whose content is *fixed* during the fixpoint
+(the edb for semi-positive programs; lower strata for stratified programs —
+see :mod:`repro.datalog.stratified`).
+
+The join machinery (:func:`match_rule`) is shared by the stratified and
+well-founded evaluators and by the transducer runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from .instance import Instance
+from .program import Program
+from .rules import Rule
+from .terms import Atom, Fact, Variable
+
+__all__ = [
+    "FactIndex",
+    "match_rule",
+    "immediate_consequence",
+    "evaluate_semipositive",
+    "SemiNaiveEvaluator",
+    "EvaluationError",
+]
+
+
+class EvaluationError(RuntimeError):
+    """Raised when a program is handed to an evaluator that cannot run it."""
+
+
+class FactIndex:
+    """A mutable index of facts: relation name -> set of value tuples.
+
+    Provides the membership tests and scans the join engine needs, and an
+    inverted index from (relation, position, value) to tuples for bound-value
+    lookups.
+    """
+
+    __slots__ = ("_tuples", "_by_value")
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self._tuples: dict[str, set[tuple]] = {}
+        self._by_value: dict[tuple[str, int, Hashable], set[tuple]] = {}
+        self.add_all(facts)
+
+    def add(self, fact: Fact) -> bool:
+        """Insert a fact; returns True when it was new."""
+        bucket = self._tuples.setdefault(fact.relation, set())
+        if fact.values in bucket:
+            return False
+        bucket.add(fact.values)
+        for position, value in enumerate(fact.values):
+            self._by_value.setdefault((fact.relation, position, value), set()).add(
+                fact.values
+            )
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> list[Fact]:
+        """Insert many facts; returns the ones that were new."""
+        return [fact for fact in facts if self.add(fact)]
+
+    def contains(self, relation: str, values: tuple) -> bool:
+        bucket = self._tuples.get(relation)
+        return bucket is not None and values in bucket
+
+    def scan(self, relation: str) -> Iterable[tuple]:
+        return self._tuples.get(relation, ())
+
+    def lookup(self, relation: str, position: int, value: Hashable) -> Iterable[tuple]:
+        """Tuples of *relation* having *value* at *position*."""
+        return self._by_value.get((relation, position, value), ())
+
+    def count(self, relation: str) -> int:
+        return len(self._tuples.get(relation, ()))
+
+    def relations(self) -> set[str]:
+        return {name for name, bucket in self._tuples.items() if bucket}
+
+    def to_instance(self) -> Instance:
+        return Instance(
+            Fact(relation, values)
+            for relation, bucket in self._tuples.items()
+            for values in bucket
+        )
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._tuples.values())
+
+
+def _candidate_tuples(
+    index: FactIndex, atom: Atom, binding: Mapping[Variable, Hashable]
+) -> Iterable[tuple]:
+    """Tuples that could match *atom* given the current partial binding,
+    using the inverted index on the first bound position when possible."""
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Variable):
+            if term in binding:
+                return index.lookup(atom.relation, position, binding[term])
+        else:
+            return index.lookup(atom.relation, position, term)
+    return index.scan(atom.relation)
+
+
+def _extend_binding(
+    atom: Atom, values: tuple, binding: dict[Variable, Hashable]
+) -> dict[Variable, Hashable] | None:
+    """Unify *atom* with the ground tuple *values* under *binding*.
+
+    Returns the extended binding, or None on mismatch.
+    """
+    if len(values) != atom.arity:
+        return None
+    extended = binding
+    copied = False
+    for term, value in zip(atom.terms, values):
+        if isinstance(term, Variable):
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                if not copied:
+                    extended = dict(extended)
+                    copied = True
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended if copied else dict(extended)
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def _join(
+    atoms: list[Atom], index: FactIndex, binding: dict[Variable, Hashable]
+) -> Iterator[dict[Variable, Hashable]]:
+    """Enumerate all bindings extending *binding* that match every atom.
+
+    At each step the atom with the most already-bound variables is matched
+    next (a greedy bound-first join order).
+    """
+    if not atoms:
+        yield binding
+        return
+
+    def boundness(atom: Atom) -> int:
+        return sum(
+            1
+            for term in atom.terms
+            if not isinstance(term, Variable) or term in binding
+        )
+
+    best = max(range(len(atoms)), key=lambda i: boundness(atoms[i]))
+    atom = atoms[best]
+    rest = atoms[:best] + atoms[best + 1 :]
+    for values in _candidate_tuples(index, atom, binding):
+        extended = _extend_binding(atom, values, binding)
+        if extended is not None:
+            yield from _join(rest, index, extended)
+
+
+def match_rule(
+    rule: Rule,
+    positive_index: FactIndex,
+    negative_index: FactIndex | None = None,
+    *,
+    required_atom: Atom | None = None,
+    required_index: FactIndex | None = None,
+) -> Iterator[dict[Variable, Hashable]]:
+    """Enumerate the satisfying valuations of *rule*.
+
+    Positive atoms are matched against *positive_index*; negated atoms are
+    checked against *negative_index* (defaults to the positive index, as in
+    the single-instance semantics of the paper).  When *required_atom* is
+    given, that occurrence is matched against *required_index* instead —
+    the hook used for semi-naive delta rules.
+    """
+    if negative_index is None:
+        negative_index = positive_index
+
+    atoms = list(rule.pos)
+    seeds: Iterable[dict[Variable, Hashable]]
+    if required_atom is not None:
+        if required_index is None:
+            raise ValueError("required_atom needs required_index")
+        atoms = [a for a in atoms if a is not required_atom]
+        seeds = (
+            extended
+            for values in required_index.scan(required_atom.relation)
+            if (extended := _extend_binding(required_atom, values, {})) is not None
+        )
+    else:
+        seeds = ({},)
+
+    for seed in seeds:
+        for valuation in _join(atoms, positive_index, seed):
+            if any(
+                not ineq.satisfied_by(valuation) for ineq in rule.ineq
+            ):
+                continue
+            if any(
+                negative_index.contains(
+                    atom.relation, atom.apply(valuation).values
+                )
+                for atom in rule.neg
+            ):
+                continue
+            yield valuation
+
+
+def immediate_consequence(program: Program, instance: Instance) -> Instance:
+    """One application of the T_P operator: J ∪ {facts derived from J}."""
+    index = FactIndex(instance)
+    derived: set[Fact] = set(instance)
+    for rule in program:
+        for valuation in match_rule(rule, index):
+            derived.add(rule.derive(valuation))
+    return Instance(derived)
+
+
+class SemiNaiveEvaluator:
+    """Semi-naive fixpoint evaluation of a (semi-)positive program.
+
+    Negated atoms are evaluated against the full current database, which is
+    sound exactly because semi-positive programs negate only edb relations,
+    whose content never changes during the fixpoint.  The class is reused by
+    the stratified evaluator with ``frozen_negation`` carrying the facts of
+    lower strata.
+    """
+
+    def __init__(self, program: Program, *, check_semipositive: bool = True) -> None:
+        if check_semipositive and not program.is_semi_positive():
+            raise EvaluationError(
+                "program negates idb relations; use the stratified evaluator"
+            )
+        self._program = program
+
+    def run(self, instance: Instance, *, max_iterations: int | None = None) -> Instance:
+        """Compute the minimal fixpoint of T_P containing *instance*."""
+        index = FactIndex(instance)
+        delta = FactIndex(instance)
+        iterations = 0
+        while len(delta):
+            iterations += 1
+            if max_iterations is not None and iterations > max_iterations:
+                raise EvaluationError(
+                    f"fixpoint did not converge within {max_iterations} iterations"
+                )
+            fresh: set[Fact] = set()
+            for rule in self._program:
+                fresh.update(self._fire_rule(rule, index, delta))
+            new_facts = [fact for fact in fresh if not index.contains(fact.relation, fact.values)]
+            delta = FactIndex()
+            for fact in new_facts:
+                index.add(fact)
+                delta.add(fact)
+        return index.to_instance()
+
+    def _fire_rule(self, rule: Rule, index: FactIndex, delta: FactIndex) -> set[Fact]:
+        """All facts derivable by *rule* with at least one body atom in delta."""
+        produced: set[Fact] = set()
+        delta_relations = delta.relations()
+        seen_relations: set[str] = set()
+        for atom in rule.pos:
+            if atom.relation not in delta_relations:
+                continue
+            # Fire once per distinct delta relation occurrence; duplicates
+            # across identical atoms are harmless but wasteful.
+            key = atom.relation + "/" + repr(atom.terms)
+            if key in seen_relations:
+                continue
+            seen_relations.add(key)
+            for valuation in match_rule(
+                rule, index, required_atom=atom, required_index=delta
+            ):
+                produced.add(rule.derive(valuation))
+        return produced
+
+
+def evaluate_semipositive(
+    program: Program, instance: Instance, *, max_iterations: int | None = None
+) -> Instance:
+    """Evaluate a semi-positive program on *instance* (Section 2 semantics).
+
+    The result contains the input facts plus all derived idb facts, mirroring
+    the paper's ``P(I)`` which includes I itself.
+    """
+    return SemiNaiveEvaluator(program).run(instance, max_iterations=max_iterations)

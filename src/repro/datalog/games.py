@@ -1,0 +1,152 @@
+"""Direct game-theoretic solving of win-move games: retrograde analysis.
+
+The win-move query's semantics is game-theoretic: on the graph of ``Move``
+facts, a position is *won* when some move reaches a lost position, *lost*
+when every move reaches a won position (dead ends are lost), *drawn*
+otherwise.  Retrograde analysis computes this classification directly by
+backward induction from the dead ends — completely independently of the
+well-founded semantics, which makes it the perfect cross-validation oracle
+for :func:`repro.datalog.wellfounded.evaluate_well_founded` (and it is the
+standard algorithm a practitioner would actually use).
+
+Also provided: :func:`optimal_move` (a winning strategy witness) and
+:func:`distance_to_win` (the number of moves an optimal player needs),
+which the examples use to make the distributed win-move output tangible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Mapping
+
+from .instance import Instance
+from .terms import Fact
+
+__all__ = [
+    "GameSolution",
+    "solve_game",
+    "optimal_move",
+    "distance_to_win",
+]
+
+
+class GameSolution:
+    """The full classification of a win-move game.
+
+    ``won`` / ``lost`` / ``drawn`` partition the positions; ``depth`` maps
+    each decided position to its backward-induction depth (0 for dead ends,
+    the optimal game length otherwise).
+    """
+
+    __slots__ = ("won", "lost", "drawn", "depth", "_moves")
+
+    def __init__(
+        self,
+        won: frozenset,
+        lost: frozenset,
+        drawn: frozenset,
+        depth: Mapping[Hashable, int],
+        moves: Mapping[Hashable, frozenset],
+    ) -> None:
+        self.won = won
+        self.lost = lost
+        self.drawn = drawn
+        self.depth = dict(depth)
+        self._moves = {k: frozenset(v) for k, v in moves.items()}
+
+    def status(self, position: Hashable) -> str:
+        if position in self.won:
+            return "won"
+        if position in self.lost:
+            return "lost"
+        if position in self.drawn:
+            return "drawn"
+        raise KeyError(f"{position!r} is not a position of this game")
+
+    def winning_moves(self, position: Hashable) -> frozenset:
+        """The moves from a won position that reach a lost position."""
+        return frozenset(
+            target for target in self._moves.get(position, ()) if target in self.lost
+        )
+
+    def as_instances(self) -> tuple[Instance, Instance, Instance]:
+        """(Win, Drawn, Lost) unary instances, matching winmove_truths."""
+        return (
+            Instance(Fact("Win", (p,)) for p in self.won),
+            Instance(Fact("Drawn", (p,)) for p in self.drawn),
+            Instance(Fact("Lost", (p,)) for p in self.lost),
+        )
+
+
+def solve_game(instance: Instance, *, relation: str = "Move") -> GameSolution:
+    """Classify every position of the game graph by retrograde analysis.
+
+    Runs in O(positions + moves): each position counts its undecided
+    successors; a position becomes *lost* when the counter hits zero (all
+    successors won), and *won* the moment one successor is lost.
+    Positions never decided are *drawn*.
+    """
+    moves: dict[Hashable, set] = {}
+    predecessors: dict[Hashable, set] = {}
+    positions: set = set()
+    for fact in instance:
+        if fact.relation != relation:
+            continue
+        source, target = fact.values
+        positions.update((source, target))
+        moves.setdefault(source, set()).add(target)
+        predecessors.setdefault(target, set()).add(source)
+
+    undecided_successors = {p: len(moves.get(p, ())) for p in positions}
+    status: dict[Hashable, str] = {}
+    depth: dict[Hashable, int] = {}
+    queue: deque = deque()
+
+    for position in positions:
+        if undecided_successors[position] == 0:
+            status[position] = "lost"
+            depth[position] = 0
+            queue.append(position)
+
+    while queue:
+        position = queue.popleft()
+        for predecessor in predecessors.get(position, ()):
+            if predecessor in status:
+                continue
+            if status[position] == "lost":
+                # One losing successor suffices: predecessor is won.
+                status[predecessor] = "won"
+                depth[predecessor] = depth[position] + 1
+                queue.append(predecessor)
+            else:
+                undecided_successors[predecessor] -= 1
+                if undecided_successors[predecessor] == 0:
+                    # Every successor turned out won: predecessor is lost.
+                    status[predecessor] = "lost"
+                    depth[predecessor] = 1 + max(
+                        depth[s] for s in moves[predecessor]
+                    )
+                    queue.append(predecessor)
+
+    won = frozenset(p for p, s in status.items() if s == "won")
+    lost = frozenset(p for p, s in status.items() if s == "lost")
+    drawn = frozenset(positions) - won - lost
+    return GameSolution(won=won, lost=lost, drawn=drawn, depth=depth, moves=moves)
+
+
+def optimal_move(solution: GameSolution, position: Hashable) -> Hashable | None:
+    """A fastest winning move from a won position (None elsewhere)."""
+    if position not in solution.won:
+        return None
+    candidates = solution.winning_moves(position)
+    return min(
+        candidates,
+        key=lambda target: (solution.depth.get(target, 0), repr(target)),
+    )
+
+
+def distance_to_win(solution: GameSolution, position: Hashable) -> int | None:
+    """Optimal game length from a won position (None elsewhere)."""
+    if position not in solution.won:
+        return None
+    return solution.depth[position]

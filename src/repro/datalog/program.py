@@ -1,0 +1,199 @@
+"""Datalog¬ programs: sets of rules with schema bookkeeping.
+
+A :class:`Program` carries its rules plus the derived schemas the paper uses:
+``sch(P)`` (the minimal schema the program is over), ``idb(P)`` (relations in
+rule heads) and ``edb(P) = sch(P) \\ idb(P)``.  Programs also record which
+idb relations are the *intended output* — by the paper's convention the
+relation ``O`` when present, but any set can be designated.
+
+The ``Adom`` convention (Section 2): example programs use a unary idb
+relation ``Adom`` holding the active domain of the input.  The paper omits
+the rules computing it; :meth:`Program.with_adom_rules` materializes them
+(one projection rule per position of each edb relation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .rules import Rule, RuleValidationError
+from .schema import Schema, SchemaError
+from .terms import Atom, Variable
+
+__all__ = ["Program", "ADOM_RELATION"]
+
+ADOM_RELATION = "Adom"
+DEFAULT_OUTPUT_RELATION = "O"
+
+
+class Program:
+    """An immutable Datalog¬ program.
+
+    Parameters
+    ----------
+    rules:
+        The rules of the program.
+    output_relations:
+        The idb relations designated as output.  Defaults to ``{"O"}`` when a
+        rule defines ``O``, else to all idb relations.
+    extra_edb:
+        Relation names (with arities) that belong to the edb even when no
+        rule mentions them — needed when a program ignores part of its input
+        schema.
+    """
+
+    __slots__ = ("_rules", "_schema", "_idb", "_output")
+
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        output_relations: Iterable[str] | None = None,
+        extra_edb: Schema | None = None,
+    ) -> None:
+        self._rules: tuple[Rule, ...] = tuple(rules)
+        if not self._rules:
+            raise RuleValidationError("a program must contain at least one rule")
+        self._schema = self._infer_schema(extra_edb)
+        self._idb = frozenset(rule.head.relation for rule in self._rules)
+        if output_relations is None:
+            if DEFAULT_OUTPUT_RELATION in self._idb:
+                output = frozenset({DEFAULT_OUTPUT_RELATION})
+            else:
+                output = self._idb
+        else:
+            output = frozenset(output_relations)
+            unknown = output - self._idb
+            if unknown:
+                raise SchemaError(
+                    f"output relations {sorted(unknown)} are not defined by any rule"
+                )
+        self._output = output
+
+    def _infer_schema(self, extra_edb: Schema | None) -> Schema:
+        arities: dict[str, int] = dict(extra_edb or {})
+        for rule in self._rules:
+            for atom in {rule.head} | set(rule.pos) | set(rule.neg):
+                known = arities.setdefault(atom.relation, atom.arity)
+                if known != atom.arity:
+                    raise SchemaError(
+                        f"relation {atom.relation} used with arities "
+                        f"{known} and {atom.arity}"
+                    )
+        return Schema(arities, allow_nullary=True)
+
+    # ------------------------------------------------------------------
+    # Schema accessors (paper notation)
+    # ------------------------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self._rules
+
+    def sch(self) -> Schema:
+        """``sch(P)``: the minimal schema the program is over."""
+        return self._schema
+
+    def idb(self) -> Schema:
+        """``idb(P)``: relations occurring in rule heads."""
+        return self._schema.restrict(self._idb)
+
+    def edb(self) -> Schema:
+        """``edb(P) = sch(P) \\ idb(P)``."""
+        return self._schema.without(self._idb)
+
+    def output_schema(self) -> Schema:
+        """The schema of the designated output relations."""
+        return self._schema.restrict(self._output)
+
+    @property
+    def output_relations(self) -> frozenset[str]:
+        return self._output
+
+    def is_idb(self, relation: str) -> bool:
+        return relation in self._idb
+
+    def is_edb(self, relation: str) -> bool:
+        return relation in self._schema and relation not in self._idb
+
+    # ------------------------------------------------------------------
+    # Fragment predicates (Section 2)
+    # ------------------------------------------------------------------
+
+    def is_positive(self) -> bool:
+        """True for positive Datalog¬: no rule has negated body atoms."""
+        return all(rule.is_positive() for rule in self._rules)
+
+    def uses_inequalities(self) -> bool:
+        return any(rule.has_inequalities() for rule in self._rules)
+
+    def is_semi_positive(self) -> bool:
+        """True for SP-Datalog: every negated atom is over ``edb(P)``."""
+        return all(
+            atom.relation not in self._idb
+            for rule in self._rules
+            for atom in rule.neg
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def with_rules(self, extra: Iterable[Rule]) -> "Program":
+        """A new program with additional rules (output designation is kept
+        when still valid, else recomputed)."""
+        rules = self._rules + tuple(extra)
+        return Program(rules, output_relations=self._output)
+
+    def with_output(self, output_relations: Iterable[str]) -> "Program":
+        return Program(self._rules, output_relations=output_relations)
+
+    def with_adom_rules(self, input_schema: Schema | None = None) -> "Program":
+        """Materialize the ``Adom`` convention.
+
+        Adds, for every position of every edb relation (of *input_schema*
+        when given, else of ``edb(P)`` minus ``Adom``), the projection rule
+        ``Adom(x_i) <- R(x_1, ..., x_k)``.  No-op when the program does not
+        mention ``Adom``.
+        """
+        if ADOM_RELATION not in self._schema:
+            return self
+        if self._schema.arity(ADOM_RELATION) != 1:
+            raise SchemaError("the Adom convention requires Adom to be unary")
+        source = input_schema if input_schema is not None else self.edb().without([ADOM_RELATION])
+        extra: list[Rule] = []
+        for relation in source:
+            arity = source.arity(relation)
+            variables = [Variable(f"x{i}") for i in range(1, arity + 1)]
+            body = Atom(relation, variables)
+            for variable in variables:
+                extra.append(Rule(Atom(ADOM_RELATION, [variable]), [body]))
+        return Program(self._rules + tuple(extra), output_relations=self._output)
+
+    # ------------------------------------------------------------------
+    # Iteration / display
+    # ------------------------------------------------------------------
+
+    def rules_for(self, relation: str) -> tuple[Rule, ...]:
+        """All rules whose head predicate is *relation*."""
+        return tuple(rule for rule in self._rules if rule.head.relation == relation)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return (
+            frozenset(self._rules) == frozenset(other._rules)
+            and self._output == other._output
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._rules), self._output))
+
+    def __repr__(self) -> str:
+        lines = "\n".join(repr(rule) for rule in self._rules)
+        return f"Program(\n{lines}\n)"

@@ -1,0 +1,132 @@
+"""Datalog¬ rules, faithful to the paper's quadruple definition.
+
+Section 2 of the paper defines a Datalog¬ rule as a quadruple
+``(head, pos, neg, ineq)`` where ``head`` is an atom, ``pos`` and ``neg`` are
+sets of atoms, ``ineq`` is a set of inequalities between variables, and every
+variable of the rule occurs in ``pos`` (range restriction / safety).  ``pos``
+must be non-empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from .terms import Atom, Inequality, Variable, variables_of
+
+__all__ = ["Rule", "RuleValidationError"]
+
+
+class RuleValidationError(ValueError):
+    """Raised when a rule violates the well-formedness conditions of Sec. 2."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Datalog¬ rule ``head <- pos, not neg, ineq``.
+
+    The components mirror the paper exactly:
+
+    * ``head`` — a single atom;
+    * ``pos`` — the positive body atoms (must be non-empty);
+    * ``neg`` — the negated body atoms (plain atoms; negation is implicit);
+    * ``ineq`` — inequalities ``u != v`` between variables of the rule.
+
+    Safety is enforced at construction: every variable of the rule (head,
+    negative atoms, inequalities) must appear in some positive body atom.
+    """
+
+    head: Atom
+    pos: frozenset[Atom]
+    neg: frozenset[Atom] = field(default_factory=frozenset)
+    ineq: frozenset[Inequality] = field(default_factory=frozenset)
+
+    def __init__(
+        self,
+        head: Atom,
+        pos: Iterable[Atom],
+        neg: Iterable[Atom] = (),
+        ineq: Iterable[Inequality] = (),
+    ) -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "pos", frozenset(pos))
+        object.__setattr__(self, "neg", frozenset(neg))
+        object.__setattr__(self, "ineq", frozenset(ineq))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not isinstance(self.head, Atom):
+            raise RuleValidationError("rule head must be an Atom")
+        if not self.pos:
+            raise RuleValidationError(
+                f"rule for {self.head.relation} has an empty positive body; "
+                "the paper requires pos to be non-empty"
+            )
+        bound = variables_of(self.pos)
+        loose = (self.head.variables() | variables_of(self.neg)) - bound
+        for inequality in self.ineq:
+            loose |= inequality.variables() - bound
+        if loose:
+            names = ", ".join(sorted(v.name for v in loose))
+            raise RuleValidationError(
+                f"unsafe rule for {self.head.relation}: variable(s) {names} "
+                "do not occur in any positive body atom"
+            )
+
+    # ------------------------------------------------------------------
+    # Structural accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def body_atoms(self) -> frozenset[Atom]:
+        """All body atoms, positive and negative (paper: pos ∪ neg)."""
+        return self.pos | self.neg
+
+    def variables(self) -> set[Variable]:
+        """All variables of the rule (they all occur in ``pos`` by safety)."""
+        return variables_of(self.pos)
+
+    def predicates(self) -> set[str]:
+        """Every relation name mentioned by the rule, head included."""
+        return {self.head.relation} | {atom.relation for atom in self.body_atoms}
+
+    def body_predicates(self) -> set[str]:
+        return {atom.relation for atom in self.body_atoms}
+
+    def is_positive(self) -> bool:
+        """True when the rule has no negated body atoms (paper: neg = ∅)."""
+        return not self.neg
+
+    def has_inequalities(self) -> bool:
+        return bool(self.ineq)
+
+    # ------------------------------------------------------------------
+    # Semantics helpers
+    # ------------------------------------------------------------------
+
+    def satisfied(
+        self,
+        valuation: Mapping[Variable, Hashable],
+        instance: "frozenset | set",
+    ) -> bool:
+        """Paper Sec. 2: valuation V is satisfying for this rule on *instance*
+        when V(pos) ⊆ I, V(neg) ∩ I = ∅ and all inequalities hold."""
+        if any(atom.apply(valuation) not in instance for atom in self.pos):
+            return False
+        if any(atom.apply(valuation) in instance for atom in self.neg):
+            return False
+        return all(ineq.satisfied_by(valuation) for ineq in self.ineq)
+
+    def derive(self, valuation: Mapping[Variable, Hashable]):
+        """The fact derived by this rule under *valuation* (V(head))."""
+        return self.head.apply(valuation)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        parts = [repr(atom) for atom in sorted(self.pos, key=repr)]
+        parts += [f"not {atom!r}" for atom in sorted(self.neg, key=repr)]
+        parts += [repr(ineq) for ineq in sorted(self.ineq, key=repr)]
+        return f"{self.head!r} :- {', '.join(parts)}."

@@ -1,0 +1,121 @@
+"""Database schemas: finite maps from relation names to arities.
+
+The paper assumes all relations have arity at least one (nullary relations
+are excluded; see Section 7 of the paper).  :class:`Schema` enforces that by
+default but can be constructed with ``allow_nullary=True`` for the engine's
+internal use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .terms import Fact
+
+__all__ = ["Schema", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised on malformed schemas or schema violations."""
+
+
+class Schema(Mapping[str, int]):
+    """An immutable database schema: relation name -> arity.
+
+    Construct from a mapping or from ``(name, arity)`` pairs::
+
+        Schema({"E": 2, "V": 1})
+        Schema([("E", 2)])
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(
+        self,
+        relations: Mapping[str, int] | Iterable[tuple[str, int]] = (),
+        *,
+        allow_nullary: bool = False,
+    ) -> None:
+        items = dict(relations)
+        for name, arity in items.items():
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"invalid relation name: {name!r}")
+            if not isinstance(arity, int) or arity < 0:
+                raise SchemaError(f"invalid arity for {name}: {arity!r}")
+            if arity == 0 and not allow_nullary:
+                raise SchemaError(
+                    f"relation {name} is nullary; the paper restricts schemas "
+                    "to arity >= 1 (see Section 7)"
+                )
+        self._relations: dict[str, int] = items
+
+    # Mapping interface -------------------------------------------------
+
+    def __getitem__(self, name: str) -> int:
+        return self._relations[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # Schema operations --------------------------------------------------
+
+    def arity(self, name: str) -> int:
+        """The arity of relation *name* (raises SchemaError when absent)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"relation {name} is not in the schema") from None
+
+    def contains_fact(self, fact: Fact) -> bool:
+        """Paper Sec. 2: a fact is *over* the schema when its relation is in
+        the schema with matching arity."""
+        return self._relations.get(fact.relation) == fact.arity
+
+    def union(self, other: "Schema") -> "Schema":
+        """Union of two schemas; conflicting arities raise SchemaError."""
+        merged = dict(self._relations)
+        for name, arity in other._relations.items():
+            if merged.get(name, arity) != arity:
+                raise SchemaError(
+                    f"arity conflict for {name}: {merged[name]} vs {arity}"
+                )
+            merged[name] = arity
+        return Schema(merged, allow_nullary=True)
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """The sub-schema containing only the given relation names."""
+        keep = set(names)
+        return Schema(
+            {n: a for n, a in self._relations.items() if n in keep},
+            allow_nullary=True,
+        )
+
+    def without(self, names: Iterable[str]) -> "Schema":
+        """The sub-schema dropping the given relation names."""
+        drop = set(names)
+        return Schema(
+            {n: a for n, a in self._relations.items() if n not in drop},
+            allow_nullary=True,
+        )
+
+    def disjoint_from(self, other: "Schema") -> bool:
+        """True when the two schemas share no relation names."""
+        return not (set(self._relations) & set(other._relations))
+
+    def __or__(self, other: "Schema") -> "Schema":
+        return self.union(other)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}/{arity}" for name, arity in sorted(self._relations.items()))
+        return f"Schema({{{inner}}})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))

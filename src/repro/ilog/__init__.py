@@ -1,0 +1,63 @@
+"""ILOG¬: stratified Datalog with value invention (Section 5.2)."""
+
+from .terms import INVENTION, SkolemTerm, contains_invented, term_depth
+from .program import ILOGProgram, ILOGRule, parse_ilog_program, skolem_functor_name
+from .evaluation import (
+    DivergenceError,
+    evaluate_ilog,
+    ilog_precedence_graph,
+    ilog_query_output,
+    stratify_ilog,
+)
+from .safety import (
+    check_safety_dynamic,
+    is_weakly_safe,
+    unsafe_output_positions,
+    unsafe_positions,
+)
+from .fragments import (
+    ILOGFragmentReport,
+    classify_ilog,
+    is_connected_ilog,
+    is_connected_ilog_rule,
+    is_semicon_ilog,
+)
+from .demos import (
+    ILOGQuery,
+    diverging_counter,
+    semicon_wilog_cotc,
+    sp_wilog_tagged_pairs,
+    tc_with_witnesses,
+    unsafe_leak,
+)
+
+__all__ = [
+    "INVENTION",
+    "SkolemTerm",
+    "contains_invented",
+    "term_depth",
+    "ILOGProgram",
+    "ILOGRule",
+    "parse_ilog_program",
+    "skolem_functor_name",
+    "DivergenceError",
+    "evaluate_ilog",
+    "ilog_precedence_graph",
+    "ilog_query_output",
+    "stratify_ilog",
+    "check_safety_dynamic",
+    "is_weakly_safe",
+    "unsafe_output_positions",
+    "unsafe_positions",
+    "ILOGFragmentReport",
+    "classify_ilog",
+    "is_connected_ilog",
+    "is_connected_ilog_rule",
+    "is_semicon_ilog",
+    "ILOGQuery",
+    "diverging_counter",
+    "semicon_wilog_cotc",
+    "sp_wilog_tagged_pairs",
+    "tc_with_witnesses",
+    "unsafe_leak",
+]

@@ -1,0 +1,121 @@
+"""Demonstration ILOG¬ programs exercising every Section 5.2 mechanism:
+internal value invention, weak-safety violations, divergence, and the
+semi-connected fragment with invention.
+"""
+
+from __future__ import annotations
+
+from ..datalog.instance import Instance
+from ..queries.base import Query
+from .evaluation import ilog_query_output
+from .program import ILOGProgram, parse_ilog_program
+
+__all__ = [
+    "ILOGQuery",
+    "tc_with_witnesses",
+    "unsafe_leak",
+    "diverging_counter",
+    "semicon_wilog_cotc",
+    "sp_wilog_tagged_pairs",
+]
+
+
+class ILOGQuery(Query):
+    """The query computed by a (safe) ILOG¬ program.
+
+    Output values are checked dynamically: invented values leaking into the
+    output raise — a weakly safe program never trips this.
+    """
+
+    def __init__(self, program: ILOGProgram, name: str | None = None) -> None:
+        super().__init__(
+            name or f"ilog[{','.join(sorted(program.output_relations))}]",
+            program.edb(),
+            program.output_schema(),
+        )
+        self._program = program
+
+    @property
+    def program(self) -> ILOGProgram:
+        return self._program
+
+    def evaluate(self, instance: Instance) -> Instance:
+        from .safety import check_safety_dynamic
+        from .terms import contains_invented
+
+        output = ilog_query_output(self._program, instance)
+        if not check_safety_dynamic(self._program, output):
+            leaked = next(f for f in output if contains_invented(f.values))
+            raise RuntimeError(
+                f"unsafe ILOG program leaked an invented value: {leaked!r}"
+            )
+        return output
+
+
+def tc_with_witnesses() -> ILOGProgram:
+    """Transitive closure with invented path-witness objects.
+
+    Invention is used *internally* (relation ``P`` carries a Skolem witness
+    per reachable pair); the output ``O`` projects the real values away from
+    the witness, so the program is weakly safe.  Because the Skolem functor
+    depends only on (x, z), witnesses deduplicate and the fixpoint is finite.
+    """
+    return parse_ilog_program(
+        """
+        P(*, x, y) :- E(x, y).
+        P(*, x, z) :- P(p, x, y), E(y, z).
+        O(x, y) :- P(p, x, y).
+        """
+    )
+
+
+def unsafe_leak() -> ILOGProgram:
+    """A *non*-weakly-safe program: the invention position of ``P`` flows
+    into the first output position."""
+    return parse_ilog_program(
+        """
+        P(*, x) :- V(x).
+        O(p, x) :- P(p, x).
+        """
+    )
+
+
+def diverging_counter() -> ILOGProgram:
+    """An ILOG¬ program whose fixpoint is infinite: every round re-invents
+    on top of the previous invention (``N(f_N(n), n)`` from ``N(n, x)``),
+    nesting Skolem terms without bound.  Its output is undefined; the
+    evaluator raises :class:`~repro.ilog.evaluation.DivergenceError`."""
+    return parse_ilog_program(
+        """
+        N(*, x) :- Start(x).
+        N(*, n) :- N(n, x).
+        O(x, x) :- Start(x).
+        """
+    )
+
+
+def semicon_wilog_cotc() -> ILOGProgram:
+    """A semicon-wILOG¬ program for the complement of transitive closure:
+    connected recursive strata (with an invented witness relation) below a
+    disconnected final stratum."""
+    return parse_ilog_program(
+        """
+        Adom(x) :- E(x, y).
+        Adom(y) :- E(x, y).
+        T(x, y) :- E(x, y).
+        T(x, z) :- T(x, y), E(y, z).
+        W(*, x, y) :- T(x, y).
+        O(x, y) :- Adom(x), Adom(y), not T(x, y).
+        """
+    )
+
+
+def sp_wilog_tagged_pairs() -> ILOGProgram:
+    """An SP-wILOG program: tag each non-marked edge with a fresh object and
+    count on weak safety to keep the tags internal."""
+    return parse_ilog_program(
+        """
+        Tag(*, x, y) :- E(x, y), not Mark(x).
+        O(x, y) :- Tag(t, x, y).
+        """
+    )

@@ -1,0 +1,130 @@
+"""ILOG¬ fragments: SP-wILOG, connected and semi-connected wILOG¬ (Sec. 5.2).
+
+Connectivity of an ILOG rule is connectivity of its positive-body variable
+graph — the invention symbol plays no role (it never occurs in bodies).  The
+semi-connected condition mirrors the Datalog¬ one: some stratification puts
+every disconnected rule in the last stratum; equivalently, no relation in
+the upward positive closure of the disconnected heads is negated.
+
+Theorem 5.4: semi-connected wILOG¬ computes precisely Mdisjoint.  The
+empirical half reproduced here: every semicon-wILOG¬ program's query is
+domain-disjoint-monotone (checked by the benchmarks over instance families).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.connectivity import is_connected_rule
+from ..datalog.stratification import NotStratifiableError
+from .evaluation import stratify_ilog
+from .program import ILOGProgram, ILOGRule
+from .safety import is_weakly_safe
+
+__all__ = [
+    "is_connected_ilog_rule",
+    "is_connected_ilog",
+    "is_semicon_ilog",
+    "ILOGFragmentReport",
+    "classify_ilog",
+]
+
+
+def is_connected_ilog_rule(ilog_rule: ILOGRule) -> bool:
+    """graph+ connectivity of the underlying rule."""
+    return is_connected_rule(ilog_rule.rule)
+
+
+def is_connected_ilog(program: ILOGProgram) -> bool:
+    return all(is_connected_ilog_rule(rule) for rule in program)
+
+
+def _is_stratifiable(program: ILOGProgram) -> bool:
+    try:
+        stratify_ilog(program)
+    except NotStratifiableError:
+        return False
+    return True
+
+
+def _must_be_top(program: ILOGProgram) -> set[str]:
+    idb = set(program.idb())
+    forced = {
+        rule.head_relation for rule in program if not is_connected_ilog_rule(rule)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for ilog_rule in program:
+            head = ilog_rule.head_relation
+            if head in forced:
+                continue
+            if any(
+                atom.relation in forced
+                for atom in ilog_rule.rule.pos
+                if atom.relation in idb
+            ):
+                forced.add(head)
+                changed = True
+    return forced
+
+
+def is_semicon_ilog(program: ILOGProgram) -> bool:
+    """Semi-connected wILOG¬ membership (stratification existence test)."""
+    if not _is_stratifiable(program):
+        return False
+    forced = _must_be_top(program)
+    return not any(
+        atom.relation in forced
+        for ilog_rule in program
+        for atom in ilog_rule.rule.neg
+    )
+
+
+@dataclass(frozen=True)
+class ILOGFragmentReport:
+    """Fragment placement of one ILOG¬ program (Figure 2 right-hand side)."""
+
+    weakly_safe: bool
+    semi_positive: bool
+    connected: bool
+    semi_connected: bool
+    stratifiable: bool
+    uses_invention: bool
+
+    @property
+    def fragment(self) -> str:
+        """The tightest Figure 2 ILOG fragment, or a diagnostic label."""
+        if not self.stratifiable:
+            return "not-stratifiable"
+        if not self.weakly_safe:
+            return "unsafe-ilog"
+        if self.semi_positive:
+            return "sp-wilog"
+        if self.connected:
+            return "con-wilog"
+        if self.semi_connected:
+            return "semicon-wilog"
+        return "stratified-wilog"
+
+    @property
+    def guaranteed_class(self) -> str | None:
+        """The monotonicity class guaranteed by the fragment
+        (SP-wILOG = Mdistinct, semicon-wILOG¬ = Mdisjoint per [18] / Thm 5.4)."""
+        return {
+            "sp-wilog": "Mdistinct",
+            "con-wilog": "Mdisjoint",
+            "semicon-wilog": "Mdisjoint",
+        }.get(self.fragment)
+
+
+def classify_ilog(program: ILOGProgram) -> ILOGFragmentReport:
+    """Full fragment classification of an ILOG¬ program."""
+    return ILOGFragmentReport(
+        weakly_safe=is_weakly_safe(program),
+        semi_positive=program.is_semi_positive(),
+        connected=is_connected_ilog(program),
+        semi_connected=is_semicon_ilog(program),
+        stratifiable=_is_stratifiable(program),
+        uses_invention=bool(program.invention_relations),
+    )

@@ -1,0 +1,201 @@
+"""ILOG¬ programs: Datalog¬ with invention atoms in rule heads.
+
+An invention atom is ``R(*, u1, ..., uk)``: the first position of the
+invention relation R is filled by the invention symbol, and evaluation fills
+it with the Skolem term ``f_R(V(u1), ..., V(uk))`` (Section 5.2, following
+Cabibbo [18]).
+
+An :class:`ILOGRule` stores the head *without* the invention marker plus an
+``invents`` flag; :meth:`ILOGProgram.skolemized_head` shows the conventional
+Skolemized form.  The parser extension :func:`parse_ilog_program` accepts the
+``*`` syntax directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..datalog.parser import INVENTION_MARKER, _Parser, ParseError
+from ..datalog.rules import Rule, RuleValidationError
+from ..datalog.schema import Schema, SchemaError
+from ..datalog.terms import Atom
+
+__all__ = ["ILOGRule", "ILOGProgram", "parse_ilog_program", "skolem_functor_name"]
+
+
+def skolem_functor_name(relation: str) -> str:
+    """The Skolem functor associated with invention relation *relation*."""
+    return f"f_{relation}"
+
+
+@dataclass(frozen=True)
+class ILOGRule:
+    """One ILOG¬ rule.
+
+    ``rule`` is the underlying Datalog¬ rule whose head *excludes* the
+    invention position when ``invents`` is True; the full head of an
+    inventing rule for R/k therefore has arity k-1 here, and evaluation
+    prepends the Skolem term.
+    """
+
+    rule: Rule
+    invents: bool
+
+    @property
+    def head_relation(self) -> str:
+        return self.rule.head.relation
+
+    def head_arity(self) -> int:
+        """The declared arity of the head relation (invention slot included)."""
+        return self.rule.head.arity + (1 if self.invents else 0)
+
+    def skolemized_head_repr(self) -> str:
+        """The Skolemized conventional form of the head, for display."""
+        if not self.invents:
+            return repr(self.rule.head)
+        functor = skolem_functor_name(self.head_relation)
+        args = ", ".join(repr(t) for t in self.rule.head.terms)
+        return f"{self.head_relation}({functor}({args}), {args})"
+
+    def __repr__(self) -> str:
+        body = repr(self.rule).split(" :- ", 1)[1]
+        head = self.skolemized_head_repr() if self.invents else repr(self.rule.head)
+        return f"{head} :- {body}"
+
+
+class ILOGProgram:
+    """An ILOG¬ program: ILOG rules plus schema bookkeeping.
+
+    Invention relations are those with at least one inventing rule; a
+    relation may not mix inventing and non-inventing rules (its first
+    position is *the* invention position).
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[ILOGRule],
+        output_relations: Iterable[str] | None = None,
+        extra_edb: Schema | None = None,
+    ) -> None:
+        self._rules = tuple(rules)
+        if not self._rules:
+            raise RuleValidationError("an ILOG program needs at least one rule")
+        invention = {r.head_relation for r in self._rules if r.invents}
+        plain = {r.head_relation for r in self._rules if not r.invents}
+        mixed = invention & plain
+        if mixed:
+            raise SchemaError(
+                f"relation(s) {sorted(mixed)} have both inventing and "
+                "non-inventing rules"
+            )
+        self._invention_relations = frozenset(invention)
+        self._schema = self._infer_schema(extra_edb)
+        self._idb = frozenset(r.head_relation for r in self._rules)
+        if output_relations is None:
+            output = frozenset({"O"}) if "O" in self._idb else self._idb
+        else:
+            output = frozenset(output_relations)
+            unknown = output - self._idb
+            if unknown:
+                raise SchemaError(
+                    f"output relations {sorted(unknown)} are not defined by any rule"
+                )
+        self._output = output
+
+    def _infer_schema(self, extra_edb: Schema | None) -> Schema:
+        arities: dict[str, int] = dict(extra_edb or {})
+
+        def record(relation: str, arity: int) -> None:
+            known = arities.setdefault(relation, arity)
+            if known != arity:
+                raise SchemaError(
+                    f"relation {relation} used with arities {known} and {arity}"
+                )
+
+        for ilog_rule in self._rules:
+            record(ilog_rule.head_relation, ilog_rule.head_arity())
+            for atom in set(ilog_rule.rule.pos) | set(ilog_rule.rule.neg):
+                record(atom.relation, atom.arity)
+        return Schema(arities, allow_nullary=True)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[ILOGRule, ...]:
+        return self._rules
+
+    @property
+    def invention_relations(self) -> frozenset[str]:
+        return self._invention_relations
+
+    @property
+    def output_relations(self) -> frozenset[str]:
+        return self._output
+
+    def sch(self) -> Schema:
+        return self._schema
+
+    def idb(self) -> Schema:
+        return self._schema.restrict(self._idb)
+
+    def edb(self) -> Schema:
+        return self._schema.without(self._idb)
+
+    def output_schema(self) -> Schema:
+        return self._schema.restrict(self._output)
+
+    def is_semi_positive(self) -> bool:
+        """SP-wILOG: negation restricted to edb relations."""
+        return all(
+            atom.relation not in self._idb
+            for ilog_rule in self._rules
+            for atom in ilog_rule.rule.neg
+        )
+
+    def __iter__(self) -> Iterator[ILOGRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __repr__(self) -> str:
+        lines = "\n".join(repr(rule) for rule in self._rules)
+        return f"ILOGProgram(\n{lines}\n)"
+
+
+def parse_ilog_program(
+    text: str,
+    output_relations: Iterable[str] | None = None,
+    extra_edb: Schema | None = None,
+) -> ILOGProgram:
+    """Parse an ILOG¬ program; invention atoms use ``*`` in the first head
+    position: ``R(*, x, y) :- E(x, y).``"""
+    parser = _Parser(text, allow_invention=True)
+    rules: list[ILOGRule] = []
+    while not parser.at_end():
+        raw = parser.parse_rule()
+        for atom in set(raw.pos) | set(raw.neg):
+            if any(term is INVENTION_MARKER for term in atom.terms):
+                raise ParseError(
+                    f"invention symbol may not occur in rule bodies "
+                    f"(atom {atom.relation} in a rule for {raw.head.relation})"
+                )
+        head = raw.head
+        marker_positions = [
+            index for index, term in enumerate(head.terms) if term is INVENTION_MARKER
+        ]
+        if not marker_positions:
+            rules.append(ILOGRule(rule=raw, invents=False))
+            continue
+        if marker_positions != [0]:
+            raise ParseError(
+                f"invention symbol must appear exactly once, in the first "
+                f"position of the head (rule for {head.relation})"
+            )
+        reduced_head = Atom(head.relation, head.terms[1:])
+        reduced = Rule(reduced_head, raw.pos, raw.neg, raw.ineq)
+        rules.append(ILOGRule(rule=reduced, invents=True))
+    # Re-check: the body of any rule may mention invention relations at
+    # their full arity; the schema inference below will catch mismatches.
+    return ILOGProgram(rules, output_relations=output_relations, extra_edb=extra_edb)

@@ -1,0 +1,76 @@
+"""Safety analysis for ILOG¬: unsafe positions and weak safety (Sec. 5.2).
+
+The set of *unsafe positions* is the smallest set S of pairs (R, i) with
+
+* (R, 1) ∈ S for every invention relation R, and
+* if (R, i) ∈ S and some rule has ``R(x1..xk)`` as a positive body atom and
+  head ``T(y1..yl)`` with ``xi`` and ``yj`` the same variable, then
+  (T, j) ∈ S.
+
+A program is *weakly safe* when no output relation has an unsafe position;
+weakly safe programs are safe: their outputs never contain invented values.
+:func:`check_safety_dynamic` verifies the latter on a concrete evaluation,
+which the property-based tests use to validate the static analysis.
+"""
+
+from __future__ import annotations
+
+from ..datalog.instance import Instance
+from ..datalog.terms import Variable
+from .program import ILOGProgram
+from .terms import contains_invented
+
+__all__ = ["unsafe_positions", "is_weakly_safe", "unsafe_output_positions", "check_safety_dynamic"]
+
+
+def unsafe_positions(program: ILOGProgram) -> frozenset[tuple[str, int]]:
+    """The least fixed point of the unsafe-position propagation (1-based)."""
+    unsafe: set[tuple[str, int]] = {
+        (relation, 1) for relation in program.invention_relations
+    }
+    changed = True
+    while changed:
+        changed = False
+        for ilog_rule in program:
+            rule = ilog_rule.rule
+            head_relation = ilog_rule.head_relation
+            # Positions of the declared head (invention slot included).
+            offset = 1 if ilog_rule.invents else 0
+            head_terms = rule.head.terms
+            for atom in rule.pos:
+                for i, term in enumerate(atom.terms, start=1):
+                    if not isinstance(term, Variable):
+                        continue
+                    if (atom.relation, i) not in unsafe:
+                        continue
+                    for j, head_term in enumerate(head_terms, start=1 + offset):
+                        if head_term is term or head_term == term:
+                            if (head_relation, j) not in unsafe:
+                                unsafe.add((head_relation, j))
+                                changed = True
+    return frozenset(unsafe)
+
+
+def unsafe_output_positions(program: ILOGProgram) -> list[tuple[str, int]]:
+    """The unsafe positions that land in output relations (sorted)."""
+    unsafe = unsafe_positions(program)
+    return sorted(
+        (relation, position)
+        for relation, position in unsafe
+        if relation in program.output_relations
+    )
+
+
+def is_weakly_safe(program: ILOGProgram) -> bool:
+    """True when no output relation carries an unsafe position (wILOG¬)."""
+    return not unsafe_output_positions(program)
+
+
+def check_safety_dynamic(program: ILOGProgram, output: Instance) -> bool:
+    """True when a concrete output contains no invented values.
+
+    Weak safety (static) implies this holds for every input; the converse
+    need not hold, which is exactly why weak safety is only a sufficient
+    syntactic criterion for the undecidable semantic safety.
+    """
+    return not any(contains_invented(fact.values) for fact in output)

@@ -1,0 +1,69 @@
+"""Skolem terms and the invention symbol for ILOG¬ (Section 5.2).
+
+ILOG¬ associates to each invention relation R a Skolem functor ``f_R`` of
+arity ``ar(R) - 1``; the invention symbol ``*`` in a rule head stands for the
+functor applied to the remaining head arguments.  Evaluation works over the
+Herbrand universe: ground terms built from dom-values and Skolem functors.
+
+A :class:`SkolemTerm` is such a ground term.  It is hashable, so invented
+values live inside ordinary :class:`~repro.datalog.terms.Fact` tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+__all__ = ["SkolemTerm", "INVENTION", "term_depth", "contains_invented"]
+
+
+@dataclass(frozen=True, slots=True)
+class SkolemTerm:
+    """A ground Skolem term ``f_R(v1, ..., vk)`` of the Herbrand universe."""
+
+    functor: str
+    arguments: tuple[Hashable, ...]
+
+    def __init__(self, functor: str, arguments) -> None:
+        object.__setattr__(self, "functor", functor)
+        object.__setattr__(self, "arguments", tuple(arguments))
+
+    def depth(self) -> int:
+        """Nesting depth: 1 + the max depth of Skolem sub-terms."""
+        return 1 + max(
+            (arg.depth() for arg in self.arguments if isinstance(arg, SkolemTerm)),
+            default=0,
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.arguments)
+        return f"{self.functor}({inner})"
+
+
+class _InventionSymbol:
+    """The ``*`` placeholder in invention-atom heads (singleton)."""
+
+    _instance: "_InventionSymbol | None" = None
+
+    def __new__(cls) -> "_InventionSymbol":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+INVENTION = _InventionSymbol()
+
+
+def term_depth(value: Hashable) -> int:
+    """The Skolem depth of a value (0 for plain dom-values)."""
+    if isinstance(value, SkolemTerm):
+        return value.depth()
+    return 0
+
+
+def contains_invented(values) -> bool:
+    """True when any of *values* is (or nests) a Skolem term."""
+    return any(isinstance(v, SkolemTerm) for v in values)

@@ -1,0 +1,231 @@
+"""Empirical membership checking for the monotonicity classes.
+
+Deciding membership in M / Mdistinct / Mdisjoint is undecidable, so the
+checker mirrors what the paper's proofs do: *non*-membership is certified by
+an explicit counterexample pair (I, J); membership is asserted relative to a
+searched family of pairs.  Built-in pair families cover
+
+* exhaustive enumeration of small directed graphs with small additions
+  (complete up to a size budget), and
+* seeded random instances over arbitrary schemas with random additions of
+  the requested kind (domain-distinct / domain-disjoint by construction).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..datalog.instance import Instance
+from ..datalog.schema import Schema
+from ..datalog.terms import Fact
+from ..queries.base import Query
+from ..queries.generators import (
+    random_domain_disjoint_addition,
+    random_domain_distinct_addition,
+    random_instance,
+)
+from .classes import (
+    AdditionKind,
+    MonotonicityClass,
+    MonotonicityViolation,
+    addition_matches,
+    violation_on,
+)
+
+__all__ = [
+    "Verdict",
+    "check_monotonicity",
+    "classify_query",
+    "exhaustive_graph_pairs",
+    "random_pairs",
+    "graph_additions",
+]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The outcome of a counterexample search.
+
+    ``holds`` is True when no counterexample was found among
+    ``pairs_checked`` candidate pairs; otherwise ``violation`` carries the
+    witness.  A True verdict is evidence relative to the searched family,
+    exactly like the paper's positive claims are proofs over all pairs.
+    """
+
+    query_name: str
+    kind: AdditionKind
+    bound: int | None
+    holds: bool
+    pairs_checked: int
+    violation: MonotonicityViolation | None = None
+
+    def describe(self) -> str:
+        scope = self.kind.value + (f", |J| <= {self.bound}" if self.bound else "")
+        if self.holds:
+            return (
+                f"{self.query_name}: no violation ({scope}) in "
+                f"{self.pairs_checked} pairs"
+            )
+        assert self.violation is not None
+        return f"{self.query_name}: VIOLATION ({scope}) — {self.violation.describe()}"
+
+
+def check_monotonicity(
+    query: Query,
+    kind: AdditionKind,
+    pairs: Iterable[tuple[Instance, Instance]],
+    *,
+    bound: int | None = None,
+    max_pairs: int | None = None,
+) -> Verdict:
+    """Search *pairs* for a counterexample to the (bounded) condition.
+
+    Pairs not matching *kind* / *bound* are skipped (they do not count
+    towards ``pairs_checked``), so generic pair sources can be reused for
+    every class.
+    """
+    checked = 0
+    for base, addition in pairs:
+        if max_pairs is not None and checked >= max_pairs:
+            break
+        if not addition_matches(kind, base, addition, bound):
+            continue
+        checked += 1
+        violation = violation_on(query, base, addition)
+        if violation is not None:
+            return Verdict(
+                query_name=query.name,
+                kind=kind,
+                bound=bound,
+                holds=False,
+                pairs_checked=checked,
+                violation=violation,
+            )
+    return Verdict(
+        query_name=query.name, kind=kind, bound=bound, holds=True, pairs_checked=checked
+    )
+
+
+def classify_query(
+    query: Query,
+    pairs: Sequence[tuple[Instance, Instance]],
+    *,
+    max_pairs: int | None = None,
+) -> MonotonicityClass:
+    """The weakest (smallest) class of Figure 1 consistent with *pairs*.
+
+    Checks M, then Mdistinct, then Mdisjoint; a query violating all three
+    conditions is classified as C.
+    """
+    for klass in (
+        MonotonicityClass.M,
+        MonotonicityClass.MDISTINCT,
+        MonotonicityClass.MDISJOINT,
+    ):
+        kind = klass.addition_kind
+        assert kind is not None
+        verdict = check_monotonicity(query, kind, pairs, max_pairs=max_pairs)
+        if verdict.holds:
+            return klass
+    return MonotonicityClass.C
+
+
+# ----------------------------------------------------------------------
+# Pair families
+# ----------------------------------------------------------------------
+
+
+def _all_graphs(nodes: Sequence, max_edges: int | None = None) -> Iterator[Instance]:
+    """Every directed graph over the given node names (as E-instances),
+    optionally capped at *max_edges* edges."""
+    pairs = [(a, b) for a in nodes for b in nodes]
+    limit = len(pairs) if max_edges is None else min(max_edges, len(pairs))
+    for count in range(limit + 1):
+        for chosen in itertools.combinations(pairs, count):
+            yield Instance(Fact("E", pair) for pair in chosen)
+
+
+def graph_additions(
+    base: Instance, kind: AdditionKind, *, new_values: int = 2, max_size: int = 2
+) -> Iterator[Instance]:
+    """All E-additions of size <= *max_size* of the requested kind, built
+    from adom(base) plus *new_values* fresh values."""
+    old = sorted(base.adom(), key=repr)
+    fresh = [f"f{i}" for i in range(new_values)]
+    values = old + fresh if kind is AdditionKind.ANY else (
+        old + fresh if kind is AdditionKind.DOMAIN_DISTINCT else fresh
+    )
+    candidate_facts = [
+        Fact("E", (a, b))
+        for a in values
+        for b in values
+        if addition_matches(kind, base, Instance([Fact("E", (a, b))]))
+    ]
+    for count in range(1, max_size + 1):
+        for chosen in itertools.combinations(candidate_facts, count):
+            addition = Instance(chosen)
+            if addition_matches(kind, base, addition):
+                yield addition
+
+
+def exhaustive_graph_pairs(
+    *,
+    max_base_nodes: int = 3,
+    max_base_edges: int = 4,
+    kind: AdditionKind = AdditionKind.ANY,
+    new_values: int = 2,
+    max_addition_size: int = 2,
+) -> Iterator[tuple[Instance, Instance]]:
+    """Exhaustively enumerate (I, J) pairs of small graph instances.
+
+    Complete for the given budgets: every base graph over at most
+    *max_base_nodes* named nodes with at most *max_base_edges* edges is
+    paired with every addition of the requested *kind* up to
+    *max_addition_size* facts over adom(I) plus *new_values* fresh values.
+    """
+    nodes = [f"v{i}" for i in range(max_base_nodes)]
+    for base in _all_graphs(nodes, max_base_edges):
+        for addition in graph_additions(
+            base, kind, new_values=new_values, max_size=max_addition_size
+        ):
+            yield base, addition
+
+
+def random_pairs(
+    schema: Schema,
+    kind: AdditionKind,
+    *,
+    count: int = 100,
+    base_facts: int = 6,
+    addition_facts: int = 3,
+    domain_size: int = 6,
+    seed: int = 0,
+) -> Iterator[tuple[Instance, Instance]]:
+    """Seeded random (I, J) pairs over an arbitrary schema.
+
+    The addition is generated domain-distinct / domain-disjoint *by
+    construction* so no candidates are wasted on filtering.
+    """
+    rng = random.Random(seed)
+    domain = [f"a{i}" for i in range(domain_size)]
+    for index in range(count):
+        base = random_instance(
+            schema, domain, rng.randrange(base_facts + 1), seed=rng.randrange(1 << 30)
+        )
+        size = rng.randrange(1, addition_facts + 1)
+        sub_seed = rng.randrange(1 << 30)
+        if kind is AdditionKind.DOMAIN_DISJOINT:
+            addition = random_domain_disjoint_addition(
+                base, schema, size, seed=sub_seed, prefix=f"j{index}_"
+            )
+        elif kind is AdditionKind.DOMAIN_DISTINCT:
+            addition = random_domain_distinct_addition(
+                base, schema, size, seed=sub_seed, prefix=f"j{index}_"
+            )
+        else:
+            addition = random_instance(schema, domain, size, seed=sub_seed)
+        if addition:
+            yield base, addition

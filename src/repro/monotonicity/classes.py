@@ -1,0 +1,153 @@
+"""The monotonicity classes of Definition 1 (Section 3.1).
+
+A query Q is
+
+* **monotone** (class M) when Q(I) ⊆ Q(I ∪ J) for all I, J;
+* **domain-distinct-monotone** (Mdistinct) when the condition holds for all
+  J that are *domain distinct* from I (every fact of J contains at least one
+  value outside adom(I));
+* **domain-disjoint-monotone** (Mdisjoint) when the condition holds for all
+  J that are *domain disjoint* from I (no fact of J shares a value with
+  adom(I)).
+
+The bounded variants M^i, M^i_distinct, M^i_disjoint additionally restrict
+|J| <= i.  By definition M ⊆ Mdistinct ⊆ Mdisjoint and the bounded classes
+relax with growing i inside each family.
+
+Membership in these classes is undecidable for black-box queries, so this
+module provides the *pointwise* conditions; :mod:`repro.monotonicity.checker`
+turns them into counterexample searches over instance families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from ..datalog.instance import Instance
+from ..datalog.terms import Fact
+from ..queries.base import Query
+
+__all__ = [
+    "AdditionKind",
+    "MonotonicityClass",
+    "fact_is_domain_distinct",
+    "fact_is_domain_disjoint",
+    "is_domain_distinct",
+    "is_domain_disjoint",
+    "addition_matches",
+    "monotone_on",
+    "MonotonicityViolation",
+    "violation_on",
+]
+
+
+class AdditionKind(Enum):
+    """Which additions J the monotonicity condition quantifies over."""
+
+    ANY = "any"
+    DOMAIN_DISTINCT = "domain-distinct"
+    DOMAIN_DISJOINT = "domain-disjoint"
+
+    def admits(self, base: Instance, addition: Instance) -> bool:
+        """True when *addition* is of this kind with respect to *base*."""
+        if self is AdditionKind.ANY:
+            return True
+        if self is AdditionKind.DOMAIN_DISTINCT:
+            return addition.is_domain_distinct_from(base)
+        return addition.is_domain_disjoint_from(base)
+
+
+class MonotonicityClass(Enum):
+    """The unbounded classes of Figure 1, ordered by inclusion."""
+
+    M = "M"
+    MDISTINCT = "Mdistinct"
+    MDISJOINT = "Mdisjoint"
+    C = "C"  # all computable queries; every query trivially "belongs"
+
+    @property
+    def addition_kind(self) -> AdditionKind | None:
+        """The addition kind whose monotonicity condition defines the class
+        (None for C, which imposes no condition)."""
+        return {
+            MonotonicityClass.M: AdditionKind.ANY,
+            MonotonicityClass.MDISTINCT: AdditionKind.DOMAIN_DISTINCT,
+            MonotonicityClass.MDISJOINT: AdditionKind.DOMAIN_DISJOINT,
+            MonotonicityClass.C: None,
+        }[self]
+
+    def __le__(self, other: "MonotonicityClass") -> bool:
+        """Class inclusion: M ⊆ Mdistinct ⊆ Mdisjoint ⊆ C."""
+        order = [
+            MonotonicityClass.M,
+            MonotonicityClass.MDISTINCT,
+            MonotonicityClass.MDISJOINT,
+            MonotonicityClass.C,
+        ]
+        return order.index(self) <= order.index(other)
+
+
+def fact_is_domain_distinct(fact: Fact, base: Instance) -> bool:
+    """Section 3.1: f is domain distinct from I when adom(f) \\ adom(I) != ∅."""
+    return base.fact_is_domain_distinct(fact)
+
+
+def fact_is_domain_disjoint(fact: Fact, base: Instance) -> bool:
+    """Section 3.1: f is domain disjoint from I when adom(f) ∩ adom(I) = ∅."""
+    return base.fact_is_domain_disjoint(fact)
+
+
+def is_domain_distinct(addition: Instance, base: Instance) -> bool:
+    """J is domain distinct from I when every fact of J is."""
+    return addition.is_domain_distinct_from(base)
+
+
+def is_domain_disjoint(addition: Instance, base: Instance) -> bool:
+    """J is domain disjoint from I when every fact of J is."""
+    return addition.is_domain_disjoint_from(base)
+
+
+def addition_matches(
+    kind: AdditionKind, base: Instance, addition: Instance, bound: int | None = None
+) -> bool:
+    """True when (I=base, J=addition) is a pair the class quantifies over."""
+    if bound is not None and len(addition) > bound:
+        return False
+    return kind.admits(base, addition)
+
+
+def monotone_on(query: Query, base: Instance, addition: Instance) -> bool:
+    """The pointwise condition: Q(I) ⊆ Q(I ∪ J)."""
+    return query(base) <= query(base | addition)
+
+
+@dataclass(frozen=True)
+class MonotonicityViolation:
+    """A concrete counterexample: a fact lost when J is added to I."""
+
+    base: Instance
+    addition: Instance
+    lost_facts: Instance
+
+    def __post_init__(self) -> None:
+        if not self.lost_facts:
+            raise ValueError("a violation must lose at least one output fact")
+
+    def describe(self) -> str:
+        lost = ", ".join(repr(f) for f in self.lost_facts.sorted_facts())
+        return (
+            f"adding J={self.addition!r} to I={self.base!r} "
+            f"retracts output fact(s): {lost}"
+        )
+
+
+def violation_on(
+    query: Query, base: Instance, addition: Instance
+) -> MonotonicityViolation | None:
+    """The violation witnessed by (I, J), or None when Q(I) ⊆ Q(I ∪ J)."""
+    before = query(base)
+    after = query(base | addition)
+    lost = before - after
+    if not lost:
+        return None
+    return MonotonicityViolation(base=base, addition=addition, lost_facts=lost)

@@ -1,0 +1,146 @@
+"""Preservation classes and Lemma 3.2: H ⊊ Hinj = M ⊊ E = Mdistinct.
+
+Definition 2 of the paper:
+
+* Q is *preserved under homomorphisms* (class H) when every homomorphism
+  h : adom(I) -> adom(J) between instances (with h(I) ⊆ J) maps output
+  facts of Q(I) into Q(J);
+* Q is *preserved under injective homomorphisms* (Hinj) when the same holds
+  for injective h — and Hinj = M;
+* Q is *preserved under extensions* (E) when for every induced subinstance
+  J of I, Q(J) ⊆ Q(I) — and E = Mdistinct (Lemma 3.2).
+
+These conditions quantify over all pairs of instances and all (exponentially
+many) homomorphisms, so the checkers here enumerate homomorphisms explicitly
+for small instances and are used with the same family-search strategy as the
+monotonicity checkers.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from ..datalog.instance import Instance
+from ..queries.base import Query
+
+__all__ = [
+    "homomorphisms",
+    "is_homomorphism",
+    "preserved_under_homomorphism_on",
+    "preserved_under_injective_homomorphism_on",
+    "preserved_under_extensions_on",
+    "extension_pairs_from_monotone_pairs",
+]
+
+
+def is_homomorphism(
+    mapping: Mapping[Hashable, Hashable], source: Instance, target: Instance
+) -> bool:
+    """True when *mapping* (total on adom(source)) maps every fact of
+    *source* to a fact of *target*."""
+    if not set(source.adom()) <= set(mapping):
+        return False
+    return all(fact.rename(mapping) in target for fact in source)
+
+
+def homomorphisms(
+    source: Instance, target: Instance, *, injective: bool = False
+) -> Iterator[dict[Hashable, Hashable]]:
+    """Enumerate all (injective) homomorphisms from *source* to *target*.
+
+    Brute force over adom(target)^adom(source) with per-assignment pruning
+    via a backtracking search on facts — adequate for the small instances
+    used in preservation experiments.
+    """
+    source_values = sorted(source.adom(), key=repr)
+    target_values = sorted(target.adom(), key=repr)
+    if not source_values:
+        yield {}
+        return
+
+    facts_by_value: dict[Hashable, list] = {value: [] for value in source_values}
+    for fact in source:
+        for value in set(fact.values):
+            facts_by_value[value].append(fact)
+
+    def consistent(partial: dict[Hashable, Hashable], value: Hashable) -> bool:
+        """Check every source fact whose values are now fully assigned."""
+        for fact in facts_by_value[value]:
+            if all(v in partial for v in fact.values):
+                if fact.rename(partial) not in target:
+                    return False
+        return True
+
+    def search(index: int, partial: dict[Hashable, Hashable]) -> Iterator[dict]:
+        if index == len(source_values):
+            yield dict(partial)
+            return
+        value = source_values[index]
+        for candidate in target_values:
+            if injective and candidate in partial.values():
+                continue
+            partial[value] = candidate
+            if consistent(partial, value):
+                yield from search(index + 1, partial)
+            del partial[value]
+
+    yield from search(0, {})
+
+
+def preserved_under_homomorphism_on(
+    query: Query, source: Instance, target: Instance, *, injective: bool = False
+) -> tuple[bool, dict | None]:
+    """Check Definition 2 on one instance pair.
+
+    Returns ``(True, None)`` when every (injective) homomorphism h from
+    *source* to *target* satisfies h(Q(source)) ⊆ Q(target), else
+    ``(False, h)`` for a violating h.
+    """
+    output_source = query(source)
+    output_target = query(target)
+    for mapping in homomorphisms(source, target, injective=injective):
+        for fact in output_source:
+            # The definition quantifies over facts with values in adom(I);
+            # output values outside the mapping's domain (e.g. from an empty
+            # input) are left fixed by rename().
+            if fact.rename(mapping) not in output_target:
+                return False, mapping
+    return True, None
+
+
+def preserved_under_injective_homomorphism_on(
+    query: Query, source: Instance, target: Instance
+) -> tuple[bool, dict | None]:
+    """The Hinj condition on one instance pair."""
+    return preserved_under_homomorphism_on(query, source, target, injective=True)
+
+
+def preserved_under_extensions_on(
+    query: Query, whole: Instance, part: Instance
+) -> bool:
+    """The E condition on one pair: when *part* is an induced subinstance of
+    *whole*, Q(part) ⊆ Q(whole).  Vacuously true otherwise."""
+    if not part.is_induced_subinstance_of(whole):
+        return True
+    return query(part) <= query(whole)
+
+
+def extension_pairs_from_monotone_pairs(
+    pairs: Iterable[tuple[Instance, Instance]]
+) -> Iterator[tuple[Instance, Instance]]:
+    """Turn (I, J) monotonicity pairs into (whole, part) extension pairs.
+
+    Lemma 3.2's proof observes J is an induced subinstance of I iff I \\ J is
+    domain distinct from J; we simply emit ``(I ∪ J, induced part)`` pairs
+    for every sub-adom of the union, which covers all induced subinstances
+    of the generated instances.
+    """
+    for base, addition in pairs:
+        whole = base | addition
+        values = sorted(whole.adom(), key=repr)
+        # Emit the induced subinstances obtained by dropping each single
+        # value and by keeping only the base's adom — a useful, cheap cover.
+        for dropped in values:
+            part = whole.induced_subinstance([v for v in values if v != dropped])
+            yield whole, part
+        yield whole, whole.induced_subinstance(base.adom())

@@ -1,0 +1,226 @@
+"""The explicit separating witnesses from the proof of Theorem 3.1.
+
+Each :class:`SeparationWitness` packages a query Q, a base instance I, an
+addition J, and the claim being refuted: "Q is (kind, bound)-monotone".
+``verify()`` checks that J is admissible for the claim (right kind, within
+the bound) and that Q(I) ⊄ Q(I ∪ J) — i.e. that the witness genuinely
+refutes the claim, exactly as in the paper's proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.instance import Instance
+from ..datalog.terms import Fact
+from ..queries.base import Query
+from ..queries.graph import (
+    clique_query,
+    complement_tc_query,
+    star_query,
+    triangle_unless_two_disjoint_query,
+)
+from ..queries.relational import duplicate_query, duplicate_relation_names
+from .classes import AdditionKind, addition_matches, violation_on
+
+__all__ = [
+    "SeparationWitness",
+    "witness_cotc_not_distinct",
+    "witness_triangles_not_disjoint",
+    "witness_clique_bounded_distinct",
+    "witness_star_bounded_disjoint",
+    "witness_clique_distinct_vs_disjoint",
+    "witness_star_disjoint_not_distinct",
+    "witness_duplicate_not_disjoint",
+    "theorem31_witnesses",
+]
+
+
+@dataclass(frozen=True)
+class SeparationWitness:
+    """A refutation of "query is (kind, bound)-monotone" by a pair (I, J)."""
+
+    name: str
+    query: Query
+    base: Instance
+    addition: Instance
+    kind: AdditionKind
+    bound: int | None = None
+
+    def admissible(self) -> bool:
+        """J is of the right kind and within the size bound."""
+        return addition_matches(self.kind, self.base, self.addition, self.bound)
+
+    def refutes(self) -> bool:
+        """Q(I) ⊄ Q(I ∪ J)."""
+        return violation_on(self.query, self.base, self.addition) is not None
+
+    def verify(self) -> bool:
+        """The witness is both admissible and refuting."""
+        return self.admissible() and self.refutes()
+
+    def describe(self) -> str:
+        scope = self.kind.value + (f", |J| <= {self.bound}" if self.bound else "")
+        status = "refutes" if self.verify() else "FAILS TO REFUTE"
+        return f"{self.name}: ({scope}) {status} with |I|={len(self.base)}, |J|={len(self.addition)}"
+
+
+def _edges(*pairs: tuple) -> Instance:
+    return Instance(Fact("E", pair) for pair in pairs)
+
+
+def witness_cotc_not_distinct() -> SeparationWitness:
+    """Theorem 3.1(1): Q_TC ∉ Mdistinct.
+
+    I has no path a -> b, so O(a, b) is output; the domain-distinct addition
+    {E(a,c), E(c,b)} creates the path through the new vertex c.
+    """
+    return SeparationWitness(
+        name="coTC ∉ Mdistinct",
+        query=complement_tc_query(),
+        base=_edges(("a", "a"), ("b", "b")),
+        addition=_edges(("a", "c"), ("c", "b")),
+        kind=AdditionKind.DOMAIN_DISTINCT,
+    )
+
+
+def witness_triangles_not_disjoint() -> SeparationWitness:
+    """Theorem 3.1(1): the triangles-unless-two-disjoint query ∉ Mdisjoint.
+
+    I is one triangle (output nonempty); J is a second, domain-disjoint
+    triangle, after which two disjoint triangles exist and the output empties.
+    """
+    return SeparationWitness(
+        name="triangles-unless-2-disjoint ∉ Mdisjoint",
+        query=triangle_unless_two_disjoint_query(),
+        base=_edges(("a", "b"), ("b", "c"), ("c", "a")),
+        addition=_edges(("d", "e"), ("e", "f"), ("f", "d")),
+        kind=AdditionKind.DOMAIN_DISJOINT,
+    )
+
+
+def witness_clique_bounded_distinct(i: int) -> SeparationWitness:
+    """Theorem 3.1(3): Q^{i+2}_clique ∉ M^{i+1}_distinct.
+
+    I is an (i+1)-clique; J is a star of i+1 edges from one new centre to
+    the old clique vertices, completing an (i+2)-clique.
+    """
+    if i < 1:
+        raise ValueError("i must be at least 1")
+    vertices = [f"v{n}" for n in range(i + 1)]
+    base = Instance(
+        Fact("E", (a, b)) for a in vertices for b in vertices if a < b
+    )
+    addition = Instance(Fact("E", ("w_new", v)) for v in vertices)
+    return SeparationWitness(
+        name=f"clique[{i + 2}] ∉ M^{i + 1}_distinct",
+        query=clique_query(i + 2),
+        base=base,
+        addition=addition,
+        kind=AdditionKind.DOMAIN_DISTINCT,
+        bound=i + 1,
+    )
+
+
+def witness_star_bounded_disjoint(i: int) -> SeparationWitness:
+    """Theorem 3.1(4): Q^{i+1}_star ∉ M^{i+1}_disjoint.
+
+    I is a single edge (no (i+1)-spoke star for i >= 1); J is a fresh star
+    with i+1 spokes, built from i+1 domain-disjoint edges.
+    """
+    if i < 1:
+        raise ValueError("i must be at least 1")
+    base = _edges(("a", "b"))
+    addition = Instance(Fact("E", ("hub", f"t{n}")) for n in range(i + 1))
+    return SeparationWitness(
+        name=f"star[{i + 1}] ∉ M^{i + 1}_disjoint",
+        query=star_query(i + 1),
+        base=base,
+        addition=addition,
+        kind=AdditionKind.DOMAIN_DISJOINT,
+        bound=i + 1,
+    )
+
+
+def witness_clique_distinct_vs_disjoint(i: int) -> SeparationWitness:
+    """Theorem 3.1(5): Q^{i+1}_clique ∉ M^i_distinct.
+
+    I is an i-clique; J attaches one new vertex to all of it with i
+    domain-distinct edges, completing an (i+1)-clique.
+    """
+    if i < 1:
+        raise ValueError("i must be at least 1")
+    if i == 1:
+        base = _edges(("v0", "v0"))  # one vertex present, no 2-clique
+        addition = _edges(("v0", "w_new"))
+    else:
+        vertices = [f"v{n}" for n in range(i)]
+        base = Instance(Fact("E", (a, b)) for a in vertices for b in vertices if a < b)
+        addition = Instance(Fact("E", ("w_new", v)) for v in vertices)
+    return SeparationWitness(
+        name=f"clique[{i + 1}] ∉ M^{i}_distinct",
+        query=clique_query(i + 1),
+        base=base,
+        addition=addition,
+        kind=AdditionKind.DOMAIN_DISTINCT,
+        bound=i,
+    )
+
+
+def witness_star_disjoint_not_distinct(j: int, i: int) -> SeparationWitness:
+    """Theorem 3.1(6): Q^{j+1}_star ∉ M^i_distinct (any i >= 1).
+
+    I is a star with j spokes; a single domain-distinct edge from the old
+    centre to a new value raises the spoke count to j+1.
+    """
+    if j < 1 or i < 1:
+        raise ValueError("j and i must be at least 1")
+    base = Instance(Fact("E", ("hub", f"t{n}")) for n in range(j))
+    addition = _edges(("hub", "t_new"))
+    return SeparationWitness(
+        name=f"star[{j + 1}] ∉ M^{i}_distinct",
+        query=star_query(j + 1),
+        base=base,
+        addition=addition,
+        kind=AdditionKind.DOMAIN_DISTINCT,
+        bound=i,
+    )
+
+
+def witness_duplicate_not_disjoint(j: int) -> SeparationWitness:
+    """Theorem 3.1(7): Q^j_duplicate ∉ M^j_disjoint.
+
+    I holds a single R1 tuple (global intersection empty, R1 is output);
+    J replicates one fresh tuple across all j relations with j
+    domain-disjoint facts, making the intersection nonempty.
+    """
+    if j < 2:
+        raise ValueError("j must be at least 2")
+    base = Instance([Fact("R1", ("a", "b"))])
+    addition = Instance(
+        Fact(name, ("c", "d")) for name in duplicate_relation_names(j)
+    )
+    return SeparationWitness(
+        name=f"duplicate[{j}] ∉ M^{j}_disjoint",
+        query=duplicate_query(j),
+        base=base,
+        addition=addition,
+        kind=AdditionKind.DOMAIN_DISJOINT,
+        bound=j,
+    )
+
+
+def theorem31_witnesses(*, max_i: int = 3) -> list[SeparationWitness]:
+    """All named witnesses for Theorem 3.1, with bounded indices up to max_i."""
+    witnesses: list[SeparationWitness] = [
+        witness_cotc_not_distinct(),
+        witness_triangles_not_disjoint(),
+    ]
+    for i in range(1, max_i + 1):
+        witnesses.append(witness_clique_bounded_distinct(i))
+        witnesses.append(witness_star_bounded_disjoint(i))
+        witnesses.append(witness_clique_distinct_vs_disjoint(i))
+        witnesses.append(witness_star_disjoint_not_distinct(i + 1, i))
+    for j in range(2, max_i + 2):
+        witnesses.append(witness_duplicate_not_disjoint(j))
+    return witnesses

@@ -1,0 +1,189 @@
+"""Seeded instance generators for tests, property checks and benchmarks.
+
+All generators are deterministic given their ``seed`` so that experiment
+outputs are reproducible run to run.  The central trick shared by the
+monotonicity checkers is :func:`fresh_values` /
+:func:`disjoint_union`: building additions J that are domain-distinct or
+domain-disjoint from a base instance I by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Sequence
+
+from ..datalog.instance import Instance
+from ..datalog.schema import Schema
+from ..datalog.terms import Fact
+
+__all__ = [
+    "fresh_values",
+    "random_graph",
+    "random_instance",
+    "path_graph",
+    "cycle_graph",
+    "clique_graph",
+    "star_graph",
+    "disjoint_union",
+    "random_domain_distinct_addition",
+    "random_domain_disjoint_addition",
+    "random_game_graph",
+    "multi_component_instance",
+]
+
+
+def fresh_values(base: Instance | Iterable[Hashable], count: int, prefix: str = "n") -> list[str]:
+    """*count* values guaranteed to be outside the active domain of *base*."""
+    if isinstance(base, Instance):
+        taken = set(base.adom())
+    else:
+        taken = set(base)
+    produced: list[str] = []
+    index = 0
+    while len(produced) < count:
+        candidate = f"{prefix}{index}"
+        index += 1
+        if candidate not in taken:
+            produced.append(candidate)
+            taken.add(candidate)
+    return produced
+
+
+def random_graph(
+    nodes: int, edges: int, *, seed: int = 0, relation: str = "E", labels: Sequence | None = None
+) -> Instance:
+    """A random directed graph with the given node count and edge count
+    (without duplicate edges; self-loops allowed)."""
+    rng = random.Random(seed)
+    names = list(labels) if labels is not None else list(range(nodes))
+    possible = nodes * nodes
+    edges = min(edges, possible)
+    chosen: set[tuple] = set()
+    while len(chosen) < edges:
+        chosen.add((rng.choice(names), rng.choice(names)))
+    return Instance(Fact(relation, pair) for pair in chosen)
+
+
+def random_instance(
+    schema: Schema, domain: Sequence[Hashable], facts_per_relation: int, *, seed: int = 0
+) -> Instance:
+    """A random instance over *schema* with values drawn from *domain*."""
+    rng = random.Random(seed)
+    facts: set[Fact] = set()
+    for relation in schema:
+        arity = schema.arity(relation)
+        for _ in range(facts_per_relation):
+            facts.add(Fact(relation, tuple(rng.choice(domain) for _ in range(arity))))
+    return Instance(facts)
+
+
+def path_graph(length: int, *, relation: str = "E", prefix: str = "p") -> Instance:
+    """A directed path with *length* edges: p0 -> p1 -> ... -> p{length}."""
+    return Instance(
+        Fact(relation, (f"{prefix}{i}", f"{prefix}{i + 1}")) for i in range(length)
+    )
+
+
+def cycle_graph(size: int, *, relation: str = "E", prefix: str = "c") -> Instance:
+    """A directed cycle on *size* nodes."""
+    return Instance(
+        Fact(relation, (f"{prefix}{i}", f"{prefix}{(i + 1) % size}"))
+        for i in range(size)
+    )
+
+
+def clique_graph(size: int, *, relation: str = "E", prefix: str = "k") -> Instance:
+    """An undirected clique on *size* nodes, encoded with both directions."""
+    names = [f"{prefix}{i}" for i in range(size)]
+    return Instance(
+        Fact(relation, (a, b)) for a in names for b in names if a != b
+    )
+
+
+def star_graph(spokes: int, *, relation: str = "E", prefix: str = "s") -> Instance:
+    """A star with *spokes* out-edges from a fresh centre."""
+    centre = f"{prefix}_centre"
+    return Instance(
+        Fact(relation, (centre, f"{prefix}{i}")) for i in range(spokes)
+    )
+
+
+def disjoint_union(base: Instance, addition: Instance, *, prefix: str = "d") -> Instance:
+    """*addition* with its domain renamed away from *base*'s active domain.
+
+    The result is domain-disjoint from *base* by construction; callers union
+    it with *base* themselves so they can keep both pieces.
+    """
+    values = sorted(addition.adom(), key=lambda v: (type(v).__name__, repr(v)))
+    fresh = fresh_values(Instance(base.facts | addition.facts), len(values), prefix)
+    return addition.rename(dict(zip(values, fresh)))
+
+
+def random_domain_distinct_addition(
+    base: Instance, schema: Schema, size: int, *, seed: int = 0, prefix: str = "x"
+) -> Instance:
+    """A random instance J of *size* facts, domain-distinct from *base*:
+    every fact mixes old values (when available) with at least one new one."""
+    rng = random.Random(seed)
+    old = sorted(base.adom(), key=lambda v: (type(v).__name__, repr(v)))
+    new = fresh_values(base, size * 3, prefix)
+    relations = sorted(schema)
+    facts: set[Fact] = set()
+    attempts = 0
+    while len(facts) < size and attempts < size * 50:
+        attempts += 1
+        relation = rng.choice(relations)
+        arity = schema.arity(relation)
+        values = [
+            rng.choice(old) if old and rng.random() < 0.5 else rng.choice(new)
+            for _ in range(arity)
+        ]
+        if not any(v in new for v in values):
+            values[rng.randrange(arity)] = rng.choice(new)
+        fact = Fact(relation, tuple(values))
+        if base.fact_is_domain_distinct(fact):
+            facts.add(fact)
+    return Instance(facts)
+
+
+def random_domain_disjoint_addition(
+    base: Instance, schema: Schema, size: int, *, seed: int = 0, prefix: str = "y"
+) -> Instance:
+    """A random instance J of *size* facts, domain-disjoint from *base*."""
+    rng = random.Random(seed)
+    new = fresh_values(base, max(size, 2) * 2, prefix)
+    relations = sorted(schema)
+    facts: set[Fact] = set()
+    attempts = 0
+    while len(facts) < size and attempts < size * 50:
+        attempts += 1
+        relation = rng.choice(relations)
+        arity = schema.arity(relation)
+        facts.add(Fact(relation, tuple(rng.choice(new) for _ in range(arity))))
+    return Instance(facts)
+
+
+def random_game_graph(positions: int, moves: int, *, seed: int = 0) -> Instance:
+    """A random win-move game graph over ``Move``."""
+    return random_graph(positions, moves, seed=seed, relation="Move")
+
+
+def multi_component_instance(
+    component_sizes: Sequence[int], *, seed: int = 0, relation: str = "E"
+) -> Instance:
+    """An instance whose ``co(I)`` has one component per entry: component i
+    is a random weakly-connected graph on ``component_sizes[i]`` nodes."""
+    rng = random.Random(seed)
+    facts: set[Fact] = set()
+    for index, size in enumerate(component_sizes):
+        names = [f"c{index}_{i}" for i in range(size)]
+        # A random spanning arborescence keeps the component connected.
+        for position in range(1, size):
+            parent = names[rng.randrange(position)]
+            facts.add(Fact(relation, (parent, names[position])))
+        extras = rng.randrange(size + 1)
+        for _ in range(extras):
+            facts.add(Fact(relation, (rng.choice(names), rng.choice(names))))
+        if size == 1:
+            facts.add(Fact(relation, (names[0], names[0])))
+    return Instance(facts)

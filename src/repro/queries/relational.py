@@ -1,0 +1,115 @@
+"""Multi-relation witness queries (Theorem 3.1(7)) and generic helpers.
+
+The main export is :func:`duplicate_query` — Q^j_duplicate over binary
+relations R1..Rj: output R1 when the global intersection of all the
+relations is empty, and the empty set otherwise.  The paper uses it to show
+``M^i_distinct ⊄ M^j_disjoint`` for i < j.
+"""
+
+from __future__ import annotations
+
+from ..datalog.instance import Instance
+from ..datalog.schema import Schema
+from ..datalog.terms import Fact
+from .base import FunctionQuery, Query
+
+__all__ = [
+    "duplicate_relation_names",
+    "duplicate_schema",
+    "duplicate_query",
+    "intersection_query",
+    "cartesian_product_query",
+    "same_generation_schema",
+]
+
+
+def duplicate_relation_names(j: int) -> list[str]:
+    """The relation names R1..Rj of Q^j_duplicate's input schema."""
+    if j < 1:
+        raise ValueError("need at least one relation")
+    return [f"R{i}" for i in range(1, j + 1)]
+
+
+def duplicate_schema(j: int) -> Schema:
+    """The input schema of Q^j_duplicate: j binary relations."""
+    return Schema({name: 2 for name in duplicate_relation_names(j)})
+
+
+def duplicate_query(j: int) -> Query:
+    """Q^j_duplicate: outputs relation R1 when the intersection of all of
+    R1..Rj is empty, and the empty set otherwise (Theorem 3.1(7))."""
+    names = duplicate_relation_names(j)
+
+    def compute(instance: Instance) -> Instance:
+        shared: set[tuple] | None = None
+        for name in names:
+            tuples = set(instance.tuples(name))
+            shared = tuples if shared is None else shared & tuples
+            if not shared:
+                break
+        if shared:
+            return Instance()
+        return Instance(Fact("O", values) for values in instance.tuples("R1"))
+
+    return FunctionQuery(
+        f"duplicate[{j}]", duplicate_schema(j), Schema({"O": 2}), compute
+    )
+
+
+def intersection_query(j: int) -> Query:
+    """The monotone companion of Q^j_duplicate: O = R1 ∩ ... ∩ Rj.
+
+    Adding facts can only grow each Ri and hence the intersection, so this
+    query is monotone; it serves as an M-member over the same schema.
+    """
+    names = duplicate_relation_names(j)
+
+    def compute(instance: Instance) -> Instance:
+        shared: set[tuple] | None = None
+        for name in names:
+            tuples = set(instance.tuples(name))
+            shared = tuples if shared is None else shared & tuples
+        return Instance(Fact("O", values) for values in (shared or ()))
+
+    return FunctionQuery(
+        f"intersect[{j}]", duplicate_schema(j), Schema({"O": 2}), compute
+    )
+
+
+def cartesian_product_query() -> Query:
+    """O(a, b) for a in unary S, b in unary T — the classic query showing
+    that data exchange (not coordination) may be unavoidable.
+
+    Monotone; requires communication on any distribution splitting S from T.
+    """
+
+    def compute(instance: Instance) -> Instance:
+        left = [values[0] for values in instance.tuples("S")]
+        right = [values[0] for values in instance.tuples("T")]
+        return Instance(Fact("O", (a, b)) for a in left for b in right)
+
+    return FunctionQuery(
+        "product", Schema({"S": 1, "T": 1}), Schema({"O": 2}), compute
+    )
+
+
+def same_generation_schema() -> Schema:
+    """Schema of the classic same-generation query (used in engine tests)."""
+    return Schema({"Flat": 2, "Up": 2, "Down": 2})
+
+
+def emptiness_complement_query(relation: str = "R", arity: int = 1) -> Query:
+    """Outputs the full input relation when a sibling relation ``Probe`` is
+    empty — a tiny non-monotone query handy for negative tests."""
+
+    def compute(instance: Instance) -> Instance:
+        if instance.tuples("Probe"):
+            return Instance()
+        return Instance(Fact("O", values) for values in instance.tuples(relation))
+
+    return FunctionQuery(
+        f"unless-probe[{relation}]",
+        Schema({relation: arity, "Probe": 1}),
+        Schema({"O": arity}),
+        compute,
+    )

@@ -1,0 +1,179 @@
+"""Scenario workloads: realistic declarative-networking programs with
+seeded input generators, spanning all three levels of the hierarchy.
+
+Each :class:`Scenario` bundles the Datalog¬ program (or the win-move query),
+a description, the expected analyzer placement, and a generator producing
+inputs of a requested size.  The examples tell these stories interactively;
+``benchmarks/bench_scenarios.py`` runs each scenario end to end (analyze →
+distribute → verify) across sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..datalog.instance import Instance
+from ..datalog.parser import parse_program
+from ..datalog.program import Program
+from ..datalog.terms import Fact
+
+__all__ = ["Scenario", "SCENARIOS", "scenario", "routing_scenario", "gc_scenario", "deadlock_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload: program + input generator + expected placement."""
+
+    name: str
+    description: str
+    program: Program
+    expected_fragment: str
+    expected_class: str | None
+    generate: Callable[[int, int], Instance]  # (size, seed) -> instance
+
+
+def _routing_inputs(size: int, seed: int) -> Instance:
+    """A router topology: a few clusters with sparse cross-links."""
+    rng = random.Random(seed)
+    facts: set[Fact] = set()
+    clusters = max(2, size // 5)
+    for cluster in range(clusters):
+        members = [f"r{cluster}_{i}" for i in range(max(2, size // clusters))]
+        for position in range(1, len(members)):
+            facts.add(Fact("Link", (members[position - 1], members[position])))
+        facts.add(Fact("Link", (members[-1], members[0])))
+    for _ in range(clusters):
+        a = rng.randrange(clusters)
+        b = rng.randrange(clusters)
+        if a != b:
+            facts.add(Fact("Link", (f"r{a}_0", f"r{b}_0")))
+    return Instance(facts)
+
+
+def routing_scenario() -> Scenario:
+    """Route discovery: which routers can reach which — plain TC over
+    ``Link``.  Monotone: every node announces routes as it learns them (the
+    original CALM story; BGP-style gossip)."""
+    program = parse_program(
+        """
+        Route(x, y) :- Link(x, y).
+        Route(x, z) :- Route(x, y), Link(y, z).
+        O(x, y) :- Route(x, y).
+        """
+    )
+    return Scenario(
+        name="routing",
+        description="route discovery = transitive closure over Link",
+        program=program,
+        expected_fragment="datalog",
+        expected_class="M",
+        generate=_routing_inputs,
+    )
+
+
+def _gc_inputs(size: int, seed: int) -> Instance:
+    """A sharded heap: root-anchored chains plus unreachable cycles."""
+    rng = random.Random(seed)
+    facts: set[Fact] = set()
+    object_id = 0
+
+    def fresh() -> int:
+        nonlocal object_id
+        object_id += 1
+        return 1000 + object_id
+
+    for _ in range(max(1, size // 6)):
+        root = fresh()
+        facts.add(Fact("Root", (root,)))
+        facts.add(Fact("Obj", (root,)))
+        current = root
+        for _ in range(rng.randint(1, 4)):
+            following = fresh()
+            facts.add(Fact("Obj", (following,)))
+            facts.add(Fact("Ref", (current, following)))
+            current = following
+    for _ in range(max(1, size // 6)):
+        cycle = [fresh() for _ in range(rng.randint(1, 3))]
+        for member in cycle:
+            facts.add(Fact("Obj", (member,)))
+        for position, member in enumerate(cycle):
+            facts.add(Fact("Ref", (member, cycle[(position + 1) % len(cycle)])))
+    return Instance(facts)
+
+
+def gc_scenario() -> Scenario:
+    """Distributed garbage collection: collectible = not reachable from any
+    root.  Non-monotone but connected, hence F2 under domain guidance."""
+    program = parse_program(
+        """
+        Reachable(x) :- Root(x).
+        Reachable(y) :- Reachable(x), Ref(x, y).
+        O(x) :- Obj(x), not Reachable(x).
+        """
+    )
+    return Scenario(
+        name="gc",
+        description="collectible heap objects (complement of root-reachability)",
+        program=program,
+        expected_fragment="con-datalog",
+        expected_class="Mdisjoint",
+        generate=_gc_inputs,
+    )
+
+
+def _deadlock_inputs(size: int, seed: int) -> Instance:
+    """A wait-for graph: chains into sinks plus genuine deadlock cycles."""
+    rng = random.Random(seed)
+    facts: set[Fact] = set()
+    process = 0
+
+    def fresh() -> str:
+        nonlocal process
+        process += 1
+        return f"p{process}"
+
+    for _ in range(max(1, size // 5)):
+        chain = [fresh() for _ in range(rng.randint(2, 4))]
+        for position in range(1, len(chain)):
+            facts.add(Fact("Move", (chain[position - 1], chain[position])))
+    for _ in range(max(1, size // 8)):
+        cycle = [fresh() for _ in range(rng.randint(2, 3))]
+        for position, member in enumerate(cycle):
+            facts.add(Fact("Move", (member, cycle[(position + 1) % len(cycle)])))
+    return Instance(facts)
+
+
+def deadlock_scenario() -> Scenario:
+    """Deadlock detection as win-move over the wait-for graph: not
+    stratifiable, solved under the well-founded semantics; connected, hence
+    still F2 (Section 7)."""
+    program = parse_program(
+        "Win(x) :- Move(x, y), not Win(y).",
+        output_relations=["Win"],
+        add_adom_rules=False,
+    )
+    return Scenario(
+        name="deadlock",
+        description="processes that eventually unblock (win-move on waits)",
+        program=program,
+        expected_fragment="wfs-connected",
+        expected_class="Mdisjoint",
+        generate=_deadlock_inputs,
+    )
+
+
+SCENARIOS: tuple[Scenario, ...] = (
+    routing_scenario(),
+    gc_scenario(),
+    deadlock_scenario(),
+)
+
+
+def scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    for entry in SCENARIOS:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"no scenario named {name!r}")

@@ -1,0 +1,133 @@
+"""The coordinating counterpart of the Section 4.2 protocols: with ``All``,
+a transducer can compute *any* generic query distributedly — by building a
+global synchronization barrier out of per-node acknowledgement handshakes.
+
+Protocol (per node x):
+
+* broadcast every local input fact (``cast_R``);
+* acknowledge every input fact stored, tagged with x (``ack_R(x, ...)``);
+* once every local fact has been acknowledged by some node y, declare
+  ``done(x, y)`` — "y now holds everything I was given";
+* output Q over the collected facts only when ``done(y, x)`` has been
+  received from **every** other node in ``All``.
+
+When x holds done-declarations from everyone, its collection is exactly the
+global input, so the output is Q(I) — for *any* computable query, monotone
+or not.  The price is the use of ``All``: the transducer waits on explicit
+word from every node in the network, which is precisely the *global
+coordination* that Definition 3 excludes.  Accordingly (and the tests
+verify this):
+
+* it distributedly computes queries far outside Mdisjoint, but
+* it admits **no heartbeat-only witness** — under any policy, the output
+  gate needs messages from the other nodes — so it is not
+  coordination-free; and
+* it cannot be built at all in the no-``All`` variants (Theorem 4.5's
+  other half: without ``All``, transducers are automatically
+  coordination-free — there is simply nothing to wait on).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..datalog.schema import Schema
+from ..datalog.terms import Fact
+from ..queries.base import Query
+from .protocols import (
+    ACK_PREFIX,
+    CAST_PREFIX,
+    GOT_PREFIX,
+    _casts,
+    _memory_schema,
+    _ProtocolState,
+)
+from .schema import ModelVariant, POLICY_AWARE, TransducerSchema
+from .transducer import LocalView, PythonTransducer
+
+__all__ = ["global_barrier_transducer", "DONE"]
+
+DONE = "done"
+
+
+def _barrier_schema(query: Query, variant: ModelVariant) -> TransducerSchema:
+    inputs = query.input_schema
+    relations: dict[str, int] = {}
+    for name in inputs:
+        relations[CAST_PREFIX + name] = inputs.arity(name)
+        relations[ACK_PREFIX + name] = inputs.arity(name) + 1
+    relations[DONE] = 2
+    messages = Schema(relations, allow_nullary=True)
+    return TransducerSchema(
+        inputs=inputs,
+        outputs=query.output_schema,
+        messages=messages,
+        memory=_memory_schema(messages),
+        variant=variant,
+    )
+
+
+def _barrier_messages(state: _ProtocolState) -> list[Fact]:
+    view = state.view
+    me = view.my_id
+    messages: list[Fact] = list(_casts(view.local_input))
+
+    # Acknowledge everything stored (local facts included, so a node whose
+    # facts were replicated to us is released without a resend).
+    for fact in state.known_facts:
+        messages.append(Fact(ACK_PREFIX + fact.relation, (me,) + fact.values))
+
+    # Release every node whose acks cover our entire local input.
+    acked_by: dict[Hashable, set[Fact]] = {}
+    for ack in (
+        f for f in state.memory if f.relation.startswith(GOT_PREFIX + ACK_PREFIX)
+    ):
+        relation = ack.relation[len(GOT_PREFIX) + len(ACK_PREFIX):]
+        acked_by.setdefault(ack.values[0], set()).add(Fact(relation, ack.values[1:]))
+    for other in view.all_nodes:
+        if other == me:
+            continue
+        if all(fact in acked_by.get(other, ()) for fact in view.local_input):
+            messages.append(Fact(DONE, (me, other)))
+    return messages
+
+
+def _barrier_complete(state: _ProtocolState) -> bool:
+    view = state.view
+    me = view.my_id
+    released_by = {
+        f.values[0]
+        for f in state.got(DONE)
+        if f.values[1] == me
+    }
+    return all(other in released_by for other in view.all_nodes if other != me)
+
+
+def global_barrier_transducer(
+    query: Query, *, variant: ModelVariant = POLICY_AWARE
+) -> PythonTransducer:
+    """A transducer computing *query* distributedly through a global barrier.
+
+    Works for every generic query; requires ``Id`` and ``All``; is provably
+    not coordination-free (no heartbeat-only witness exists).
+    """
+    schema = _barrier_schema(query, variant)
+
+    def out(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        if _barrier_complete(state):
+            return query(state.known_facts)
+        return ()
+
+    def insert(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        yield from state.store_deliveries()
+        yield from state.sent_markers(state.fresh(_barrier_messages(state)))
+
+    def send(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        return state.fresh(_barrier_messages(state))
+
+    return PythonTransducer(
+        schema, out=out, insert=insert, send=send, name=f"barrier[{query.name}]"
+    )

@@ -1,0 +1,244 @@
+"""Coordination-freeness (Definition 3) and the distributed-computation check.
+
+Definition 3 has two parts: (1) the transducer distributedly computes a
+query Q — same output on *every* network, policy and fair run; (2) for every
+network and input there is an *ideal* distribution policy under which some
+run computes Q(I) in a prefix of heartbeat-only transitions (no
+communication read).
+
+Part (1) quantifies over infinitely many objects, so
+:func:`check_distributed_computation` samples: several networks, several
+policies (including adversarial single-node and hash policies), several
+seeded fair schedules, asserting ``out(R) = Q(I)`` on each.  Part (2) is
+checked constructively by :func:`heartbeat_witness`: the protocols of this
+package reach Q(I) on the all-to-one-node policy with heartbeats only,
+exactly as in the proofs of Theorems 4.3 / 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..datalog.instance import Instance
+from ..queries.base import Query
+from .policy import (
+    DistributionPolicy,
+    Network,
+    domain_guided_policy,
+    everywhere_policy,
+    hash_domain_assignment,
+    hash_policy,
+    single_node_assignment,
+    single_node_policy,
+)
+from .runtime import FairScheduler, TransducerNetwork, TrickleScheduler
+from .transducer import Transducer
+
+__all__ = [
+    "DistributedCheck",
+    "HeartbeatWitness",
+    "check_distributed_computation",
+    "heartbeat_witness",
+    "default_policies",
+    "CoordinationReport",
+    "coordination_free_report",
+]
+
+
+@dataclass(frozen=True)
+class DistributedCheck:
+    """Outcome of sampling runs for the 'distributedly computes Q' property."""
+
+    consistent: bool
+    runs: int
+    failures: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.consistent:
+            return f"consistent output across {self.runs} sampled runs"
+        return f"INCONSISTENT in {len(self.failures)}/{self.runs} runs: " + "; ".join(
+            self.failures[:3]
+        )
+
+
+@dataclass(frozen=True)
+class HeartbeatWitness:
+    """A heartbeat-only prefix computing Q(I) under an ideal policy."""
+
+    found: bool
+    node: Hashable | None = None
+    heartbeats: int = 0
+    policy_name: str = ""
+
+    def describe(self) -> str:
+        if self.found:
+            return (
+                f"Q(I) computed at node {self.node!r} after {self.heartbeats} "
+                f"heartbeats under policy {self.policy_name}"
+            )
+        return "no heartbeat-only witness found"
+
+
+def default_policies(
+    schema, network: Network, *, domain_guided_only: bool = False
+) -> list[DistributionPolicy]:
+    """A policy sample: replication, all-to-one, hashing — with the
+    non-domain-guided ones dropped when *domain_guided_only*."""
+    nodes = network.sorted_nodes()
+    policies: list[DistributionPolicy] = [
+        everywhere_policy(schema, network),
+        single_node_policy(schema, network, nodes[0]),
+        single_node_policy(schema, network, nodes[-1]),
+        domain_guided_policy(schema, network, hash_domain_assignment(network), name="dg-hash"),
+    ]
+    if not domain_guided_only:
+        policies.append(hash_policy(schema, network, position=0))
+        if any(schema.arity(r) > 1 for r in schema):
+            policies.append(hash_policy(schema, network, position=1, name="hash-p1"))
+    return policies
+
+
+def check_distributed_computation(
+    transducer: Transducer,
+    query: Query,
+    instance: Instance,
+    *,
+    networks: Iterable[Network] | None = None,
+    policies_for: "callable | None" = None,
+    domain_guided_only: bool = False,
+    seeds: Iterable[int] = (0, 1, 2),
+    max_rounds: int = 10_000,
+    include_trickle: bool = True,
+) -> DistributedCheck:
+    """Sample networks x policies x schedules and compare out(R) to Q(I)."""
+    if networks is None:
+        networks = [
+            Network(["n1"]),
+            Network(["n1", "n2"]),
+            Network(["n1", "n2", "n3"]),
+        ]
+    expected = query(instance)
+    failures: list[str] = []
+    runs = 0
+    for network in networks:
+        if policies_for is not None:
+            policies = policies_for(query.input_schema, network)
+        else:
+            policies = default_policies(
+                query.input_schema, network, domain_guided_only=domain_guided_only
+            )
+        for policy in policies:
+            for seed in seeds:
+                schedulers = [FairScheduler(seed)]
+                if include_trickle:
+                    schedulers.append(TrickleScheduler(seed))
+                for scheduler in schedulers:
+                    runs += 1
+                    run = TransducerNetwork(
+                        network, transducer, policy
+                    ).new_run(instance)
+                    output = run.run_to_quiescence(
+                        max_rounds=max_rounds, scheduler=scheduler
+                    )
+                    if output != expected:
+                        missing = expected - output
+                        extra = output - expected
+                        failures.append(
+                            f"net={sorted(network, key=repr)} policy={policy.name} "
+                            f"seed={seed}: missing={len(missing)} extra={len(extra)}"
+                        )
+    return DistributedCheck(
+        consistent=not failures, runs=runs, failures=tuple(failures)
+    )
+
+
+def heartbeat_witness(
+    transducer: Transducer,
+    query: Query,
+    network: Network,
+    instance: Instance,
+    *,
+    domain_guided: bool = False,
+    max_heartbeats: int = 200,
+) -> HeartbeatWitness:
+    """Definition 3(2): find a policy and a heartbeat-only prefix computing
+    Q(I).
+
+    Tries, for each node x, the ideal distribution that hands the entire
+    input (for domain-guided models: every domain value) to x, then runs
+    heartbeat transitions at x only.
+    """
+    expected = query(instance)
+    for node in network.sorted_nodes():
+        if domain_guided:
+            policy = domain_guided_policy(
+                query.input_schema,
+                network,
+                single_node_assignment(network, node),
+                name=f"dg-all-to-{node!r}",
+            )
+        else:
+            policy = single_node_policy(query.input_schema, network, node)
+        run = TransducerNetwork(network, transducer, policy).new_run(instance)
+        for step in range(1, max_heartbeats + 1):
+            run.heartbeat(node)
+            if expected <= run.state(node).output:
+                return HeartbeatWitness(
+                    found=True,
+                    node=node,
+                    heartbeats=step,
+                    policy_name=policy.name,
+                )
+    return HeartbeatWitness(found=False)
+
+
+@dataclass(frozen=True)
+class CoordinationReport:
+    """Both halves of Definition 3 for one (transducer, query) pair."""
+
+    query_name: str
+    transducer_name: str
+    distributed: DistributedCheck
+    witness: HeartbeatWitness
+
+    @property
+    def coordination_free(self) -> bool:
+        return self.distributed.consistent and self.witness.found
+
+    def describe(self) -> str:
+        verdict = "coordination-free" if self.coordination_free else "NOT coordination-free"
+        return (
+            f"{self.transducer_name} computing {self.query_name}: {verdict} "
+            f"[{self.distributed.describe()}; {self.witness.describe()}]"
+        )
+
+
+def coordination_free_report(
+    transducer: Transducer,
+    query: Query,
+    instance: Instance,
+    *,
+    domain_guided: bool = False,
+    seeds: Iterable[int] = (0, 1),
+    networks: Iterable[Network] | None = None,
+) -> CoordinationReport:
+    """Run both Definition 3 checks and bundle the evidence."""
+    distributed = check_distributed_computation(
+        transducer,
+        query,
+        instance,
+        networks=networks,
+        domain_guided_only=domain_guided,
+        seeds=seeds,
+    )
+    witness_network = Network(["n1", "n2", "n3"])
+    witness = heartbeat_witness(
+        transducer, query, witness_network, instance, domain_guided=domain_guided
+    )
+    return CoordinationReport(
+        query_name=query.name,
+        transducer_name=transducer.name,
+        distributed=distributed,
+        witness=witness,
+    )

@@ -1,0 +1,367 @@
+"""The three coordination-free evaluation protocols of Section 4.2 / 4.3.
+
+The proofs of Theorems 4.3 and 4.4 are constructive: they build policy-aware
+transducers that distributedly compute any query of the matching
+monotonicity class.  This module implements those constructions (plus the
+plain broadcast strategy for M from [13]) as :class:`PythonTransducer`
+instances over an arbitrary :class:`~repro.queries.base.Query`:
+
+* :func:`broadcast_transducer` (class **M**) — every node broadcasts its
+  local input facts and outputs Q over everything it has seen; sound for
+  monotone queries only.
+* :func:`distinct_protocol_transducer` (class **Mdistinct**, Theorem 4.3) —
+  nodes additionally broadcast *absences*: a node responsible (under the
+  policy) for a candidate fact over its known active domain that is missing
+  from its local input announces that the fact is globally absent.  Output
+  is produced only when the known active domain is *complete*: every
+  candidate fact over it is known present or known absent.
+* :func:`disjoint_protocol_transducer` (class **Mdisjoint**, Theorem 4.4) —
+  under domain-guided policies, nodes broadcast active-domain values and run
+  the request / reply / acknowledge / OK handshake of the paper for values
+  they are not responsible for.  Output is produced when every known value
+  is either owned or OK'd.
+
+All three deduplicate their sends through ``sent_*`` memory mirrors, so runs
+quiesce; every delivered message is stored in memory, so re-deliveries are
+idempotent (the property the runtime's quiescence detection relies on).
+
+One detail the paper leaves implicit: in the no-``All`` variants of
+Theorem 4.5 a node's identifier is not known to the other nodes, yet
+absences / ownership over that identifier must still be decided.  The
+protocols therefore announce the node's own identifier alongside its data
+values; with ``All`` present this is redundant but harmless.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Iterable, Iterator
+
+from ..datalog.instance import Instance
+from ..datalog.schema import Schema
+from ..datalog.terms import Fact
+from ..queries.base import Query
+from .schema import ModelVariant, POLICY_AWARE, TransducerSchema
+from .transducer import LocalView, PythonTransducer, SystemRelationUnavailable
+
+__all__ = [
+    "broadcast_transducer",
+    "distinct_protocol_transducer",
+    "disjoint_protocol_transducer",
+    "protocol_for_class",
+    "CAST_PREFIX",
+    "ABSENT_PREFIX",
+]
+
+CAST_PREFIX = "cast_"
+ABSENT_PREFIX = "absent_"
+ACK_PREFIX = "ack_"
+GOT_PREFIX = "got_"
+SENT_PREFIX = "sent_"
+ANNOUNCE = "announce"
+REQUEST = "request"
+OK = "ok_value"
+
+
+def _message_schema(kind: str, inputs: Schema) -> Schema:
+    """The message schema of the given protocol kind."""
+    relations: dict[str, int] = {}
+    for name in inputs:
+        relations[CAST_PREFIX + name] = inputs.arity(name)
+    if kind == "distinct":
+        for name in inputs:
+            relations[ABSENT_PREFIX + name] = inputs.arity(name)
+        relations[ANNOUNCE] = 1
+    if kind == "disjoint":
+        for name in inputs:
+            relations[ACK_PREFIX + name] = inputs.arity(name) + 1
+        relations[ANNOUNCE] = 1
+        relations[REQUEST] = 2
+        relations[OK] = 2
+    return Schema(relations, allow_nullary=True)
+
+
+def _memory_schema(message_schema: Schema) -> Schema:
+    """Memory mirrors every message relation twice: ``got_*`` stores the
+    delivered messages, ``sent_*`` deduplicates the outgoing ones."""
+    relations: dict[str, int] = {}
+    for name in message_schema:
+        relations[GOT_PREFIX + name] = message_schema.arity(name)
+        relations[SENT_PREFIX + name] = message_schema.arity(name)
+    return Schema(relations, allow_nullary=True)
+
+
+def _protocol_schema(kind: str, query: Query, variant: ModelVariant) -> TransducerSchema:
+    messages = _message_schema(kind, query.input_schema)
+    return TransducerSchema(
+        inputs=query.input_schema,
+        outputs=query.output_schema,
+        messages=messages,
+        memory=_memory_schema(messages),
+        variant=variant,
+    )
+
+
+class _ProtocolState:
+    """Decoded view of a protocol node's memory + inputs for one transition."""
+
+    def __init__(self, view: LocalView, inputs: Schema) -> None:
+        self.view = view
+        self.inputs = inputs
+        memory = view.memory
+        self.memory = memory
+        self.known_facts = view.local_input | Instance(
+            Fact(f.relation[len(GOT_PREFIX) + len(CAST_PREFIX):], f.values)
+            for f in memory
+            if f.relation.startswith(GOT_PREFIX + CAST_PREFIX)
+        )
+
+    def got(self, relation: str) -> Instance:
+        prefixed = GOT_PREFIX + relation
+        return Instance(f for f in self.memory if f.relation == prefixed)
+
+    def already_sent(self, message: Fact) -> bool:
+        return Fact(SENT_PREFIX + message.relation, message.values) in self.memory
+
+    def store_deliveries(self) -> Iterator[Fact]:
+        """Qins fragment: persist every delivered message as a got_* fact."""
+        for fact in self.view.delivered:
+            yield Fact(GOT_PREFIX + fact.relation, fact.values)
+
+    def fresh(self, messages: Iterable[Fact]) -> list[Fact]:
+        """Messages not sent before (the Qsnd output)."""
+        return [m for m in messages if not self.already_sent(m)]
+
+    @staticmethod
+    def sent_markers(messages: Iterable[Fact]) -> Iterator[Fact]:
+        for message in messages:
+            yield Fact(SENT_PREFIX + message.relation, message.values)
+
+
+def _casts(local_input: Instance) -> Iterator[Fact]:
+    for fact in local_input:
+        yield Fact(CAST_PREFIX + fact.relation, fact.values)
+
+
+# ----------------------------------------------------------------------
+# M: plain broadcast ([13]; Section 4.3 discussion)
+# ----------------------------------------------------------------------
+
+
+def broadcast_transducer(
+    query: Query, *, variant: ModelVariant = POLICY_AWARE
+) -> PythonTransducer:
+    """The naive strategy for monotone queries: broadcast all local input
+    facts; output Q over every fact seen so far, every transition."""
+    schema = _protocol_schema("broadcast", query, variant)
+
+    def desired_messages(state: _ProtocolState) -> list[Fact]:
+        return list(_casts(state.view.local_input))
+
+    def out(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        return query(state.known_facts)
+
+    def insert(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        yield from state.store_deliveries()
+        yield from state.sent_markers(state.fresh(desired_messages(state)))
+
+    def send(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        return state.fresh(desired_messages(state))
+
+    return PythonTransducer(
+        schema, out=out, insert=insert, send=send, name=f"broadcast[{query.name}]"
+    )
+
+
+# ----------------------------------------------------------------------
+# Mdistinct: fact + absence broadcast (Theorem 4.3)
+# ----------------------------------------------------------------------
+
+
+def _known_absences(state: _ProtocolState) -> Iterator[Fact]:
+    """Candidate input facts over the known active domain that this node is
+    responsible for and that are absent from its local input — hence absent
+    from the global input (bare relation names, no prefix)."""
+    view = state.view
+    values = sorted(view.known_adom(), key=repr)
+    for relation in state.inputs:
+        arity = state.inputs.arity(relation)
+        for combo in product(values, repeat=arity):
+            candidate = Fact(relation, combo)
+            if candidate in view.local_input:
+                continue
+            if view.is_responsible(candidate):
+                yield candidate
+
+
+def _distinct_complete(state: _ProtocolState) -> bool:
+    """Every candidate fact over MyAdom is known present or known absent."""
+    view = state.view
+    values = sorted(view.known_adom(), key=repr)
+    known = state.known_facts
+    for relation in state.inputs:
+        arity = state.inputs.arity(relation)
+        absent = {
+            f.values
+            for f in state.got(ABSENT_PREFIX + relation)
+        }
+        for combo in product(values, repeat=arity):
+            if Fact(relation, combo) in known:
+                continue
+            if combo in absent:
+                continue
+            candidate = Fact(relation, combo)
+            if view.is_responsible(candidate) and candidate not in view.local_input:
+                continue  # self-derived absence
+            return False
+    return True
+
+
+def distinct_protocol_transducer(
+    query: Query, *, variant: ModelVariant = POLICY_AWARE
+) -> PythonTransducer:
+    """The Theorem 4.3 construction for domain-distinct-monotone queries.
+
+    Requires a policy-aware model (``MyAdom`` + ``policy_R``); raises
+    :class:`SystemRelationUnavailable` at run time under a policy-blind
+    variant, mirroring the fact that the construction does not exist in the
+    original model.
+    """
+    schema = _protocol_schema("distinct", query, variant)
+
+    def desired_messages(state: _ProtocolState) -> list[Fact]:
+        messages = list(_casts(state.view.local_input))
+        try:
+            messages.append(Fact(ANNOUNCE, (state.view.my_id,)))
+        except SystemRelationUnavailable:
+            pass  # oblivious variants have no id to announce
+        for absent in _known_absences(state):
+            messages.append(Fact(ABSENT_PREFIX + absent.relation, absent.values))
+        return messages
+
+    def out(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        if _distinct_complete(state):
+            return query(state.known_facts)
+        return ()
+
+    def insert(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        yield from state.store_deliveries()
+        yield from state.sent_markers(state.fresh(desired_messages(state)))
+
+    def send(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        return state.fresh(desired_messages(state))
+
+    return PythonTransducer(
+        schema, out=out, insert=insert, send=send, name=f"distinct[{query.name}]"
+    )
+
+
+# ----------------------------------------------------------------------
+# Mdisjoint: value announcements + ownership handshake (Theorem 4.4)
+# ----------------------------------------------------------------------
+
+
+def _disjoint_messages(state: _ProtocolState) -> list[Fact]:
+    view = state.view
+    me = view.my_id
+    messages: list[Fact] = list(_casts(view.local_input))
+    messages.append(Fact(ANNOUNCE, (me,)))
+    for value in sorted(view.local_input.adom(), key=repr):
+        messages.append(Fact(ANNOUNCE, (value,)))
+
+    owned = view.responsible_values()
+
+    # Requests for known values we do not own.
+    for value in sorted(view.known_adom(), key=repr):
+        if value not in owned:
+            messages.append(Fact(REQUEST, (me, value)))
+
+    # Acknowledge every input fact we have stored (local or received).
+    for fact in state.known_facts:
+        messages.append(Fact(ACK_PREFIX + fact.relation, (me,) + fact.values))
+
+    # Serve requests we own: cast the matching local facts, and emit OK once
+    # the requester has acknowledged every one of them.
+    requests = state.got(REQUEST)
+    acked: dict[Hashable, set[Fact]] = {}
+    for ack in (f for f in state.memory if f.relation.startswith(GOT_PREFIX + ACK_PREFIX)):
+        requester = ack.values[0]
+        relation = ack.relation[len(GOT_PREFIX) + len(ACK_PREFIX):]
+        acked.setdefault(requester, set()).add(Fact(relation, ack.values[1:]))
+    for request in requests:
+        requester, value = request.values
+        if value not in owned:
+            continue
+        owed = [f for f in view.local_input if value in f.values]
+        for fact in owed:
+            messages.append(Fact(CAST_PREFIX + fact.relation, fact.values))
+        if all(f in acked.get(requester, ()) for f in owed):
+            messages.append(Fact(OK, (requester, value)))
+    return messages
+
+
+def _disjoint_complete(state: _ProtocolState) -> bool:
+    """Every known value is owned or has been OK'd to this node."""
+    view = state.view
+    me = view.my_id
+    owned = view.responsible_values()
+    oks = {f.values[1] for f in state.got(OK) if f.values[0] == me}
+    return all(
+        value in owned or value in oks for value in view.known_adom()
+    )
+
+
+def disjoint_protocol_transducer(
+    query: Query, *, variant: ModelVariant = POLICY_AWARE
+) -> PythonTransducer:
+    """The Theorem 4.4 construction for domain-disjoint-monotone queries.
+
+    Correct under *domain-guided* policies only: ownership of a value must
+    imply ownership of every input fact containing it, which is exactly what
+    domain-guidedness provides.
+
+    Section 7 caveat: value ownership is detected through the paper's
+    ``policy_R(a, ..., a)`` probe, which needs at least one input relation of
+    arity >= 1.  Nullary input facts themselves need no handshake — a
+    domain-guided policy replicates them to every node.
+    """
+    schema = _protocol_schema("disjoint", query, variant)
+
+    def out(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        if _disjoint_complete(state):
+            return query(state.known_facts)
+        return ()
+
+    def insert(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        yield from state.store_deliveries()
+        yield from state.sent_markers(state.fresh(_disjoint_messages(state)))
+
+    def send(view: LocalView) -> Iterable[Fact]:
+        state = _ProtocolState(view, query.input_schema)
+        return state.fresh(_disjoint_messages(state))
+
+    return PythonTransducer(
+        schema, out=out, insert=insert, send=send, name=f"disjoint[{query.name}]"
+    )
+
+
+def protocol_for_class(
+    query: Query, klass: str, *, variant: ModelVariant = POLICY_AWARE
+) -> PythonTransducer:
+    """Pick the protocol matching a monotonicity class name
+    (``"M"`` / ``"Mdistinct"`` / ``"Mdisjoint"``)."""
+    if klass == "M":
+        return broadcast_transducer(query, variant=variant)
+    if klass == "Mdistinct":
+        return distinct_protocol_transducer(query, variant=variant)
+    if klass == "Mdisjoint":
+        return disjoint_protocol_transducer(query, variant=variant)
+    raise ValueError(f"no coordination-free protocol for class {klass!r}")

@@ -1,0 +1,367 @@
+"""The operational semantics of transducer networks (Section 4.1.3).
+
+A :class:`TransducerNetwork` bundles (N, Upsilon, Pi, P).  A :class:`Run`
+holds a configuration — per-node output/memory state plus multiset message
+buffers — and exposes :meth:`Run.transition` implementing the paper's
+transition relation exactly:
+
+* the active node x receives a submultiset m of its buffer, collapsed to a
+  set M;
+* the database D = J ∪ S is assembled (J = local input ∪ state ∪ M, S the
+  system facts for the model variant);
+* output grows by Qout(D); memory becomes
+  ``(mem ∪ (ins \\ del)) \\ (del \\ ins)``;
+* Qsnd(D) is appended to every *other* node's buffer (multiset union), and
+  m is removed from x's buffer (multiset difference).
+
+Runs are infinite in the paper; the simulator executes finite prefixes under
+pluggable schedulers and detects *quiescence* — a full round of
+all-message-delivery transitions that changes no state and sends nothing not
+already delivered — after which well-behaved transducers (all the protocols
+in this package store every delivered message in memory) can never produce
+new facts.  Fairness is realized by round-based scheduling: every node is
+activated once per round and buffered messages are eventually delivered.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from ..datalog.instance import Instance
+from ..datalog.terms import Fact
+from .policy import DistributionPolicy, Network
+from .transducer import LocalView, Transducer
+
+__all__ = [
+    "TransducerNetwork",
+    "NodeState",
+    "TransitionRecord",
+    "RunMetrics",
+    "Run",
+    "Scheduler",
+    "FairScheduler",
+    "TrickleScheduler",
+    "QuiescenceError",
+]
+
+
+class QuiescenceError(RuntimeError):
+    """Raised when a run fails to quiesce within its transition budget."""
+
+
+@dataclass
+class NodeState:
+    """s(x): the output and memory facts stored at one node."""
+
+    output: Instance = field(default_factory=Instance)
+    memory: Instance = field(default_factory=Instance)
+
+    def snapshot(self) -> tuple[Instance, Instance]:
+        return (self.output, self.memory)
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One transition: who ran, what was delivered, what changed."""
+
+    index: int
+    node: Hashable
+    delivered: int
+    sent: int
+    heartbeat: bool
+    state_changed: bool
+    new_output: int
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate counters over a run — the protocol-cost measurements used
+    by the Section 4.3 discussion benchmarks."""
+
+    transitions: int = 0
+    heartbeats: int = 0
+    message_facts_sent: int = 0
+    message_deliveries: int = 0
+    rounds: int = 0
+
+    def record(self, record: TransitionRecord, fanout: int) -> None:
+        self.transitions += 1
+        if record.heartbeat:
+            self.heartbeats += 1
+        self.message_facts_sent += record.sent * fanout
+        self.message_deliveries += record.delivered
+
+
+class TransducerNetwork:
+    """(N, Upsilon, Pi, P): a transducer placed on every node of a network
+    with a distribution policy for the input schema."""
+
+    def __init__(
+        self,
+        network: Network,
+        transducer: Transducer,
+        policy: DistributionPolicy,
+        *,
+        require_domain_guided: bool = False,
+    ) -> None:
+        if policy.network != network:
+            raise ValueError("policy network differs from the transducer network")
+        if policy.schema != transducer.schema.inputs:
+            raise ValueError("policy schema differs from the input schema")
+        if require_domain_guided and not policy.is_domain_guided:
+            raise ValueError(
+                "a domain-guided transducer network needs a domain-guided policy"
+            )
+        self.network = network
+        self.transducer = transducer
+        self.policy = policy
+
+    def new_run(self, instance: Instance) -> "Run":
+        """Start a run of this network on the given global input."""
+        return Run(self, instance)
+
+
+class Run:
+    """A (finite prefix of a) run of a transducer network on an input."""
+
+    def __init__(self, network: TransducerNetwork, instance: Instance) -> None:
+        self._network = network
+        self._instance = instance.restrict(network.transducer.schema.inputs)
+        self._fragments = network.policy.distribute(self._instance)
+        self._states: dict[Hashable, NodeState] = {
+            node: NodeState() for node in network.network
+        }
+        self._buffers: dict[Hashable, Counter] = {
+            node: Counter() for node in network.network
+        }
+        self._delivered_ever: dict[Hashable, set[Fact]] = {
+            node: set() for node in network.network
+        }
+        self.metrics = RunMetrics()
+        self._transition_count = 0
+        self.history: list[TransitionRecord] = []
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def network(self) -> TransducerNetwork:
+        return self._network
+
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    def nodes(self) -> list[Hashable]:
+        return self._network.network.sorted_nodes()
+
+    def state(self, node: Hashable) -> NodeState:
+        return self._states[node]
+
+    def buffer(self, node: Hashable) -> Counter:
+        return Counter(self._buffers[node])
+
+    def buffered_messages(self) -> int:
+        return sum(sum(buffer.values()) for buffer in self._buffers.values())
+
+    def local_input(self, node: Hashable) -> Instance:
+        return self._fragments[node]
+
+    def global_output(self) -> Instance:
+        """out(R): the union of all output facts produced so far."""
+        result = Instance()
+        for state in self._states.values():
+            result = result | state.output
+        return result
+
+    # -- the transition relation -----------------------------------------
+
+    def view(self, node: Hashable, delivered: Instance) -> LocalView:
+        state = self._states[node]
+        return LocalView(
+            node=node,
+            network=self._network.network,
+            schema=self._network.transducer.schema,
+            policy=self._network.policy,
+            local_input=self._fragments[node],
+            output=state.output,
+            memory=state.memory,
+            delivered=delivered,
+        )
+
+    def transition(
+        self, node: Hashable, deliver: Iterable[Fact] | str | None = "all"
+    ) -> TransitionRecord:
+        """Perform one transition with *node* active.
+
+        ``deliver`` is ``"all"`` (empty the buffer), ``None`` / ``()`` (a
+        heartbeat) or an explicit iterable forming a submultiset of the
+        node's buffer.
+        """
+        buffer = self._buffers[node]
+        if deliver == "all":
+            chosen = Counter(buffer)
+        elif deliver is None:
+            chosen = Counter()
+        else:
+            chosen = Counter(deliver)
+            overdraw = chosen - buffer
+            if overdraw:
+                raise ValueError(
+                    f"cannot deliver messages not in the buffer: {set(overdraw)}"
+                )
+        delivered_set = Instance(chosen.keys())
+        view = self.view(node, delivered_set)
+        update = self._network.transducer.step(view)
+
+        state = self._states[node]
+        before = state.snapshot()
+        state.output = state.output | update.output
+        ins_only = update.insertions - update.deletions
+        del_only = update.deletions - update.insertions
+        state.memory = (state.memory | ins_only) - del_only
+
+        buffer.subtract(chosen)
+        for key in [k for k, count in buffer.items() if count <= 0]:
+            del buffer[key]
+        self._delivered_ever[node].update(delivered_set)
+
+        fanout = 0
+        if update.messages:
+            others = [n for n in self._network.network if n != node]
+            fanout = len(others)
+            for other in others:
+                self._buffers[other].update(update.messages.facts)
+
+        record = TransitionRecord(
+            index=self._transition_count,
+            node=node,
+            delivered=sum(chosen.values()),
+            sent=len(update.messages),
+            heartbeat=not chosen,
+            state_changed=state.snapshot() != before,
+            new_output=len(state.output) - len(before[0]),
+        )
+        self._transition_count += 1
+        self.metrics.record(record, fanout if update.messages else 0)
+        self.history.append(record)
+        return record
+
+    def render_trace(self, *, limit: int = 40) -> str:
+        """A human-readable trace of the run's transitions (for debugging
+        protocol behaviour and for the examples)."""
+        lines = []
+        for record in self.history[-limit:]:
+            kind = "heartbeat" if record.heartbeat else f"recv {record.delivered}"
+            change = "changed" if record.state_changed else "idle"
+            lines.append(
+                f"#{record.index:<4} {record.node!r:>8}  {kind:<10} "
+                f"sent {record.sent:<3} {change}"
+                + (f" (+{record.new_output} out)" if record.new_output else "")
+            )
+        return "\n".join(lines)
+
+    def heartbeat(self, node: Hashable) -> TransitionRecord:
+        """A transition that delivers nothing (m = ∅)."""
+        return self.transition(node, deliver=None)
+
+    # -- rounds and quiescence --------------------------------------------
+
+    def round(self, order: Iterable[Hashable] | None = None) -> bool:
+        """Activate every node once (delivering its whole buffer).
+
+        Returns True when any state changed or any *novel* message content
+        (never before delivered to its target) was sent.
+        """
+        changed = False
+        nodes = list(order) if order is not None else self.nodes()
+        for node in nodes:
+            before_buffers = {
+                n: set(self._buffers[n]) - self._delivered_ever[n]
+                for n in self._buffers
+            }
+            record = self.transition(node, deliver="all")
+            if record.state_changed:
+                changed = True
+            else:
+                for n, pending_novel in (
+                    (n, set(self._buffers[n]) - self._delivered_ever[n])
+                    for n in self._buffers
+                ):
+                    if pending_novel - before_buffers[n]:
+                        changed = True
+                        break
+        self.metrics.rounds += 1
+        return changed
+
+    def run_to_quiescence(
+        self,
+        *,
+        max_rounds: int = 10_000,
+        scheduler: "Scheduler | None" = None,
+    ) -> Instance:
+        """Execute fair rounds until quiescent; returns the global output.
+
+        Quiescence: a full all-delivery round with no state change and no
+        novel message content, with only already-delivered duplicates left
+        buffered.
+        """
+        scheduler = scheduler or FairScheduler()
+        for _ in range(max_rounds):
+            order = scheduler.order(self)
+            changed = self.round(order)
+            if not changed and not self._novel_pending():
+                return self.global_output()
+        raise QuiescenceError(
+            f"run did not quiesce within {max_rounds} rounds "
+            f"({self.buffered_messages()} messages pending)"
+        )
+
+    def _novel_pending(self) -> bool:
+        return any(
+            set(self._buffers[node]) - self._delivered_ever[node]
+            for node in self._buffers
+        )
+
+
+class Scheduler:
+    """Chooses node activation orders for rounds; subclasses add policy."""
+
+    def order(self, run: Run) -> list[Hashable]:
+        return run.nodes()
+
+
+class FairScheduler(Scheduler):
+    """A seeded random permutation per round — fair because every node runs
+    once per round and every buffered message is delivered when its node
+    activates."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def order(self, run: Run) -> list[Hashable]:
+        nodes = run.nodes()
+        self._rng.shuffle(nodes)
+        return nodes
+
+
+class TrickleScheduler(Scheduler):
+    """An adversarial-ish scheduler: before each round, every node performs
+    extra transitions that deliver messages one at a time in random order,
+    maximizing interleavings (used to probe confluence of the protocols)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def order(self, run: Run) -> list[Hashable]:
+        nodes = run.nodes()
+        self._rng.shuffle(nodes)
+        for node in nodes:
+            pending = list(run.buffer(node).elements())
+            self._rng.shuffle(pending)
+            for message in pending[: len(pending) // 2]:
+                run.transition(node, deliver=[message])
+        self._rng.shuffle(nodes)
+        return nodes

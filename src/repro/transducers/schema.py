@@ -1,0 +1,150 @@
+"""Transducer schemas and model variants (Sections 4.1.2 and 4.3).
+
+A policy-aware transducer schema is a tuple
+``(in, out, msg, mem, sys)`` of disjoint database schemas where the system
+schema is fixed by the model:
+
+* ``Id/1`` — the active node's identifier;
+* ``All/1`` — all node identifiers (absent in the no-All variants A1/A2);
+* ``MyAdom/1`` — the active domain known at the node;
+* ``policy_R/k`` — for each input relation R/k, the facts over the known
+  active domain the node is responsible for.
+
+The *original* model of [13] has only ``Id`` and ``All``; *oblivious*
+transducers have neither.  :class:`ModelVariant` captures which system
+relations a transducer may see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.schema import Schema, SchemaError
+
+__all__ = [
+    "ModelVariant",
+    "ORIGINAL",
+    "POLICY_AWARE",
+    "POLICY_AWARE_NO_ALL",
+    "OBLIVIOUS",
+    "TransducerSchema",
+    "policy_relation_name",
+    "ID_RELATION",
+    "ALL_RELATION",
+    "MYADOM_RELATION",
+]
+
+ID_RELATION = "Id"
+ALL_RELATION = "All"
+MYADOM_RELATION = "MyAdom"
+POLICY_PREFIX = "policy_"
+
+
+def policy_relation_name(relation: str) -> str:
+    """The system relation exposing the policy for input relation *relation*
+    (the paper writes ``policy_R``; previously called ``local_R`` in [32])."""
+    return POLICY_PREFIX + relation
+
+
+@dataclass(frozen=True)
+class ModelVariant:
+    """Which system relations the transducer model exposes.
+
+    ``has_policy`` covers both ``MyAdom`` and the ``policy_R`` relations —
+    the extension of [32] over the original model of [13].
+    """
+
+    name: str
+    has_id: bool = True
+    has_all: bool = True
+    has_policy: bool = True
+
+    def __repr__(self) -> str:
+        return f"<model {self.name}>"
+
+
+#: The original transducer model of [13]: Id and All, no policy relations.
+ORIGINAL = ModelVariant("original", has_policy=False)
+
+#: The policy-aware model of [32] / Section 4.1.2.
+POLICY_AWARE = ModelVariant("policy-aware")
+
+#: The Section 4.3 variant without All (classes A1 / A2).
+POLICY_AWARE_NO_ALL = ModelVariant("policy-aware-no-all", has_all=False)
+
+#: Oblivious transducers: neither Id nor All (Corollary 4.6).
+OBLIVIOUS = ModelVariant("oblivious", has_id=False, has_all=False, has_policy=False)
+
+
+@dataclass(frozen=True)
+class TransducerSchema:
+    """The five-part schema Upsilon = (in, out, msg, mem, sys).
+
+    The system part is derived from the input schema and the model variant;
+    construction checks the four explicit parts are pairwise disjoint and
+    none collides with a system relation name.
+    """
+
+    inputs: Schema
+    outputs: Schema
+    messages: Schema
+    memory: Schema
+    variant: ModelVariant = POLICY_AWARE
+
+    def __post_init__(self) -> None:
+        parts = {
+            "input": self.inputs,
+            "output": self.outputs,
+            "message": self.messages,
+            "memory": self.memory,
+        }
+        names: dict[str, str] = {}
+        for part_name, schema in parts.items():
+            for relation in schema:
+                if relation in names:
+                    raise SchemaError(
+                        f"relation {relation} appears in both the "
+                        f"{names[relation]} and {part_name} schemas"
+                    )
+                names[relation] = part_name
+        reserved = set(self.system_schema())
+        clash = reserved & set(names)
+        if clash:
+            raise SchemaError(
+                f"relation(s) {sorted(clash)} collide with system relations"
+            )
+
+    def system_schema(self) -> Schema:
+        """The system schema Upsilon_sys implied by the variant."""
+        relations: dict[str, int] = {MYADOM_RELATION: 1}
+        if self.variant.has_id:
+            relations[ID_RELATION] = 1
+        if self.variant.has_all:
+            relations[ALL_RELATION] = 1
+        if self.variant.has_policy:
+            for relation in self.inputs:
+                relations[policy_relation_name(relation)] = self.inputs.arity(relation)
+        else:
+            # MyAdom is part of the [32] extension; the original model
+            # exposes only Id / All.
+            del relations[MYADOM_RELATION]
+        return Schema(relations, allow_nullary=True)
+
+    def full_schema(self) -> Schema:
+        """Everything the transducer queries may read."""
+        return (
+            self.inputs
+            | self.outputs
+            | self.messages
+            | self.memory
+            | self.system_schema()
+        )
+
+    def with_variant(self, variant: ModelVariant) -> "TransducerSchema":
+        return TransducerSchema(
+            inputs=self.inputs,
+            outputs=self.outputs,
+            messages=self.messages,
+            memory=self.memory,
+            variant=variant,
+        )

@@ -1,0 +1,388 @@
+"""Relational transducers: the quadruple (Qout, Qins, Qdel, Qsnd).
+
+A transducer's four queries all read the same database D = J ∪ S, where
+J is the node's local snapshot (input fragment, output, memory, delivered
+messages) and S the system facts (Section 4.1.3).  Two concrete flavours:
+
+* :class:`PythonTransducer` — the four queries are Python callables over a
+  :class:`LocalView`; used for the evaluation protocols of Section 4.2 whose
+  bookkeeping would be tedious in pure Datalog.
+* :class:`DatalogTransducer` — the four queries are stratified Datalog¬
+  programs evaluated on the materialized D; the declarative-networking
+  flavour of the model.
+
+The :class:`LocalView` enforces the model variant: reading ``my_id`` without
+the ``Id`` relation, ``all_nodes`` without ``All``, or the policy accessors
+in a policy-blind variant raises :class:`SystemRelationUnavailable` — the
+programmatic analogue of the relation simply not being in the schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Iterable, Iterator
+
+from ..datalog.instance import Instance
+from ..datalog.program import Program
+from ..datalog.stratified import StratifiedEvaluator
+from ..datalog.terms import Fact
+from .policy import DistributionPolicy, Network
+from .schema import (
+    ALL_RELATION,
+    ID_RELATION,
+    MYADOM_RELATION,
+    TransducerSchema,
+    policy_relation_name,
+)
+
+__all__ = [
+    "SystemRelationUnavailable",
+    "LocalView",
+    "Transducer",
+    "PythonTransducer",
+    "DatalogTransducer",
+    "TransducerUpdate",
+]
+
+
+class SystemRelationUnavailable(RuntimeError):
+    """Raised when a transducer reads a system relation its model lacks."""
+
+
+class LocalView:
+    """Everything a node may consult during one transition (the database D).
+
+    Built by the runtime; exposes the paper's system relations as lazy
+    accessors so Python transducers need not materialize the (potentially
+    large) ``policy_R`` relations.
+    """
+
+    def __init__(
+        self,
+        *,
+        node: Hashable,
+        network: Network,
+        schema: TransducerSchema,
+        policy: DistributionPolicy,
+        local_input: Instance,
+        output: Instance,
+        memory: Instance,
+        delivered: Instance,
+    ) -> None:
+        self._node = node
+        self._network = network
+        self._schema = schema
+        self._policy = policy
+        self._local_input = local_input
+        self._output = output
+        self._memory = memory
+        self._delivered = delivered
+        self._known: frozenset | None = None
+
+    # -- raw parts of J -------------------------------------------------
+
+    @property
+    def schema(self) -> TransducerSchema:
+        return self._schema
+
+    @property
+    def local_input(self) -> Instance:
+        """H(x): the input fragment assigned to this node by the policy."""
+        return self._local_input
+
+    @property
+    def output(self) -> Instance:
+        """The output facts this node has produced so far."""
+        return self._output
+
+    @property
+    def memory(self) -> Instance:
+        """The node's memory relations."""
+        return self._memory
+
+    @property
+    def delivered(self) -> Instance:
+        """M: the messages delivered in this transition, collapsed to a set."""
+        return self._delivered
+
+    def local_facts(self) -> Instance:
+        """J = H(x) ∪ s1(x) ∪ M."""
+        return self._local_input | self._output | self._memory | self._delivered
+
+    # -- system relations (Section 4.1.3) --------------------------------
+
+    @property
+    def my_id(self) -> Hashable:
+        """The ``Id`` relation: this node's identifier."""
+        if not self._schema.variant.has_id:
+            raise SystemRelationUnavailable(
+                f"model {self._schema.variant.name} has no Id relation"
+            )
+        return self._node
+
+    @property
+    def all_nodes(self) -> frozenset:
+        """The ``All`` relation: every node of the network."""
+        if not self._schema.variant.has_all:
+            raise SystemRelationUnavailable(
+                f"model {self._schema.variant.name} has no All relation"
+            )
+        return frozenset(self._network)
+
+    def known_adom(self) -> frozenset:
+        """The ``MyAdom`` relation: the set A of the transition semantics.
+
+        With ``All``: A = N ∪ adom(J); without: A = {x} ∪ adom(J) (Sec 4.3).
+        """
+        if not self._schema.variant.has_policy:
+            raise SystemRelationUnavailable(
+                f"model {self._schema.variant.name} has no MyAdom relation"
+            )
+        return self._known_values()
+
+    def _known_values(self) -> frozenset:
+        if self._known is None:
+            values = set(self.local_facts().adom())
+            if self._schema.variant.has_all:
+                values |= set(self._network)
+            elif self._schema.variant.has_id:
+                values.add(self._node)
+            self._known = frozenset(values)
+        return self._known
+
+    def is_responsible(self, fact: Fact) -> bool:
+        """The ``policy_R`` relations, pointwise: is this fact over the known
+        active domain and assigned to this node by the policy?"""
+        if not self._schema.variant.has_policy:
+            raise SystemRelationUnavailable(
+                f"model {self._schema.variant.name} has no policy relations"
+            )
+        if not self._schema.inputs.contains_fact(fact):
+            return False
+        if not fact.adom() <= self._known_values():
+            return False
+        return self._policy.assigns(fact, self._node)
+
+    def responsible_values(self) -> frozenset:
+        """Values a ∈ MyAdom this node is responsible for under a
+        domain-guided policy.
+
+        Uses the paper's observation (proof of Theorem 4.4): x ∈ alpha(a)
+        iff ``policy_R(a, ..., a)`` is shown to x for at least one input
+        relation R.
+        """
+        values = set()
+        for value in self._known_values():
+            for relation in self._schema.inputs:
+                arity = self._schema.inputs.arity(relation)
+                if arity == 0:
+                    # A nullary probe fact carries no value, so it says
+                    # nothing about ownership of `value` (Section 7).
+                    continue
+                if self.is_responsible(Fact(relation, (value,) * arity)):
+                    values.add(value)
+                    break
+        return frozenset(values)
+
+    def policy_facts(self, *, limit: int = 200_000) -> Iterator[Fact]:
+        """Materialize all ``policy_R`` facts over the known active domain.
+
+        Exponential in the relation arities; guarded by *limit* because the
+        Datalog transducers are run on small experimental inputs only.
+        """
+        if not self._schema.variant.has_policy:
+            raise SystemRelationUnavailable(
+                f"model {self._schema.variant.name} has no policy relations"
+            )
+        values = sorted(self._known_values(), key=repr)
+        produced = 0
+        for relation in self._schema.inputs:
+            arity = self._schema.inputs.arity(relation)
+            for combo in itertools.product(values, repeat=arity):
+                produced += 1
+                if produced > limit:
+                    raise RuntimeError(
+                        f"policy materialization exceeded {limit} candidate facts"
+                    )
+                candidate = Fact(relation, combo)
+                if self._policy.assigns(candidate, self._node):
+                    yield Fact(policy_relation_name(relation), combo)
+
+    def system_facts(self) -> Instance:
+        """The fully materialized system instance S (for Datalog transducers)."""
+        facts: list[Fact] = []
+        variant = self._schema.variant
+        if variant.has_id:
+            facts.append(Fact(ID_RELATION, (self._node,)))
+        if variant.has_all:
+            facts.extend(Fact(ALL_RELATION, (node,)) for node in self._network)
+        if variant.has_policy:
+            facts.extend(
+                Fact(MYADOM_RELATION, (value,)) for value in self._known_values()
+            )
+            facts.extend(self.policy_facts())
+        return Instance(facts)
+
+    def database(self) -> Instance:
+        """The full database D = J ∪ S of the transition semantics."""
+        return self.local_facts() | self.system_facts()
+
+
+class TransducerUpdate:
+    """The result of running the four queries on one view."""
+
+    __slots__ = ("output", "insertions", "deletions", "messages")
+
+    def __init__(
+        self,
+        output: Instance,
+        insertions: Instance,
+        deletions: Instance,
+        messages: Instance,
+    ) -> None:
+        self.output = output
+        self.insertions = insertions
+        self.deletions = deletions
+        self.messages = messages
+
+
+class Transducer(ABC):
+    """A relational transducer over a :class:`TransducerSchema`."""
+
+    def __init__(self, schema: TransducerSchema, name: str = "transducer") -> None:
+        self._schema = schema
+        self._name = name
+
+    @property
+    def schema(self) -> TransducerSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @abstractmethod
+    def out_query(self, view: LocalView) -> Iterable[Fact]:
+        """Qout: new output facts (target schema Upsilon_out)."""
+
+    @abstractmethod
+    def insert_query(self, view: LocalView) -> Iterable[Fact]:
+        """Qins: memory insertions (target schema Upsilon_mem)."""
+
+    @abstractmethod
+    def delete_query(self, view: LocalView) -> Iterable[Fact]:
+        """Qdel: memory deletions (target schema Upsilon_mem)."""
+
+    @abstractmethod
+    def send_query(self, view: LocalView) -> Iterable[Fact]:
+        """Qsnd: messages sent to every other node (target Upsilon_msg)."""
+
+    def step(self, view: LocalView) -> TransducerUpdate:
+        """Run all four queries and validate their target schemas."""
+        return TransducerUpdate(
+            output=self._checked(self.out_query(view), self._schema.outputs, "Qout"),
+            insertions=self._checked(self.insert_query(view), self._schema.memory, "Qins"),
+            deletions=self._checked(self.delete_query(view), self._schema.memory, "Qdel"),
+            messages=self._checked(self.send_query(view), self._schema.messages, "Qsnd"),
+        )
+
+    def _checked(self, facts: Iterable[Fact], target, label: str) -> Instance:
+        produced = Instance(facts)
+        for fact in produced:
+            if not target.contains_fact(fact):
+                raise ValueError(
+                    f"{self._name}.{label} produced {fact!r}, which is not "
+                    f"over its target schema"
+                )
+        return produced
+
+    def with_variant(self, variant) -> "Transducer":
+        """A copy of this transducer running under a different model variant
+        (used by the Theorem 4.5 experiments)."""
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        clone._schema = self._schema.with_variant(variant)
+        return clone
+
+
+class PythonTransducer(Transducer):
+    """A transducer whose four queries are Python callables on the view."""
+
+    def __init__(
+        self,
+        schema: TransducerSchema,
+        *,
+        out: Callable[[LocalView], Iterable[Fact]] | None = None,
+        insert: Callable[[LocalView], Iterable[Fact]] | None = None,
+        delete: Callable[[LocalView], Iterable[Fact]] | None = None,
+        send: Callable[[LocalView], Iterable[Fact]] | None = None,
+        name: str = "python-transducer",
+    ) -> None:
+        super().__init__(schema, name)
+        nothing: Callable[[LocalView], Iterable[Fact]] = lambda view: ()
+        self._out = out or nothing
+        self._insert = insert or nothing
+        self._delete = delete or nothing
+        self._send = send or nothing
+
+    def out_query(self, view: LocalView) -> Iterable[Fact]:
+        return self._out(view)
+
+    def insert_query(self, view: LocalView) -> Iterable[Fact]:
+        return self._insert(view)
+
+    def delete_query(self, view: LocalView) -> Iterable[Fact]:
+        return self._delete(view)
+
+    def send_query(self, view: LocalView) -> Iterable[Fact]:
+        return self._send(view)
+
+
+class DatalogTransducer(Transducer):
+    """A transducer whose four queries are stratified Datalog¬ programs.
+
+    Each program is evaluated on the materialized database D; its designated
+    output relations must lie in the corresponding target schema.  Programs
+    may be ``None`` (the empty query).
+    """
+
+    def __init__(
+        self,
+        schema: TransducerSchema,
+        *,
+        out: Program | None = None,
+        insert: Program | None = None,
+        delete: Program | None = None,
+        send: Program | None = None,
+        name: str = "datalog-transducer",
+    ) -> None:
+        super().__init__(schema, name)
+        self._programs = {
+            "out": out,
+            "insert": insert,
+            "delete": delete,
+            "send": send,
+        }
+        self._evaluators = {
+            key: StratifiedEvaluator(program) if program is not None else None
+            for key, program in self._programs.items()
+        }
+
+    def _run(self, key: str, view: LocalView) -> Iterable[Fact]:
+        evaluator = self._evaluators[key]
+        if evaluator is None:
+            return ()
+        return evaluator.output(view.database())
+
+    def out_query(self, view: LocalView) -> Iterable[Fact]:
+        return self._run("out", view)
+
+    def insert_query(self, view: LocalView) -> Iterable[Fact]:
+        return self._run("insert", view)
+
+    def delete_query(self, view: LocalView) -> Iterable[Fact]:
+        return self._run("delete", view)
+
+    def send_query(self, view: LocalView) -> Iterable[Fact]:
+        return self._run("send", view)

@@ -1,0 +1,64 @@
+"""Shared fixtures: canonical instances, programs and networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import Instance, parse_facts, parse_program
+from repro.transducers import Network
+
+
+@pytest.fixture
+def chain_graph() -> Instance:
+    """A 3-edge path 1 -> 2 -> 3 -> 4."""
+    return Instance(parse_facts("E(1,2). E(2,3). E(3,4)."))
+
+
+@pytest.fixture
+def cycle_graph() -> Instance:
+    """A 2-cycle plus an isolated self-loop."""
+    return Instance(parse_facts("E(1,2). E(2,1). E(5,5)."))
+
+
+@pytest.fixture
+def two_component_graph() -> Instance:
+    """Two value-disjoint components."""
+    return Instance(parse_facts("E(1,2). E(2,3). E(10,11). E(11,10)."))
+
+
+@pytest.fixture
+def tc_program():
+    return parse_program(
+        """
+        T(x, y) :- E(x, y).
+        T(x, z) :- T(x, y), E(y, z).
+        O(x, y) :- T(x, y).
+        """
+    )
+
+
+@pytest.fixture
+def cotc_program():
+    return parse_program(
+        """
+        T(x, y) :- E(x, y).
+        T(x, z) :- T(x, y), E(y, z).
+        O(x, y) :- Adom(x), Adom(y), not T(x, y).
+        """
+    )
+
+
+@pytest.fixture
+def game_graph() -> Instance:
+    """Win-move game: 2 wins (moves to dead-end 3), 1 loses, 4<->5 drawn."""
+    return Instance(parse_facts("Move(1,2). Move(2,1). Move(2,3). Move(4,5). Move(5,4)."))
+
+
+@pytest.fixture
+def two_node_network() -> Network:
+    return Network(["n1", "n2"])
+
+
+@pytest.fixture
+def three_node_network() -> Network:
+    return Network(["n1", "n2", "n3"])

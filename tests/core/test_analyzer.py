@@ -1,0 +1,130 @@
+"""Tests for the CALM analyzer: fragment -> class -> strategy."""
+
+import pytest
+
+from repro.core import (
+    Fragment,
+    analyze,
+    classify_fragment,
+    guaranteed_class,
+    plan_distribution,
+    query_for,
+    run_distributed,
+)
+from repro.datalog import Instance, evaluate, parse_facts, parse_program
+from repro.queries import zoo_program
+
+
+class TestClassifyFragment:
+    def test_positive_datalog(self):
+        assert classify_fragment(zoo_program("tc")) == Fragment.DATALOG
+
+    def test_datalog_neq(self):
+        assert classify_fragment(zoo_program("neq-pairs")) == Fragment.DATALOG_NEQ
+
+    def test_sp_datalog(self):
+        assert classify_fragment(zoo_program("sp-missing-targets")) == Fragment.SP_DATALOG
+
+    def test_con_datalog(self):
+        assert classify_fragment(zoo_program("example51-p1")) == Fragment.CON_DATALOG
+
+    def test_semicon_datalog(self):
+        assert classify_fragment(zoo_program("co-tc")) == Fragment.SEMICON_DATALOG
+
+    def test_general_stratified(self):
+        assert classify_fragment(zoo_program("example51-p2")) == Fragment.STRATIFIED
+
+    def test_wfs_connected(self):
+        from repro.datalog import winmove_program
+
+        assert classify_fragment(winmove_program()) == Fragment.WFS_CONNECTED
+
+    def test_wfs_disconnected(self):
+        program = parse_program(
+            "Bad(x) :- R(x), S(y), not Bad(x).", add_adom_rules=False
+        )
+        assert classify_fragment(program) == Fragment.WFS
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize(
+        "fragment,expected",
+        [
+            (Fragment.DATALOG, "M"),
+            (Fragment.DATALOG_NEQ, "M"),
+            (Fragment.SP_DATALOG, "Mdistinct"),
+            (Fragment.CON_DATALOG, "Mdisjoint"),
+            (Fragment.SEMICON_DATALOG, "Mdisjoint"),
+            (Fragment.WFS_CONNECTED, "Mdisjoint"),
+            (Fragment.STRATIFIED, None),
+            (Fragment.WFS, None),
+        ],
+    )
+    def test_fragment_guarantees(self, fragment, expected):
+        assert guaranteed_class(fragment) == expected
+
+    def test_analysis_result_models(self):
+        assert analyze(zoo_program("tc")).model == "original"
+        assert analyze(zoo_program("sp-missing-targets")).model == "policy-aware"
+        assert analyze(zoo_program("co-tc")).model == "domain-guided"
+        assert analyze(zoo_program("example51-p2")).model is None
+
+    def test_describe(self):
+        assert "F2" in analyze(zoo_program("co-tc")).describe()
+        assert "barrier" in analyze(zoo_program("example51-p2")).describe()
+
+
+class TestPlans:
+    def test_plan_picks_matching_protocol(self):
+        plan = plan_distribution(zoo_program("tc"))
+        assert plan.transducer is not None
+        assert plan.transducer.name.startswith("broadcast")
+        assert not plan.requires_barrier
+
+        plan = plan_distribution(zoo_program("co-tc"))
+        assert plan.transducer.name.startswith("disjoint")
+        assert plan.requires_domain_guided
+
+    def test_plan_falls_back_to_barrier(self):
+        plan = plan_distribution(zoo_program("example51-p2"))
+        assert plan.requires_barrier
+        assert plan.transducer.name.startswith("barrier")
+        assert "coordinating" in plan.describe()
+
+    def test_query_for_uses_wfs_when_unstratifiable(self):
+        from repro.datalog import winmove_program
+        from repro.queries.base import WellFoundedQuery
+
+        assert isinstance(query_for(winmove_program()), WellFoundedQuery)
+
+
+class TestRunDistributed:
+    @pytest.mark.parametrize(
+        "name,facts",
+        [
+            ("tc", "E(1,2). E(2,3)."),
+            ("sp-missing-targets", "E(1,2). E(2,3). Mark(2)."),
+            ("co-tc", "E(1,2). E(2,1). E(3,4)."),
+            ("example51-p1", "E(1,2). E(2,3). E(3,1). E(9,9)."),
+        ],
+    )
+    def test_matches_centralized(self, name, facts):
+        program = zoo_program(name)
+        instance = Instance(parse_facts(facts))
+        distributed = run_distributed(program, instance, seed=1)
+        assert distributed == evaluate(program, instance)
+
+    def test_barrier_fallback_matches_centralized(self):
+        program = zoo_program("example51-p2")
+        instance = Instance(
+            parse_facts("E(1,2). E(2,3). E(3,1). E(7,8). E(8,9). E(9,7).")
+        )
+        distributed = run_distributed(program, instance)
+        assert distributed == evaluate(program, instance)
+
+    def test_winmove_distributed(self, game_graph):
+        from repro.datalog import winmove_program
+        from repro.queries import win_move_query
+
+        output = run_distributed(winmove_program(), game_graph, seed=2)
+        assert output == win_move_query()(game_graph)

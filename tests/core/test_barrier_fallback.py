@@ -1,0 +1,57 @@
+"""Tests for the two coordinated fallbacks: the simulator-level barrier
+(run_with_barrier) and miscellaneous analyzer plumbing."""
+
+from repro.core import run_with_barrier
+from repro.core.analyzer import Fragment
+from repro.datalog import Instance, evaluate, parse_facts
+from repro.queries import DatalogQuery, triangle_unless_two_disjoint_query, zoo_program
+from repro.transducers import Network
+
+
+class TestRunWithBarrier:
+    def test_matches_centralized_for_nonmember_query(self):
+        query = triangle_unless_two_disjoint_query()
+        instance = Instance(
+            parse_facts("E(1,2). E(2,3). E(3,1). E(7,8). E(8,9). E(9,7).")
+        )
+        network = Network(["a", "b", "c"])
+        assert run_with_barrier(query, network, instance) == query(instance)
+
+    def test_matches_centralized_for_datalog_program(self):
+        program = zoo_program("example51-p2")
+        query = DatalogQuery(program)
+        instance = Instance(parse_facts("E(1,2). E(2,3). E(3,1)."))
+        network = Network(["a", "b"])
+        assert run_with_barrier(query, network, instance) == evaluate(
+            program, instance
+        )
+
+    def test_single_node(self):
+        query = triangle_unless_two_disjoint_query()
+        instance = Instance(parse_facts("E(1,2). E(2,3). E(3,1)."))
+        network = Network(["solo"])
+        assert run_with_barrier(query, network, instance) == query(instance)
+
+    def test_different_seeds_agree(self):
+        query = triangle_unless_two_disjoint_query()
+        instance = Instance(parse_facts("E(1,2). E(2,3). E(3,1). E(4,4)."))
+        network = Network(["a", "b"])
+        outputs = {
+            run_with_barrier(query, network, instance, seed=seed)
+            for seed in range(3)
+        }
+        assert len(outputs) == 1
+
+
+class TestFragmentConstants:
+    def test_order_covers_all_labels(self):
+        assert set(Fragment.ORDER) == {
+            Fragment.DATALOG,
+            Fragment.DATALOG_NEQ,
+            Fragment.SP_DATALOG,
+            Fragment.CON_DATALOG,
+            Fragment.SEMICON_DATALOG,
+            Fragment.STRATIFIED,
+            Fragment.WFS_CONNECTED,
+            Fragment.WFS,
+        }

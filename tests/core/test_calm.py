@@ -1,0 +1,107 @@
+"""Tests for the relocation proof construction (Theorems 4.3/4.4 'only if')."""
+
+from repro.core import refute_by_relocation, relocation_policies
+from repro.datalog import Fact, Instance, parse_facts
+from repro.monotonicity import (
+    witness_cotc_not_distinct,
+    witness_triangles_not_disjoint,
+)
+from repro.queries import complement_tc_query, transitive_closure_query
+from repro.transducers import (
+    Network,
+    broadcast_transducer,
+    disjoint_protocol_transducer,
+    distinct_protocol_transducer,
+)
+
+
+class TestRelocationPolicies:
+    def test_override_relocates_only_addition(self):
+        query = complement_tc_query()
+        network = Network(["x", "y"])
+        addition = Instance(parse_facts("E(7,8)."))
+        ideal, relocated = relocation_policies(query, network, "x", "y", addition)
+        assert ideal.nodes_for(Fact("E", (7, 8))) == {"x"}
+        assert relocated.nodes_for(Fact("E", (7, 8))) == {"y"}
+        assert relocated.nodes_for(Fact("E", (1, 2))) == {"x"}
+
+    def test_domain_guided_split(self):
+        query = complement_tc_query()
+        network = Network(["x", "y"])
+        addition = Instance(parse_facts("E(7,8)."))
+        ideal, relocated = relocation_policies(
+            query, network, "x", "y", addition, domain_guided=True
+        )
+        assert ideal.is_domain_guided and relocated.is_domain_guided
+        assert relocated.nodes_for(Fact("E", (7, 8))) == {"y"}
+        assert relocated.nodes_for(Fact("E", (1, 2))) == {"x"}
+        # Mixed facts go to both under the value split:
+        assert relocated.nodes_for(Fact("E", (1, 7))) == {"x", "y"}
+
+
+class TestRefutations:
+    def test_distinct_protocol_refuted_on_cotc(self):
+        witness = witness_cotc_not_distinct()
+        refutation = refute_by_relocation(
+            distinct_protocol_transducer, witness.query, witness.base, witness.addition
+        )
+        assert refutation.refuted
+        assert Fact("O", ("a", "b")) in refutation.wrong_facts
+
+    def test_disjoint_protocol_refuted_on_triangles(self):
+        witness = witness_triangles_not_disjoint()
+        refutation = refute_by_relocation(
+            disjoint_protocol_transducer,
+            witness.query,
+            witness.base,
+            witness.addition,
+            domain_guided=True,
+        )
+        assert refutation.refuted
+
+    def test_broadcast_refuted_on_cotc(self):
+        witness = witness_cotc_not_distinct()
+        refutation = refute_by_relocation(
+            broadcast_transducer, witness.query, witness.base, witness.addition
+        )
+        assert refutation.refuted
+
+    def test_member_query_not_refutable(self):
+        tc = transitive_closure_query()
+        refutation = refute_by_relocation(
+            broadcast_transducer,
+            tc,
+            Instance(parse_facts("E(1,2).")),
+            Instance(parse_facts("E(2,3).")),
+        )
+        assert not refutation.refuted
+        assert "not a violation" in refutation.detail
+
+    def test_non_disjoint_addition_rejected_for_domain_guided(self):
+        cotc = complement_tc_query()
+        base = Instance(parse_facts("E(1,1). E(2,2)."))
+        addition = Instance(parse_facts("E(1,9). E(9,2)."))  # shares 1 and 2
+        refutation = refute_by_relocation(
+            disjoint_protocol_transducer, cotc, base, addition, domain_guided=True
+        )
+        assert not refutation.refuted
+        assert "domain-disjoint" in refutation.detail
+
+    def test_describe(self):
+        witness = witness_cotc_not_distinct()
+        refutation = refute_by_relocation(
+            distinct_protocol_transducer, witness.query, witness.base, witness.addition
+        )
+        assert "refuted" in refutation.describe()
+
+    def test_local_input_equivalence_is_the_crux(self):
+        """The proof hinges on x seeing the same input in both runs; check
+        the machinery validates it."""
+        witness = witness_cotc_not_distinct()
+        network = Network(["x_node", "y_node"])
+        ideal, relocated = relocation_policies(
+            witness.query, network, "x_node", "y_node", witness.addition
+        )
+        base_frag = ideal.distribute(witness.base)["x_node"]
+        combined_frag = relocated.distribute(witness.base | witness.addition)["x_node"]
+        assert base_frag == combined_frag

@@ -1,0 +1,86 @@
+"""The experiment drivers must regenerate every paper claim. Slow ones are
+marked; the fast ones run in the default suite."""
+
+import pytest
+
+from repro.core import (
+    hierarchy_f_experiment,
+    lemma52_experiment,
+    protocol_cost_sweep,
+    render_rows,
+    theorem43_experiment,
+    theorem44_experiment,
+    theorem45_experiment,
+    theorem53_experiment,
+    winmove_experiment,
+)
+
+
+def assert_all_ok(rows):
+    failed = [r for r in rows if not r.ok]
+    assert not failed, "\n".join(f"{r.claim}: {r.detail}" for r in failed)
+
+
+class TestTheoremDrivers:
+    def test_theorem43(self):
+        assert_all_ok(theorem43_experiment())
+
+    def test_theorem44(self):
+        assert_all_ok(theorem44_experiment())
+
+    def test_theorem45(self):
+        assert_all_ok(theorem45_experiment())
+
+    def test_lemma52(self):
+        assert_all_ok(lemma52_experiment(seeds=range(3)))
+
+    def test_winmove(self):
+        assert_all_ok(winmove_experiment())
+
+    def test_theorem54(self):
+        from repro.core import theorem54_experiment
+
+        assert_all_ok(theorem54_experiment())
+
+    def test_f_hierarchy(self):
+        assert_all_ok(hierarchy_f_experiment())
+
+
+@pytest.mark.slow
+class TestSlowDrivers:
+    def test_figure1(self):
+        from repro.core import figure1_experiment
+
+        assert_all_ok(figure1_experiment(max_i=2))
+
+    def test_figure2(self):
+        from repro.core import figure2_experiment
+
+        assert_all_ok(figure2_experiment())
+
+    def test_theorem53(self):
+        assert_all_ok(theorem53_experiment())
+
+
+class TestCostSweep:
+    def test_sweep_shapes(self):
+        results = protocol_cost_sweep(node_counts=(1, 2), edge_count=5)
+        labels = {label for label, _, _ in results}
+        assert labels == {"broadcast/M", "distinct/Mdistinct", "disjoint/Mdisjoint"}
+        # Single-node networks exchange no messages:
+        for label, nodes, metrics in results:
+            if nodes == 1:
+                assert metrics.message_facts_sent == 0
+
+    def test_richer_classes_cost_more_messages(self):
+        results = protocol_cost_sweep(node_counts=(3,), edge_count=5)
+        costs = {label: metrics.message_facts_sent for label, _, metrics in results}
+        assert costs["broadcast/M"] < costs["distinct/Mdistinct"]
+        assert costs["broadcast/M"] < costs["disjoint/Mdisjoint"]
+
+
+class TestRendering:
+    def test_render_rows(self):
+        rows = theorem43_experiment()
+        text = render_rows(rows)
+        assert "verified" in text

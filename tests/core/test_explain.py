@@ -1,0 +1,69 @@
+"""Tests for the program-diagnosis reports."""
+
+from repro.core import explain
+from repro.datalog import parse_program, winmove_program
+from repro.queries import zoo_program
+
+
+class TestExplain:
+    def test_semicon_program(self):
+        explanation = explain(zoo_program("co-tc"))
+        assert explanation.stratifiable
+        assert explanation.depth == 2
+        assert explanation.violations == ()
+        disconnected = [d for d in explanation.rules if not d.connected]
+        assert len(disconnected) == 1
+        assert disconnected[0].rule.head.relation == "O"
+        assert "DISCONNECTED" in explanation.describe()
+
+    def test_p2_gets_advice(self):
+        explanation = explain(zoo_program("example51-p2"))
+        assert explanation.violations
+        text = explanation.describe()
+        assert "advice:" in text
+        assert "barrier" in text
+
+    def test_winmove_unstratifiable(self):
+        explanation = explain(winmove_program())
+        assert not explanation.stratifiable
+        assert explanation.depth is None
+        assert "well-founded" in explanation.describe()
+        # Connected under WFS: guaranteed Mdisjoint, so no advice section.
+        assert "advice:" not in explanation.describe()
+
+    def test_unstratifiable_disconnected_advice(self):
+        program = parse_program(
+            "Bad(x) :- R(x), S(y), not Bad(x).", add_adom_rules=False
+        )
+        explanation = explain(program)
+        text = explanation.describe()
+        assert "advice:" in text
+        assert "Section 7" in text
+
+    def test_stratum_numbers_reported(self):
+        explanation = explain(zoo_program("co-tc"))
+        strata = {d.rule.head.relation: d.stratum for d in explanation.rules}
+        assert strata["T"] == 1
+        assert strata["O"] == 2
+
+    def test_negations_listed(self):
+        explanation = explain(zoo_program("co-tc"))
+        o_rule = next(d for d in explanation.rules if d.rule.head.relation == "O")
+        assert o_rule.negations == ("T",)
+
+
+class TestCliExplain:
+    def test_flag_prints_diagnosis(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        program = tmp_path / "p.dl"
+        program.write_text(
+            "T(x, y) :- E(x, y).\nO(x, y) :- Adom(x), Adom(y), not T(x, y).\n"
+        )
+        out = io.StringIO()
+        code = main(["analyze", "--explain", str(program)], out=out)
+        assert code == 0
+        assert "DISCONNECTED" in out.getvalue()
+        assert "stratum" in out.getvalue()

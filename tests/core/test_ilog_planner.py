@@ -1,0 +1,79 @@
+"""Tests for the ILOG¬ distribution planner (Figure 2 right-hand column)."""
+
+from repro.core import plan_ilog_distribution
+from repro.datalog import Instance, parse_facts
+from repro.ilog import (
+    parse_ilog_program,
+    semicon_wilog_cotc,
+    sp_wilog_tagged_pairs,
+    tc_with_witnesses,
+    unsafe_leak,
+)
+from repro.transducers import (
+    FairScheduler,
+    Network,
+    TransducerNetwork,
+    domain_guided_policy,
+    hash_domain_assignment,
+    hash_policy,
+)
+
+
+class TestPlans:
+    def test_sp_wilog_gets_distinct_protocol(self):
+        plan = plan_ilog_distribution(sp_wilog_tagged_pairs())
+        assert plan.analysis.fragment == "sp-wilog"
+        assert plan.analysis.coordination_class == "F1"
+        assert plan.transducer.name.startswith("distinct")
+        assert not plan.requires_barrier
+
+    def test_semicon_wilog_gets_disjoint_protocol(self):
+        plan = plan_ilog_distribution(semicon_wilog_cotc())
+        assert plan.analysis.coordination_class == "F2"
+        assert plan.requires_domain_guided
+        assert plan.transducer.name.startswith("disjoint")
+
+    def test_tc_witnesses_is_sp_wilog(self):
+        plan = plan_ilog_distribution(tc_with_witnesses())
+        assert plan.analysis.fragment == "sp-wilog"
+
+    def test_unsafe_falls_back_to_barrier(self):
+        plan = plan_ilog_distribution(unsafe_leak())
+        assert plan.requires_barrier
+        assert plan.transducer.name.startswith("barrier")
+
+
+class TestEndToEnd:
+    def test_semicon_wilog_distributed(self):
+        plan = plan_ilog_distribution(semicon_wilog_cotc())
+        instance = Instance(parse_facts("E(1,2). E(2,1). E(3,4)."))
+        network = Network(["a", "b"])
+        policy = domain_guided_policy(
+            plan.query.input_schema, network, hash_domain_assignment(network)
+        )
+        run = TransducerNetwork(network, plan.transducer, policy).new_run(instance)
+        assert run.run_to_quiescence(scheduler=FairScheduler(1)) == plan.query(instance)
+
+    def test_sp_wilog_distributed(self):
+        plan = plan_ilog_distribution(sp_wilog_tagged_pairs())
+        instance = Instance(parse_facts("E(1,2). E(3,4). Mark(3)."))
+        network = Network(["a", "b"])
+        policy = hash_policy(plan.query.input_schema, network)
+        run = TransducerNetwork(network, plan.transducer, policy).new_run(instance)
+        assert run.run_to_quiescence() == plan.query(instance)
+
+    def test_invention_stays_internal_across_network(self):
+        """Skolem witnesses never appear in message or output traffic —
+        the distributed ILOG query only ever exchanges input facts."""
+        from repro.ilog import SkolemTerm
+
+        plan = plan_ilog_distribution(tc_with_witnesses())
+        instance = Instance(parse_facts("E(1,2). E(2,3)."))
+        network = Network(["a", "b"])
+        policy = hash_policy(plan.query.input_schema, network)
+        run = TransducerNetwork(network, plan.transducer, policy).new_run(instance)
+        output = run.run_to_quiescence()
+        assert output == plan.query(instance)
+        for node in run.nodes():
+            for fact in run.state(node).memory | run.state(node).output:
+                assert not any(isinstance(v, SkolemTerm) for v in fact.values)

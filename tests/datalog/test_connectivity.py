@@ -1,0 +1,114 @@
+"""Unit tests for rule connectivity and the (semi-)connected fragments."""
+
+from repro.datalog import (
+    analyze_connectivity,
+    is_con_datalog,
+    is_connected_program,
+    is_connected_rule,
+    is_semicon_datalog,
+    parse_program,
+    parse_rule,
+    rule_variable_graph,
+    semicon_violations,
+)
+
+
+class TestRuleConnectivity:
+    def test_connected_join(self):
+        assert is_connected_rule(parse_rule("T(x, z) :- E(x, y), E(y, z)."))
+
+    def test_disconnected_product(self):
+        assert not is_connected_rule(parse_rule("T(x, y) :- R(x), S(y)."))
+
+    def test_single_variable_connected(self):
+        assert is_connected_rule(parse_rule("T(x) :- R(x)."))
+
+    def test_ground_rule_connected(self):
+        assert is_connected_rule(parse_rule("T(x) :- R(x, 1)."))
+
+    def test_negative_atoms_do_not_connect(self):
+        # x and y co-occur only in a *negated* atom: graph+ ignores it.
+        rule = parse_rule("T(x, y) :- R(x), S(y), not E(x, y).")
+        assert not is_connected_rule(rule)
+
+    def test_inequalities_do_not_connect(self):
+        rule = parse_rule("T(x, y) :- R(x), S(y), x != y.")
+        assert not is_connected_rule(rule)
+
+    def test_variable_graph_edges(self):
+        graph = rule_variable_graph(parse_rule("T(x) :- E(x, y), F(y, z)."))
+        names = {v.name: {n.name for n in nbrs} for v, nbrs in graph.items()}
+        assert names["y"] == {"x", "z"}
+        assert names["x"] == {"y"}
+
+
+class TestProgramFragments:
+    def test_example51_p1_connected(self):
+        from repro.queries import zoo_program
+
+        program = zoo_program("example51-p1")
+        assert is_connected_program(program)
+        assert is_con_datalog(program)
+        assert is_semicon_datalog(program)
+
+    def test_example51_p2_not_semicon(self):
+        from repro.queries import zoo_program
+
+        program = zoo_program("example51-p2")
+        assert not is_connected_program(program)
+        assert not is_semicon_datalog(program)
+        violations = semicon_violations(program)
+        assert any("D" in v for v in violations)
+
+    def test_cotc_semicon_but_not_con(self, cotc_program):
+        # The final O-rule has Adom(x), Adom(y): disconnected.
+        assert not is_connected_program(cotc_program)
+        assert is_semicon_datalog(cotc_program)
+        assert not is_con_datalog(cotc_program)
+
+    def test_sp_datalog_always_semicon(self):
+        # SP-Datalog ⊆ semicon-Datalog¬ (its single stratum is the last).
+        program = parse_program("O(x, y) :- R(x), S(y), not Mark(x).")
+        assert program.is_semi_positive()
+        assert is_semicon_datalog(program)
+
+    def test_disconnected_rule_feeding_negation_not_semicon(self):
+        program = parse_program(
+            """
+            D(x) :- R(x), S(y).
+            O(x) :- R(x), not D(x).
+            """
+        )
+        assert not is_semicon_datalog(program)
+
+    def test_forced_closure_propagates(self):
+        # D is disconnected; Up depends positively on D; Up is negated.
+        program = parse_program(
+            """
+            D(x) :- R(x), S(y).
+            Up(x) :- D(x).
+            O(x) :- R(x), not Up(x).
+            """
+        )
+        assert not is_semicon_datalog(program)
+
+    def test_disconnected_only_in_last_stratum_ok(self):
+        program = parse_program(
+            """
+            T(x) :- R(x), not Mark(x).
+            O(x, y) :- T(x), T(y).
+            """
+        )
+        assert is_semicon_datalog(program)
+
+    def test_unstratifiable_not_semicon(self):
+        program = parse_program("Win(x) :- Move(x, y), not Win(y).")
+        assert not is_semicon_datalog(program)
+        assert semicon_violations(program) == ["program is not syntactically stratifiable"]
+
+    def test_report_shape(self, cotc_program):
+        report = analyze_connectivity(cotc_program)
+        assert report.is_semicon_datalog
+        assert not report.is_connected
+        assert len(report.disconnected_rules) == 1
+        assert report.violations == ()

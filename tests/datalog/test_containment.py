@@ -1,0 +1,102 @@
+"""Tests for CQ containment / equivalence / minimization."""
+
+import pytest
+
+from repro.datalog import Instance, parse_facts, parse_rule
+from repro.datalog.containment import (
+    canonical_instance,
+    cq_contained_in,
+    cq_equivalent,
+    is_conjunctive_query,
+    minimize_cq,
+)
+
+
+class TestBasics:
+    def test_is_cq(self):
+        assert is_conjunctive_query(parse_rule("O(x, z) :- E(x, y), E(y, z)."))
+        assert not is_conjunctive_query(parse_rule("O(x) :- R(x), not S(x)."))
+        assert not is_conjunctive_query(parse_rule("O(x) :- R(x, y), x != y."))
+
+    def test_canonical_instance_shape(self):
+        frozen = canonical_instance(parse_rule("O(x) :- E(x, y)."))
+        assert len(frozen.instance) == 1
+        assert frozen.head.relation == "O"
+
+    def test_non_cq_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_instance(parse_rule("O(x) :- R(x), not S(x)."))
+
+
+class TestContainment:
+    def test_path2_contained_in_edge_pattern(self):
+        # "x reaches something in 2 steps" ⊆ "x has an outgoing edge".
+        path2 = parse_rule("O(x) :- E(x, y), E(y, z).")
+        edge = parse_rule("O(x) :- E(x, y).")
+        assert cq_contained_in(path2, edge)
+        assert not cq_contained_in(edge, path2)
+
+    def test_triangle_contained_in_cycle_free_pattern(self):
+        triangle = parse_rule("O(x) :- E(x, y), E(y, z), E(z, x).")
+        loopish = parse_rule("O(x) :- E(x, y).")
+        assert cq_contained_in(triangle, loopish)
+
+    def test_self_containment(self):
+        rule = parse_rule("O(x, z) :- E(x, y), E(y, z).")
+        assert cq_contained_in(rule, rule)
+        assert cq_equivalent(rule, rule)
+
+    def test_different_heads_incomparable(self):
+        a = parse_rule("O(x) :- E(x, y).")
+        b = parse_rule("P(x) :- E(x, y).")
+        assert not cq_contained_in(a, b)
+        c = parse_rule("O(x, y) :- E(x, y).")
+        assert not cq_contained_in(a, c)
+
+    def test_constants_respected(self):
+        specific = parse_rule("O(x) :- E(x, 1).")
+        general = parse_rule("O(x) :- E(x, y).")
+        assert cq_contained_in(specific, general)
+        assert not cq_contained_in(general, specific)
+
+    def test_equivalence_of_renamed_rules(self):
+        a = parse_rule("O(x, z) :- E(x, y), E(y, z).")
+        b = parse_rule("O(u, w) :- E(u, v), E(v, w).")
+        assert cq_equivalent(a, b)
+
+    def test_redundant_atom_equivalence(self):
+        lean = parse_rule("O(x) :- E(x, y).")
+        padded = parse_rule("O(x) :- E(x, y), E(x, y2).")
+        assert cq_equivalent(lean, padded)
+
+    def test_containment_matches_evaluation(self):
+        """Semantic sanity: on concrete data, contained ⇒ subset output."""
+        from repro.datalog import Program, evaluate
+
+        path2 = parse_rule("O(x) :- E(x, y), E(y, z).")
+        edge = parse_rule("O(x) :- E(x, y).")
+        instance = Instance(parse_facts("E(1,2). E(2,3). E(4,5)."))
+        small = evaluate(Program([path2], output_relations=["O"]), instance)
+        large = evaluate(Program([edge], output_relations=["O"]), instance)
+        assert cq_contained_in(path2, edge)
+        assert small <= large
+
+
+class TestMinimize:
+    def test_removes_redundant_atom(self):
+        padded = parse_rule("O(x) :- E(x, y), E(x, y2).")
+        core = minimize_cq(padded)
+        assert len(core.pos) == 1
+        assert cq_equivalent(core, padded)
+
+    def test_minimal_rule_untouched(self):
+        rule = parse_rule("O(x, z) :- E(x, y), E(y, z).")
+        assert minimize_cq(rule) == rule
+
+    def test_core_of_folded_triangle(self):
+        # A 2-walk pattern folds onto a single edge when the head only
+        # retains x.
+        walk = parse_rule("O(x) :- E(x, y), E(y2, z), E(x, z2).")
+        core = minimize_cq(walk)
+        assert cq_equivalent(core, walk)
+        assert len(core.pos) <= 2

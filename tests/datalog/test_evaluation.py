@@ -1,0 +1,153 @@
+"""Unit tests for the semi-positive fixpoint engine and join machinery."""
+
+import pytest
+
+from repro.datalog import (
+    EvaluationError,
+    Fact,
+    FactIndex,
+    Instance,
+    SemiNaiveEvaluator,
+    evaluate_semipositive,
+    immediate_consequence,
+    match_rule,
+    parse_program,
+    parse_rule,
+)
+
+
+def edges(*pairs):
+    return Instance(Fact("E", p) for p in pairs)
+
+
+class TestFactIndex:
+    def test_add_reports_novelty(self):
+        index = FactIndex()
+        assert index.add(Fact("E", (1, 2)))
+        assert not index.add(Fact("E", (1, 2)))
+
+    def test_lookup_by_position(self):
+        index = FactIndex(edges((1, 2), (1, 3), (2, 3)))
+        assert set(index.lookup("E", 0, 1)) == {(1, 2), (1, 3)}
+        assert set(index.lookup("E", 1, 3)) == {(1, 3), (2, 3)}
+
+    def test_contains(self):
+        index = FactIndex(edges((1, 2)))
+        assert index.contains("E", (1, 2))
+        assert not index.contains("E", (2, 1))
+        assert not index.contains("F", (1, 2))
+
+    def test_roundtrip_to_instance(self):
+        inst = edges((1, 2), (3, 4))
+        assert FactIndex(inst).to_instance() == inst
+
+    def test_count_and_len(self):
+        index = FactIndex(edges((1, 2), (3, 4)))
+        assert index.count("E") == 2
+        assert len(index) == 2
+
+
+class TestMatchRule:
+    def test_join_two_atoms(self):
+        rule = parse_rule("T(x, z) :- E(x, y), E(y, z).")
+        index = FactIndex(edges((1, 2), (2, 3)))
+        derived = {rule.derive(v) for v in match_rule(rule, index)}
+        assert derived == {Fact("T", (1, 3))}
+
+    def test_negation_against_separate_index(self):
+        rule = parse_rule("T(x) :- R(x), not S(x).")
+        positive = FactIndex([Fact("R", (1,)), Fact("R", (2,))])
+        negative = FactIndex([Fact("S", (2,))])
+        derived = {rule.derive(v) for v in match_rule(rule, positive, negative)}
+        assert derived == {Fact("T", (1,))}
+
+    def test_inequality_filtering(self):
+        rule = parse_rule("T(x, y) :- E(x, y), x != y.")
+        index = FactIndex(edges((1, 1), (1, 2)))
+        derived = {rule.derive(v) for v in match_rule(rule, index)}
+        assert derived == {Fact("T", (1, 2))}
+
+    def test_constant_in_body(self):
+        rule = parse_rule("T(y) :- E(1, y).")
+        index = FactIndex(edges((1, 2), (3, 4)))
+        derived = {rule.derive(v) for v in match_rule(rule, index)}
+        assert derived == {Fact("T", (2,))}
+
+    def test_repeated_variable_in_atom(self):
+        rule = parse_rule("T(x) :- E(x, x).")
+        index = FactIndex(edges((1, 1), (1, 2)))
+        derived = {rule.derive(v) for v in match_rule(rule, index)}
+        assert derived == {Fact("T", (1,))}
+
+
+class TestImmediateConsequence:
+    def test_single_step(self):
+        program = parse_program("T(x, z) :- E(x, y), E(y, z).", output_relations=["T"])
+        result = immediate_consequence(program, edges((1, 2), (2, 3)))
+        assert Fact("T", (1, 3)) in result
+        assert Fact("E", (1, 2)) in result  # J is included
+
+    def test_does_not_iterate(self):
+        program = parse_program(
+            "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z).", output_relations=["T"]
+        )
+        one_step = immediate_consequence(program, edges((1, 2), (2, 3)))
+        assert Fact("T", (1, 3)) not in one_step  # needs two applications
+
+
+class TestSemiNaive:
+    def test_transitive_closure(self):
+        program = parse_program(
+            "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z).",
+            output_relations=["T"],
+        )
+        chain = edges(*[(i, i + 1) for i in range(6)])
+        result = evaluate_semipositive(program, chain)
+        expected = {(i, j) for i in range(7) for j in range(i + 1, 7)}
+        assert {f.values for f in result if f.relation == "T"} == expected
+
+    def test_matches_naive_iteration(self, tc_program, chain_graph):
+        semi = evaluate_semipositive(tc_program, chain_graph)
+        naive = chain_graph
+        while True:
+            following = immediate_consequence(tc_program, naive)
+            if following == naive:
+                break
+            naive = following
+        assert semi == naive
+
+    def test_semipositive_negation(self):
+        program = parse_program("O(x, y) :- E(x, y), not Mark(x).")
+        instance = edges((1, 2), (2, 3)) | Instance([Fact("Mark", (1,))])
+        result = evaluate_semipositive(program, instance)
+        assert {f.values for f in result if f.relation == "O"} == {(2, 3)}
+
+    def test_idb_negation_rejected(self):
+        program = parse_program("T(x) :- R(x). O(x) :- R(x), not T(x).")
+        with pytest.raises(EvaluationError):
+            SemiNaiveEvaluator(program)
+
+    def test_max_iterations_guard(self):
+        program = parse_program(
+            "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z).",
+            output_relations=["T"],
+        )
+        chain = edges(*[(i, i + 1) for i in range(30)])
+        with pytest.raises(EvaluationError, match="converge"):
+            SemiNaiveEvaluator(program).run(chain, max_iterations=3)
+
+    def test_empty_input(self, tc_program):
+        assert evaluate_semipositive(
+            parse_program("T(x, y) :- E(x, y).", output_relations=["T"]), Instance()
+        ) == Instance()
+
+    def test_cyclic_graph_terminates(self):
+        program = parse_program(
+            "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z).",
+            output_relations=["T"],
+        )
+        cycle = edges((1, 2), (2, 3), (3, 1))
+        result = evaluate_semipositive(program, cycle)
+        assert {f.values for f in result if f.relation == "T"} == {
+            (a, b) for a in (1, 2, 3) for b in (1, 2, 3)
+        }

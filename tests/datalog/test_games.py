@@ -1,0 +1,91 @@
+"""Tests for retrograde analysis, including WFS cross-validation."""
+
+import pytest
+
+from repro.datalog import Instance, parse_facts
+from repro.datalog.games import distance_to_win, optimal_move, solve_game
+from repro.datalog.wellfounded import winmove_truths
+
+
+def game(text):
+    return Instance(parse_facts(text))
+
+
+class TestSolveGame:
+    def test_dead_end_lost(self):
+        solution = solve_game(game("Move(1,2)."))
+        assert solution.status(2) == "lost"
+        assert solution.status(1) == "won"
+
+    def test_cycle_drawn(self):
+        solution = solve_game(game("Move(1,2). Move(2,1)."))
+        assert solution.drawn == {1, 2}
+
+    def test_mixed(self, game_graph):
+        solution = solve_game(game_graph)
+        assert solution.won == {2}
+        assert solution.lost == {1, 3}
+        assert solution.drawn == {4, 5}
+
+    def test_empty_game(self):
+        solution = solve_game(Instance())
+        assert not solution.won and not solution.lost and not solution.drawn
+
+    def test_status_unknown_position(self):
+        with pytest.raises(KeyError):
+            solve_game(game("Move(1,2).")).status(99)
+
+    def test_depth_counts_optimal_play(self):
+        # Chain 1 -> 2 -> 3 -> 4: 4 lost@0, 3 won@1, 2 lost@2, 1 won@3.
+        solution = solve_game(game("Move(1,2). Move(2,3). Move(3,4)."))
+        assert solution.depth[4] == 0
+        assert solution.depth[3] == 1
+        assert solution.depth[2] == 2
+        assert solution.depth[1] == 3
+
+    def test_as_instances_matches_partition(self, game_graph):
+        won, drawn, lost = solve_game(game_graph).as_instances()
+        assert {f.values[0] for f in won} == {2}
+        assert {f.values[0] for f in drawn} == {4, 5}
+        assert {f.values[0] for f in lost} == {1, 3}
+
+
+class TestStrategies:
+    def test_winning_move_reaches_lost(self):
+        solution = solve_game(game("Move(1,2). Move(1,3). Move(3,4)."))
+        # 1 is won; the winning move is to 2 (dead end), not to 3 (won).
+        assert solution.status(1) == "won"
+        assert optimal_move(solution, 1) == 2
+
+    def test_optimal_move_prefers_fastest(self):
+        # From 1: moving to 4 wins immediately; via 2 wins in 3.
+        solution = solve_game(game("Move(1,2). Move(2,3). Move(3,9). Move(1,4)."))
+        assert optimal_move(solution, 1) == 4
+        assert distance_to_win(solution, 1) == 1
+
+    def test_no_move_from_lost_or_drawn(self):
+        solution = solve_game(game("Move(1,2). Move(3,4). Move(4,3)."))
+        assert optimal_move(solution, 2) is None
+        assert optimal_move(solution, 3) is None
+        assert distance_to_win(solution, 3) is None
+
+
+class TestCrossValidation:
+    """Retrograde analysis and the well-founded semantics must agree —
+    two entirely different algorithms for the same object."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_wfs_on_random_games(self, seed):
+        from repro.queries import random_game_graph
+
+        instance = random_game_graph(8, 14, seed=seed)
+        solution = solve_game(instance)
+        won_wfs, drawn_wfs, lost_wfs = winmove_truths(instance)
+        assert solution.won == {f.values[0] for f in won_wfs}
+        assert solution.drawn == {f.values[0] for f in drawn_wfs}
+        assert solution.lost == {f.values[0] for f in lost_wfs}
+
+    def test_matches_wfs_on_fixture(self, game_graph):
+        solution = solve_game(game_graph)
+        won_wfs, drawn_wfs, lost_wfs = winmove_truths(game_graph)
+        assert solution.won == {f.values[0] for f in won_wfs}

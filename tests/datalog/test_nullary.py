@@ -1,0 +1,157 @@
+"""Section 7: nullary relations — the adapted definitions, end to end.
+
+The paper's main development restricts schemas to arity >= 1 and sketches in
+Section 7 how to lift it: with general policies everything carries over;
+for domain-guided policies a nullary fact is never domain disjoint, is
+assigned to every node, and belongs to every component.
+"""
+
+import pytest
+
+from repro.datalog import (
+    Fact,
+    Instance,
+    Schema,
+    evaluate,
+    parse_facts,
+    parse_program,
+    parse_rule,
+)
+from repro.transducers import Network, domain_guided_policy, hash_domain_assignment
+
+
+class TestNullaryParsing:
+    def test_nullary_fact(self):
+        facts = list(parse_facts("Flag()."))
+        assert facts == [Fact("Flag", ())]
+
+    def test_nullary_atom_in_rule(self):
+        rule = parse_rule("O(x) :- R(x), not Flag().")
+        assert any(a.relation == "Flag" and a.arity == 0 for a in rule.neg)
+
+    def test_nullary_head(self):
+        rule = parse_rule("Flag() :- R(x).")
+        assert rule.head.arity == 0
+
+
+class TestNullaryEvaluation:
+    def test_derive_nullary(self):
+        program = parse_program(
+            "Flag() :- E(x, y).", output_relations=["Flag"], add_adom_rules=False
+        )
+        result = evaluate(program, Instance(parse_facts("E(1,2).")))
+        assert result == Instance([Fact("Flag", ())])
+
+    def test_nullary_negation_guard(self):
+        program = parse_program(
+            """
+            Nonempty() :- E(x, y).
+            O(x) :- V(x), not Nonempty().
+            """,
+            add_adom_rules=False,
+        )
+        empty_graph = Instance(parse_facts("V(1)."))
+        assert {f.values for f in evaluate(program, empty_graph)} == {(1,)}
+        with_edge = Instance(parse_facts("V(1). E(1,1)."))
+        assert evaluate(program, with_edge) == Instance()
+
+    def test_nullary_stratification(self):
+        from repro.datalog import stratify
+
+        program = parse_program(
+            """
+            Nonempty() :- E(x, y).
+            O(x) :- V(x), not Nonempty().
+            """,
+            add_adom_rules=False,
+        )
+        stratification = stratify(program)
+        assert stratification.stratum_of["Nonempty"] < stratification.stratum_of["O"]
+
+
+class TestNullaryDistinctness:
+    def test_nullary_never_domain_disjoint(self):
+        base = Instance(parse_facts("E(1,2)."))
+        assert not base.fact_is_domain_disjoint(Fact("Flag", ()))
+        addition = Instance([Fact("Flag", ())])
+        assert not addition.is_domain_disjoint_from(base)
+
+    def test_nullary_never_domain_distinct(self):
+        base = Instance(parse_facts("E(1,2)."))
+        assert not base.fact_is_domain_distinct(Fact("Flag", ()))
+
+    def test_nullary_disjoint_even_from_empty(self):
+        # The convention is unconditional: not disjoint even from ∅.
+        assert not Instance().fact_is_domain_disjoint(Fact("Flag", ()))
+
+
+class TestNullaryComponents:
+    def test_nullary_facts_join_every_component(self):
+        instance = Instance(parse_facts("E(1,2). E(8,9). Flag()."))
+        components = instance.components()
+        assert len(components) == 2
+        for component in components:
+            assert Fact("Flag", ()) in component
+
+    def test_only_nullary_single_component(self):
+        instance = Instance(parse_facts("Flag(). Other()."))
+        assert instance.components() == [instance]
+
+    def test_component_union_still_covers(self):
+        instance = Instance(parse_facts("E(1,2). Flag()."))
+        union = Instance()
+        for component in instance.components():
+            union = union | component
+        assert union == instance
+
+
+class TestNullaryPolicies:
+    def test_domain_guided_replicates_nullary_everywhere(self):
+        network = Network(["a", "b"])
+        schema = Schema({"E": 2, "Flag": 0}, allow_nullary=True)
+        policy = domain_guided_policy(
+            schema, network, hash_domain_assignment(network)
+        )
+        assert policy.nodes_for(Fact("Flag", ())) == network
+
+    def test_distribution_with_nullary(self):
+        network = Network(["a", "b"])
+        schema = Schema({"E": 2, "Flag": 0}, allow_nullary=True)
+        policy = domain_guided_policy(
+            schema, network, hash_domain_assignment(network)
+        )
+        fragments = policy.distribute(Instance(parse_facts("E(1,2). Flag().")))
+        for node in network:
+            assert Fact("Flag", ()) in fragments[node]
+
+
+class TestNullaryProtocols:
+    def test_distinct_protocol_with_nullary_relation(self):
+        """The absence protocol decides nullary candidates like any other."""
+        from repro.datalog.schema import Schema as S
+        from repro.queries.base import FunctionQuery
+        from repro.transducers import (
+            FairScheduler,
+            TransducerNetwork,
+            distinct_protocol_transducer,
+            hash_policy,
+        )
+
+        schema = S({"V": 1, "Flag": 0}, allow_nullary=True)
+
+        def compute(instance):
+            if Fact("Flag", ()) in instance:
+                return Instance()
+            return Instance(Fact("O", values) for values in instance.tuples("V"))
+
+        query = FunctionQuery("unless-flag", schema, S({"O": 1}), compute)
+        network = Network(["a", "b"])
+        for facts in ("V(1). V(2).", "V(1). Flag()."):
+            instance = Instance(parse_facts(facts))
+            run = TransducerNetwork(
+                network,
+                distinct_protocol_transducer(query),
+                hash_policy(schema, network),
+            ).new_run(instance)
+            output = run.run_to_quiescence(scheduler=FairScheduler(1))
+            assert output == query(instance), facts

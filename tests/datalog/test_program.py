@@ -1,0 +1,136 @@
+"""Unit tests for Program: schemas, outputs, Adom convention, utilities."""
+
+import pytest
+
+from repro.datalog import (
+    Program,
+    Rule,
+    RuleValidationError,
+    Schema,
+    SchemaError,
+    parse_program,
+    parse_rule,
+    parse_rules,
+)
+
+
+class TestSchemas:
+    def test_sch_idb_edb(self, cotc_program):
+        assert set(cotc_program.sch()) == {"E", "T", "O", "Adom"}
+        assert set(cotc_program.idb()) == {"T", "O", "Adom"}
+        assert set(cotc_program.edb()) == {"E"}
+
+    def test_extra_edb(self):
+        program = Program(
+            parse_rules("O(x) :- R(x)."),
+            extra_edb=Schema({"S": 1}),
+        )
+        assert "S" in program.edb()
+
+    def test_arity_conflict_detected(self):
+        with pytest.raises(SchemaError):
+            Program(parse_rules("O(x) :- R(x). O(x, y) :- R(x), R(y)."))
+
+    def test_is_idb_is_edb(self, tc_program):
+        assert tc_program.is_idb("T")
+        assert tc_program.is_edb("E")
+        assert not tc_program.is_edb("NotThere")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Program([])
+
+
+class TestOutputs:
+    def test_unknown_output_rejected(self):
+        with pytest.raises(SchemaError):
+            Program(parse_rules("T(x) :- R(x)."), output_relations=["Nope"])
+
+    def test_edb_output_rejected(self):
+        with pytest.raises(SchemaError):
+            Program(parse_rules("T(x) :- R(x)."), output_relations=["R"])
+
+    def test_default_without_O_is_all_idb(self):
+        program = Program(parse_rules("A(x) :- R(x). B(x) :- A(x)."))
+        assert program.output_relations == {"A", "B"}
+
+    def test_with_output(self, tc_program):
+        changed = tc_program.with_output(["T"])
+        assert changed.output_relations == {"T"}
+
+    def test_output_schema(self, tc_program):
+        assert set(tc_program.output_schema()) == {"O"}
+
+
+class TestUtilities:
+    def test_with_rules(self, tc_program):
+        extra = parse_rule("O(x, x) :- E(x, y).")
+        grown = tc_program.with_rules([extra])
+        assert len(grown) == len(tc_program) + 1
+        assert grown.output_relations == tc_program.output_relations
+
+    def test_rules_for(self, tc_program):
+        assert len(tc_program.rules_for("T")) == 2
+        assert tc_program.rules_for("NotThere") == ()
+
+    def test_equality_ignores_rule_order(self):
+        a = parse_program("A(x) :- R(x). B(x) :- S(x).", add_adom_rules=False)
+        b = parse_program("B(x) :- S(x). A(x) :- R(x).", add_adom_rules=False)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_different_outputs(self):
+        a = Program(parse_rules("A(x) :- R(x). B(x) :- S(x)."), output_relations=["A"])
+        b = Program(parse_rules("A(x) :- R(x). B(x) :- S(x)."), output_relations=["B"])
+        assert a != b
+
+    def test_repr_contains_rules(self, tc_program):
+        assert ":-" in repr(tc_program)
+
+    def test_fragment_predicates(self):
+        positive = parse_program("T(x) :- R(x).", add_adom_rules=False)
+        assert positive.is_positive() and positive.is_semi_positive()
+        with_neq = parse_program("T(x) :- R(x, y), x != y.", add_adom_rules=False)
+        assert with_neq.uses_inequalities()
+        sp = parse_program("T(x) :- R(x), not S(x).", add_adom_rules=False)
+        assert not sp.is_positive() and sp.is_semi_positive()
+        strat = parse_program(
+            "A(x) :- R(x). T(x) :- R(x), not A(x).", add_adom_rules=False
+        )
+        assert not strat.is_semi_positive()
+
+
+class TestAdomConvention:
+    def test_rules_cover_all_positions(self):
+        program = parse_program(
+            "O(x) :- Adom(x), not Used(x).",
+            extra_edb=Schema({"R": 3, "Used": 1}),
+        )
+        adom_rules = program.rules_for("Adom")
+        # 3 positions of R + 1 of Used.
+        assert len(adom_rules) == 4
+
+    def test_noop_without_adom(self, tc_program):
+        assert tc_program.with_adom_rules() == tc_program
+
+    def test_nonunary_adom_rejected(self):
+        program = Program(
+            parse_rules("O(x) :- Adom(x, x)."),
+            extra_edb=Schema({"Adom": 2, "R": 1}),
+        )
+        with pytest.raises(SchemaError, match="unary"):
+            program.with_adom_rules()
+
+    def test_adom_computes_active_domain(self):
+        from repro.datalog import Instance, evaluate_stratified, parse_facts
+
+        program = parse_program("O(x) :- Adom(x).")
+        # Adom rules are generated for the edb relations that appear;
+        # add an E-based source via extra edb:
+        program = parse_program(
+            "O(x) :- Adom(x), E(x, x).",
+        )
+        instance = Instance(parse_facts("E(1,1). E(2,3)."))
+        full = evaluate_stratified(program, instance)
+        adom_values = {f.values[0] for f in full if f.relation == "Adom"}
+        assert adom_values == {1, 2, 3}

@@ -1,0 +1,103 @@
+"""Unit tests for Datalog¬ rules: validation and the satisfaction semantics."""
+
+import pytest
+
+from repro.datalog import Atom, Fact, Inequality, Rule, RuleValidationError, make_variables
+from repro.datalog.parser import parse_rule
+
+
+class TestRuleValidation:
+    def test_empty_positive_body_rejected(self):
+        x = make_variables("x")[0]
+        with pytest.raises(RuleValidationError):
+            Rule(Atom("T", [x]), pos=[], neg=[Atom("S", [x])])
+
+    def test_unsafe_head_variable_rejected(self):
+        x, y = make_variables("x y")
+        with pytest.raises(RuleValidationError, match="unsafe"):
+            Rule(Atom("T", [x, y]), pos=[Atom("R", [x])])
+
+    def test_unsafe_negated_variable_rejected(self):
+        x, y = make_variables("x y")
+        with pytest.raises(RuleValidationError, match="unsafe"):
+            Rule(Atom("T", [x]), pos=[Atom("R", [x])], neg=[Atom("S", [y])])
+
+    def test_unsafe_inequality_variable_rejected(self):
+        x, y = make_variables("x y")
+        with pytest.raises(RuleValidationError, match="unsafe"):
+            Rule(Atom("T", [x]), pos=[Atom("R", [x])], ineq=[Inequality(x, y)])
+
+    def test_valid_rule_constructs(self):
+        x, y = make_variables("x y")
+        rule = Rule(
+            Atom("T", [x]),
+            pos=[Atom("R", [x, y])],
+            neg=[Atom("S", [y])],
+            ineq=[Inequality(x, y)],
+        )
+        assert rule.head.relation == "T"
+        assert not rule.is_positive()
+        assert rule.has_inequalities()
+
+
+class TestRuleAccessors:
+    def test_predicates(self):
+        rule = parse_rule("T(x) :- R(x, y), not S(y).")
+        assert rule.predicates() == {"T", "R", "S"}
+        assert rule.body_predicates() == {"R", "S"}
+
+    def test_variables_all_in_pos(self):
+        rule = parse_rule("T(x) :- R(x, y), not S(y), x != y.")
+        assert {v.name for v in rule.variables()} == {"x", "y"}
+
+    def test_is_positive(self):
+        assert parse_rule("T(x) :- R(x).").is_positive()
+        assert not parse_rule("T(x) :- R(x), not S(x).").is_positive()
+
+    def test_body_atoms_union(self):
+        rule = parse_rule("T(x) :- R(x), not S(x).")
+        assert {a.relation for a in rule.body_atoms} == {"R", "S"}
+
+
+class TestRuleSemantics:
+    def test_satisfied_positive(self):
+        rule = parse_rule("T(x) :- R(x, y).")
+        x, y = make_variables("x y")
+        instance = {Fact("R", (1, 2))}
+        assert rule.satisfied({x: 1, y: 2}, instance)
+        assert not rule.satisfied({x: 2, y: 1}, instance)
+
+    def test_satisfied_respects_negation(self):
+        rule = parse_rule("T(x) :- R(x), not S(x).")
+        x = make_variables("x")[0]
+        assert rule.satisfied({x: 1}, {Fact("R", (1,))})
+        assert not rule.satisfied({x: 1}, {Fact("R", (1,)), Fact("S", (1,))})
+
+    def test_satisfied_respects_inequality(self):
+        rule = parse_rule("T(x) :- R(x, y), x != y.")
+        x, y = make_variables("x y")
+        instance = {Fact("R", (1, 1)), Fact("R", (1, 2))}
+        assert rule.satisfied({x: 1, y: 2}, instance)
+        assert not rule.satisfied({x: 1, y: 1}, instance)
+
+    def test_derive(self):
+        rule = parse_rule("T(y, x) :- R(x, y).")
+        x, y = make_variables("x y")
+        assert rule.derive({x: 1, y: 2}) == Fact("T", (2, 1))
+
+
+class TestRuleEquality:
+    def test_rules_hash_structurally(self):
+        a = parse_rule("T(x) :- R(x, y), not S(y).")
+        b = parse_rule("T(x) :- R(x, y), not S(y).")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_body_order_irrelevant(self):
+        a = parse_rule("T(x) :- R(x), Q(x).")
+        b = parse_rule("T(x) :- Q(x), R(x).")
+        assert a == b
+
+    def test_repr_roundtrips_through_parser(self):
+        rule = parse_rule("T(x, y) :- R(x, y), not S(y), x != y.")
+        assert parse_rule(repr(rule)) == rule

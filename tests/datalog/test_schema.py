@@ -1,0 +1,71 @@
+"""Unit tests for database schemas."""
+
+import pytest
+
+from repro.datalog import Fact, Schema, SchemaError
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        schema = Schema({"E": 2, "V": 1})
+        assert schema["E"] == 2
+        assert schema.arity("V") == 1
+
+    def test_from_pairs(self):
+        assert Schema([("E", 2)]) == Schema({"E": 2})
+
+    def test_nullary_rejected_by_default(self):
+        with pytest.raises(SchemaError, match="nullary"):
+            Schema({"Flag": 0})
+
+    def test_nullary_allowed_when_opted_in(self):
+        schema = Schema({"Flag": 0}, allow_nullary=True)
+        assert schema["Flag"] == 0
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"E": -1})
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"": 2})
+
+
+class TestOperations:
+    def test_contains_fact_checks_arity(self):
+        schema = Schema({"E": 2})
+        assert schema.contains_fact(Fact("E", (1, 2)))
+        assert not schema.contains_fact(Fact("E", (1,)))
+        assert not schema.contains_fact(Fact("F", (1, 2)))
+
+    def test_union_merges(self):
+        merged = Schema({"E": 2}) | Schema({"V": 1})
+        assert set(merged) == {"E", "V"}
+
+    def test_union_conflict_raises(self):
+        with pytest.raises(SchemaError, match="conflict"):
+            Schema({"E": 2}).union(Schema({"E": 3}))
+
+    def test_restrict(self):
+        schema = Schema({"E": 2, "V": 1}).restrict(["E"])
+        assert set(schema) == {"E"}
+
+    def test_without(self):
+        schema = Schema({"E": 2, "V": 1}).without(["E"])
+        assert set(schema) == {"V"}
+
+    def test_disjoint_from(self):
+        assert Schema({"E": 2}).disjoint_from(Schema({"V": 1}))
+        assert not Schema({"E": 2}).disjoint_from(Schema({"E": 2}))
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema({"E": 2}).arity("F")
+
+    def test_iteration_sorted(self):
+        assert list(Schema({"Z": 1, "A": 1, "M": 1})) == ["A", "M", "Z"]
+
+    def test_equality_and_hash(self):
+        assert Schema({"E": 2}) == Schema({"E": 2})
+        assert hash(Schema({"E": 2})) == hash(Schema({"E": 2}))
+        assert Schema({"E": 2}) != Schema({"E": 3})

@@ -1,0 +1,104 @@
+"""Unit tests for syntactic stratification."""
+
+import pytest
+
+from repro.datalog import (
+    NotStratifiableError,
+    is_stratifiable,
+    parse_program,
+    precedence_graph,
+    stratify,
+)
+
+
+class TestPrecedenceGraph:
+    def test_edges(self, cotc_program):
+        graph = precedence_graph(cotc_program)
+        assert "T" in graph.nodes and "O" in graph.nodes
+        edges = set(graph.edges())
+        assert ("T", "T", False) in edges  # positive self-dependency
+        assert ("T", "O", True) in edges  # negated dependency
+
+    def test_edb_not_in_graph(self, tc_program):
+        graph = precedence_graph(tc_program)
+        assert "E" not in graph.nodes
+
+
+class TestStratify:
+    def test_positive_program_single_stratum(self, tc_program):
+        stratification = stratify(tc_program)
+        assert stratification.depth == 1
+
+    def test_cotc_two_strata(self, cotc_program):
+        stratification = stratify(cotc_program)
+        assert stratification.stratum_of["T"] < stratification.stratum_of["O"]
+        assert stratification.depth == 2
+        assert "O" in stratification.last_stratum_heads()
+
+    def test_strata_are_semi_positive(self, cotc_program):
+        for stage in stratify(cotc_program).strata:
+            assert stage.is_semi_positive()
+
+    def test_chain_of_negations(self):
+        program = parse_program(
+            """
+            A(x) :- R(x).
+            B(x) :- R(x), not A(x).
+            C(x) :- R(x), not B(x).
+            """
+        )
+        stratification = stratify(program)
+        assert (
+            stratification.stratum_of["A"]
+            < stratification.stratum_of["B"]
+            < stratification.stratum_of["C"]
+        )
+
+    def test_positive_recursion_shares_stratum(self):
+        program = parse_program(
+            """
+            A(x) :- R(x).
+            A(x) :- B(x).
+            B(x) :- A(x).
+            """
+        )
+        stratification = stratify(program)
+        assert stratification.stratum_of["A"] == stratification.stratum_of["B"]
+
+    def test_recursion_through_negation_rejected(self):
+        program = parse_program("Win(x) :- Move(x, y), not Win(y).")
+        with pytest.raises(NotStratifiableError):
+            stratify(program)
+        assert not is_stratifiable(program)
+
+    def test_mutual_recursion_through_negation_rejected(self):
+        program = parse_program(
+            """
+            A(x) :- R(x), not B(x).
+            B(x) :- R(x), not A(x).
+            """
+        )
+        assert not is_stratifiable(program)
+
+    def test_negation_on_edb_is_fine(self):
+        program = parse_program("O(x) :- R(x), not S(x).")
+        assert is_stratifiable(program)
+        assert stratify(program).depth == 1
+
+    def test_rules_partitioned_by_head_stratum(self, cotc_program):
+        stratification = stratify(cotc_program)
+        total = sum(len(stage.rules) for stage in stratification.strata)
+        assert total == len(cotc_program.rules)
+
+    def test_diamond_dependencies(self):
+        program = parse_program(
+            """
+            A(x) :- R(x).
+            B(x) :- A(x), not C(x).
+            C(x) :- A(x).
+            D(x) :- B(x), C(x).
+            """
+        )
+        stratification = stratify(program)
+        assert stratification.stratum_of["C"] < stratification.stratum_of["B"]
+        assert stratification.stratum_of["D"] >= stratification.stratum_of["B"]

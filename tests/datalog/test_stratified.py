@@ -1,0 +1,84 @@
+"""Unit tests for stratified semantics (Section 2)."""
+
+from repro.datalog import (
+    Fact,
+    Instance,
+    StratifiedEvaluator,
+    evaluate,
+    evaluate_stratified,
+    parse_facts,
+    parse_program,
+)
+
+
+def out_tuples(result):
+    return {f.values for f in result if f.relation == "O"}
+
+
+class TestStratifiedEvaluation:
+    def test_complement_tc(self, cotc_program):
+        instance = Instance(parse_facts("E(1,2). E(2,3)."))
+        result = evaluate(cotc_program, instance)
+        missing = {f.values for f in result}
+        # Paths: 1->2, 2->3, 1->3.  Everything else over {1,2,3} is missing.
+        assert missing == {
+            (a, b) for a in (1, 2, 3) for b in (1, 2, 3)
+        } - {(1, 2), (2, 3), (1, 3)}
+
+    def test_result_includes_input(self, cotc_program):
+        instance = Instance(parse_facts("E(1,2)."))
+        full = evaluate_stratified(cotc_program, instance)
+        assert Fact("E", (1, 2)) in full
+
+    def test_three_strata(self):
+        program = parse_program(
+            """
+            A(x) :- R(x).
+            B(x) :- R(x), not A(x).
+            O(x) :- R(x), not B(x).
+            """
+        )
+        instance = Instance(parse_facts("R(1). R(2)."))
+        # A = {1,2}; B = {} (everything is in A); O = R.
+        assert out_tuples(evaluate(program, instance)) == {(1,), (2,)}
+
+    def test_winners_of_one_round_game(self):
+        # Positions with a move to a dead end, via stratified negation.
+        program = parse_program(
+            """
+            HasMove(x) :- Move(x, y).
+            O(x) :- Move(x, y), not HasMove(y).
+            """
+        )
+        instance = Instance(parse_facts("Move(1,2). Move(2,3)."))
+        assert out_tuples(evaluate(program, instance)) == {(2,)}
+
+    def test_evaluator_reusable_across_inputs(self, cotc_program):
+        evaluator = StratifiedEvaluator(cotc_program)
+        small = evaluator.output(Instance(parse_facts("E(1,1).")))
+        large = evaluator.output(Instance(parse_facts("E(1,2). E(2,1).")))
+        assert small == Instance()  # 1 reaches 1
+        assert {f.values for f in large} == set()  # every pair connected
+
+    def test_example51_p1_triangle_free_vertices(self):
+        from repro.queries import zoo_program
+
+        program = zoo_program("example51-p1")
+        triangle = Instance(parse_facts("E(1,2). E(2,3). E(3,1). E(4,4)."))
+        result = evaluate(program, triangle)
+        # 1,2,3 are on a triangle; 4 is not.
+        assert out_tuples(result) == {(4,)}
+
+    def test_stratified_matches_semipositive_on_sp_program(self):
+        from repro.datalog import evaluate_semipositive
+
+        program = parse_program("O(x, y) :- E(x, y), not Mark(x).")
+        instance = Instance(parse_facts("E(1,2). E(2,3). Mark(1)."))
+        assert evaluate_stratified(program, instance) == evaluate_semipositive(
+            program, instance
+        )
+
+    def test_output_projection(self, cotc_program):
+        instance = Instance(parse_facts("E(1,2)."))
+        projected = evaluate(cotc_program, instance)
+        assert {f.relation for f in projected} <= {"O"}

@@ -1,0 +1,123 @@
+"""Unit tests for variables, atoms, facts and inequalities."""
+
+import pytest
+
+from repro.datalog import Atom, Fact, Inequality, Variable, make_variables
+from repro.datalog.terms import is_variable, variables_of
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_repr_is_bare_name(self):
+        assert repr(Variable("x1")) == "x1"
+
+    def test_make_variables(self):
+        x, y, z = make_variables("x y z")
+        assert (x.name, y.name, z.name) == ("x", "y", "z")
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable("x")
+        assert not is_variable(7)
+
+
+class TestAtom:
+    def test_arity(self):
+        assert Atom("E", make_variables("x y")).arity == 2
+
+    def test_variables_excludes_constants(self):
+        x = Variable("x")
+        atom = Atom("R", [x, 5, "c"])
+        assert atom.variables() == {x}
+        assert atom.constants() == {5, "c"}
+
+    def test_is_ground(self):
+        assert Atom("R", [1, 2]).is_ground()
+        assert not Atom("R", [Variable("x"), 2]).is_ground()
+
+    def test_apply_total_valuation(self):
+        x, y = make_variables("x y")
+        fact = Atom("E", [x, y]).apply({x: 1, y: 2})
+        assert fact == Fact("E", (1, 2))
+
+    def test_apply_passes_constants_through(self):
+        x = Variable("x")
+        fact = Atom("E", [x, 9]).apply({x: 1})
+        assert fact == Fact("E", (1, 9))
+
+    def test_apply_missing_variable_raises(self):
+        x, y = make_variables("x y")
+        with pytest.raises(KeyError):
+            Atom("E", [x, y]).apply({x: 1})
+
+    def test_substitute_partial(self):
+        x, y = make_variables("x y")
+        atom = Atom("E", [x, y]).substitute({x: 3})
+        assert atom == Atom("E", [3, y])
+
+    def test_variables_of_many(self):
+        x, y, z = make_variables("x y z")
+        atoms = [Atom("E", [x, y]), Atom("F", [y, z])]
+        assert variables_of(atoms) == {x, y, z}
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", [Variable("x")])
+
+
+class TestFact:
+    def test_equality_and_hash(self):
+        assert Fact("E", (1, 2)) == Fact("E", (1, 2))
+        assert hash(Fact("E", (1, 2))) == hash(Fact("E", (1, 2)))
+        assert Fact("E", (1, 2)) != Fact("E", (2, 1))
+
+    def test_adom(self):
+        assert Fact("E", (1, 1)).adom() == {1}
+        assert Fact("R", ("a", "b", "a")).adom() == {"a", "b"}
+
+    def test_rename_partial_mapping(self):
+        fact = Fact("E", (1, 2)).rename({1: "x"})
+        assert fact == Fact("E", ("x", 2))
+
+    def test_rejects_variables(self):
+        with pytest.raises(TypeError):
+            Fact("E", (Variable("x"), 2))
+
+    def test_sort_order_deterministic_mixed_types(self):
+        facts = [Fact("E", (1, 2)), Fact("E", ("a", "b")), Fact("A", (9,))]
+        assert sorted(facts) == sorted(facts)
+        assert sorted(facts)[0].relation == "A"
+
+    def test_as_atom_roundtrip(self):
+        fact = Fact("E", (1, 2))
+        assert fact.as_atom().apply({}) == fact
+
+
+class TestInequality:
+    def test_variables(self):
+        x, y = make_variables("x y")
+        assert Inequality(x, y).variables() == {x, y}
+
+    def test_satisfied_by(self):
+        x, y = make_variables("x y")
+        ineq = Inequality(x, y)
+        assert ineq.satisfied_by({x: 1, y: 2})
+        assert not ineq.satisfied_by({x: 1, y: 1})
+
+    def test_rejects_constants(self):
+        with pytest.raises(TypeError):
+            Inequality(Variable("x"), 3)
+
+    def test_iterates_both_sides(self):
+        x, y = make_variables("x y")
+        assert list(Inequality(x, y)) == [x, y]

@@ -1,0 +1,127 @@
+"""Unit tests for the well-founded semantics and the doubled program."""
+
+from repro.datalog import (
+    Fact,
+    Instance,
+    doubled_program,
+    evaluate_doubled,
+    evaluate_well_founded,
+    is_connected_rule,
+    parse_facts,
+    parse_program,
+    winmove_program,
+    winmove_truths,
+)
+
+
+def wins(model):
+    return {f.values[0] for f in model.true if f.relation == "Win"}
+
+
+def drawn(model):
+    return {f.values[0] for f in model.undefined if f.relation == "Win"}
+
+
+class TestWinMove:
+    def test_dead_end_is_lost(self):
+        game = Instance(parse_facts("Move(1,2)."))
+        model = evaluate_well_founded(winmove_program(), game)
+        assert wins(model) == {1}  # 2 has no moves: lost; 1 moves to it: won
+
+    def test_cycle_is_drawn(self):
+        game = Instance(parse_facts("Move(1,2). Move(2,1)."))
+        model = evaluate_well_founded(winmove_program(), game)
+        assert wins(model) == set()
+        assert drawn(model) == {1, 2}
+
+    def test_escape_from_cycle_wins(self, game_graph):
+        model = evaluate_well_founded(winmove_program(), game_graph)
+        # 3 dead end (lost), 2 moves to 3 (won), 1 moves only to 2 (lost),
+        # 4 <-> 5 cycle (drawn).
+        assert wins(model) == {2}
+        assert drawn(model) == {4, 5}
+
+    def test_winmove_truths_partition(self, game_graph):
+        won, drew, lost = winmove_truths(game_graph)
+        values = (
+            {f.values[0] for f in won}
+            | {f.values[0] for f in drew}
+            | {f.values[0] for f in lost}
+        )
+        assert values == set(game_graph.adom())
+        assert {f.values[0] for f in won} == {2}
+        assert {f.values[0] for f in drew} == {4, 5}
+        assert {f.values[0] for f in lost} == {1, 3}
+
+    def test_long_chain_alternates(self):
+        # Chain 1 -> 2 -> ... -> 6: positions at even distance from the
+        # dead end are lost, odd distance won.
+        game = Instance(parse_facts("Move(1,2). Move(2,3). Move(3,4). Move(4,5). Move(5,6)."))
+        model = evaluate_well_founded(winmove_program(), game)
+        assert wins(model) == {1, 3, 5}
+
+
+class TestStratifiedAgreement:
+    def test_wfs_total_on_stratified_program(self, cotc_program):
+        from repro.datalog import evaluate_stratified
+
+        instance = Instance(parse_facts("E(1,2). E(2,3)."))
+        model = evaluate_well_founded(cotc_program, instance)
+        assert model.total()
+        assert model.true == evaluate_stratified(cotc_program, instance)
+
+    def test_wfs_total_on_positive_program(self, tc_program, chain_graph):
+        model = evaluate_well_founded(tc_program, chain_graph)
+        assert model.total()
+
+
+class TestDoubledProgram:
+    def test_rule_count_doubles(self):
+        program = winmove_program()
+        assert len(doubled_program(program)) == 2 * len(program)
+
+    def test_over_relations_created(self):
+        doubled = doubled_program(winmove_program())
+        heads = {rule.head.relation for rule in doubled}
+        assert heads == {"Win", "Win__over"}
+
+    def test_connectivity_preserved(self):
+        doubled = doubled_program(winmove_program())
+        assert all(is_connected_rule(rule) for rule in doubled)
+
+    def test_doubled_matches_alternating_fixpoint(self, game_graph):
+        program = winmove_program()
+        direct = evaluate_well_founded(program, game_graph)
+        via_double = evaluate_doubled(program, game_graph)
+        assert direct.true == via_double.true
+        assert direct.undefined == via_double.undefined
+
+    def test_doubled_matches_on_random_games(self):
+        from repro.queries import random_game_graph
+
+        program = winmove_program()
+        for seed in range(8):
+            game = random_game_graph(6, 9, seed=seed)
+            direct = evaluate_well_founded(program, game)
+            via_double = evaluate_doubled(program, game)
+            assert direct.true == via_double.true
+            assert direct.undefined == via_double.undefined
+
+    def test_edb_negation_untouched(self):
+        program = parse_program("O(x) :- R(x), not Mark(x).")
+        doubled = doubled_program(program)
+        # Mark is edb: no Mark__over twin may appear.
+        relations = {
+            atom.relation for rule in doubled for atom in rule.neg
+        }
+        assert relations == {"Mark"}
+
+
+class TestModelProperties:
+    def test_possible_is_union(self, game_graph):
+        model = evaluate_well_founded(winmove_program(), game_graph)
+        assert model.possible() == model.true | model.undefined
+
+    def test_input_facts_are_true(self, game_graph):
+        model = evaluate_well_founded(winmove_program(), game_graph)
+        assert game_graph <= model.true

@@ -1,0 +1,145 @@
+"""Unit tests for ILOG¬ evaluation: invention, dedup, strata, divergence."""
+
+import pytest
+
+from repro.datalog import Instance, NotStratifiableError, parse_facts
+from repro.ilog import (
+    DivergenceError,
+    SkolemTerm,
+    evaluate_ilog,
+    ilog_query_output,
+    parse_ilog_program,
+    stratify_ilog,
+    tc_with_witnesses,
+)
+
+
+class TestInvention:
+    def test_skolem_term_created(self):
+        program = parse_ilog_program("P(*, x, y) :- E(x, y).")
+        result = evaluate_ilog(program, Instance(parse_facts("E(1,2).")))
+        invented = [f for f in result if f.relation == "P"]
+        assert len(invented) == 1
+        skolem = invented[0].values[0]
+        assert isinstance(skolem, SkolemTerm)
+        assert skolem.functor == "f_P"
+        assert skolem.arguments == (1, 2)
+
+    def test_same_tuple_same_skolem(self):
+        # Two derivations of the same (x, z) produce ONE invented value.
+        program = parse_ilog_program(
+            """
+            P(*, x, z) :- E(x, y), E(y, z).
+            """
+        )
+        instance = Instance(parse_facts("E(1,2). E(2,3). E(1,4). E(4,3)."))
+        result = evaluate_ilog(program, instance)
+        invented = [f for f in result if f.relation == "P"]
+        assert len(invented) == 1  # both paths 1->3 share f_P(1, 3)
+
+    def test_different_tuples_different_skolems(self):
+        program = parse_ilog_program("P(*, x) :- V(x).")
+        result = evaluate_ilog(program, Instance(parse_facts("V(1). V(2).")))
+        skolems = {f.values[0] for f in result if f.relation == "P"}
+        assert len(skolems) == 2
+
+    def test_invented_values_flow_through_rules(self):
+        program = parse_ilog_program(
+            """
+            P(*, x) :- V(x).
+            Q(p) :- P(p, x).
+            O(x) :- P(p, x), Q(p).
+            """
+        )
+        output = ilog_query_output(program, Instance(parse_facts("V(7).")))
+        assert {f.values for f in output} == {(7,)}
+
+
+class TestTCWithWitnesses:
+    def test_matches_plain_tc(self):
+        from repro.queries import transitive_closure_query
+
+        instance = Instance(parse_facts("E(1,2). E(2,3). E(3,1). E(9,9)."))
+        via_ilog = ilog_query_output(tc_with_witnesses(), instance)
+        assert via_ilog == transitive_closure_query()(instance)
+
+    def test_terminates_on_cycles(self):
+        instance = Instance(parse_facts("E(1,2). E(2,1)."))
+        output = ilog_query_output(tc_with_witnesses(), instance)
+        assert {f.values for f in output} == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+
+class TestStrataAndNegation:
+    def test_stratified_negation(self):
+        program = parse_ilog_program(
+            """
+            Big(x) :- E(x, y).
+            Tag(*, x) :- V(x), not Big(x).
+            O(x) :- Tag(t, x).
+            """
+        )
+        instance = Instance(parse_facts("V(1). V(2). E(1,9)."))
+        output = ilog_query_output(program, instance)
+        assert {f.values for f in output} == {(2,)}
+
+    def test_stratify_orders_strata(self):
+        program = parse_ilog_program(
+            """
+            Big(x) :- E(x, y).
+            Tag(*, x) :- V(x), not Big(x).
+            """
+        )
+        strata = stratify_ilog(program)
+        assert len(strata) == 2
+        assert strata[0][0].head_relation == "Big"
+
+    def test_recursion_through_negation_rejected(self):
+        program = parse_ilog_program("Win(x) :- Move(x, y), not Win(y).")
+        with pytest.raises(NotStratifiableError):
+            evaluate_ilog(program, Instance())
+
+
+class TestDivergence:
+    def test_depth_guard(self):
+        from repro.ilog import diverging_counter
+
+        with pytest.raises(DivergenceError, match="depth"):
+            evaluate_ilog(
+                diverging_counter(), Instance(parse_facts("Start(1).")), max_depth=4
+            )
+
+    def test_fact_budget_guard(self):
+        program = parse_ilog_program(
+            """
+            N(*, x) :- Start(x).
+            N(*, n) :- N(n, x).
+            """
+        )
+        with pytest.raises(DivergenceError):
+            evaluate_ilog(
+                program,
+                Instance(parse_facts("Start(1).")),
+                max_facts=50,
+                max_depth=10_000,
+            )
+
+    def test_terminating_program_untouched_by_guards(self):
+        instance = Instance(parse_facts("E(1,2). E(2,3)."))
+        output = ilog_query_output(tc_with_witnesses(), instance, max_depth=2)
+        assert len(output) == 3
+
+
+class TestSkolemTerms:
+    def test_depth(self):
+        inner = SkolemTerm("f", (1,))
+        outer = SkolemTerm("g", (inner, 2))
+        assert inner.depth() == 1
+        assert outer.depth() == 2
+
+    def test_equality_and_hash(self):
+        assert SkolemTerm("f", (1, 2)) == SkolemTerm("f", (1, 2))
+        assert len({SkolemTerm("f", (1,)), SkolemTerm("f", (1,))}) == 1
+        assert SkolemTerm("f", (1,)) != SkolemTerm("g", (1,))
+
+    def test_repr(self):
+        assert repr(SkolemTerm("f_P", (1, "a"))) == "f_P(1, 'a')"

@@ -1,0 +1,92 @@
+"""Unit tests for ILOG¬ fragment classification and Theorem 5.4 evidence."""
+
+from repro.datalog import Instance, parse_facts
+from repro.ilog import (
+    ILOGQuery,
+    classify_ilog,
+    is_connected_ilog,
+    is_semicon_ilog,
+    parse_ilog_program,
+    semicon_wilog_cotc,
+    sp_wilog_tagged_pairs,
+    tc_with_witnesses,
+)
+from repro.monotonicity import AdditionKind, check_monotonicity, random_pairs
+
+
+class TestConnectivity:
+    def test_tc_witnesses_connected(self):
+        assert is_connected_ilog(tc_with_witnesses())
+
+    def test_disconnected_invention_rule(self):
+        program = parse_ilog_program("P(*, x, y) :- R(x), S(y).")
+        assert not is_connected_ilog(program)
+        # ... but it is semicon: the disconnected rule sits in the last stratum.
+        assert is_semicon_ilog(program)
+
+    def test_negated_disconnected_dependency_blocks_semicon(self):
+        program = parse_ilog_program(
+            """
+            D(*, x, y) :- R(x), S(y).
+            O(x) :- R(x), S(y), not D(x, x, y).
+            """
+        )
+        assert not is_semicon_ilog(program)
+
+
+class TestClassification:
+    def test_sp_wilog(self):
+        report = classify_ilog(sp_wilog_tagged_pairs())
+        assert report.fragment == "sp-wilog"
+        assert report.guaranteed_class == "Mdistinct"
+        assert report.uses_invention
+
+    def test_semicon_wilog(self):
+        report = classify_ilog(semicon_wilog_cotc())
+        assert report.fragment == "semicon-wilog"
+        assert report.guaranteed_class == "Mdisjoint"
+
+    def test_unsafe_flagged(self):
+        from repro.ilog import unsafe_leak
+
+        report = classify_ilog(unsafe_leak())
+        assert report.fragment == "unsafe-ilog"
+        assert report.guaranteed_class is None
+
+    def test_unstratifiable_flagged(self):
+        program = parse_ilog_program("Win(x) :- Move(x, y), not Win(y).")
+        report = classify_ilog(program)
+        assert report.fragment == "not-stratifiable"
+
+
+class TestTheorem54Evidence:
+    """semicon-wILOG¬ ⊆ Mdisjoint, empirically (one direction of Thm 5.4)."""
+
+    def test_semicon_cotc_is_domain_disjoint_monotone(self):
+        query = ILOGQuery(semicon_wilog_cotc(), "ilog-cotc")
+        pairs = list(
+            random_pairs(
+                query.input_schema, AdditionKind.DOMAIN_DISJOINT, count=40, seed=4
+            )
+        )
+        verdict = check_monotonicity(query, AdditionKind.DOMAIN_DISJOINT, pairs)
+        assert verdict.holds, verdict.describe()
+
+    def test_sp_wilog_is_domain_distinct_monotone(self):
+        query = ILOGQuery(sp_wilog_tagged_pairs(), "ilog-tags")
+        pairs = list(
+            random_pairs(
+                query.input_schema, AdditionKind.DOMAIN_DISTINCT, count=40, seed=4
+            )
+        )
+        verdict = check_monotonicity(query, AdditionKind.DOMAIN_DISTINCT, pairs)
+        assert verdict.holds, verdict.describe()
+
+    def test_ilog_cotc_agrees_with_datalog_cotc(self):
+        from repro.queries import complement_tc_query
+
+        query = ILOGQuery(semicon_wilog_cotc(), "ilog-cotc")
+        reference = complement_tc_query()
+        for facts in ("E(1,2).", "E(1,2). E(2,3).", "E(1,1). E(2,2)."):
+            instance = Instance(parse_facts(facts))
+            assert query(instance) == reference(instance)

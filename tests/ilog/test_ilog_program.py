@@ -1,0 +1,110 @@
+"""Unit tests for ILOG¬ program construction and parsing."""
+
+import pytest
+
+from repro.datalog.parser import ParseError
+from repro.datalog.schema import SchemaError
+from repro.ilog import (
+    ILOGProgram,
+    parse_ilog_program,
+    skolem_functor_name,
+)
+
+
+class TestParsing:
+    def test_invention_head_detected(self):
+        program = parse_ilog_program("P(*, x, y) :- E(x, y).")
+        assert program.invention_relations == {"P"}
+        rule = program.rules[0]
+        assert rule.invents
+        assert rule.head_arity() == 3
+        assert rule.rule.head.arity == 2  # reduced head
+
+    def test_plain_rules_not_inventing(self):
+        program = parse_ilog_program("O(x, y) :- E(x, y).")
+        assert program.invention_relations == frozenset()
+
+    def test_invention_only_first_position(self):
+        with pytest.raises(ParseError, match="first position"):
+            parse_ilog_program("P(x, *, y) :- E(x, y).")
+
+    def test_invention_in_body_rejected(self):
+        with pytest.raises(Exception):
+            parse_ilog_program("O(x) :- P(*, x).")
+
+    def test_mixed_inventing_and_plain_rules_rejected(self):
+        with pytest.raises(SchemaError, match="inventing"):
+            parse_ilog_program(
+                """
+                P(*, x) :- V(x).
+                P(x, y) :- E(x, y).
+                """
+            )
+
+    def test_star_rejected_in_plain_datalog(self):
+        from repro.datalog import parse_rule
+
+        with pytest.raises(ParseError):
+            parse_rule("P(*, x) :- V(x).")
+
+
+class TestSchemas:
+    def test_invention_arity_includes_slot(self):
+        program = parse_ilog_program(
+            """
+            P(*, x, y) :- E(x, y).
+            O(p, x) :- P(p, x, y).
+            """,
+            output_relations=["O"],
+        )
+        assert program.sch()["P"] == 3
+        assert set(program.edb()) == {"E"}
+        assert set(program.idb()) == {"P", "O"}
+
+    def test_body_use_at_full_arity(self):
+        program = parse_ilog_program(
+            """
+            P(*, x) :- V(x).
+            O(x) :- P(p, x).
+            """
+        )
+        assert program.sch()["P"] == 2
+
+    def test_arity_conflict_caught(self):
+        with pytest.raises(SchemaError):
+            parse_ilog_program(
+                """
+                P(*, x) :- V(x).
+                O(x) :- P(p, x, y).
+                """
+            )
+
+    def test_output_defaults_to_O(self):
+        program = parse_ilog_program(
+            """
+            P(*, x) :- V(x).
+            O(x) :- P(p, x).
+            """
+        )
+        assert program.output_relations == {"O"}
+
+    def test_semi_positive_check(self):
+        sp = parse_ilog_program("Tag(*, x) :- V(x), not Mark(x).")
+        assert sp.is_semi_positive()
+        non_sp = parse_ilog_program(
+            """
+            A(x) :- V(x).
+            O(x) :- V(x), not A(x).
+            """
+        )
+        assert not non_sp.is_semi_positive()
+
+
+class TestDisplay:
+    def test_skolemized_head_repr(self):
+        program = parse_ilog_program("P(*, x, y) :- E(x, y).")
+        shown = program.rules[0].skolemized_head_repr()
+        assert shown.startswith(f"P({skolem_functor_name('P')}(x, y), x, y)")
+
+    def test_functor_name(self):
+        assert skolem_functor_name("Pair") == "f_Pair"

@@ -1,0 +1,116 @@
+"""Unit tests for weak safety analysis (Section 5.2)."""
+
+from repro.datalog import Instance, parse_facts
+from repro.ilog import (
+    ILOGQuery,
+    evaluate_ilog,
+    check_safety_dynamic,
+    is_weakly_safe,
+    parse_ilog_program,
+    tc_with_witnesses,
+    unsafe_leak,
+    unsafe_output_positions,
+    unsafe_positions,
+)
+
+
+class TestUnsafePositions:
+    def test_invention_position_is_unsafe(self):
+        program = parse_ilog_program("P(*, x) :- V(x).")
+        assert ("P", 1) in unsafe_positions(program)
+
+    def test_propagation_through_head(self):
+        program = parse_ilog_program(
+            """
+            P(*, x) :- V(x).
+            Q(p, x) :- P(p, x).
+            """
+        )
+        unsafe = unsafe_positions(program)
+        assert ("Q", 1) in unsafe
+        assert ("Q", 2) not in unsafe
+
+    def test_propagation_is_transitive(self):
+        program = parse_ilog_program(
+            """
+            P(*, x) :- V(x).
+            Q(p, x) :- P(p, x).
+            R(a, b) :- Q(a, b).
+            """
+        )
+        unsafe = unsafe_positions(program)
+        assert ("R", 1) in unsafe
+
+    def test_swapped_positions_tracked(self):
+        program = parse_ilog_program(
+            """
+            P(*, x) :- V(x).
+            Q(x, p) :- P(p, x).
+            """
+        )
+        unsafe = unsafe_positions(program)
+        assert ("Q", 2) in unsafe
+        assert ("Q", 1) not in unsafe
+
+    def test_invention_slot_of_inventing_rule_head(self):
+        # The head of an inventing rule for Q has its slot-1 unsafe by
+        # definition; positions fed from safe variables stay safe.
+        program = parse_ilog_program(
+            """
+            P(*, x) :- V(x).
+            Q(*, x) :- P(p, x).
+            """
+        )
+        unsafe = unsafe_positions(program)
+        assert ("Q", 1) in unsafe
+        assert ("Q", 2) not in unsafe
+
+
+class TestWeakSafety:
+    def test_tc_with_witnesses_weakly_safe(self):
+        assert is_weakly_safe(tc_with_witnesses())
+
+    def test_unsafe_leak_flagged(self):
+        program = unsafe_leak()
+        assert not is_weakly_safe(program)
+        assert unsafe_output_positions(program) == [("O", 1)]
+
+    def test_safe_projection_of_unsafe_relation(self):
+        program = parse_ilog_program(
+            """
+            P(*, x) :- V(x).
+            O(x) :- P(p, x).
+            """
+        )
+        assert is_weakly_safe(program)
+
+    def test_program_without_invention_trivially_safe(self):
+        program = parse_ilog_program("O(x, y) :- E(x, y).")
+        assert is_weakly_safe(program)
+
+
+class TestDynamicSafety:
+    def test_weakly_safe_implies_clean_output(self):
+        instance = Instance(parse_facts("E(1,2). E(2,3)."))
+        output = ILOGQuery(tc_with_witnesses())(instance)
+        assert check_safety_dynamic(tc_with_witnesses(), output)
+
+    def test_unsafe_program_leaks_dynamically(self):
+        program = unsafe_leak()
+        result = evaluate_ilog(program, Instance(parse_facts("V(1).")))
+        output = result.restrict(program.output_schema())
+        assert not check_safety_dynamic(program, output)
+
+    def test_static_analysis_agrees_with_dynamic_on_demos(self):
+        from repro.ilog import semicon_wilog_cotc, sp_wilog_tagged_pairs
+
+        cases = [
+            (tc_with_witnesses(), "E(1,2). E(2,1)."),
+            (semicon_wilog_cotc(), "E(1,2)."),
+            (sp_wilog_tagged_pairs(), "E(1,2). Mark(3)."),
+        ]
+        for program, facts in cases:
+            assert is_weakly_safe(program)
+            result = evaluate_ilog(program, Instance(parse_facts(facts)))
+            output = result.restrict(program.output_schema())
+            assert check_safety_dynamic(program, output)

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+COTC = """
+T(x, y) :- E(x, y).
+T(x, z) :- T(x, y), E(y, z).
+O(x, y) :- Adom(x), Adom(y), not T(x, y).
+"""
+GRAPH = "E(1, 2). E(2, 3)."
+GAME = "Move(1, 2). Move(2, 1). Move(2, 3)."
+
+
+@pytest.fixture
+def files(tmp_path):
+    program = tmp_path / "cotc.dl"
+    program.write_text(COTC)
+    facts = tmp_path / "graph.dl"
+    facts.write_text(GRAPH)
+    game = tmp_path / "game.dl"
+    game.write_text(GAME)
+    return program, facts, game
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestAnalyze:
+    def test_reports_fragment_and_strategy(self, files):
+        program, _, _ = files
+        code, text = run_cli("analyze", str(program))
+        assert code == 0
+        assert "semicon-datalog" in text
+        assert "Mdisjoint" in text
+        assert "F2" in text
+        assert "disjoint" in text
+
+    def test_barrier_warning(self, tmp_path):
+        program = tmp_path / "p2.dl"
+        program.write_text(
+            """
+            T(x, y, z) :- E(x, y), E(y, z), E(z, x), y != x, y != z, x != z.
+            D(x1) :- T(x1, x2, x3), T(y1, y2, y3),
+                     x1 != y1, x1 != y2, x1 != y3,
+                     x2 != y1, x2 != y2, x2 != y3,
+                     x3 != y1, x3 != y2, x3 != y3.
+            O(x) :- Adom(x), not D(x).
+            """
+        )
+        code, text = run_cli("analyze", str(program))
+        assert code == 0
+        assert "barrier" in text or "coordinates" in text
+
+
+class TestEval:
+    def test_outputs_facts(self, files):
+        program, facts, _ = files
+        code, text = run_cli("eval", str(program), str(facts))
+        assert code == 0
+        assert "O(2, 1)" in text
+        assert "O(1, 2)" not in text
+
+
+class TestRun:
+    def test_distributed_matches(self, files):
+        program, facts, _ = files
+        code, text = run_cli("run", str(program), str(facts), "--nodes", "2")
+        assert code == 0
+        assert "matches centralized evaluation: OK" in text
+
+    def test_seed_flag_accepted(self, files):
+        program, facts, _ = files
+        code, _ = run_cli("run", str(program), str(facts), "--seed", "5")
+        assert code == 0
+
+
+class TestSolveGame:
+    def test_classification(self, files):
+        _, _, game = files
+        code, text = run_cli("solve-game", str(game))
+        assert code == 0
+        assert "won:   2" in text
+        assert "lost:  1, 3" in text
+
+    def test_winning_moves_listed(self, files):
+        _, _, game = files
+        _, text = run_cli("solve-game", str(game))
+        assert "2 wins via" in text
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        code, _ = run_cli("analyze", "/definitely/not/there.dl")
+        assert code == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text("O(x :- broken")
+        code, _ = run_cli("analyze", str(bad))
+        assert code == 1
+
+
+class TestIlogAnalyze:
+    def test_ilog_flag(self, tmp_path):
+        program = tmp_path / "witness.dl"
+        program.write_text(
+            "P(*, x, y) :- E(x, y).\n"
+            "P(*, x, z) :- P(p, x, y), E(y, z).\n"
+            "O(x, y) :- P(p, x, y).\n"
+        )
+        code, text = run_cli("analyze", "--ilog", str(program))
+        assert code == 0
+        assert "sp-wilog" in text
+        assert "invention:    P" in text
+
+    def test_ilog_unsafe_reports_barrier(self, tmp_path):
+        program = tmp_path / "leak.dl"
+        program.write_text("P(*, x) :- V(x).\nO(p, x) :- P(p, x).\n")
+        code, text = run_cli("analyze", "--ilog", str(program))
+        assert code == 0
+        assert "unsafe-ilog" in text
+        assert "barrier" in text

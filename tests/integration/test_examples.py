@@ -1,0 +1,44 @@
+"""Every example script must run to completion (they contain their own
+assertions), so the documented walkthroughs can never silently rot."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out  # every example narrates what it does
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", capsys)
+
+
+def test_winmove_distributed(capsys):
+    run_example("winmove_distributed.py", capsys)
+
+
+def test_calm_classifier(capsys):
+    run_example("calm_classifier.py", capsys)
+
+
+def test_declarative_networking(capsys):
+    run_example("declarative_networking.py", capsys)
+
+
+@pytest.mark.slow
+def test_hierarchy_explorer(capsys):
+    run_example("hierarchy_explorer.py", capsys)
+
+
+def test_distributed_gc(capsys):
+    run_example("distributed_gc.py", capsys)
+
+
+def test_deadlock_detection(capsys):
+    run_example("deadlock_detection.py", capsys)

@@ -1,0 +1,147 @@
+"""The paper's running examples, with the exact values from the text.
+
+Example 4.1: dom = N, network {1, 2}, E/2, the attribute-hash policy P1 and
+the odd/even domain-guided policy P2 on I = {E(1,3), E(3,4), E(4,6)}.
+Example 4.2: the system facts exposed to node 1 under P1.
+Example 5.1: programs P1 and P2 and their (non-)memberships.
+"""
+
+from repro.datalog import Fact, Instance, Schema, parse_facts
+from repro.transducers import (
+    Network,
+    POLICY_AWARE,
+    TransducerSchema,
+    domain_guided_policy,
+    function_policy,
+)
+from repro.transducers.transducer import LocalView
+
+SIGMA = Schema({"E": 2})
+I_41 = Instance(parse_facts("E(1,3). E(3,4). E(4,6)."))
+NETWORK = Network([1, 2])
+
+
+def policy_p1():
+    """P1: facts with odd first attribute to node 1, else node 2."""
+    return function_policy(
+        SIGMA, NETWORK, lambda f: [1] if f.values[0] % 2 else [2], name="P1"
+    )
+
+
+def policy_p2():
+    """P2: the domain-guided policy from alpha(odd) = {1}, alpha(even) = {2}."""
+    return domain_guided_policy(
+        SIGMA, NETWORK, lambda value: [1] if value % 2 else [2], name="P2"
+    )
+
+
+class TestExample41:
+    def test_p1_distribution_matches_paper(self):
+        fragments = policy_p1().distribute(I_41)
+        assert fragments[1] == Instance(parse_facts("E(1,3). E(3,4)."))
+        assert fragments[2] == Instance(parse_facts("E(4,6)."))
+
+    def test_p1_not_domain_guided_via_value_4(self):
+        """The paper's witness: neither node is assigned all facts
+        containing domain value 4."""
+        fragments = policy_p1().distribute(I_41)
+        with_4 = {f for f in I_41 if 4 in f.values}
+        assert not any(with_4 <= set(frag) for frag in fragments.values())
+        assert not policy_p1().is_domain_guided
+
+    def test_p2_distribution_matches_paper(self):
+        fragments = policy_p2().distribute(I_41)
+        assert fragments[1] == Instance(parse_facts("E(1,3). E(3,4)."))
+        assert fragments[2] == Instance(parse_facts("E(3,4). E(4,6)."))
+
+    def test_p2_fact_assignment_rule(self):
+        policy = policy_p2()
+        assert policy.nodes_for(Fact("E", (1, 3))) == {1}      # both odd
+        assert policy.nodes_for(Fact("E", (3, 4))) == {1, 2}   # mixed
+        assert policy.nodes_for(Fact("E", (4, 6))) == {2}      # both even
+
+
+class TestExample42:
+    def make_view(self, delivered=""):
+        schema = TransducerSchema(
+            inputs=SIGMA,
+            outputs=Schema({"O": 2}),
+            messages=Schema({"msg": 1}),
+            memory=Schema({"mem": 1}),
+            variant=POLICY_AWARE,
+        )
+        fragments = policy_p1().distribute(I_41)
+        return LocalView(
+            node=1,
+            network=NETWORK,
+            schema=schema,
+            policy=policy_p1(),
+            local_input=fragments[1],
+            output=Instance(),
+            memory=Instance(),
+            delivered=Instance(parse_facts(delivered)),
+        )
+
+    def test_exposed_facts_at_node_1(self):
+        """'At least the following facts will be exposed to node 1': the
+        local inputs, Id(1), All(1), All(2), MyAdom over {1,2,3,4}, and
+        policy_E(a, b) with a ∈ {1, 3}, b ∈ {1, 2, 3, 4}."""
+        view = self.make_view()
+        database = view.database()
+        assert Fact("E", (1, 3)) in database
+        assert Fact("E", (3, 4)) in database
+        assert Fact("Id", (1,)) in database
+        assert Fact("All", (1,)) in database and Fact("All", (2,)) in database
+        assert {f.values[0] for f in database if f.relation == "MyAdom"} == {1, 2, 3, 4}
+        policy_facts = {f.values for f in database if f.relation == "policy_E"}
+        assert policy_facts == {(a, b) for a in (1, 3) for b in (1, 2, 3, 4)}
+
+    def test_value_6_appears_after_receipt(self):
+        """'If node 1 would later receive the value 6, then also MyAdom(6)
+        will be exposed, and the policy_E(a, b)-facts with b = 6.'"""
+        view = self.make_view(delivered="msg(6).")
+        assert 6 in view.known_adom()
+        assert view.is_responsible(Fact("E", (1, 6)))
+        assert view.is_responsible(Fact("E", (3, 6)))
+
+    def test_deducing_global_absence(self):
+        """'Node 1 can deduce that E(3,2) is not part of I since
+        policy_E(3,2) is present at node 1 but not E(3,2).'"""
+        view = self.make_view()
+        assert view.is_responsible(Fact("E", (3, 2)))
+        assert Fact("E", (3, 2)) not in view.local_input
+
+
+class TestExample51:
+    def test_p1_behaviour_from_the_text(self):
+        """P1({E(a,b)}) != ∅ while P1({E(a,b), E(b,c), E(c,a)}) = ∅."""
+        from repro.datalog import evaluate
+        from repro.queries import zoo_program
+
+        program = zoo_program("example51-p1")
+        single = Instance(parse_facts("E('a','b')."))
+        assert evaluate(program, single) != Instance()
+        triangle = Instance(parse_facts("E('a','b'). E('b','c'). E('c','a')."))
+        assert evaluate(program, triangle) == Instance()
+
+    def test_p1_not_domain_distinct_monotone(self):
+        """Hence P1 ∉ SP-Datalog (it violates E = Mdistinct)."""
+        from repro.monotonicity import violation_on
+        from repro.queries import DatalogQuery, zoo_program
+
+        query = DatalogQuery(zoo_program("example51-p1"))
+        base = Instance(parse_facts("E('a','b')."))
+        addition = Instance(parse_facts("E('b','c'). E('c','a')."))
+        assert addition.is_domain_distinct_from(base)
+        assert violation_on(query, base, addition) is not None
+
+    def test_p2_not_domain_disjoint_monotone(self):
+        """The query of P2 leaves Mdisjoint (two disjoint triangles)."""
+        from repro.monotonicity import violation_on
+        from repro.queries import DatalogQuery, zoo_program
+
+        query = DatalogQuery(zoo_program("example51-p2"))
+        base = Instance(parse_facts("E(1,2). E(2,3). E(3,1)."))
+        addition = Instance(parse_facts("E(7,8). E(8,9). E(9,7)."))
+        assert addition.is_domain_disjoint_from(base)
+        assert violation_on(query, base, addition) is not None

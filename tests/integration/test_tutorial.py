@@ -1,0 +1,16 @@
+"""The tutorial's code snippets must run as written."""
+
+import re
+import pathlib
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_snippets_execute():
+    text = DOC.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert len(blocks) >= 6
+    namespace: dict = {}
+    for block in blocks:
+        # Strip the illustrative-output comments; execute the code.
+        exec(compile(block, str(DOC), "exec"), namespace)

@@ -1,0 +1,136 @@
+"""Unit tests for the counterexample-search checker."""
+
+from repro.datalog import Instance, Schema, parse_facts
+from repro.monotonicity import (
+    AdditionKind,
+    MonotonicityClass,
+    check_monotonicity,
+    classify_query,
+    exhaustive_graph_pairs,
+    graph_additions,
+    random_pairs,
+)
+from repro.queries import (
+    complement_tc_query,
+    transitive_closure_query,
+    triangle_unless_two_disjoint_query,
+)
+
+
+def small_pairs(kind):
+    return list(
+        exhaustive_graph_pairs(
+            max_base_nodes=3, max_base_edges=2, kind=kind, max_addition_size=2
+        )
+    )
+
+
+class TestCheckMonotonicity:
+    def test_tc_is_monotone(self):
+        verdict = check_monotonicity(
+            transitive_closure_query(), AdditionKind.ANY, small_pairs(AdditionKind.ANY)
+        )
+        assert verdict.holds
+        assert verdict.pairs_checked > 100
+
+    def test_cotc_not_monotone(self):
+        verdict = check_monotonicity(
+            complement_tc_query(), AdditionKind.ANY, small_pairs(AdditionKind.ANY)
+        )
+        assert not verdict.holds
+        assert verdict.violation is not None
+
+    def test_cotc_not_distinct_monotone(self):
+        verdict = check_monotonicity(
+            complement_tc_query(),
+            AdditionKind.DOMAIN_DISTINCT,
+            small_pairs(AdditionKind.DOMAIN_DISTINCT),
+        )
+        assert not verdict.holds
+
+    def test_cotc_disjoint_monotone(self):
+        verdict = check_monotonicity(
+            complement_tc_query(),
+            AdditionKind.DOMAIN_DISJOINT,
+            small_pairs(AdditionKind.DOMAIN_DISJOINT),
+        )
+        assert verdict.holds
+
+    def test_bound_restricts_search(self):
+        base = Instance(parse_facts("E(1,2)."))
+        big_addition = Instance(parse_facts("E(8,9). E(9,8). E(8,8)."))
+        verdict = check_monotonicity(
+            complement_tc_query(),
+            AdditionKind.DOMAIN_DISJOINT,
+            [(base, big_addition)],
+            bound=2,
+        )
+        assert verdict.pairs_checked == 0  # |J| = 3 > bound
+
+    def test_max_pairs_caps_work(self):
+        verdict = check_monotonicity(
+            transitive_closure_query(),
+            AdditionKind.ANY,
+            small_pairs(AdditionKind.ANY),
+            max_pairs=10,
+        )
+        assert verdict.pairs_checked == 10
+
+    def test_verdict_describe(self):
+        verdict = check_monotonicity(
+            transitive_closure_query(), AdditionKind.ANY, small_pairs(AdditionKind.ANY)
+        )
+        assert "no violation" in verdict.describe()
+
+
+class TestClassify:
+    def test_tc_classified_m(self):
+        pairs = small_pairs(AdditionKind.ANY) + small_pairs(
+            AdditionKind.DOMAIN_DISJOINT
+        )
+        assert classify_query(transitive_closure_query(), pairs) is MonotonicityClass.M
+
+    def test_cotc_classified_mdisjoint(self):
+        pairs = (
+            small_pairs(AdditionKind.ANY)
+            + small_pairs(AdditionKind.DOMAIN_DISTINCT)
+            + small_pairs(AdditionKind.DOMAIN_DISJOINT)
+        )
+        assert (
+            classify_query(complement_tc_query(), pairs)
+            is MonotonicityClass.MDISJOINT
+        )
+
+    def test_triangle_query_classified_c(self):
+        # The killer pair needs two disjoint triangles: supply it directly.
+        base = Instance(parse_facts("E(1,2). E(2,3). E(3,1)."))
+        addition = Instance(parse_facts("E(7,8). E(8,9). E(9,7)."))
+        pairs = small_pairs(AdditionKind.ANY) + [(base, addition)]
+        assert (
+            classify_query(triangle_unless_two_disjoint_query(), pairs)
+            is MonotonicityClass.C
+        )
+
+
+class TestPairFamilies:
+    def test_exhaustive_pairs_match_kind(self):
+        for base, addition in small_pairs(AdditionKind.DOMAIN_DISJOINT)[:200]:
+            assert addition.is_domain_disjoint_from(base)
+
+    def test_graph_additions_nonempty_for_each_kind(self):
+        base = Instance(parse_facts("E(1,2)."))
+        for kind in AdditionKind:
+            assert list(graph_additions(base, kind, max_size=1))
+
+    def test_random_pairs_deterministic(self):
+        schema = Schema({"E": 2})
+        a = list(random_pairs(schema, AdditionKind.DOMAIN_DISJOINT, count=10, seed=1))
+        b = list(random_pairs(schema, AdditionKind.DOMAIN_DISJOINT, count=10, seed=1))
+        assert a == b
+
+    def test_random_pairs_respect_kind(self):
+        schema = Schema({"E": 2, "V": 1})
+        for base, addition in random_pairs(
+            schema, AdditionKind.DOMAIN_DISTINCT, count=30, seed=2
+        ):
+            assert addition.is_domain_distinct_from(base)

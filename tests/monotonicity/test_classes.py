@@ -1,0 +1,97 @@
+"""Unit tests for the monotonicity class definitions (Definition 1)."""
+
+import pytest
+
+from repro.datalog import Fact, Instance, parse_facts
+from repro.monotonicity import (
+    AdditionKind,
+    MonotonicityClass,
+    MonotonicityViolation,
+    addition_matches,
+    is_domain_disjoint,
+    is_domain_distinct,
+    monotone_on,
+    violation_on,
+)
+from repro.queries import complement_tc_query, transitive_closure_query
+
+
+def graph(text):
+    return Instance(parse_facts(text))
+
+
+class TestAdditionKind:
+    def test_any_admits_everything(self):
+        assert AdditionKind.ANY.admits(graph("E(1,2)."), graph("E(1,2)."))
+
+    def test_distinct_needs_new_value_per_fact(self):
+        base = graph("E(1,2).")
+        assert AdditionKind.DOMAIN_DISTINCT.admits(base, graph("E(1,9)."))
+        assert not AdditionKind.DOMAIN_DISTINCT.admits(base, graph("E(2,1)."))
+
+    def test_disjoint_needs_all_new(self):
+        base = graph("E(1,2).")
+        assert AdditionKind.DOMAIN_DISJOINT.admits(base, graph("E(8,9)."))
+        assert not AdditionKind.DOMAIN_DISJOINT.admits(base, graph("E(1,9)."))
+
+    def test_kinds_nest(self):
+        # disjoint ⊆ distinct ⊆ any, as admission predicates.
+        base = graph("E(1,2).")
+        disjoint_add = graph("E(8,9).")
+        assert AdditionKind.DOMAIN_DISTINCT.admits(base, disjoint_add)
+        assert AdditionKind.ANY.admits(base, disjoint_add)
+
+    def test_bound_checked_by_addition_matches(self):
+        base = graph("E(1,2).")
+        addition = graph("E(8,9). E(9,8).")
+        assert addition_matches(AdditionKind.DOMAIN_DISJOINT, base, addition, 2)
+        assert not addition_matches(AdditionKind.DOMAIN_DISJOINT, base, addition, 1)
+
+
+class TestClassOrder:
+    def test_inclusion_order(self):
+        assert MonotonicityClass.M <= MonotonicityClass.MDISTINCT
+        assert MonotonicityClass.MDISTINCT <= MonotonicityClass.MDISJOINT
+        assert MonotonicityClass.MDISJOINT <= MonotonicityClass.C
+        assert not MonotonicityClass.C <= MonotonicityClass.M
+
+    def test_addition_kinds(self):
+        assert MonotonicityClass.M.addition_kind is AdditionKind.ANY
+        assert MonotonicityClass.MDISTINCT.addition_kind is AdditionKind.DOMAIN_DISTINCT
+        assert MonotonicityClass.MDISJOINT.addition_kind is AdditionKind.DOMAIN_DISJOINT
+        assert MonotonicityClass.C.addition_kind is None
+
+
+class TestPointwiseConditions:
+    def test_monotone_on_tc(self):
+        tc = transitive_closure_query()
+        assert monotone_on(tc, graph("E(1,2)."), graph("E(2,3)."))
+
+    def test_violation_on_cotc(self):
+        cotc = complement_tc_query()
+        base = graph("E(1,1). E(2,2).")
+        addition = graph("E(1,9). E(9,2).")
+        violation = violation_on(cotc, base, addition)
+        assert violation is not None
+        assert Fact("O", (1, 2)) in violation.lost_facts
+
+    def test_no_violation_returns_none(self):
+        tc = transitive_closure_query()
+        assert violation_on(tc, graph("E(1,2)."), graph("E(2,3).")) is None
+
+    def test_violation_requires_lost_facts(self):
+        with pytest.raises(ValueError):
+            MonotonicityViolation(Instance(), Instance(), Instance())
+
+    def test_describe_mentions_lost_fact(self):
+        cotc = complement_tc_query()
+        violation = violation_on(
+            cotc, graph("E(1,1). E(2,2)."), graph("E(1,9). E(9,2).")
+        )
+        assert "O(1, 2)" in violation.describe()
+
+
+class TestHelpers:
+    def test_is_domain_distinct_alias(self):
+        assert is_domain_distinct(graph("E(1,9)."), graph("E(1,2)."))
+        assert not is_domain_disjoint(graph("E(1,9)."), graph("E(1,2)."))

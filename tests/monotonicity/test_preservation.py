@@ -1,0 +1,128 @@
+"""Unit tests for preservation classes and Lemma 3.2."""
+
+from repro.datalog import Fact, Instance, parse_facts
+from repro.monotonicity import (
+    homomorphisms,
+    is_homomorphism,
+    preserved_under_extensions_on,
+    preserved_under_homomorphism_on,
+    preserved_under_injective_homomorphism_on,
+)
+from repro.queries import complement_tc_query, transitive_closure_query
+
+
+def graph(text):
+    return Instance(parse_facts(text))
+
+
+class TestHomomorphisms:
+    def test_identity_always_found(self):
+        instance = graph("E(1,2).")
+        assert {1: 1, 2: 2} in list(homomorphisms(instance, instance))
+
+    def test_collapse_homomorphism(self):
+        source = graph("E(1,2).")
+        target = graph("E(3,3).")
+        found = list(homomorphisms(source, target))
+        assert {1: 3, 2: 3} in found
+
+    def test_injective_excludes_collapse(self):
+        source = graph("E(1,2).")
+        target = graph("E(3,3).")
+        assert list(homomorphisms(source, target, injective=True)) == []
+
+    def test_no_homomorphism_to_disconnected_target(self):
+        source = graph("E(1,2).")
+        target = Instance([Fact("V", (1,))])
+        assert list(homomorphisms(source, target)) == []
+
+    def test_is_homomorphism_checker(self):
+        source = graph("E(1,2).")
+        target = graph("E(3,4).")
+        assert is_homomorphism({1: 3, 2: 4}, source, target)
+        assert not is_homomorphism({1: 4, 2: 3}, source, target)
+        assert not is_homomorphism({1: 3}, source, target)  # not total
+
+    def test_count_on_triangle(self):
+        triangle = graph("E(1,2). E(2,3). E(3,1).")
+        # Homomorphisms triangle -> triangle are exactly the 3 rotations.
+        assert len(list(homomorphisms(triangle, triangle))) == 3
+
+
+class TestPreservation:
+    def test_tc_preserved_under_homomorphisms(self):
+        tc = transitive_closure_query()
+        source = graph("E(1,2). E(2,3).")
+        target = graph("E(4,5). E(5,6). E(5,5).")
+        ok, _ = preserved_under_homomorphism_on(tc, source, target)
+        assert ok
+
+    def test_cotc_not_preserved_under_injective_homomorphisms(self):
+        # coTC ∉ M = Hinj: extending the target graph can destroy outputs.
+        cotc = complement_tc_query()
+        source = graph("E(1,1). E(2,2).")
+        target = graph("E(1,1). E(2,2). E(1,2).")
+        ok, mapping = preserved_under_injective_homomorphism_on(cotc, source, target)
+        assert not ok
+        assert mapping is not None
+
+    def test_tc_preserved_under_injective(self):
+        tc = transitive_closure_query()
+        source = graph("E(1,2).")
+        target = graph("E(1,2). E(2,3).")
+        ok, _ = preserved_under_injective_homomorphism_on(tc, source, target)
+        assert ok
+
+    def test_extensions_cotc_fails(self):
+        # coTC ∉ E: the induced subinstance on {1,2} of a graph with a path
+        # 1 -> 3 -> 2 claims O(1,2), which the whole graph refutes.
+        cotc = complement_tc_query()
+        whole = graph("E(1,1). E(2,2). E(1,3). E(3,2).")
+        part = whole.induced_subinstance([1, 2])
+        assert not preserved_under_extensions_on(cotc, whole, part)
+
+    def test_extensions_tc_holds(self):
+        tc = transitive_closure_query()
+        whole = graph("E(1,2). E(2,3).")
+        part = whole.induced_subinstance([1, 2])
+        assert preserved_under_extensions_on(tc, whole, part)
+
+    def test_extensions_vacuous_for_non_induced(self):
+        # part = {E(1,2)} inside whole = {E(1,2), E(2,1)} is NOT induced
+        # (the induced subinstance on {1,2} would contain both edges), so
+        # the E condition holds vacuously even for non-monotone queries.
+        cotc = complement_tc_query()
+        whole = graph("E(1,2). E(2,1).")
+        part = graph("E(1,2).")
+        assert not part.is_induced_subinstance_of(whole)
+        assert preserved_under_extensions_on(cotc, whole, part)
+
+
+class TestLemma32:
+    """E = Mdistinct: the two conditions agree pair by pair."""
+
+    def test_equivalence_on_samples(self):
+        from repro.monotonicity import AdditionKind, violation_on
+        from repro.monotonicity.checker import exhaustive_graph_pairs
+
+        cotc = complement_tc_query()
+        tc = transitive_closure_query()
+        pairs = list(
+            exhaustive_graph_pairs(
+                max_base_nodes=2,
+                max_base_edges=2,
+                kind=AdditionKind.DOMAIN_DISTINCT,
+                max_addition_size=1,
+            )
+        )
+        for query in (tc, cotc):
+            for base, addition in pairs:
+                whole = base | addition
+                # Mdistinct condition on (I=base, J=addition):
+                distinct_ok = violation_on(query, base, addition) is None
+                # E condition on (whole, induced part = base):
+                # base is induced in whole exactly because addition is
+                # domain-distinct from base (Lemma 3.2's observation).
+                assert base.is_induced_subinstance_of(whole)
+                extension_ok = preserved_under_extensions_on(query, whole, base)
+                assert distinct_ok == extension_ok

@@ -1,0 +1,103 @@
+"""Every Theorem 3.1 witness must verify: admissible kind/size AND refuting."""
+
+import pytest
+
+from repro.monotonicity import (
+    SeparationWitness,
+    theorem31_witnesses,
+    witness_clique_bounded_distinct,
+    witness_clique_distinct_vs_disjoint,
+    witness_cotc_not_distinct,
+    witness_duplicate_not_disjoint,
+    witness_star_bounded_disjoint,
+    witness_star_disjoint_not_distinct,
+    witness_triangles_not_disjoint,
+)
+
+
+class TestIndividualWitnesses:
+    def test_cotc(self):
+        witness = witness_cotc_not_distinct()
+        assert witness.admissible()
+        assert witness.refutes()
+
+    def test_triangles(self):
+        assert witness_triangles_not_disjoint().verify()
+
+    @pytest.mark.parametrize("i", [1, 2, 3])
+    def test_clique_bounded(self, i):
+        witness = witness_clique_bounded_distinct(i)
+        assert witness.verify(), witness.describe()
+        assert len(witness.addition) == i + 1  # needs the full budget
+
+    @pytest.mark.parametrize("i", [1, 2, 3])
+    def test_star_bounded(self, i):
+        witness = witness_star_bounded_disjoint(i)
+        assert witness.verify(), witness.describe()
+        assert len(witness.addition) == i + 1
+
+    @pytest.mark.parametrize("i", [1, 2, 3])
+    def test_clique_distinct_vs_disjoint(self, i):
+        assert witness_clique_distinct_vs_disjoint(i).verify()
+
+    @pytest.mark.parametrize("pair", [(2, 1), (3, 2), (4, 1)])
+    def test_star_disjoint_not_distinct(self, pair):
+        j, i = pair
+        witness = witness_star_disjoint_not_distinct(j, i)
+        assert witness.verify(), witness.describe()
+        assert len(witness.addition) == 1  # a single edge suffices
+
+    @pytest.mark.parametrize("j", [2, 3, 4])
+    def test_duplicate(self, j):
+        witness = witness_duplicate_not_disjoint(j)
+        assert witness.verify()
+        assert len(witness.addition) == j
+
+
+class TestWitnessDiscipline:
+    def test_all_paper_witnesses_verify(self):
+        for witness in theorem31_witnesses(max_i=3):
+            assert witness.verify(), witness.describe()
+
+    def test_inadmissible_witness_detected(self):
+        # Deliberately mislabel a non-disjoint addition as disjoint.
+        from repro.datalog import Fact, Instance
+        from repro.monotonicity import AdditionKind
+        from repro.queries import complement_tc_query
+
+        bogus = SeparationWitness(
+            name="bogus",
+            query=complement_tc_query(),
+            base=Instance([Fact("E", (1, 1))]),
+            addition=Instance([Fact("E", (1, 2))]),  # shares value 1
+            kind=AdditionKind.DOMAIN_DISJOINT,
+        )
+        assert not bogus.admissible()
+        assert not bogus.verify()
+
+    def test_non_refuting_witness_detected(self):
+        from repro.datalog import Fact, Instance
+        from repro.monotonicity import AdditionKind
+        from repro.queries import transitive_closure_query
+
+        harmless = SeparationWitness(
+            name="harmless",
+            query=transitive_closure_query(),
+            base=Instance([Fact("E", (1, 2))]),
+            addition=Instance([Fact("E", (8, 9))]),
+            kind=AdditionKind.DOMAIN_DISJOINT,
+        )
+        assert harmless.admissible()
+        assert not harmless.refutes()
+
+    def test_describe_reports_status(self):
+        witness = witness_cotc_not_distinct()
+        assert "refutes" in witness.describe()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            witness_clique_bounded_distinct(0)
+        with pytest.raises(ValueError):
+            witness_star_bounded_disjoint(0)
+        with pytest.raises(ValueError):
+            witness_duplicate_not_disjoint(1)

@@ -1,0 +1,77 @@
+"""Property tests for CQ containment: order axioms and semantic soundness."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Instance, Program, evaluate, parse_rule
+from repro.datalog.containment import cq_contained_in, cq_equivalent, minimize_cq
+from repro.queries import random_instance
+
+
+def random_cq(seed: int):
+    """A random connected-ish CQ over E/2 with a unary or binary head."""
+    rng = random.Random(seed)
+    variables = ["x", "y", "z", "u"]
+    atoms = []
+    for _ in range(rng.randint(1, 3)):
+        atoms.append(f"E({rng.choice(variables)}, {rng.choice(variables)})")
+    used = sorted({v for v in variables if any(v in a for a in atoms)})
+    head_vars = rng.sample(used, min(len(used), rng.randint(1, 2)))
+    head = f"O({', '.join(head_vars)})"
+    return parse_rule(f"{head} :- {', '.join(atoms)}.")
+
+
+seeds = st.integers(min_value=0, max_value=400)
+
+
+class TestOrderAxioms:
+    @given(seeds)
+    @settings(max_examples=60)
+    def test_reflexive(self, seed):
+        rule = random_cq(seed)
+        assert cq_contained_in(rule, rule)
+
+    @given(seeds, seeds, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_transitive(self, s1, s2, s3):
+        a, b, c = random_cq(s1), random_cq(s2), random_cq(s3)
+        if a.head.arity == b.head.arity == c.head.arity:
+            if cq_contained_in(a, b) and cq_contained_in(b, c):
+                assert cq_contained_in(a, c)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_minimization_preserves_equivalence(self, seed):
+        rule = random_cq(seed)
+        core = minimize_cq(rule)
+        assert cq_equivalent(core, rule)
+        assert len(core.pos) <= len(rule.pos)
+
+
+class TestSemanticSoundness:
+    @given(seeds, seeds, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_containment_implies_output_subset(self, s1, s2, data_seed):
+        a, b = random_cq(s1), random_cq(s2)
+        if a.head.arity != b.head.arity:
+            return
+        program_a = Program([a], output_relations=["O"])
+        program_b = Program([b], output_relations=["O"])
+        instance = random_instance(program_a.edb(), ["p", "q", "r"], 5, seed=data_seed)
+        out_a = evaluate(program_a, instance)
+        out_b = evaluate(program_b, instance)
+        if cq_contained_in(a, b):
+            assert out_a <= out_b
+        if cq_contained_in(b, a):
+            assert out_b <= out_a
+
+    @given(seeds, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_core_has_same_output(self, seed, data_seed):
+        rule = random_cq(seed)
+        core = minimize_cq(rule)
+        program = Program([rule], output_relations=["O"])
+        core_program = Program([core], output_relations=["O"])
+        instance = random_instance(program.edb(), ["p", "q", "r"], 5, seed=data_seed)
+        assert evaluate(program, instance) == evaluate(core_program, instance)

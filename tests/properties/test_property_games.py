@@ -1,0 +1,92 @@
+"""Property tests for retrograde analysis: game-theoretic invariants and
+the WFS cross-oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Fact, Instance
+from repro.datalog.games import distance_to_win, optimal_move, solve_game
+from repro.datalog.wellfounded import winmove_truths
+
+values = st.integers(min_value=0, max_value=9)
+games = st.frozensets(
+    st.builds(Fact, relation=st.just("Move"), values=st.tuples(values, values)),
+    max_size=14,
+).map(Instance)
+
+
+def successors(instance):
+    moves = {}
+    for fact in instance:
+        moves.setdefault(fact.values[0], set()).add(fact.values[1])
+    return moves
+
+
+class TestGameInvariants:
+    @given(games)
+    def test_partition(self, game):
+        solution = solve_game(game)
+        positions = set(game.adom())
+        assert solution.won | solution.lost | solution.drawn == positions
+        assert not (solution.won & solution.lost)
+        assert not (solution.won & solution.drawn)
+        assert not (solution.lost & solution.drawn)
+
+    @given(games)
+    def test_won_iff_some_lost_successor(self, game):
+        solution = solve_game(game)
+        moves = successors(game)
+        for position in solution.won:
+            assert moves.get(position, set()) & solution.lost
+
+    @given(games)
+    def test_lost_iff_all_successors_won(self, game):
+        solution = solve_game(game)
+        moves = successors(game)
+        for position in solution.lost:
+            assert moves.get(position, set()) <= solution.won
+
+    @given(games)
+    def test_drawn_escapes_only_to_won_or_drawn(self, game):
+        solution = solve_game(game)
+        moves = successors(game)
+        for position in solution.drawn:
+            succ = moves.get(position, set())
+            assert succ, "a drawn position must have moves"
+            assert not (succ & solution.lost)
+            assert succ & solution.drawn  # it must be able to keep drawing
+
+    @given(games)
+    @settings(max_examples=60)
+    def test_matches_well_founded_semantics(self, game):
+        solution = solve_game(game)
+        won, drawn, lost = winmove_truths(game)
+        assert solution.won == {f.values[0] for f in won}
+        assert solution.drawn == {f.values[0] for f in drawn}
+        assert solution.lost == {f.values[0] for f in lost}
+
+
+class TestStrategyInvariants:
+    @given(games)
+    def test_optimal_move_is_winning(self, game):
+        solution = solve_game(game)
+        for position in solution.won:
+            move = optimal_move(solution, position)
+            assert move in solution.lost
+
+    @given(games)
+    def test_distance_decreases_along_optimal_play(self, game):
+        """Playing the optimal move from a won position reaches a lost
+        position with strictly smaller depth."""
+        solution = solve_game(game)
+        for position in solution.won:
+            move = optimal_move(solution, position)
+            assert solution.depth[move] < solution.depth[position]
+
+    @given(games)
+    def test_depth_parity(self, game):
+        """Won positions have odd depth, lost positions even depth."""
+        solution = solve_game(game)
+        for position in solution.won:
+            assert solution.depth[position] % 2 == 1
+        for position in solution.lost:
+            assert solution.depth[position] % 2 == 0

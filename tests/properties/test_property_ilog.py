@@ -1,0 +1,80 @@
+"""Property tests for the ILOG¬ engine: invention determinism, genericity,
+and the static-safety / dynamic-safety relationship."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Fact, Instance
+from repro.ilog import (
+    check_safety_dynamic,
+    evaluate_ilog,
+    ilog_query_output,
+    is_weakly_safe,
+    semicon_wilog_cotc,
+    sp_wilog_tagged_pairs,
+    tc_with_witnesses,
+)
+
+values = st.integers(min_value=0, max_value=6)
+edges = st.frozensets(
+    st.builds(Fact, relation=st.just("E"), values=st.tuples(values, values)),
+    max_size=8,
+).map(Instance)
+marks = st.frozensets(
+    st.builds(Fact, relation=st.just("Mark"), values=st.tuples(values)),
+    max_size=4,
+).map(Instance)
+
+DEMOS = (tc_with_witnesses, semicon_wilog_cotc)
+
+
+class TestDeterminism:
+    @given(edges)
+    @settings(max_examples=40, deadline=None)
+    def test_evaluation_deterministic(self, instance):
+        for make in DEMOS:
+            assert evaluate_ilog(make(), instance) == evaluate_ilog(make(), instance)
+
+    @given(edges)
+    @settings(max_examples=40, deadline=None)
+    def test_skolem_terms_per_tuple(self, instance):
+        """tc_with_witnesses invents one witness per reachable pair —
+        never more, regardless of how many derivations exist."""
+        result = evaluate_ilog(tc_with_witnesses(), instance)
+        witnesses = [f for f in result if f.relation == "P"]
+        pairs = {(f.values[1], f.values[2]) for f in witnesses}
+        assert len(witnesses) == len(pairs)
+
+
+class TestGenericity:
+    @given(edges)
+    @settings(max_examples=30, deadline=None)
+    def test_output_generic(self, instance):
+        """The OUTPUT of a weakly safe program is generic under domain
+        permutations (Skolem internals differ, but never leak)."""
+        mapping = {v: f"g{v}" for v in instance.adom()}
+        for make in DEMOS:
+            direct = ilog_query_output(make(), instance).rename(mapping)
+            permuted = ilog_query_output(make(), instance.rename(mapping))
+            assert direct == permuted
+
+
+class TestSafety:
+    @given(edges, marks)
+    @settings(max_examples=30, deadline=None)
+    def test_static_safety_implies_dynamic(self, edge_part, mark_part):
+        instance = edge_part | mark_part
+        for make in DEMOS + (sp_wilog_tagged_pairs,):
+            program = make()
+            assert is_weakly_safe(program)
+            output = ilog_query_output(program, instance)
+            assert check_safety_dynamic(program, output)
+
+    @given(edges)
+    @settings(max_examples=30, deadline=None)
+    def test_ilog_matches_plain_datalog_semantics(self, instance):
+        """The semicon-wILOG coTC and the plain Datalog coTC agree on every
+        input — value invention is semantically transparent here."""
+        from repro.queries import complement_tc_query
+
+        ilog_output = ilog_query_output(semicon_wilog_cotc(), instance)
+        assert ilog_output == complement_tc_query()(instance)

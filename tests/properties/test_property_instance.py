@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for instances and their invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Fact, Instance
+
+values = st.integers(min_value=0, max_value=12)
+facts = st.builds(
+    Fact,
+    relation=st.sampled_from(["E", "R"]),
+    values=st.tuples(values, values),
+)
+instances = st.frozensets(facts, max_size=12).map(Instance)
+
+
+class TestSetAlgebra:
+    @given(instances, instances)
+    def test_union_commutative(self, a, b):
+        assert a | b == b | a
+
+    @given(instances, instances, instances)
+    def test_union_associative(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+
+    @given(instances, instances)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert not ((a - b) & b)
+
+    @given(instances)
+    def test_self_union_idempotent(self, a):
+        assert a | a == a
+
+
+class TestAdom:
+    @given(instances, instances)
+    def test_adom_of_union_is_union_of_adoms(self, a, b):
+        assert (a | b).adom() == a.adom() | b.adom()
+
+    @given(instances)
+    def test_adom_covers_every_fact(self, a):
+        for fact in a:
+            assert fact.adom() <= a.adom()
+
+    @given(instances)
+    def test_rename_identity(self, a):
+        assert a.rename({}) == a
+
+    @given(instances)
+    def test_rename_bijection_preserves_size(self, a):
+        mapping = {v: f"fresh_{v}" for v in a.adom()}
+        renamed = a.rename(mapping)
+        assert len(renamed) == len(a)
+        assert len(renamed.adom()) == len(a.adom())
+
+
+class TestComponents:
+    @given(instances)
+    def test_components_partition_facts(self, a):
+        components = a.components()
+        union = Instance()
+        total = 0
+        for component in components:
+            union = union | component
+            total += len(component)
+        assert union == a
+        assert total == len(a)
+
+    @given(instances)
+    def test_components_have_disjoint_adoms(self, a):
+        components = a.components()
+        for i, left in enumerate(components):
+            for right in components[i + 1 :]:
+                assert not (left.adom() & right.adom())
+
+    @given(instances)
+    def test_components_are_minimal(self, a):
+        # Each component is itself a single component.
+        for component in a.components():
+            assert len(component.components()) == 1
+
+    @given(instances, instances)
+    def test_disjoint_union_components_concatenate(self, a, b):
+        fresh = {v: f"x_{v}" for v in b.adom()}
+        moved = b.rename(fresh)
+        combined = a | moved
+        assert len(combined.components()) == len(a.components()) + len(
+            moved.components()
+        )
+
+
+class TestDistinctness:
+    @given(instances, instances)
+    def test_disjoint_implies_distinct(self, a, b):
+        fresh = {v: f"y_{v}" for v in b.adom()}
+        moved = b.rename(fresh)
+        assert moved.is_domain_disjoint_from(a)
+        assert moved.is_domain_distinct_from(a)
+
+    @given(instances)
+    def test_nonempty_self_addition_never_distinct(self, a):
+        if a:
+            assert not a.is_domain_distinct_from(a)
+
+    @given(instances, instances)
+    def test_induced_subinstance_characterization(self, a, b):
+        """Lemma 3.2's observation: J induced in I iff I \\ J is domain
+        distinct from J — instantiated with J = induced part of a ∪ b."""
+        whole = a | b
+        part = whole.induced_subinstance(a.adom())
+        assert part.is_induced_subinstance_of(whole)
+        rest = whole - part
+        assert rest.is_domain_distinct_from(part)

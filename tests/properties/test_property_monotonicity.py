@@ -1,0 +1,99 @@
+"""Property-based tests for the monotonicity theory itself."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.datalog import Fact, Instance
+from repro.monotonicity import AdditionKind, violation_on
+from repro.queries import (
+    clique_query,
+    complement_tc_query,
+    star_query,
+    transitive_closure_query,
+    win_move_query,
+)
+
+values = st.integers(min_value=0, max_value=6)
+edge_sets = st.frozensets(
+    st.builds(Fact, relation=st.just("E"), values=st.tuples(values, values)),
+    max_size=8,
+).map(Instance)
+move_sets = st.frozensets(
+    st.builds(Fact, relation=st.just("Move"), values=st.tuples(values, values)),
+    max_size=8,
+).map(Instance)
+
+
+def disjointify(base, addition):
+    """Rename the addition's domain away from the base's."""
+    mapping = {v: f"d_{v}" for v in addition.adom()}
+    return addition.rename(mapping)
+
+
+class TestMembershipProperties:
+    @given(edge_sets, edge_sets)
+    def test_tc_monotone_everywhere(self, base, addition):
+        assert violation_on(transitive_closure_query(), base, addition) is None
+
+    @given(edge_sets, edge_sets)
+    @settings(max_examples=60)
+    def test_cotc_disjoint_monotone(self, base, addition):
+        moved = disjointify(base, addition)
+        assert violation_on(complement_tc_query(), base, moved) is None
+
+    @given(edge_sets, edge_sets)
+    @settings(max_examples=60)
+    def test_winmove_disjoint_monotone(self, base, addition):
+        base = Instance(Fact("Move", f.values) for f in base)
+        moved = disjointify(base, Instance(Fact("Move", f.values) for f in addition))
+        assert violation_on(win_move_query(), base, moved) is None
+
+    @given(edge_sets, edge_sets)
+    @settings(max_examples=60)
+    def test_star3_disjoint2_monotone(self, base, addition):
+        """Q^3_star ∈ M^2_disjoint (Theorem 3.1(6) with j = 2)."""
+        moved = disjointify(base, addition)
+        assume(len(moved) <= 2)
+        assert violation_on(star_query(3), base, moved) is None
+
+    @given(edge_sets, edge_sets)
+    @settings(max_examples=60)
+    def test_clique4_distinct2_monotone(self, base, addition):
+        """Q^4_clique ∈ M^2_distinct (Theorem 3.1(3) with i = 2)."""
+        distinct = Instance(
+            f for f in addition if base.fact_is_domain_distinct(f)
+        )
+        assume(len(distinct) <= 2)
+        assert violation_on(clique_query(4), base, distinct) is None
+
+
+class TestClassNesting:
+    @given(edge_sets, edge_sets)
+    @settings(max_examples=60)
+    def test_kinds_nest_as_conditions(self, base, addition):
+        """Any violation under a *stronger* restriction is also a violation
+        under the weaker one — i.e. M ⊆ Mdistinct ⊆ Mdisjoint holds
+        pointwise on the defining conditions."""
+        moved = disjointify(base, addition)
+        # moved is disjoint => it is also distinct and arbitrary.
+        assert AdditionKind.DOMAIN_DISJOINT.admits(base, moved)
+        assert AdditionKind.DOMAIN_DISTINCT.admits(base, moved)
+        assert AdditionKind.ANY.admits(base, moved)
+
+    @given(edge_sets)
+    def test_empty_addition_never_violates(self, base):
+        for query in (transitive_closure_query(), complement_tc_query()):
+            assert violation_on(query, base, Instance()) is None
+
+
+class TestShrinking:
+    @given(edge_sets, edge_sets)
+    @settings(max_examples=40)
+    def test_shrink_violation_terminates_correct(self, base, addition):
+        from repro.monotonicity import shrink_violation
+
+        query = complement_tc_query()
+        violation = violation_on(query, base, addition)
+        assume(violation is not None)
+        single = shrink_violation(query, violation)
+        assert len(single.addition) == 1
+        assert violation_on(query, single.base, single.addition) is not None

@@ -1,0 +1,120 @@
+"""Property tests for distribution policies: totality, coverage, and the
+domain-guided law P(R(a1..ak)) = alpha(a1) ∪ ... ∪ alpha(ak)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Fact, Instance, Schema
+from repro.transducers import (
+    Network,
+    domain_guided_policy,
+    everywhere_policy,
+    hash_domain_assignment,
+    hash_policy,
+    range_policy,
+    replicated_hash_assignment,
+    single_node_policy,
+)
+
+SCHEMA = Schema({"E": 2, "V": 1})
+values = st.one_of(
+    st.integers(min_value=-20, max_value=20),
+    st.text(alphabet="abcde", min_size=1, max_size=3),
+)
+facts = st.one_of(
+    st.builds(Fact, relation=st.just("E"), values=st.tuples(values, values)),
+    st.builds(Fact, relation=st.just("V"), values=st.tuples(values)),
+)
+instances = st.frozensets(facts, max_size=10).map(Instance)
+network_sizes = st.integers(min_value=1, max_value=5)
+
+
+def make_network(size):
+    return Network([f"node{i}" for i in range(size)])
+
+
+def all_policies(network):
+    nodes = network.sorted_nodes()
+    policies = [
+        hash_policy(SCHEMA, network),
+        everywhere_policy(SCHEMA, network),
+        single_node_policy(SCHEMA, network, nodes[0]),
+        domain_guided_policy(SCHEMA, network, hash_domain_assignment(network)),
+    ]
+    if len(nodes) > 1:
+        policies.append(range_policy(SCHEMA, network, [0] * (len(nodes) - 1)))
+        policies.append(
+            domain_guided_policy(
+                SCHEMA, network, replicated_hash_assignment(network, 2)
+            )
+        )
+    return policies
+
+
+class TestTotalityAndCoverage:
+    @given(facts, network_sizes)
+    @settings(max_examples=60)
+    def test_every_fact_assigned_somewhere(self, fact, size):
+        network = make_network(size)
+        for policy in all_policies(network):
+            nodes = policy.nodes_for(fact)
+            assert nodes
+            assert nodes <= network
+
+    @given(instances, network_sizes)
+    @settings(max_examples=40)
+    def test_distribution_covers_instance(self, instance, size):
+        network = make_network(size)
+        for policy in all_policies(network):
+            fragments = policy.distribute(instance)
+            union = Instance()
+            for fragment in fragments.values():
+                union = union | fragment
+            assert union == instance
+
+    @given(facts, network_sizes)
+    @settings(max_examples=60)
+    def test_assignment_deterministic(self, fact, size):
+        network = make_network(size)
+        for policy in all_policies(network):
+            assert policy.nodes_for(fact) == policy.nodes_for(fact)
+
+
+class TestDomainGuidedLaw:
+    @given(facts, network_sizes)
+    @settings(max_examples=60)
+    def test_union_of_alpha(self, fact, size):
+        network = make_network(size)
+        assignment = hash_domain_assignment(network)
+        policy = domain_guided_policy(SCHEMA, network, assignment)
+        expected = frozenset()
+        for value in fact.values:
+            expected |= assignment(value)
+        assert policy.nodes_for(fact) == expected
+
+    @given(instances, network_sizes)
+    @settings(max_examples=40)
+    def test_value_completeness(self, instance, size):
+        """Domain-guidedness: the node(s) owning a value hold EVERY fact
+        containing it — the property the Theorem 4.4 protocol relies on."""
+        network = make_network(size)
+        assignment = hash_domain_assignment(network)
+        policy = domain_guided_policy(SCHEMA, network, assignment)
+        fragments = policy.distribute(instance)
+        for value in instance.adom():
+            facts_with_value = {f for f in instance if value in f.values}
+            for node in assignment(value):
+                assert facts_with_value <= set(fragments[node])
+
+    @given(facts, network_sizes)
+    @settings(max_examples=40)
+    def test_replicated_assignment_superset(self, fact, size):
+        if size < 2:
+            return
+        network = make_network(size)
+        single = domain_guided_policy(
+            SCHEMA, network, hash_domain_assignment(network)
+        )
+        replicated = domain_guided_policy(
+            SCHEMA, network, replicated_hash_assignment(network, 2)
+        )
+        assert single.nodes_for(fact) <= replicated.nodes_for(fact)

@@ -1,0 +1,84 @@
+"""Property-based tests for the distributed protocols: confluence and
+correctness across random inputs, policies and schedules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Fact, Instance
+from repro.queries import complement_tc_query, transitive_closure_query, win_move_query
+from repro.transducers import (
+    FairScheduler,
+    Network,
+    TransducerNetwork,
+    broadcast_transducer,
+    disjoint_protocol_transducer,
+    distinct_protocol_transducer,
+    domain_guided_policy,
+    hash_domain_assignment,
+    hash_policy,
+)
+
+values = st.integers(min_value=0, max_value=5)
+edge_sets = st.frozensets(
+    st.builds(Fact, relation=st.just("E"), values=st.tuples(values, values)),
+    max_size=6,
+).map(Instance)
+move_sets = st.frozensets(
+    st.builds(Fact, relation=st.just("Move"), values=st.tuples(values, values)),
+    max_size=6,
+).map(Instance)
+seeds = st.integers(min_value=0, max_value=50)
+
+NETWORK = Network(["a", "b"])
+
+
+class TestBroadcastCorrectness:
+    @given(edge_sets, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_tc_always_exact(self, instance, seed):
+        tc = transitive_closure_query()
+        policy = hash_policy(tc.input_schema, NETWORK)
+        run = TransducerNetwork(NETWORK, broadcast_transducer(tc), policy).new_run(
+            instance
+        )
+        assert run.run_to_quiescence(scheduler=FairScheduler(seed)) == tc(instance)
+
+
+class TestDistinctCorrectness:
+    @given(edge_sets, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_cotc_always_exact(self, instance, seed):
+        cotc = complement_tc_query()
+        policy = hash_policy(cotc.input_schema, NETWORK)
+        run = TransducerNetwork(
+            NETWORK, distinct_protocol_transducer(cotc), policy
+        ).new_run(instance)
+        assert run.run_to_quiescence(scheduler=FairScheduler(seed)) == cotc(instance)
+
+
+class TestDisjointCorrectness:
+    @given(move_sets, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_winmove_always_exact(self, instance, seed):
+        query = win_move_query()
+        policy = domain_guided_policy(
+            query.input_schema, NETWORK, hash_domain_assignment(NETWORK)
+        )
+        run = TransducerNetwork(
+            NETWORK, disjoint_protocol_transducer(query), policy
+        ).new_run(instance)
+        assert run.run_to_quiescence(scheduler=FairScheduler(seed)) == query(instance)
+
+
+class TestConfluence:
+    @given(edge_sets)
+    @settings(max_examples=10, deadline=None)
+    def test_distinct_protocol_schedule_independent(self, instance):
+        cotc = complement_tc_query()
+        outputs = set()
+        for seed in (0, 7, 23):
+            policy = hash_policy(cotc.input_schema, NETWORK)
+            run = TransducerNetwork(
+                NETWORK, distinct_protocol_transducer(cotc), policy
+            ).new_run(instance)
+            outputs.add(run.run_to_quiescence(scheduler=FairScheduler(seed)))
+        assert len(outputs) == 1

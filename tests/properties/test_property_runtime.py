@@ -1,0 +1,77 @@
+"""Property tests for the run-time semantics: determinism under a fixed
+scheduler, output monotonicity, and metric consistency."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Fact, Instance
+from repro.queries import complement_tc_query, transitive_closure_query
+from repro.transducers import (
+    FairScheduler,
+    Network,
+    TransducerNetwork,
+    broadcast_transducer,
+    distinct_protocol_transducer,
+    hash_policy,
+)
+
+values = st.integers(min_value=0, max_value=4)
+edge_sets = st.frozensets(
+    st.builds(Fact, relation=st.just("E"), values=st.tuples(values, values)),
+    max_size=5,
+).map(Instance)
+seeds = st.integers(min_value=0, max_value=30)
+
+NETWORK = Network(["a", "b"])
+
+
+def fresh_run(instance, transducer_factory, query):
+    policy = hash_policy(query.input_schema, NETWORK)
+    return TransducerNetwork(NETWORK, transducer_factory(query), policy).new_run(
+        instance
+    )
+
+
+class TestDeterminism:
+    @given(edge_sets, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_identical_seed_identical_history(self, instance, seed):
+        tc = transitive_closure_query()
+        histories = []
+        for _ in range(2):
+            run = fresh_run(instance, broadcast_transducer, tc)
+            run.run_to_quiescence(scheduler=FairScheduler(seed))
+            histories.append(
+                [(r.node, r.delivered, r.sent, r.heartbeat) for r in run.history]
+            )
+        assert histories[0] == histories[1]
+
+
+class TestMonotonicityOfOutput:
+    @given(edge_sets, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_global_output_never_shrinks(self, instance, seed):
+        cotc = complement_tc_query()
+        run = fresh_run(instance, distinct_protocol_transducer, cotc)
+        scheduler = FairScheduler(seed)
+        previous = Instance()
+        for _ in range(6):
+            run.round(scheduler.order(run))
+            current = run.global_output()
+            assert previous <= current
+            previous = current
+
+
+class TestMetricConsistency:
+    @given(edge_sets, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_counters_match_history(self, instance, seed):
+        tc = transitive_closure_query()
+        run = fresh_run(instance, broadcast_transducer, tc)
+        run.run_to_quiescence(scheduler=FairScheduler(seed))
+        assert run.metrics.transitions == len(run.history)
+        assert run.metrics.heartbeats == sum(1 for r in run.history if r.heartbeat)
+        assert run.metrics.message_deliveries == sum(
+            r.delivered for r in run.history
+        )
+        # Fanout on a 2-node network is exactly 1 other recipient:
+        assert run.metrics.message_facts_sent == sum(r.sent for r in run.history)

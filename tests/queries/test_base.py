@@ -1,0 +1,123 @@
+"""Unit tests for the query abstraction and genericity checking."""
+
+import pytest
+
+from repro.datalog import Fact, Instance, Schema, parse_facts, parse_program
+from repro.queries import (
+    DatalogQuery,
+    FunctionQuery,
+    WellFoundedQuery,
+    check_genericity,
+)
+
+
+def edge_schema():
+    return Schema({"E": 2})
+
+
+class TestFunctionQuery:
+    def test_restricts_input_to_schema(self):
+        seen = {}
+
+        def compute(instance):
+            seen["facts"] = set(instance)
+            return Instance()
+
+        query = FunctionQuery("probe", edge_schema(), Schema({"O": 1}), compute)
+        query(Instance([Fact("E", (1, 2)), Fact("Noise", (9,))]))
+        assert seen["facts"] == {Fact("E", (1, 2))}
+
+    def test_restricts_output_to_schema(self):
+        query = FunctionQuery(
+            "bad",
+            edge_schema(),
+            Schema({"O": 1}),
+            lambda instance: Instance([Fact("O", (1,)), Fact("Junk", (2,))]),
+        )
+        result = query(Instance([Fact("E", (1, 2))]))
+        assert result == Instance([Fact("O", (1,))])
+
+    def test_accepts_iterables(self):
+        query = FunctionQuery(
+            "ident", edge_schema(), edge_schema(), lambda instance: instance
+        )
+        result = query([Fact("E", (1, 2))])
+        assert result == Instance([Fact("E", (1, 2))])
+
+
+class TestDatalogQuery:
+    def test_wraps_program(self, cotc_program):
+        query = DatalogQuery(cotc_program, "cotc")
+        result = query(Instance(parse_facts("E(1,2).")))
+        assert {f.values for f in result} == {(1, 1), (2, 1), (2, 2)}
+
+    def test_input_schema_defaults_to_edb(self, cotc_program):
+        query = DatalogQuery(cotc_program)
+        assert set(query.input_schema) == {"E"}
+
+    def test_output_schema(self, tc_program):
+        query = DatalogQuery(tc_program)
+        assert set(query.output_schema) == {"O"}
+
+
+class TestWellFoundedQuery:
+    def test_outputs_true_facts_only(self, game_graph):
+        from repro.datalog import winmove_program
+
+        query = WellFoundedQuery(winmove_program(), "wm")
+        result = query(game_graph)
+        # 4, 5 are drawn (undefined), so only Win(2) is output.
+        assert result == Instance([Fact("Win", (2,))])
+
+    def test_agrees_with_stratified_when_total(self, cotc_program):
+        instance = Instance(parse_facts("E(1,2)."))
+        wfs = WellFoundedQuery(cotc_program)(instance)
+        stratified = DatalogQuery(cotc_program)(instance)
+        assert wfs == stratified
+
+
+class TestGenericity:
+    def test_generic_query_passes(self, tc_program):
+        query = DatalogQuery(tc_program)
+        instance = Instance(parse_facts("E(1,2). E(2,3)."))
+        assert check_genericity(query, instance)
+
+    def test_nongeneric_query_caught(self):
+        def favourite_one(instance):
+            if 1 in instance.adom():
+                return Instance([Fact("O", (1,))])
+            return Instance()
+
+        query = FunctionQuery("fav", edge_schema(), Schema({"O": 1}), favourite_one)
+        assert not check_genericity(query, Instance(parse_facts("E(1,2).")))
+
+    def test_empty_instance_trivially_generic(self):
+        query = FunctionQuery(
+            "ident", edge_schema(), edge_schema(), lambda instance: instance
+        )
+        assert check_genericity(query, Instance())
+
+    def test_all_paper_queries_generic(self):
+        from repro.queries import (
+            clique_query,
+            complement_tc_query,
+            duplicate_query,
+            star_query,
+            transitive_closure_query,
+            triangle_unless_two_disjoint_query,
+            win_move_query,
+        )
+
+        graph = Instance(parse_facts("E(1,2). E(2,3). E(3,1)."))
+        for query in (
+            transitive_closure_query(),
+            complement_tc_query(),
+            clique_query(3),
+            star_query(2),
+            triangle_unless_two_disjoint_query(),
+        ):
+            assert check_genericity(query, graph), query.name
+        game = Instance(parse_facts("Move(1,2). Move(2,1)."))
+        assert check_genericity(win_move_query(), game)
+        rels = Instance(parse_facts("R1(1,2). R2(1,2)."))
+        assert check_genericity(duplicate_query(2), rels)

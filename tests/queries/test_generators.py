@@ -1,0 +1,109 @@
+"""Unit tests for the seeded instance generators."""
+
+from repro.datalog import Instance, Schema
+from repro.queries import (
+    clique_graph,
+    cycle_graph,
+    disjoint_union,
+    fresh_values,
+    multi_component_instance,
+    path_graph,
+    random_domain_disjoint_addition,
+    random_domain_distinct_addition,
+    random_game_graph,
+    random_graph,
+    random_instance,
+    star_graph,
+)
+
+
+class TestBasicGenerators:
+    def test_random_graph_deterministic(self):
+        assert random_graph(5, 8, seed=3) == random_graph(5, 8, seed=3)
+        assert random_graph(5, 8, seed=3) != random_graph(5, 8, seed=4)
+
+    def test_random_graph_edge_count(self):
+        assert len(random_graph(4, 7, seed=0)) == 7
+
+    def test_random_graph_caps_at_possible(self):
+        assert len(random_graph(2, 100, seed=0)) == 4
+
+    def test_path_graph(self):
+        path = path_graph(3)
+        assert len(path) == 3
+        assert len(path.adom()) == 4
+
+    def test_cycle_graph(self):
+        cycle = cycle_graph(5)
+        assert len(cycle) == 5
+        assert len(cycle.adom()) == 5
+
+    def test_clique_and_star(self):
+        assert len(clique_graph(3)) == 6  # both directions
+        assert len(star_graph(4)) == 4
+
+    def test_random_instance_respects_schema(self):
+        schema = Schema({"R": 2, "S": 1})
+        instance = random_instance(schema, ["a", "b"], 3, seed=1)
+        assert all(schema.contains_fact(f) for f in instance)
+
+    def test_random_game_graph_relation(self):
+        game = random_game_graph(4, 5, seed=0)
+        assert {f.relation for f in game} == {"Move"}
+
+
+class TestFreshValues:
+    def test_avoids_base_adom(self):
+        base = path_graph(2)
+        fresh = fresh_values(base, 5)
+        assert len(fresh) == 5
+        assert not (set(fresh) & set(base.adom()))
+
+    def test_no_duplicates(self):
+        fresh = fresh_values(Instance(), 10)
+        assert len(set(fresh)) == 10
+
+    def test_accepts_raw_value_collection(self):
+        fresh = fresh_values(["n0", "n1"], 2)
+        assert "n0" not in fresh and "n1" not in fresh
+
+
+class TestAdditions:
+    def test_disjoint_union_renames_away(self):
+        base = path_graph(2, prefix="a")
+        addition = path_graph(2, prefix="a")  # same names as base
+        renamed = disjoint_union(base, addition)
+        assert renamed.is_domain_disjoint_from(base)
+        assert len(renamed) == len(addition)
+
+    def test_random_distinct_addition_is_distinct(self):
+        base = path_graph(3)
+        schema = Schema({"E": 2})
+        for seed in range(5):
+            addition = random_domain_distinct_addition(base, schema, 3, seed=seed)
+            assert addition.is_domain_distinct_from(base)
+            assert addition
+
+    def test_random_disjoint_addition_is_disjoint(self):
+        base = path_graph(3)
+        schema = Schema({"E": 2})
+        for seed in range(5):
+            addition = random_domain_disjoint_addition(base, schema, 3, seed=seed)
+            assert addition.is_domain_disjoint_from(base)
+            assert addition
+
+
+class TestMultiComponent:
+    def test_component_count(self):
+        instance = multi_component_instance([3, 4, 2], seed=1)
+        assert len(instance.components()) == 3
+
+    def test_component_sizes_cover_nodes(self):
+        instance = multi_component_instance([3, 5], seed=2)
+        adoms = sorted(len(c.adom()) for c in instance.components())
+        assert adoms == [3, 5]
+
+    def test_singleton_component_is_loop(self):
+        instance = multi_component_instance([1], seed=0)
+        assert len(instance.components()) == 1
+        assert len(instance.adom()) == 1

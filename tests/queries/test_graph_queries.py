@@ -1,0 +1,141 @@
+"""Unit tests for the paper's graph witness queries."""
+
+from repro.datalog import Fact, Instance, parse_facts
+from repro.queries import (
+    clique_query,
+    complement_tc_query,
+    edges_of,
+    has_clique,
+    max_star_spokes,
+    star_query,
+    transitive_closure_query,
+    triangle_unless_two_disjoint_query,
+    triangles,
+    win_move_query,
+)
+from repro.queries.generators import clique_graph, star_graph
+
+
+def graph(text):
+    return Instance(parse_facts(text))
+
+
+class TestHelpers:
+    def test_edges_of(self):
+        assert edges_of(graph("E(1,2). E(2,1).")) == {(1, 2), (2, 1)}
+
+    def test_has_clique_undirected(self):
+        # Single-direction edges still form an undirected triangle.
+        assert has_clique(graph("E(1,2). E(2,3). E(1,3)."), 3)
+        assert not has_clique(graph("E(1,2). E(2,3)."), 3)
+
+    def test_has_clique_ignores_self_loops(self):
+        assert not has_clique(graph("E(1,1)."), 2)
+
+    def test_clique_graph_builder(self):
+        assert has_clique(clique_graph(4), 4)
+        assert not has_clique(clique_graph(4), 5)
+
+    def test_max_star_spokes(self):
+        assert max_star_spokes(graph("E(1,2). E(1,3). E(1,4).")) == 3
+        assert max_star_spokes(graph("E(1,1).")) == 0
+        assert max_star_spokes(Instance()) == 0
+
+    def test_star_graph_builder(self):
+        assert max_star_spokes(star_graph(5)) == 5
+
+    def test_triangles_directed(self):
+        found = triangles(graph("E(1,2). E(2,3). E(3,1)."))
+        assert {frozenset(t) for t in found} == {frozenset({1, 2, 3})}
+
+    def test_triangles_need_direction(self):
+        assert triangles(graph("E(1,2). E(2,3). E(1,3).")) == []
+
+
+class TestTransitiveClosure:
+    def test_path(self, chain_graph):
+        result = transitive_closure_query()(chain_graph)
+        assert Fact("O", (1, 4)) in result
+        assert Fact("O", (4, 1)) not in result
+
+    def test_matches_datalog_program(self, tc_program, chain_graph):
+        from repro.queries import DatalogQuery
+
+        assert transitive_closure_query()(chain_graph) == DatalogQuery(tc_program)(
+            chain_graph
+        )
+
+    def test_empty(self):
+        assert transitive_closure_query()(Instance()) == Instance()
+
+
+class TestComplementTC:
+    def test_complement(self):
+        result = complement_tc_query()(graph("E(1,2)."))
+        assert {f.values for f in result} == {(1, 1), (2, 1), (2, 2)}
+
+    def test_fully_connected_graph_empty_output(self):
+        result = complement_tc_query()(graph("E(1,2). E(2,1)."))
+        assert result == Instance()
+
+    def test_is_domain_disjoint_monotone_on_samples(self):
+        query = complement_tc_query()
+        base = graph("E(1,2). E(3,3).")
+        addition = graph("E(8,9). E(9,8).")
+        assert query(base) <= query(base | addition)
+
+
+class TestCliqueQuery:
+    def test_outputs_edges_without_clique(self):
+        result = clique_query(3)(graph("E(1,2). E(2,3)."))
+        assert {f.values for f in result} == {(1, 2), (2, 3)}
+
+    def test_empty_with_clique(self):
+        assert clique_query(3)(graph("E(1,2). E(2,3). E(3,1).")) == Instance()
+
+    def test_k_boundary(self):
+        four = clique_graph(4)
+        assert clique_query(5)(four) != Instance()
+        assert clique_query(4)(four) == Instance()
+
+
+class TestStarQuery:
+    def test_outputs_edges_without_star(self):
+        result = star_query(3)(graph("E(1,2). E(1,3)."))
+        assert len(result) == 2
+
+    def test_empty_with_star(self):
+        assert star_query(2)(graph("E(1,2). E(1,3).")) == Instance()
+
+    def test_self_loop_not_a_spoke(self):
+        assert star_query(2)(graph("E(1,1). E(1,2).")) != Instance()
+
+
+class TestTriangleUnlessTwoDisjoint:
+    def test_single_triangle_output(self):
+        result = triangle_unless_two_disjoint_query()(graph("E(1,2). E(2,3). E(3,1)."))
+        assert len(result) == 3  # three rotations of the one triangle
+
+    def test_two_disjoint_triangles_empty(self):
+        two = graph("E(1,2). E(2,3). E(3,1). E(4,5). E(5,6). E(6,4).")
+        assert triangle_unless_two_disjoint_query()(two) == Instance()
+
+    def test_two_sharing_triangles_still_output(self):
+        sharing = graph("E(1,2). E(2,3). E(3,1). E(1,4). E(4,5). E(5,1).")
+        assert triangle_unless_two_disjoint_query()(sharing) != Instance()
+
+
+class TestWinMoveQuery:
+    def test_won_positions_only(self, game_graph):
+        result = win_move_query()(game_graph)
+        assert result == Instance([Fact("Win", (2,))])
+
+    def test_draws_not_output(self):
+        cycle = Instance(parse_facts("Move(1,2). Move(2,1)."))
+        assert win_move_query()(cycle) == Instance()
+
+    def test_domain_disjoint_monotone_on_sample(self):
+        query = win_move_query()
+        base = Instance(parse_facts("Move(1,2)."))
+        addition = Instance(parse_facts("Move(8,9). Move(9,8)."))
+        assert query(base) <= query(base | addition)

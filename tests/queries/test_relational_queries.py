@@ -1,0 +1,70 @@
+"""Unit tests for the multi-relation witness queries."""
+
+import pytest
+
+from repro.datalog import Fact, Instance, parse_facts
+from repro.queries import (
+    cartesian_product_query,
+    duplicate_query,
+    duplicate_schema,
+    intersection_query,
+)
+from repro.queries.relational import duplicate_relation_names, emptiness_complement_query
+
+
+class TestDuplicateQuery:
+    def test_schema(self):
+        assert set(duplicate_schema(3)) == {"R1", "R2", "R3"}
+        assert duplicate_relation_names(2) == ["R1", "R2"]
+
+    def test_outputs_r1_when_intersection_empty(self):
+        instance = Instance(parse_facts("R1(1,2). R2(3,4)."))
+        result = duplicate_query(2)(instance)
+        assert {f.values for f in result} == {(1, 2)}
+
+    def test_empty_when_tuple_replicated(self):
+        instance = Instance(parse_facts("R1(1,2). R2(1,2)."))
+        assert duplicate_query(2)(instance) == Instance()
+
+    def test_empty_relation_means_empty_intersection(self):
+        instance = Instance(parse_facts("R1(1,2). R1(3,4)."))
+        result = duplicate_query(3)(instance)
+        assert len(result) == 2
+
+    def test_all_relations_must_share(self):
+        instance = Instance(parse_facts("R1(1,2). R2(1,2). R3(9,9)."))
+        assert duplicate_query(3)(instance) != Instance()
+
+    def test_invalid_j(self):
+        with pytest.raises(ValueError):
+            duplicate_query(0)
+
+
+class TestIntersectionQuery:
+    def test_intersection(self):
+        instance = Instance(parse_facts("R1(1,2). R1(3,4). R2(1,2)."))
+        result = intersection_query(2)(instance)
+        assert {f.values for f in result} == {(1, 2)}
+
+    def test_monotone_on_samples(self):
+        query = intersection_query(2)
+        base = Instance(parse_facts("R1(1,2)."))
+        addition = Instance(parse_facts("R2(1,2)."))
+        assert query(base) <= query(base | addition)
+
+
+class TestCartesianProduct:
+    def test_product(self):
+        instance = Instance(parse_facts("S(1). S(2). T('a')."))
+        result = cartesian_product_query()(instance)
+        assert {f.values for f in result} == {(1, "a"), (2, "a")}
+
+    def test_empty_side_empty_product(self):
+        assert cartesian_product_query()(Instance(parse_facts("S(1)."))) == Instance()
+
+
+class TestEmptinessComplement:
+    def test_outputs_unless_probe(self):
+        query = emptiness_complement_query()
+        assert query(Instance(parse_facts("R(1)."))) == Instance([Fact("O", (1,))])
+        assert query(Instance(parse_facts("R(1). Probe(9)."))) == Instance()

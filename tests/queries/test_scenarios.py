@@ -1,0 +1,58 @@
+"""Unit tests for the scenario workload library."""
+
+import pytest
+
+from repro.core import analyze
+from repro.datalog import evaluate, winmove_truths
+from repro.queries import SCENARIOS, scenario
+from repro.queries.scenarios import deadlock_scenario, gc_scenario, routing_scenario
+
+
+class TestScenarioIntegrity:
+    def test_all_scenarios_listed(self):
+        assert {s.name for s in SCENARIOS} == {"routing", "gc", "deadlock"}
+
+    def test_lookup(self):
+        assert scenario("gc").name == "gc"
+        with pytest.raises(KeyError):
+            scenario("nope")
+
+    @pytest.mark.parametrize("entry", SCENARIOS, ids=lambda s: s.name)
+    def test_placement_matches_declared(self, entry):
+        analysis = analyze(entry.program)
+        assert analysis.fragment == entry.expected_fragment
+        assert analysis.monotonicity == entry.expected_class
+
+    @pytest.mark.parametrize("entry", SCENARIOS, ids=lambda s: s.name)
+    def test_generator_deterministic(self, entry):
+        assert entry.generate(12, 3) == entry.generate(12, 3)
+        assert entry.generate(12, 3) != entry.generate(12, 4)
+
+    @pytest.mark.parametrize("entry", SCENARIOS, ids=lambda s: s.name)
+    def test_generator_schema(self, entry):
+        instance = entry.generate(15, 1)
+        edb = entry.program.edb()
+        for fact in instance:
+            assert edb.contains_fact(fact), fact
+
+
+class TestScenarioSemantics:
+    def test_routing_routes_exist(self):
+        entry = routing_scenario()
+        instance = entry.generate(12, 0)
+        result = evaluate(entry.program, instance)
+        assert result  # clusters are cyclic: plenty of routes
+
+    def test_gc_finds_cycles_only(self):
+        entry = gc_scenario()
+        instance = entry.generate(18, 2)
+        collectible = {f.values[0] for f in evaluate(entry.program, instance)}
+        roots = {f.values[0] for f in instance if f.relation == "Root"}
+        assert collectible  # the generator plants unreachable cycles
+        assert not (collectible & roots)
+
+    def test_deadlock_cycles_detected(self):
+        entry = deadlock_scenario()
+        instance = entry.generate(20, 5)
+        won, drawn, lost = winmove_truths(instance)
+        assert drawn  # the generator plants genuine deadlock cycles

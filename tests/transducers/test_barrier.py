@@ -1,0 +1,106 @@
+"""Tests for the global-barrier transducer: computes everything, but
+coordinates — the exact boundary of Definition 3 / Section 4.3."""
+
+import pytest
+
+from repro.datalog import Instance, parse_facts
+from repro.queries import (
+    complement_tc_query,
+    duplicate_query,
+    triangle_unless_two_disjoint_query,
+)
+from repro.transducers import (
+    FairScheduler,
+    Network,
+    POLICY_AWARE_NO_ALL,
+    SystemRelationUnavailable,
+    TransducerNetwork,
+    TrickleScheduler,
+    check_distributed_computation,
+    global_barrier_transducer,
+    hash_policy,
+    heartbeat_witness,
+)
+
+TRIANGLE = Instance(parse_facts("E(1,2). E(2,3). E(3,1)."))
+TWO_TRIANGLES = TRIANGLE | Instance(parse_facts("E(7,8). E(8,9). E(9,7)."))
+
+
+class TestComputesEverything:
+    def test_triangle_query_outside_mdisjoint(self):
+        query = triangle_unless_two_disjoint_query()
+        for instance in (TRIANGLE, TWO_TRIANGLES):
+            check = check_distributed_computation(
+                global_barrier_transducer(query),
+                query,
+                instance,
+                seeds=(0,),
+                include_trickle=True,
+            )
+            assert check.consistent, check.describe()
+
+    def test_duplicate_query(self):
+        query = duplicate_query(2)
+        instance = Instance(parse_facts("R1(1,2). R2(1,2). R1(3,4)."))
+        check = check_distributed_computation(
+            global_barrier_transducer(query), query, instance, seeds=(0,)
+        )
+        assert check.consistent, check.describe()
+
+    def test_adversarial_schedule(self):
+        query = complement_tc_query()
+        instance = Instance(parse_facts("E(1,2). E(2,1). E(3,4)."))
+        network = Network(["a", "b", "c"])
+        run = TransducerNetwork(
+            network,
+            global_barrier_transducer(query),
+            hash_policy(query.input_schema, network),
+        ).new_run(instance)
+        assert run.run_to_quiescence(scheduler=TrickleScheduler(5)) == query(instance)
+
+
+class TestCoordinates:
+    def test_no_heartbeat_witness_on_multinode_network(self):
+        query = triangle_unless_two_disjoint_query()
+        witness = heartbeat_witness(
+            global_barrier_transducer(query),
+            query,
+            Network(["a", "b", "c"]),
+            TRIANGLE,
+            max_heartbeats=25,
+        )
+        assert not witness.found
+
+    def test_single_node_network_trivially_complete(self):
+        query = triangle_unless_two_disjoint_query()
+        witness = heartbeat_witness(
+            global_barrier_transducer(query), query, Network(["solo"]), TRIANGLE
+        )
+        assert witness.found
+
+    def test_requires_all_relation(self):
+        query = complement_tc_query()
+        transducer = global_barrier_transducer(query, variant=POLICY_AWARE_NO_ALL)
+        network = Network(["a", "b"])
+        run = TransducerNetwork(
+            network, transducer, hash_policy(query.input_schema, network)
+        ).new_run(TRIANGLE)
+        with pytest.raises(SystemRelationUnavailable):
+            run.run_to_quiescence()
+
+    def test_silent_until_all_nodes_release(self):
+        query = complement_tc_query()
+        network = Network(["a", "b"])
+        run = TransducerNetwork(
+            network,
+            global_barrier_transducer(query),
+            hash_policy(query.input_schema, network),
+        ).new_run(Instance(parse_facts("E(1,2). E(2,1).")))
+        # Heartbeats alone never produce output on a 2-node network:
+        for _ in range(5):
+            run.heartbeat("a")
+            run.heartbeat("b")
+        assert run.global_output() == Instance()
+        # ... but a full fair run converges to exactly Q(I).
+        output = run.run_to_quiescence(scheduler=FairScheduler(0))
+        assert output == query(run.instance)

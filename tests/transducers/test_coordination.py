@@ -1,0 +1,143 @@
+"""Tests for Definition 3: distributed computation + heartbeat witnesses."""
+
+import pytest
+
+from repro.datalog import Instance, parse_facts
+from repro.queries import (
+    complement_tc_query,
+    transitive_closure_query,
+    win_move_query,
+)
+from repro.transducers import (
+    Network,
+    POLICY_AWARE_NO_ALL,
+    broadcast_transducer,
+    check_distributed_computation,
+    coordination_free_report,
+    default_policies,
+    disjoint_protocol_transducer,
+    distinct_protocol_transducer,
+    heartbeat_witness,
+)
+
+GRAPH = Instance(parse_facts("E(1,2). E(2,1). E(3,4)."))
+
+
+class TestDistributedComputation:
+    def test_broadcast_tc_consistent(self):
+        tc = transitive_closure_query()
+        check = check_distributed_computation(
+            broadcast_transducer(tc), tc, GRAPH, seeds=(0,), include_trickle=False
+        )
+        assert check.consistent, check.describe()
+
+    def test_broadcast_cotc_inconsistent(self):
+        cotc = complement_tc_query()
+        check = check_distributed_computation(
+            broadcast_transducer(cotc), cotc, GRAPH, seeds=(0,), include_trickle=False
+        )
+        assert not check.consistent
+        assert check.failures
+
+    def test_distinct_cotc_consistent(self):
+        cotc = complement_tc_query()
+        check = check_distributed_computation(
+            distinct_protocol_transducer(cotc),
+            cotc,
+            GRAPH,
+            seeds=(0,),
+            include_trickle=False,
+        )
+        assert check.consistent, check.describe()
+
+    def test_disjoint_winmove_consistent_domain_guided(self, game_graph):
+        query = win_move_query()
+        check = check_distributed_computation(
+            disjoint_protocol_transducer(query),
+            query,
+            game_graph,
+            domain_guided_only=True,
+            seeds=(0,),
+            include_trickle=False,
+        )
+        assert check.consistent, check.describe()
+
+    def test_default_policies_domain_guided_filter(self):
+        tc = transitive_closure_query()
+        network = Network(["a", "b"])
+        policies = default_policies(tc.input_schema, network, domain_guided_only=True)
+        assert all(p.is_domain_guided for p in policies)
+        all_policies = default_policies(tc.input_schema, network)
+        assert any(not p.is_domain_guided for p in all_policies)
+
+
+class TestHeartbeatWitness:
+    def test_broadcast_witness(self, three_node_network):
+        tc = transitive_closure_query()
+        witness = heartbeat_witness(
+            broadcast_transducer(tc), tc, three_node_network, GRAPH
+        )
+        assert witness.found
+        assert witness.heartbeats == 1  # Q computed on the first heartbeat
+
+    def test_distinct_witness(self, three_node_network):
+        cotc = complement_tc_query()
+        witness = heartbeat_witness(
+            distinct_protocol_transducer(cotc), cotc, three_node_network, GRAPH
+        )
+        assert witness.found
+
+    def test_disjoint_witness_needs_domain_guided_flag(self, three_node_network, game_graph):
+        query = win_move_query()
+        witness = heartbeat_witness(
+            disjoint_protocol_transducer(query),
+            query,
+            three_node_network,
+            game_graph,
+            domain_guided=True,
+        )
+        assert witness.found
+        assert witness.policy_name.startswith("dg-")
+
+    def test_no_witness_when_protocol_cannot_finish(self, three_node_network):
+        """A transducer that never outputs has no heartbeat witness."""
+        from repro.datalog import Schema
+        from repro.transducers import PythonTransducer, TransducerSchema
+
+        tc = transitive_closure_query()
+        schema = TransducerSchema(
+            inputs=tc.input_schema,
+            outputs=tc.output_schema,
+            messages=Schema({"noop": 1}),
+            memory=Schema({}, allow_nullary=True),
+        )
+        mute = PythonTransducer(schema, name="mute")
+        witness = heartbeat_witness(
+            mute, tc, three_node_network, GRAPH, max_heartbeats=3
+        )
+        assert not witness.found
+
+
+class TestReports:
+    def test_full_report_coordination_free(self):
+        cotc = complement_tc_query()
+        report = coordination_free_report(
+            distinct_protocol_transducer(cotc), cotc, GRAPH, seeds=(0,)
+        )
+        assert report.coordination_free
+        assert "coordination-free" in report.describe()
+
+    def test_report_flags_inconsistency(self):
+        cotc = complement_tc_query()
+        report = coordination_free_report(
+            broadcast_transducer(cotc), cotc, GRAPH, seeds=(0,)
+        )
+        assert not report.coordination_free
+        assert "NOT" in report.describe()
+
+    def test_no_all_variant_still_works(self):
+        """Theorem 4.5: the protocols never read All, so they run unchanged."""
+        cotc = complement_tc_query()
+        transducer = distinct_protocol_transducer(cotc, variant=POLICY_AWARE_NO_ALL)
+        report = coordination_free_report(transducer, cotc, GRAPH, seeds=(0,))
+        assert report.coordination_free, report.describe()

@@ -1,0 +1,134 @@
+"""Tests for the bounded-exhaustive confluence checker."""
+
+import pytest
+
+from repro.datalog import Instance, parse_facts
+from repro.queries import complement_tc_query, transitive_closure_query
+from repro.transducers import (
+    Network,
+    TransducerNetwork,
+    broadcast_transducer,
+    distinct_protocol_transducer,
+    everywhere_policy,
+    hash_policy,
+    single_node_policy,
+)
+from repro.transducers.modelcheck import explore_runs
+
+
+def network_for(query, policy_factory, nodes=("a", "b")):
+    network = Network(nodes)
+    return network
+
+
+class TestExploration:
+    def test_broadcast_tc_confluent_and_correct(self):
+        tc = transitive_closure_query()
+        instance = Instance(parse_facts("E(1,2). E(2,3)."))
+        network = Network(["a", "b"])
+        report = explore_runs(
+            TransducerNetwork(
+                network, broadcast_transducer(tc), hash_policy(tc.input_schema, network)
+            ),
+            instance,
+        )
+        assert report.complete
+        assert report.confluent
+        assert report.outputs[0] == tc(instance)
+
+    def test_confluent_but_wrong_is_distinguishable(self):
+        """Broadcast on coTC: every schedule converges to the same terminal
+        output — but that output is wrong (early partial outputs are never
+        retracted).  Confluence and correctness are different properties."""
+        cotc = complement_tc_query()
+        instance = Instance(parse_facts("E(1,2). E(2,1)."))
+        network = Network(["a", "b"])
+        report = explore_runs(
+            TransducerNetwork(
+                network,
+                broadcast_transducer(cotc),
+                hash_policy(cotc.input_schema, network),
+            ),
+            instance,
+        )
+        assert report.complete
+        assert report.confluent
+        assert report.outputs[0] != cotc(instance)  # wrong, uniformly
+
+    @pytest.mark.slow
+    def test_distinct_protocol_confluent_and_correct(self):
+        # A self-loop keeps the known active domain (hence the candidate
+        # space and the message alphabet) small enough for an exhaustive
+        # exploration in seconds rather than minutes.
+        cotc = complement_tc_query()
+        instance = Instance(parse_facts("E(1,1)."))
+        network = Network(["a", "b"])
+        report = explore_runs(
+            TransducerNetwork(
+                network,
+                distinct_protocol_transducer(cotc),
+                hash_policy(cotc.input_schema, network),
+            ),
+            instance,
+            max_configurations=60_000,
+        )
+        assert report.confluent, report.describe()
+        assert report.outputs[0] == cotc(instance)
+
+    def test_everywhere_policy_trivial_space(self):
+        tc = transitive_closure_query()
+        instance = Instance(parse_facts("E(1,2)."))
+        network = Network(["a", "b"])
+        report = explore_runs(
+            TransducerNetwork(
+                network, broadcast_transducer(tc), everywhere_policy(tc.input_schema, network)
+            ),
+            instance,
+        )
+        assert report.complete and report.confluent
+        assert report.outputs[0] == tc(instance)
+
+    def test_budget_reports_partial(self):
+        cotc = complement_tc_query()
+        instance = Instance(parse_facts("E(1,2). E(2,1). E(3,3)."))
+        network = Network(["a", "b"])
+        report = explore_runs(
+            TransducerNetwork(
+                network,
+                distinct_protocol_transducer(cotc),
+                hash_policy(cotc.input_schema, network),
+            ),
+            instance,
+            max_configurations=50,
+        )
+        assert not report.complete
+        assert "PARTIAL" in report.describe()
+
+    def test_single_node_immediate_terminal(self):
+        tc = transitive_closure_query()
+        instance = Instance(parse_facts("E(1,2). E(2,3)."))
+        network = Network(["solo"])
+        report = explore_runs(
+            TransducerNetwork(
+                network,
+                broadcast_transducer(tc),
+                single_node_policy(tc.input_schema, network, "solo"),
+            ),
+            instance,
+        )
+        assert report.complete
+        assert report.terminal_configurations == 1
+        assert report.outputs[0] == tc(instance)
+
+    def test_describe_mentions_verdict(self):
+        tc = transitive_closure_query()
+        network = Network(["a"])
+        report = explore_runs(
+            TransducerNetwork(
+                network,
+                broadcast_transducer(tc),
+                single_node_policy(tc.input_schema, network, "a"),
+            ),
+            Instance(),
+        )
+        assert "confluent" in report.describe()

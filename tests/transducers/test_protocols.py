@@ -1,0 +1,209 @@
+"""Tests for the three coordination-free evaluation protocols (Section 4.2)."""
+
+import pytest
+
+from repro.datalog import Instance, parse_facts
+from repro.queries import (
+    complement_tc_query,
+    duplicate_query,
+    transitive_closure_query,
+    win_move_query,
+)
+from repro.transducers import (
+    FairScheduler,
+    Network,
+    TransducerNetwork,
+    TrickleScheduler,
+    broadcast_transducer,
+    disjoint_protocol_transducer,
+    distinct_protocol_transducer,
+    domain_guided_policy,
+    everywhere_policy,
+    hash_domain_assignment,
+    hash_policy,
+    protocol_for_class,
+    single_node_policy,
+)
+
+
+def run_protocol(transducer, query, instance, policy, network, seed=0):
+    run = TransducerNetwork(network, transducer, policy).new_run(instance)
+    return run.run_to_quiescence(scheduler=FairScheduler(seed)), run
+
+
+GRAPH = Instance(parse_facts("E(1,2). E(2,1). E(3,4)."))
+
+
+class TestBroadcastProtocol:
+    def test_tc_on_various_policies(self, three_node_network):
+        tc = transitive_closure_query()
+        expected = tc(GRAPH)
+        for policy in (
+            hash_policy(tc.input_schema, three_node_network),
+            everywhere_policy(tc.input_schema, three_node_network),
+            single_node_policy(tc.input_schema, three_node_network, "n2"),
+        ):
+            output, _ = run_protocol(
+                broadcast_transducer(tc), tc, GRAPH, policy, three_node_network
+            )
+            assert output == expected, policy.name
+
+    def test_single_node_network(self):
+        tc = transitive_closure_query()
+        network = Network(["solo"])
+        output, run = run_protocol(
+            broadcast_transducer(tc),
+            tc,
+            GRAPH,
+            hash_policy(tc.input_schema, network),
+            network,
+        )
+        assert output == tc(GRAPH)
+        assert run.metrics.message_facts_sent == 0  # nobody to talk to
+
+    def test_empty_input(self, two_node_network):
+        tc = transitive_closure_query()
+        output, _ = run_protocol(
+            broadcast_transducer(tc),
+            tc,
+            Instance(),
+            hash_policy(tc.input_schema, two_node_network),
+            two_node_network,
+        )
+        assert output == Instance()
+
+    def test_messages_deduplicated(self, two_node_network):
+        tc = transitive_closure_query()
+        _, run = run_protocol(
+            broadcast_transducer(tc),
+            tc,
+            GRAPH,
+            single_node_policy(tc.input_schema, two_node_network, "n1"),
+            two_node_network,
+        )
+        # 3 input facts broadcast once to 1 other node.
+        assert run.metrics.message_facts_sent == 3
+
+    def test_wrong_for_nonmonotone_query_on_split(self, two_node_network):
+        """The broadcast strategy produces wrong output for coTC when the
+        cycle is split — the operational content of CALM's 'only if'."""
+        cotc = complement_tc_query()
+        expected = cotc(GRAPH)
+        policy = hash_policy(cotc.input_schema, two_node_network)
+        wrong = False
+        for seed in range(4):
+            output, _ = run_protocol(
+                broadcast_transducer(cotc), cotc, GRAPH, policy, two_node_network, seed
+            )
+            if output != expected:
+                wrong = True
+        assert wrong
+
+
+class TestDistinctProtocol:
+    def test_cotc_consistent_across_policies(self, two_node_network):
+        cotc = complement_tc_query()
+        expected = cotc(GRAPH)
+        for policy in (
+            hash_policy(cotc.input_schema, two_node_network),
+            everywhere_policy(cotc.input_schema, two_node_network),
+            single_node_policy(cotc.input_schema, two_node_network, "n2"),
+        ):
+            output, _ = run_protocol(
+                distinct_protocol_transducer(cotc), cotc, GRAPH, policy, two_node_network
+            )
+            assert output == expected, policy.name
+
+    def test_trickle_scheduler_confluence(self, two_node_network):
+        cotc = complement_tc_query()
+        policy = hash_policy(cotc.input_schema, two_node_network)
+        run = TransducerNetwork(
+            two_node_network, distinct_protocol_transducer(cotc), policy
+        ).new_run(GRAPH)
+        output = run.run_to_quiescence(scheduler=TrickleScheduler(3))
+        assert output == cotc(GRAPH)
+
+    def test_multi_relation_schema(self, two_node_network):
+        query = duplicate_query(2)
+        instance = Instance(parse_facts("R1(1,2). R2(3,4)."))
+        policy = hash_policy(query.input_schema, two_node_network)
+        output, _ = run_protocol(
+            distinct_protocol_transducer(query), query, instance, policy, two_node_network
+        )
+        assert output == query(instance)
+
+    def test_no_premature_output_before_completeness(self, two_node_network):
+        """A node whose MyAdom is incomplete must stay silent."""
+        cotc = complement_tc_query()
+        policy = hash_policy(cotc.input_schema, two_node_network)
+        run = TransducerNetwork(
+            two_node_network, distinct_protocol_transducer(cotc), policy
+        ).new_run(GRAPH)
+        expected = cotc(GRAPH)
+        for node in run.nodes():
+            run.heartbeat(node)
+            # Anything output this early must already be correct:
+            assert run.state(node).output <= expected
+
+
+class TestDisjointProtocol:
+    def make_policy(self, query, network):
+        return domain_guided_policy(
+            query.input_schema, network, hash_domain_assignment(network)
+        )
+
+    def test_cotc_domain_guided(self, three_node_network):
+        cotc = complement_tc_query()
+        output, _ = run_protocol(
+            disjoint_protocol_transducer(cotc),
+            cotc,
+            GRAPH,
+            self.make_policy(cotc, three_node_network),
+            three_node_network,
+        )
+        assert output == cotc(GRAPH)
+
+    def test_winmove_domain_guided(self, three_node_network, game_graph):
+        query = win_move_query()
+        output, _ = run_protocol(
+            disjoint_protocol_transducer(query),
+            query,
+            game_graph,
+            self.make_policy(query, three_node_network),
+            three_node_network,
+        )
+        assert output == query(game_graph)
+
+    def test_outputs_always_sound_mid_run(self, two_node_network, game_graph):
+        query = win_move_query()
+        policy = self.make_policy(query, two_node_network)
+        run = TransducerNetwork(
+            two_node_network, disjoint_protocol_transducer(query), policy
+        ).new_run(game_graph)
+        expected = query(game_graph)
+        for _ in range(6):
+            for node in run.nodes():
+                run.transition(node)
+                assert run.state(node).output <= expected
+
+    def test_requires_id(self, two_node_network):
+        from repro.transducers import OBLIVIOUS, SystemRelationUnavailable
+
+        query = complement_tc_query()
+        transducer = disjoint_protocol_transducer(query, variant=OBLIVIOUS)
+        policy = self.make_policy(query, two_node_network)
+        run = TransducerNetwork(two_node_network, transducer, policy).new_run(GRAPH)
+        with pytest.raises(SystemRelationUnavailable):
+            run.heartbeat("n1")
+
+
+class TestProtocolFactory:
+    def test_protocol_for_class(self):
+        tc = transitive_closure_query()
+        assert protocol_for_class(tc, "M").name.startswith("broadcast")
+        assert protocol_for_class(tc, "Mdistinct").name.startswith("distinct")
+        assert protocol_for_class(tc, "Mdisjoint").name.startswith("disjoint")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            protocol_for_class(transitive_closure_query(), "Mwhatever")

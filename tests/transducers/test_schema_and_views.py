@@ -1,0 +1,169 @@
+"""Unit tests for transducer schemas, model variants and local views."""
+
+import pytest
+
+from repro.datalog import Fact, Instance, Schema, SchemaError, parse_facts
+from repro.transducers import (
+    Network,
+    OBLIVIOUS,
+    ORIGINAL,
+    POLICY_AWARE,
+    POLICY_AWARE_NO_ALL,
+    SystemRelationUnavailable,
+    TransducerSchema,
+    domain_guided_policy,
+    hash_policy,
+    policy_relation_name,
+    single_node_policy,
+)
+from repro.transducers.transducer import LocalView
+
+INPUTS = Schema({"E": 2})
+
+
+def make_schema(variant=POLICY_AWARE):
+    return TransducerSchema(
+        inputs=INPUTS,
+        outputs=Schema({"O": 2}),
+        messages=Schema({"cast_E": 2}),
+        memory=Schema({"got_cast_E": 2}),
+        variant=variant,
+    )
+
+
+def make_view(variant=POLICY_AWARE, policy=None, local="E(1,2).", delivered=""):
+    network = Network(["a", "b"])
+    schema = make_schema(variant)
+    if policy is None:
+        policy = single_node_policy(INPUTS, network, "a")
+    return LocalView(
+        node="a",
+        network=network,
+        schema=schema,
+        policy=policy,
+        local_input=Instance(parse_facts(local)),
+        output=Instance(),
+        memory=Instance(),
+        delivered=Instance(parse_facts(delivered)),
+    )
+
+
+class TestTransducerSchema:
+    def test_system_schema_policy_aware(self):
+        system = make_schema().system_schema()
+        assert set(system) == {"Id", "All", "MyAdom", "policy_E"}
+        assert system["policy_E"] == 2
+
+    def test_system_schema_original(self):
+        system = make_schema(ORIGINAL).system_schema()
+        assert set(system) == {"Id", "All"}
+
+    def test_system_schema_no_all(self):
+        system = make_schema(POLICY_AWARE_NO_ALL).system_schema()
+        assert set(system) == {"Id", "MyAdom", "policy_E"}
+
+    def test_system_schema_oblivious(self):
+        assert set(make_schema(OBLIVIOUS).system_schema()) == set()
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(SchemaError):
+            TransducerSchema(
+                inputs=INPUTS,
+                outputs=Schema({"E": 2}),  # clashes with input
+                messages=Schema({}, allow_nullary=True),
+                memory=Schema({}, allow_nullary=True),
+            )
+
+    def test_system_collision_rejected(self):
+        with pytest.raises(SchemaError, match="system"):
+            TransducerSchema(
+                inputs=INPUTS,
+                outputs=Schema({"MyAdom": 1}),
+                messages=Schema({}, allow_nullary=True),
+                memory=Schema({}, allow_nullary=True),
+            )
+
+    def test_policy_relation_name(self):
+        assert policy_relation_name("E") == "policy_E"
+
+    def test_with_variant(self):
+        schema = make_schema().with_variant(ORIGINAL)
+        assert schema.variant is ORIGINAL
+        assert schema.inputs == INPUTS
+
+
+class TestLocalView:
+    def test_id_and_all(self):
+        view = make_view()
+        assert view.my_id == "a"
+        assert view.all_nodes == {"a", "b"}
+
+    def test_known_adom_includes_network_with_all(self):
+        view = make_view()
+        assert view.known_adom() == {1, 2, "a", "b"}
+
+    def test_known_adom_without_all(self):
+        view = make_view(POLICY_AWARE_NO_ALL)
+        assert view.known_adom() == {1, 2, "a"}
+
+    def test_delivered_values_join_adom(self):
+        view = make_view(delivered="cast_E(7, 8).")
+        assert {7, 8} <= set(view.known_adom())
+
+    def test_variant_gates_id(self):
+        with pytest.raises(SystemRelationUnavailable):
+            _ = make_view(OBLIVIOUS).my_id
+
+    def test_variant_gates_all(self):
+        with pytest.raises(SystemRelationUnavailable):
+            _ = make_view(POLICY_AWARE_NO_ALL).all_nodes
+
+    def test_variant_gates_policy(self):
+        with pytest.raises(SystemRelationUnavailable):
+            make_view(ORIGINAL).known_adom()
+        with pytest.raises(SystemRelationUnavailable):
+            make_view(ORIGINAL).is_responsible(Fact("E", (1, 2)))
+
+    def test_is_responsible_respects_policy(self):
+        view = make_view()  # all facts to node a
+        assert view.is_responsible(Fact("E", (1, 2)))
+        assert view.is_responsible(Fact("E", (2, 1)))
+
+    def test_is_responsible_restricted_to_known_adom(self):
+        view = make_view()
+        assert not view.is_responsible(Fact("E", (99, 98)))  # values unknown
+
+    def test_is_responsible_false_for_other_nodes_facts(self):
+        network = Network(["a", "b"])
+        policy = single_node_policy(INPUTS, network, "b")
+        view = make_view(policy=policy)
+        assert not view.is_responsible(Fact("E", (1, 2)))
+
+    def test_responsible_values_domain_guided(self):
+        network = Network(["a", "b"])
+        policy = domain_guided_policy(
+            INPUTS, network, lambda value: ["a"] if value in (1, 2, "a", "b") else ["b"]
+        )
+        view = make_view(policy=policy)
+        assert view.responsible_values() == {1, 2, "a", "b"}
+
+    def test_system_facts_materialization(self):
+        view = make_view()
+        system = view.system_facts()
+        assert Fact("Id", ("a",)) in system
+        assert Fact("All", ("b",)) in system
+        assert Fact("MyAdom", (1,)) in system
+        # all-to-a policy: every candidate over known adom is ours
+        assert Fact("policy_E", (1, 2)) in system
+        assert Fact("policy_E", (2, 1)) in system
+
+    def test_database_includes_local_and_system(self):
+        view = make_view()
+        database = view.database()
+        assert Fact("E", (1, 2)) in database
+        assert Fact("Id", ("a",)) in database
+
+    def test_policy_facts_limit(self):
+        view = make_view()
+        with pytest.raises(RuntimeError, match="exceeded"):
+            list(view.policy_facts(limit=3))

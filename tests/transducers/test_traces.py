@@ -1,0 +1,61 @@
+"""Tests for run-trace recording and rendering."""
+
+from repro.datalog import Instance, parse_facts
+from repro.queries import transitive_closure_query
+from repro.transducers import (
+    Network,
+    TransducerNetwork,
+    broadcast_transducer,
+    hash_policy,
+)
+
+
+def make_run():
+    tc = transitive_closure_query()
+    network = Network(["a", "b"])
+    policy = hash_policy(tc.input_schema, network)
+    return TransducerNetwork(network, broadcast_transducer(tc), policy).new_run(
+        Instance(parse_facts("E(1,2). E(2,3)."))
+    )
+
+
+class TestHistory:
+    def test_every_transition_recorded(self):
+        run = make_run()
+        run.heartbeat("a")
+        run.transition("b")
+        assert len(run.history) == 2
+        assert run.history[0].heartbeat
+        assert run.history[0].index == 0
+        assert run.history[1].index == 1
+
+    def test_history_covers_quiescent_run(self):
+        run = make_run()
+        run.run_to_quiescence()
+        assert len(run.history) == run.metrics.transitions
+
+    def test_indices_strictly_increasing(self):
+        run = make_run()
+        run.run_to_quiescence()
+        indices = [record.index for record in run.history]
+        assert indices == sorted(set(indices))
+
+
+class TestRenderTrace:
+    def test_render_nonempty(self):
+        run = make_run()
+        run.run_to_quiescence()
+        trace = run.render_trace()
+        assert "heartbeat" in trace or "recv" in trace
+        assert "'a'" in trace and "'b'" in trace
+
+    def test_render_limit(self):
+        run = make_run()
+        run.run_to_quiescence()
+        limited = run.render_trace(limit=2)
+        assert len(limited.splitlines()) <= 2
+
+    def test_output_growth_annotated(self):
+        run = make_run()
+        run.run_to_quiescence()
+        assert "out)" in run.render_trace()
