@@ -1,0 +1,152 @@
+"""CHAOS — confluence of the Section-4 protocols under injected faults.
+
+Theorems 4.3/4.4/4.5 claim the constructed protocols *distributedly
+compute* their query: every fair run — arbitrary reordering, duplication
+and heartbeat interleavings of the multiset-buffer semantics — converges
+to the same global output Q(I).  The THM4.x benchmarks sample orderly
+schedules; this sweep turns the adversary all the way up: each protocol is
+run across >= 20 seeded fault schedules combining
+
+* an adversarial scheduler (trickle / singleton / heartbeat-storm /
+  starvation-then-burst / seeded chaos mix), and
+* a fault-injecting channel (duplicate-on-send, bounded delay,
+  drop-with-eventual-redelivery — all fairness-preserving),
+
+and asserts the global output is byte-identical (same telemetry
+fingerprint) across every schedule AND equal to the centralized Q(I).
+The coordinating barrier baseline rides along: it also converges under
+fair faults — what it lacks is coordination-freeness, not confluence.
+
+``CHAOS_SCHEDULES`` (env var) shrinks the sweep for CI smoke runs.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.transducers import (
+    CHAOS_PLAN,
+    FairScheduler,
+    FaultyChannel,
+    Network,
+    TransducerNetwork,
+    barrier_baseline,
+    build_run_report,
+    chaos_scheduler_zoo,
+    output_fingerprint,
+    section4_protocols,
+)
+
+SCHEDULES = int(os.environ.get("CHAOS_SCHEDULES", "20"))
+NETWORK = Network(["n1", "n2", "n3"])
+
+
+def _sweep_bundle(bundle, schedules):
+    """Run one protocol bundle across *schedules* seeded fault schedules;
+    returns (bundle, expected_fingerprint, reports, divergences)."""
+    policy = bundle.policy(NETWORK)
+    expected = bundle.expected()
+    expected_print = output_fingerprint(expected)
+
+    baseline = TransducerNetwork(NETWORK, bundle.transducer, policy).new_run(
+        bundle.instance
+    )
+    baseline_out = baseline.run_to_quiescence(scheduler=FairScheduler(0))
+    reports = [build_run_report(baseline, scheduler=FairScheduler(0))]
+    divergences = []
+    if output_fingerprint(baseline_out) != expected_print:
+        divergences.append(f"{bundle.key}: fair baseline != Q(I)")
+
+    zoo = chaos_scheduler_zoo(0)
+    count = 0
+    seed = 0
+    while count < schedules:
+        scheduler = chaos_scheduler_zoo(seed)[count % len(zoo)]
+        run = TransducerNetwork(NETWORK, bundle.transducer, policy).new_run(
+            bundle.instance, channel=FaultyChannel(CHAOS_PLAN, seed)
+        )
+        output = run.run_to_quiescence(scheduler=scheduler)
+        report = build_run_report(run, scheduler=scheduler)
+        reports.append(report)
+        if report.output_fingerprint != expected_print:
+            divergences.append(
+                f"{bundle.key}: seed={seed} sched={scheduler.name} "
+                f"out={report.output_fingerprint[:12]} != {expected_print[:12]}"
+            )
+        count += 1
+        seed += 1
+    return expected_print, reports, divergences
+
+
+def chaos_sweep(schedules=SCHEDULES):
+    results = []
+    for bundle in section4_protocols() + (barrier_baseline(),):
+        expected_print, reports, divergences = _sweep_bundle(bundle, schedules)
+        results.append((bundle, expected_print, reports, divergences))
+    return results
+
+
+def test_chaos_confluence(benchmark):
+    results = run_once(benchmark, chaos_sweep)
+    print(f"\nCHAOS — confluence under {SCHEDULES} seeded fault schedules:")
+    failures = []
+    for bundle, expected_print, reports, divergences in results:
+        failures.extend(divergences)
+        rounds = [r.metrics["rounds"] for r in reports]
+        adversarial = sum(r.metrics["pre_round_transitions"] for r in reports)
+        faults = {}
+        for report in reports:
+            for key, value in report.faults.items():
+                faults[key] = faults.get(key, 0) + value
+        verdict = "confluent " if not divergences else "DIVERGED  "
+        print(
+            f"  [{verdict}] {bundle.theorem:<45} runs={len(reports)} "
+            f"rounds={min(rounds)}..{max(rounds)} adversarial_transitions={adversarial} "
+            f"faults={faults} out={expected_print[:12]}"
+        )
+        # Telemetry sanity: every run must actually quiesce, deliver
+        # something somewhere, and report consistent counters.
+        for report in reports:
+            assert report.quiesced
+            assert report.rounds_to_quiescence == report.metrics["rounds"]
+            assert report.metrics["transitions"] == sum(
+                n.transitions for n in report.per_node
+            )
+    assert not failures, "\n".join(failures)
+
+
+def test_chaos_report_roundtrip(benchmark):
+    """The JSON emitted for a chaos run parses back with the documented
+    top-level fields (the contract of ``repro run --chaos --report``)."""
+    import json
+
+    def one_report():
+        bundle = section4_protocols()[0]
+        run = TransducerNetwork(
+            NETWORK, bundle.transducer, bundle.policy(NETWORK)
+        ).new_run(bundle.instance, channel=FaultyChannel(CHAOS_PLAN, 7))
+        scheduler = chaos_scheduler_zoo(7)[-1]
+        run.run_to_quiescence(scheduler=scheduler)
+        return build_run_report(run, scheduler=scheduler, include_trace=True)
+
+    report = run_once(benchmark, one_report)
+    payload = json.loads(report.to_json())
+    for field in (
+        "version",
+        "protocol",
+        "nodes",
+        "policy",
+        "scheduler",
+        "channel",
+        "quiesced",
+        "rounds_to_quiescence",
+        "metrics",
+        "faults",
+        "per_node",
+        "output_facts",
+        "output_fingerprint",
+        "trace",
+    ):
+        assert field in payload, field
+    assert payload["faults"]["duplicated"] >= 0
+    assert payload["per_node"][0]["buffer_high_water"] >= 0

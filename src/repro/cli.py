@@ -12,8 +12,14 @@ Usage (also via ``python -m repro``):
         (stratified, or well-founded when unstratifiable).
 
     repro run PROGRAM.dl FACTS.dl [--nodes N] [--seed S]
+               [--chaos] [--scheduler NAME] [--report OUT.json] [--trace]
         Distributed evaluation on a simulated N-node network using the
         analyzer's strategy; prints the output and the run metrics.
+        ``--chaos`` injects channel faults (duplication, delay,
+        drop-with-eventual-redelivery) and defaults to the chaos
+        scheduler; ``--scheduler`` picks any of fair / trickle /
+        singleton / storm / starve / chaos; ``--report`` writes the
+        structured JSON run report (see docs/CHAOS.md).
 
     repro solve-game FACTS.dl
         Solve the win-move game in FACTS.dl (Move facts) by retrograde
@@ -29,7 +35,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .core.analyzer import analyze, plan_distribution, query_for, run_distributed
+from .core.analyzer import analyze, distributed_run, plan_distribution, query_for
 from .datalog.games import solve_game
 from .datalog.instance import Instance
 from .datalog.parser import parse_facts, parse_program
@@ -110,19 +116,42 @@ def _cmd_eval(args, out) -> int:
 
 
 def _cmd_run(args, out) -> int:
+    from .transducers.faults import CHAOS_PLAN, FaultyChannel, make_scheduler
+    from .transducers.runtime import QuiescenceError
+    from .transducers.telemetry import build_run_report, write_report
+
     program = _load_program(args.program)
     instance = _load_facts(args.facts)
     plan = plan_distribution(program)
     nodes = tuple(f"n{i + 1}" for i in range(args.nodes))
-    result = run_distributed(program, instance, nodes=nodes, seed=args.seed)
+    channel = FaultyChannel(CHAOS_PLAN, args.seed) if args.chaos else None
+    scheduler_name = args.scheduler or ("chaos" if args.chaos else "fair")
+    scheduler = make_scheduler(scheduler_name, args.seed)
+    run = distributed_run(program, instance, nodes=nodes, channel=channel)
+    quiesced = True
+    try:
+        result = run.run_to_quiescence(scheduler=scheduler)
+    except QuiescenceError as error:
+        quiesced = False
+        result = run.global_output()
+        print(f"warning:      {error}", file=out)
     expected = plan.query(instance)
     print(f"strategy:     {plan.transducer.name}", file=out)
     print(f"network:      {', '.join(nodes)}", file=out)
+    print(f"scheduler:    {scheduler_name}", file=out)
+    if args.chaos:
+        print(f"channel:      faulty ({CHAOS_PLAN.describe()})", file=out)
     print(f"{len(result)} output fact(s):", file=out)
     _print_instance(result, out)
     status = "OK" if result == expected else "MISMATCH"
     print(f"matches centralized evaluation: {status}", file=out)
-    return 0 if result == expected else 1
+    if args.report:
+        report = build_run_report(
+            run, scheduler=scheduler, quiesced=quiesced, include_trace=args.trace
+        )
+        write_report(report, args.report)
+        print(f"report:       {args.report}", file=out)
+    return 0 if result == expected and quiesced else 1
 
 
 def _cmd_solve_game(args, out) -> int:
@@ -165,6 +194,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("facts")
     run_cmd.add_argument("--nodes", type=int, default=3)
     run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject channel faults (duplication, delay, drop-with-redelivery)",
+    )
+    run_cmd.add_argument(
+        "--scheduler",
+        choices=["fair", "trickle", "singleton", "storm", "starve", "chaos"],
+        default=None,
+        help="activation schedule (default: fair; chaos when --chaos is given)",
+    )
+    run_cmd.add_argument(
+        "--report", metavar="PATH", help="write the JSON run report to PATH"
+    )
+    run_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help="embed the transition trace in the report",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
 
     game_cmd = commands.add_parser("solve-game", help="solve a win-move game")

@@ -37,7 +37,7 @@ from ..transducers.protocols import (
     disjoint_protocol_transducer,
     distinct_protocol_transducer,
 )
-from ..transducers.runtime import FairScheduler, TransducerNetwork
+from ..transducers.runtime import Channel, FairScheduler, Run, Scheduler, TransducerNetwork
 from ..transducers.transducer import Transducer
 
 __all__ = [
@@ -50,6 +50,7 @@ __all__ = [
     "DistributedPlan",
     "plan_distribution",
     "plan_ilog_distribution",
+    "distributed_run",
     "run_distributed",
 ]
 
@@ -217,19 +218,17 @@ def plan_distribution(program: Program) -> DistributedPlan:
     )
 
 
-def run_distributed(
+def distributed_run(
     program: Program,
     instance: Instance,
     *,
     nodes: Iterable[Hashable] = ("n1", "n2", "n3"),
-    seed: int = 0,
-    max_rounds: int = 10_000,
-) -> Instance:
-    """End-to-end distributed evaluation of *program* on *instance*.
+    channel: Channel | None = None,
+) -> Run:
+    """Build (but do not execute) the analyzer's distributed run.
 
-    Coordination-free when the analyzer finds a guarantee; otherwise the
-    plan carries the global-barrier transducer — the in-model coordination
-    the CALM theorems say cannot be avoided.
+    Returns the fresh :class:`Run` so callers can pick a scheduler, inject
+    channel faults and harvest telemetry — the CLI's ``repro run`` path.
     """
     network = Network(nodes)
     plan = plan_distribution(program)
@@ -239,9 +238,30 @@ def run_distributed(
         )
     else:
         policy = hash_policy(plan.query.input_schema, network)
-    run = TransducerNetwork(network, plan.transducer, policy).new_run(instance)
+    return TransducerNetwork(network, plan.transducer, policy).new_run(
+        instance, channel=channel
+    )
+
+
+def run_distributed(
+    program: Program,
+    instance: Instance,
+    *,
+    nodes: Iterable[Hashable] = ("n1", "n2", "n3"),
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    scheduler: Scheduler | None = None,
+    channel: Channel | None = None,
+) -> Instance:
+    """End-to-end distributed evaluation of *program* on *instance*.
+
+    Coordination-free when the analyzer finds a guarantee; otherwise the
+    plan carries the global-barrier transducer — the in-model coordination
+    the CALM theorems say cannot be avoided.
+    """
+    run = distributed_run(program, instance, nodes=nodes, channel=channel)
     return run.run_to_quiescence(
-        max_rounds=max_rounds, scheduler=FairScheduler(seed)
+        max_rounds=max_rounds, scheduler=scheduler or FairScheduler(seed)
     )
 
 

@@ -112,6 +112,12 @@ def _extend_binding(
     """Unify *atom* with the ground tuple *values* under *binding*.
 
     Returns the extended binding, or None on mismatch.
+
+    Aliasing contract: when the match binds no *new* variable, the result
+    IS *binding* itself — no defensive copy is made, since this runs once
+    per candidate tuple in the innermost join loop.  Callers (and the
+    consumers of :func:`match_rule`) must treat yielded bindings as frozen:
+    read or copy them, never mutate them in place.
     """
     if len(values) != atom.arity:
         return None
@@ -129,7 +135,7 @@ def _extend_binding(
                 return None
         elif term != value:
             return None
-    return extended if copied else dict(extended)
+    return extended
 
 
 class _Unbound:
@@ -182,6 +188,10 @@ def match_rule(
     the single-instance semantics of the paper).  When *required_atom* is
     given, that occurrence is matched against *required_index* instead —
     the hook used for semi-naive delta rules.
+
+    Yielded valuations may alias each other and internal join state (see
+    the :func:`_extend_binding` aliasing contract): consume them read-only,
+    or copy before mutating.
     """
     if negative_index is None:
         negative_index = positive_index
@@ -247,6 +257,19 @@ class SemiNaiveEvaluator:
         """Compute the minimal fixpoint of T_P containing *instance*."""
         index = FactIndex(instance)
         delta = FactIndex(instance)
+        # Rules with an empty positive body (ground rules, e.g.
+        # ``Init(1) :- not Off().``) have no delta atom to seed the
+        # semi-naive join, so the delta loop below would never fire them —
+        # diverging from `immediate_consequence`, which derives them.
+        # Their bodies read only fixed (edb) relations, so firing them
+        # exactly once up front is complete.
+        for rule in self._program:
+            if rule.pos:
+                continue
+            for valuation in match_rule(rule, index):
+                fact = rule.derive(valuation)
+                if index.add(fact):
+                    delta.add(fact)
         iterations = 0
         while len(delta):
             iterations += 1

@@ -28,12 +28,17 @@ class Rule:
     The components mirror the paper exactly:
 
     * ``head`` — a single atom;
-    * ``pos`` — the positive body atoms (must be non-empty);
+    * ``pos`` — the positive body atoms;
     * ``neg`` — the negated body atoms (plain atoms; negation is implicit);
     * ``ineq`` — inequalities ``u != v`` between variables of the rule.
 
     Safety is enforced at construction: every variable of the rule (head,
     negative atoms, inequalities) must appear in some positive body atom.
+    The paper states rules with a non-empty ``pos``; we additionally admit
+    *ground* rules with an empty positive body (no variables anywhere, e.g.
+    ``Init(1) :- not Off().``) — T_P is well-defined on them and both
+    evaluators derive them identically.  Non-ground empty-``pos`` rules
+    remain unsafe and are rejected.
     """
 
     head: Atom
@@ -57,11 +62,6 @@ class Rule:
     def _validate(self) -> None:
         if not isinstance(self.head, Atom):
             raise RuleValidationError("rule head must be an Atom")
-        if not self.pos:
-            raise RuleValidationError(
-                f"rule for {self.head.relation} has an empty positive body; "
-                "the paper requires pos to be non-empty"
-            )
         bound = variables_of(self.pos)
         loose = (self.head.variables() | variables_of(self.neg)) - bound
         for inequality in self.ineq:

@@ -45,7 +45,7 @@ from .protocols import (
 from .schema import ModelVariant, POLICY_AWARE, TransducerSchema
 from .transducer import LocalView, PythonTransducer
 
-__all__ = ["global_barrier_transducer", "DONE"]
+__all__ = ["global_barrier_transducer", "barrier_baseline", "DONE"]
 
 DONE = "done"
 
@@ -130,4 +130,31 @@ def global_barrier_transducer(
 
     return PythonTransducer(
         schema, out=out, insert=insert, send=send, name=f"barrier[{query.name}]"
+    )
+
+
+def barrier_baseline():
+    """The coordinating baseline bundle for the chaos-confluence sweep.
+
+    The barrier protocol waits on explicit word from every node, so it is
+    *not* coordination-free — but it is still built from idempotent,
+    delivered-message-driven updates, so under any fair schedule (faulty
+    channels included: duplication, delay, drop-with-redelivery) it must
+    converge to the same Q(I).  Including it in the sweep separates the two
+    notions the paper keeps distinct: confluence under fair faults holds
+    for coordinating and coordination-free protocols alike; what the
+    barrier lacks is the heartbeat-only witness.
+    """
+    from ..datalog.parser import parse_facts
+    from ..datalog.instance import Instance
+    from ..queries.graph import complement_tc_query
+    from .protocols import Section4Protocol
+
+    cotc = complement_tc_query()
+    return Section4Protocol(
+        key="barrier-baseline",
+        theorem="§4.2 discussion (coordinating baseline, uses All)",
+        transducer=global_barrier_transducer(cotc),
+        query=cotc,
+        instance=Instance(parse_facts("E(1,2). E(2,1). E(3,4).")),
     )

@@ -32,7 +32,8 @@ from .policy import (
     single_node_assignment,
     single_node_policy,
 )
-from .runtime import FairScheduler, TransducerNetwork, TrickleScheduler
+from .faults import CHAOS_PLAN, FaultyChannel, chaos_scheduler_zoo
+from .runtime import Channel, FairScheduler, TransducerNetwork, TrickleScheduler
 from .transducer import Transducer
 
 __all__ = [
@@ -110,8 +111,15 @@ def check_distributed_computation(
     seeds: Iterable[int] = (0, 1, 2),
     max_rounds: int = 10_000,
     include_trickle: bool = True,
+    include_chaos: bool = False,
 ) -> DistributedCheck:
-    """Sample networks x policies x schedules and compare out(R) to Q(I)."""
+    """Sample networks x policies x schedules and compare out(R) to Q(I).
+
+    ``include_chaos`` additionally runs every (network, policy, seed)
+    combination under the full adversarial scheduler zoo with a
+    fault-injecting channel (duplication, delay, drop-with-redelivery) —
+    the heavier sweep behind the chaos-confluence benchmark.
+    """
     if networks is None:
         networks = [
             Network(["n1"]),
@@ -130,14 +138,21 @@ def check_distributed_computation(
             )
         for policy in policies:
             for seed in seeds:
-                schedulers = [FairScheduler(seed)]
+                jobs: list[tuple[object, Channel | None]] = [
+                    (FairScheduler(seed), None)
+                ]
                 if include_trickle:
-                    schedulers.append(TrickleScheduler(seed))
-                for scheduler in schedulers:
+                    jobs.append((TrickleScheduler(seed), None))
+                if include_chaos:
+                    jobs.extend(
+                        (scheduler, FaultyChannel(CHAOS_PLAN, seed))
+                        for scheduler in chaos_scheduler_zoo(seed)
+                    )
+                for scheduler, channel in jobs:
                     runs += 1
                     run = TransducerNetwork(
                         network, transducer, policy
-                    ).new_run(instance)
+                    ).new_run(instance, channel=channel)
                     output = run.run_to_quiescence(
                         max_rounds=max_rounds, scheduler=scheduler
                     )
@@ -146,7 +161,8 @@ def check_distributed_computation(
                         extra = output - expected
                         failures.append(
                             f"net={sorted(network, key=repr)} policy={policy.name} "
-                            f"seed={seed}: missing={len(missing)} extra={len(extra)}"
+                            f"seed={seed} sched={getattr(scheduler, 'name', '?')}: "
+                            f"missing={len(missing)} extra={len(extra)}"
                         )
     return DistributedCheck(
         consistent=not failures, runs=runs, failures=tuple(failures)

@@ -34,6 +34,7 @@ values; with ``All`` present this is redundant but harmless.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import product
 from typing import Hashable, Iterable, Iterator
 
@@ -42,13 +43,20 @@ from ..datalog.schema import Schema
 from ..datalog.terms import Fact
 from ..queries.base import Query
 from .schema import ModelVariant, POLICY_AWARE, TransducerSchema
-from .transducer import LocalView, PythonTransducer, SystemRelationUnavailable
+from .transducer import (
+    LocalView,
+    PythonTransducer,
+    SystemRelationUnavailable,
+    Transducer,
+)
 
 __all__ = [
     "broadcast_transducer",
     "distinct_protocol_transducer",
     "disjoint_protocol_transducer",
     "protocol_for_class",
+    "Section4Protocol",
+    "section4_protocols",
     "CAST_PREFIX",
     "ABSENT_PREFIX",
 ]
@@ -365,3 +373,100 @@ def protocol_for_class(
     if klass == "Mdisjoint":
         return disjoint_protocol_transducer(query, variant=variant)
     raise ValueError(f"no coordination-free protocol for class {klass!r}")
+
+
+# ----------------------------------------------------------------------
+# The Section-4 protocol suite (shared by the chaos-confluence benchmark,
+# the property tests and the examples)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Section4Protocol:
+    """One ready-to-run (transducer, query, instance) bundle of Section 4.
+
+    ``domain_guided`` records whether the protocol is only correct under
+    domain-guided policies (Theorem 4.4); :meth:`policy` builds a matching
+    hash-based policy for a concrete network.
+    """
+
+    key: str
+    theorem: str
+    transducer: Transducer
+    query: Query
+    instance: Instance
+    domain_guided: bool = False
+
+    def policy(self, network):
+        """A hash policy for *network* honoring ``domain_guided``."""
+        from .policy import domain_guided_policy, hash_domain_assignment, hash_policy
+
+        if self.domain_guided:
+            return domain_guided_policy(
+                self.query.input_schema, network, hash_domain_assignment(network)
+            )
+        return hash_policy(self.query.input_schema, network)
+
+    def expected(self) -> Instance:
+        """Q(I): the centralized answer every fair run must converge to."""
+        return self.query(self.instance)
+
+
+def section4_protocols() -> tuple[Section4Protocol, ...]:
+    """The constructions of Theorems 4.3 / 4.4 / 4.5 (and Corollary 4.6)
+    on their canonical queries and small witness inputs."""
+    from ..datalog.parser import parse_facts
+    from ..queries.base import DatalogQuery
+    from ..queries.graph import complement_tc_query, transitive_closure_query
+    from ..queries.zoo import zoo_program
+    from .schema import OBLIVIOUS, POLICY_AWARE_NO_ALL
+
+    sp_query = DatalogQuery(zoo_program("sp-missing-targets"), "sp-missing-targets")
+    sp_instance = Instance(parse_facts("E(1,2). E(2,3). E(3,1). Mark(2)."))
+    cotc = complement_tc_query()
+    tc = transitive_closure_query()
+    graph = Instance(parse_facts("E(1,2). E(2,1). E(3,4)."))
+
+    return (
+        Section4Protocol(
+            key="thm43-distinct",
+            theorem="Thm 4.3 (policy-aware, F1 = Mdistinct)",
+            transducer=distinct_protocol_transducer(sp_query),
+            query=sp_query,
+            instance=sp_instance,
+        ),
+        Section4Protocol(
+            key="thm44-disjoint",
+            theorem="Thm 4.4 (domain-guided, F2 = Mdisjoint)",
+            transducer=disjoint_protocol_transducer(cotc),
+            query=cotc,
+            instance=graph,
+            domain_guided=True,
+        ),
+        Section4Protocol(
+            key="thm45-distinct-noall",
+            theorem="Thm 4.5 (no All, A1 = Mdistinct)",
+            transducer=distinct_protocol_transducer(
+                sp_query, variant=POLICY_AWARE_NO_ALL
+            ),
+            query=sp_query,
+            instance=sp_instance,
+        ),
+        Section4Protocol(
+            key="thm45-disjoint-noall",
+            theorem="Thm 4.5 (no All, A2 = Mdisjoint)",
+            transducer=disjoint_protocol_transducer(
+                cotc, variant=POLICY_AWARE_NO_ALL
+            ),
+            query=cotc,
+            instance=graph,
+            domain_guided=True,
+        ),
+        Section4Protocol(
+            key="cor46-broadcast",
+            theorem="Cor 4.6 (oblivious, F0 = A0 = M)",
+            transducer=broadcast_transducer(tc, variant=OBLIVIOUS),
+            query=tc,
+            instance=graph,
+        ),
+    )

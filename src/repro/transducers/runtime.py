@@ -21,6 +21,15 @@ already delivered — after which well-behaved transducers (all the protocols
 in this package store every delivered message in memory) can never produce
 new facts.  Fairness is realized by round-based scheduling: every node is
 activated once per round and buffered messages are eventually delivered.
+
+Message delivery between nodes goes through a pluggable :class:`Channel`.
+The default channel is perfect (every sent fact is enqueued exactly once,
+immediately); :mod:`repro.transducers.faults` provides fault-injecting
+channels (duplication, bounded delay, drop-with-eventual-redelivery) that
+stay within the paper's fair-run semantics: a multiset buffer already allows
+duplicates, and every in-flight fact is eventually delivered — the
+quiescence loop force-flushes any remaining in-flight messages before it is
+allowed to declare a run quiescent.
 """
 
 from __future__ import annotations
@@ -38,9 +47,11 @@ from .transducer import LocalView, Transducer
 __all__ = [
     "TransducerNetwork",
     "NodeState",
+    "NodeStats",
     "TransitionRecord",
     "RunMetrics",
     "Run",
+    "Channel",
     "Scheduler",
     "FairScheduler",
     "TrickleScheduler",
@@ -75,17 +86,36 @@ class TransitionRecord:
     state_changed: bool
     new_output: int
 
+    def to_dict(self) -> dict:
+        """A JSON-ready view of this record (telemetry traces)."""
+        return {
+            "index": self.index,
+            "node": repr(self.node),
+            "delivered": self.delivered,
+            "sent": self.sent,
+            "heartbeat": self.heartbeat,
+            "state_changed": self.state_changed,
+            "new_output": self.new_output,
+        }
+
 
 @dataclass
 class RunMetrics:
     """Aggregate counters over a run — the protocol-cost measurements used
-    by the Section 4.3 discussion benchmarks."""
+    by the Section 4.3 discussion benchmarks.
+
+    ``transitions`` counts every transition, including the extra ones an
+    adversarial scheduler performs before a round; those are additionally
+    broken out as ``pre_round_transitions`` so rounds-to-quiescence and
+    transitions-per-round read correctly from a report.
+    """
 
     transitions: int = 0
     heartbeats: int = 0
     message_facts_sent: int = 0
     message_deliveries: int = 0
     rounds: int = 0
+    pre_round_transitions: int = 0
 
     def record(self, record: TransitionRecord, fanout: int) -> None:
         self.transitions += 1
@@ -93,6 +123,75 @@ class RunMetrics:
             self.heartbeats += 1
         self.message_facts_sent += record.sent * fanout
         self.message_deliveries += record.delivered
+
+    def to_dict(self) -> dict:
+        return {
+            "transitions": self.transitions,
+            "heartbeats": self.heartbeats,
+            "message_facts_sent": self.message_facts_sent,
+            "message_deliveries": self.message_deliveries,
+            "rounds": self.rounds,
+            "pre_round_transitions": self.pre_round_transitions,
+        }
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters maintained during a run (telemetry)."""
+
+    transitions: int = 0
+    heartbeats: int = 0
+    deliveries: int = 0
+    sent_facts: int = 0
+    buffer_high_water: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "transitions": self.transitions,
+            "heartbeats": self.heartbeats,
+            "deliveries": self.deliveries,
+            "sent_facts": self.sent_facts,
+            "buffer_high_water": self.buffer_high_water,
+        }
+
+
+class Channel:
+    """The delivery model for every network link: decides what actually
+    lands in a buffer when a node addresses facts to another node.
+
+    The base class is the *perfect* channel: every sent fact is enqueued at
+    its target exactly once, immediately.  Fault-injecting subclasses (see
+    :mod:`repro.transducers.faults`) may return extra copies, hold facts in
+    flight for later :meth:`release`, or both — but they must keep every
+    held fact retrievable through :meth:`flush` so the runtime can preserve
+    the fair-run guarantee that all messages are eventually delivered.
+
+    ``clock`` arguments are the run's global transition counter.
+    """
+
+    name = "perfect"
+
+    def transmit(
+        self, source: Hashable, target: Hashable, facts: Iterable[Fact], clock: int
+    ) -> list[Fact]:
+        """Facts to enqueue at *target* right now (copies included)."""
+        return list(facts)
+
+    def release(self, target: Hashable, clock: int) -> list[Fact]:
+        """In-flight facts for *target* whose delivery is now due."""
+        return []
+
+    def flush(self, target: Hashable) -> list[Fact]:
+        """Hand over *all* in-flight facts for *target*, due or not."""
+        return []
+
+    def pending(self) -> int:
+        """Number of facts currently held in flight (all targets)."""
+        return 0
+
+    def fault_counters(self) -> dict[str, int]:
+        """Counters describing the faults injected so far (telemetry)."""
+        return {}
 
 
 class TransducerNetwork:
@@ -119,15 +218,25 @@ class TransducerNetwork:
         self.transducer = transducer
         self.policy = policy
 
-    def new_run(self, instance: Instance) -> "Run":
-        """Start a run of this network on the given global input."""
-        return Run(self, instance)
+    def new_run(self, instance: Instance, *, channel: Channel | None = None) -> "Run":
+        """Start a run of this network on the given global input.
+
+        ``channel`` selects the delivery model; ``None`` means the perfect
+        channel (immediate, exactly-once enqueueing).
+        """
+        return Run(self, instance, channel=channel)
 
 
 class Run:
     """A (finite prefix of a) run of a transducer network on an input."""
 
-    def __init__(self, network: TransducerNetwork, instance: Instance) -> None:
+    def __init__(
+        self,
+        network: TransducerNetwork,
+        instance: Instance,
+        *,
+        channel: Channel | None = None,
+    ) -> None:
         self._network = network
         self._instance = instance.restrict(network.transducer.schema.inputs)
         self._fragments = network.policy.distribute(self._instance)
@@ -140,7 +249,11 @@ class Run:
         self._delivered_ever: dict[Hashable, set[Fact]] = {
             node: set() for node in network.network
         }
+        self._channel = channel if channel is not None else Channel()
         self.metrics = RunMetrics()
+        self.node_stats: dict[Hashable, NodeStats] = {
+            node: NodeStats() for node in network.network
+        }
         self._transition_count = 0
         self.history: list[TransitionRecord] = []
 
@@ -153,6 +266,10 @@ class Run:
     @property
     def instance(self) -> Instance:
         return self._instance
+
+    @property
+    def channel(self) -> Channel:
+        return self._channel
 
     def nodes(self) -> list[Hashable]:
         return self._network.network.sorted_nodes()
@@ -201,6 +318,10 @@ class Run:
         node's buffer.
         """
         buffer = self._buffers[node]
+        released = self._channel.release(node, self._transition_count)
+        if released:
+            buffer.update(released)
+            self._note_buffer(node)
         if deliver == "all":
             chosen = Counter(buffer)
         elif deliver is None:
@@ -233,7 +354,12 @@ class Run:
             others = [n for n in self._network.network if n != node]
             fanout = len(others)
             for other in others:
-                self._buffers[other].update(update.messages.facts)
+                copies = self._channel.transmit(
+                    node, other, update.messages.facts, self._transition_count
+                )
+                if copies:
+                    self._buffers[other].update(copies)
+                self._note_buffer(other)
 
         record = TransitionRecord(
             index=self._transition_count,
@@ -246,8 +372,21 @@ class Run:
         )
         self._transition_count += 1
         self.metrics.record(record, fanout if update.messages else 0)
+        stats = self.node_stats[node]
+        stats.transitions += 1
+        stats.deliveries += record.delivered
+        stats.sent_facts += record.sent
+        if record.heartbeat:
+            stats.heartbeats += 1
         self.history.append(record)
         return record
+
+    def _note_buffer(self, node: Hashable) -> None:
+        """Track the buffer high-water mark after an enqueue (telemetry)."""
+        size = sum(self._buffers[node].values())
+        stats = self.node_stats[node]
+        if size > stats.buffer_high_water:
+            stats.buffer_high_water = size
 
     def render_trace(self, *, limit: int = 40) -> str:
         """A human-readable trace of the run's transitions (for debugging
@@ -306,18 +445,40 @@ class Run:
 
         Quiescence: a full all-delivery round with no state change and no
         novel message content, with only already-delivered duplicates left
-        buffered.
+        buffered and nothing held in flight by the channel.  Any in-flight
+        messages are force-flushed into the buffers before quiescence may be
+        declared — this is what makes delay/drop channels *fair*: every
+        message is eventually delivered, even on runs that would otherwise
+        go quiet first.
         """
         scheduler = scheduler or FairScheduler()
         for _ in range(max_rounds):
+            before = self.metrics.transitions
+            scheduler.pre_round(self)
+            self.metrics.pre_round_transitions += self.metrics.transitions - before
             order = scheduler.order(self)
             changed = self.round(order)
             if not changed and not self._novel_pending():
+                if self._flush_channel():
+                    continue
                 return self.global_output()
         raise QuiescenceError(
             f"run did not quiesce within {max_rounds} rounds "
-            f"({self.buffered_messages()} messages pending)"
+            f"({self.buffered_messages()} messages pending, "
+            f"{self._channel.pending()} in flight)"
         )
+
+    def _flush_channel(self) -> bool:
+        """Force every in-flight fact into its target buffer; True when any
+        fact moved (the quiescence decision must then be re-examined)."""
+        moved = False
+        for node in self._buffers:
+            released = self._channel.flush(node)
+            if released:
+                self._buffers[node].update(released)
+                self._note_buffer(node)
+                moved = True
+        return moved
 
     def _novel_pending(self) -> bool:
         return any(
@@ -327,16 +488,32 @@ class Run:
 
 
 class Scheduler:
-    """Chooses node activation orders for rounds; subclasses add policy."""
+    """Chooses node activation orders for rounds; subclasses add policy.
+
+    ``pre_round`` runs before each fair round inside
+    :meth:`Run.run_to_quiescence` and may perform extra adversarial
+    transitions (partial deliveries, heartbeats, starvation bursts).  The
+    runtime accounts those separately as
+    ``RunMetrics.pre_round_transitions``, so round-based metrics stay
+    comparable across schedulers.  The fair round that always follows keeps
+    every schedule fair regardless of what ``pre_round`` does.
+    """
+
+    name = "roundrobin"
 
     def order(self, run: Run) -> list[Hashable]:
         return run.nodes()
+
+    def pre_round(self, run: Run) -> None:
+        """Adversarial transitions before the fair round (default: none)."""
 
 
 class FairScheduler(Scheduler):
     """A seeded random permutation per round — fair because every node runs
     once per round and every buffered message is delivered when its node
     activates."""
+
+    name = "fair"
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
@@ -349,19 +526,31 @@ class FairScheduler(Scheduler):
 
 class TrickleScheduler(Scheduler):
     """An adversarial-ish scheduler: before each round, every node performs
-    extra transitions that deliver messages one at a time in random order,
-    maximizing interleavings (used to probe confluence of the protocols)."""
+    extra transitions that deliver roughly half of its buffered messages one
+    at a time in random order, maximizing interleavings (used to probe
+    confluence of the protocols).
+
+    The prefix is ``ceil(len/2)`` — an earlier version used ``len // 2``,
+    which delivers *nothing* when exactly one message is buffered, so
+    singleton buffers never trickled and the scheduler degenerated to
+    :class:`FairScheduler` on sparse traffic.
+    """
+
+    name = "trickle"
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
 
-    def order(self, run: Run) -> list[Hashable]:
+    def pre_round(self, run: Run) -> None:
         nodes = run.nodes()
         self._rng.shuffle(nodes)
         for node in nodes:
             pending = list(run.buffer(node).elements())
             self._rng.shuffle(pending)
-            for message in pending[: len(pending) // 2]:
+            for message in pending[: (len(pending) + 1) // 2]:
                 run.transition(node, deliver=[message])
+
+    def order(self, run: Run) -> list[Hashable]:
+        nodes = run.nodes()
         self._rng.shuffle(nodes)
         return nodes

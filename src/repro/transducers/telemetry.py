@@ -1,0 +1,193 @@
+"""Structured run telemetry: machine-readable reports over finished runs.
+
+A :class:`RunReport` snapshots everything a confluence or robustness sweep
+needs to compare runs — aggregate :class:`~repro.transducers.runtime.RunMetrics`,
+per-node delivery counters and buffer high-water marks, fault counters from
+the channel, rounds-to-quiescence, and a fingerprint of the global output
+so "byte-identical output" is a string comparison.
+
+The JSON layout (``RunReport.to_dict``) is documented in ``docs/CHAOS.md``
+and versioned through ``REPORT_VERSION``; it is emitted by the CLI
+(``repro run --report out.json``) and consumed by
+``benchmarks/bench_chaos_confluence.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..datalog.instance import Instance
+from .runtime import Run, Scheduler
+
+__all__ = [
+    "REPORT_VERSION",
+    "NodeReport",
+    "RunReport",
+    "build_run_report",
+    "output_fingerprint",
+    "write_report",
+]
+
+#: Bumped whenever the report JSON layout changes incompatibly.
+REPORT_VERSION = 1
+
+
+def output_fingerprint(instance: Instance) -> str:
+    """A stable digest of an instance: sha256 over the sorted fact reprs.
+
+    Two runs have byte-identical global output iff their fingerprints are
+    equal — the equality the chaos-confluence sweep asserts.
+    """
+    canonical = "\n".join(repr(fact) for fact in instance.sorted_facts())
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """Telemetry for one node of a finished run."""
+
+    node: str
+    transitions: int
+    heartbeats: int
+    deliveries: int
+    sent_facts: int
+    buffer_high_water: int
+    buffered_at_end: int
+    output_facts: int
+    memory_facts: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node": self.node,
+            "transitions": self.transitions,
+            "heartbeats": self.heartbeats,
+            "deliveries": self.deliveries,
+            "sent_facts": self.sent_facts,
+            "buffer_high_water": self.buffer_high_water,
+            "buffered_at_end": self.buffered_at_end,
+            "output_facts": self.output_facts,
+            "memory_facts": self.memory_facts,
+        }
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The full structured report for one run (see docs/CHAOS.md)."""
+
+    protocol: str
+    nodes: tuple[str, ...]
+    policy: str
+    scheduler: str
+    channel: str
+    quiesced: bool
+    metrics: dict[str, int]
+    faults: dict[str, int]
+    per_node: tuple[NodeReport, ...]
+    output_facts: int
+    output_fingerprint: str
+    trace: tuple[dict[str, Any], ...] | None = None
+    version: int = field(default=REPORT_VERSION)
+
+    @property
+    def rounds_to_quiescence(self) -> int | None:
+        """Rounds executed, when the run actually quiesced."""
+        return self.metrics["rounds"] if self.quiesced else None
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "version": self.version,
+            "protocol": self.protocol,
+            "nodes": list(self.nodes),
+            "policy": self.policy,
+            "scheduler": self.scheduler,
+            "channel": self.channel,
+            "quiesced": self.quiesced,
+            "rounds_to_quiescence": self.rounds_to_quiescence,
+            "metrics": dict(self.metrics),
+            "faults": dict(self.faults),
+            "per_node": [node.to_dict() for node in self.per_node],
+            "output_facts": self.output_facts,
+            "output_fingerprint": self.output_fingerprint,
+        }
+        if self.trace is not None:
+            payload["trace"] = [dict(record) for record in self.trace]
+        return payload
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """One human line: the numbers one scans in a sweep log."""
+        state = "quiesced" if self.quiesced else "DID NOT QUIESCE"
+        return (
+            f"{self.protocol} [{self.scheduler}/{self.channel}] {state} "
+            f"after {self.metrics['rounds']} rounds, "
+            f"{self.metrics['transitions']} transitions "
+            f"({self.metrics['pre_round_transitions']} adversarial), "
+            f"{self.output_facts} output facts, "
+            f"out={self.output_fingerprint[:12]}"
+        )
+
+
+def build_run_report(
+    run: Run,
+    *,
+    scheduler: Scheduler | None = None,
+    quiesced: bool = True,
+    include_trace: bool = False,
+    trace_limit: int = 200,
+) -> RunReport:
+    """Assemble the report for a (normally finished) run.
+
+    ``scheduler`` is the one the run executed under — the Run itself does
+    not retain it.  ``include_trace`` embeds the last ``trace_limit``
+    transition records (JSON-ready dicts) for debugging divergent runs.
+    """
+    output = run.global_output()
+    per_node = []
+    for node in run.nodes():
+        stats = run.node_stats[node]
+        state = run.state(node)
+        per_node.append(
+            NodeReport(
+                node=repr(node),
+                transitions=stats.transitions,
+                heartbeats=stats.heartbeats,
+                deliveries=stats.deliveries,
+                sent_facts=stats.sent_facts,
+                buffer_high_water=stats.buffer_high_water,
+                buffered_at_end=sum(run.buffer(node).values()),
+                output_facts=len(state.output),
+                memory_facts=len(state.memory),
+            )
+        )
+    trace = None
+    if include_trace:
+        trace = tuple(record.to_dict() for record in run.history[-trace_limit:])
+    scheduler_name = getattr(scheduler, "name", None) or (
+        type(scheduler).__name__ if scheduler is not None else "fair"
+    )
+    return RunReport(
+        protocol=run.network.transducer.name,
+        nodes=tuple(repr(node) for node in run.nodes()),
+        policy=run.network.policy.name,
+        scheduler=scheduler_name,
+        channel=run.channel.name,
+        quiesced=quiesced,
+        metrics=run.metrics.to_dict(),
+        faults=run.channel.fault_counters(),
+        per_node=tuple(per_node),
+        output_facts=len(output),
+        output_fingerprint=output_fingerprint(output),
+        trace=trace,
+    )
+
+
+def write_report(report: RunReport, path: str) -> None:
+    """Write the report JSON to *path* (the CLI's ``--report`` backend)."""
+    with open(path, "w") as handle:
+        handle.write(report.to_json())
+        handle.write("\n")

@@ -151,3 +151,87 @@ class TestSemiNaive:
         assert {f.values for f in result if f.relation == "T"} == {
             (a, b) for a in (1, 2, 3) for b in (1, 2, 3)
         }
+
+
+class TestGroundRules:
+    """Rules with an empty positive body (ground rules): both evaluators
+    must agree — regression for the semi-naive delta loop, which used to
+    skip them entirely because no body atom could come from the delta."""
+
+    def _ground_program(self):
+        from repro.datalog import Atom, Program, Rule, parse_rules
+
+        rules = parse_rules(
+            "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z). O(y) :- Seed(x), E(x, y)."
+        )
+        rules.append(Rule(Atom("Seed", (1,)), pos=[], neg=[Atom("Off", ())]))
+        return Program(rules)
+
+    def _naive_fixpoint(self, program, instance):
+        current = instance
+        while True:
+            following = immediate_consequence(program, current)
+            if following == current:
+                return current
+            current = following
+
+    def test_seminaive_matches_naive_with_ground_rule(self):
+        program = self._ground_program()
+        instance = edges((1, 2), (2, 3))
+        semi = evaluate_semipositive(program, instance)
+        assert semi == self._naive_fixpoint(program, instance)
+        assert Fact("Seed", (1,)) in semi
+        assert Fact("O", (2,)) in semi  # downstream of the ground fact
+
+    def test_ground_rule_fires_on_empty_instance(self):
+        program = self._ground_program()
+        semi = evaluate_semipositive(program, Instance())
+        assert semi == self._naive_fixpoint(program, Instance())
+        assert Fact("Seed", (1,)) in semi
+
+    def test_ground_rule_blocked_by_edb_negation(self):
+        program = self._ground_program()
+        instance = edges((1, 2)) | Instance([Fact("Off", ())])
+        semi = evaluate_semipositive(program, instance)
+        assert semi == self._naive_fixpoint(program, instance)
+        assert Fact("Seed", (1,)) not in semi
+
+    def test_nonground_empty_body_still_rejected(self):
+        from repro.datalog import Atom, Rule, RuleValidationError, make_variables
+
+        x = make_variables("x")[0]
+        with pytest.raises(RuleValidationError, match="unsafe"):
+            Rule(Atom("Seed", [x]), pos=[], neg=[Atom("Off", [x])])
+
+
+class TestBindingAliasing:
+    """`_extend_binding` returns the input binding object unchanged when the
+    match binds no new variable — the no-copy contract of the inner join
+    loop (regression: it used to copy on every candidate tuple)."""
+
+    def test_no_new_bindings_returns_same_object(self):
+        from repro.datalog import Atom, make_variables
+        from repro.datalog.evaluation import _extend_binding
+
+        x, y = make_variables("x y")
+        binding = {x: 1, y: 2}
+        result = _extend_binding(Atom("E", [x, y]), (1, 2), binding)
+        assert result is binding
+
+    def test_new_binding_copies(self):
+        from repro.datalog import Atom, make_variables
+        from repro.datalog.evaluation import _extend_binding
+
+        x, y = make_variables("x y")
+        binding = {x: 1}
+        result = _extend_binding(Atom("E", [x, y]), (1, 2), binding)
+        assert result == {x: 1, y: 2}
+        assert result is not binding
+        assert binding == {x: 1}  # input untouched
+
+    def test_mismatch_returns_none(self):
+        from repro.datalog import Atom, make_variables
+        from repro.datalog.evaluation import _extend_binding
+
+        x = make_variables("x")[0]
+        assert _extend_binding(Atom("E", [x, x]), (1, 2), {}) is None

@@ -7,10 +7,15 @@ from repro.datalog.parser import parse_rule
 
 
 class TestRuleValidation:
-    def test_empty_positive_body_rejected(self):
+    def test_empty_positive_body_with_variables_rejected(self):
         x = make_variables("x")[0]
         with pytest.raises(RuleValidationError):
             Rule(Atom("T", [x]), pos=[], neg=[Atom("S", [x])])
+
+    def test_ground_empty_positive_body_allowed(self):
+        rule = Rule(Atom("T", (1,)), pos=[], neg=[Atom("S", ())])
+        assert not rule.pos
+        assert rule.variables() == set()
 
     def test_unsafe_head_variable_rejected(self):
         x, y = make_variables("x y")

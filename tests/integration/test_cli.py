@@ -80,6 +80,39 @@ class TestRun:
         code, _ = run_cli("run", str(program), str(facts), "--seed", "5")
         assert code == 0
 
+    def test_chaos_run_writes_report(self, files, tmp_path):
+        import json
+
+        program, facts, _ = files
+        report_path = tmp_path / "report.json"
+        code, text = run_cli(
+            "run", str(program), str(facts),
+            "--chaos", "--seed", "3", "--report", str(report_path), "--trace",
+        )
+        assert code == 0
+        assert "matches centralized evaluation: OK" in text
+        assert "channel:      faulty" in text
+        assert "scheduler:    chaos" in text
+        payload = json.loads(report_path.read_text())
+        assert payload["quiesced"] is True
+        assert payload["channel"] == "faulty"
+        assert payload["scheduler"] == "chaos"
+        assert set(payload["faults"]) == {
+            "duplicated", "delayed", "dropped", "redelivered",
+        }
+        assert payload["trace"]
+        assert payload["metrics"]["transitions"] == sum(
+            node["transitions"] for node in payload["per_node"]
+        )
+
+    def test_scheduler_flag(self, files):
+        program, facts, _ = files
+        code, text = run_cli(
+            "run", str(program), str(facts), "--scheduler", "starve"
+        )
+        assert code == 0
+        assert "scheduler:    starve" in text
+
 
 class TestSolveGame:
     def test_classification(self, files):

@@ -42,3 +42,7 @@ def test_distributed_gc(capsys):
 
 def test_deadlock_detection(capsys):
     run_example("deadlock_detection.py", capsys)
+
+
+def test_chaos_confluence(capsys):
+    run_example("chaos_confluence.py", capsys)

@@ -1,0 +1,89 @@
+"""Property tests for the bugfix pair of this PR: semi-naive equivalence
+with the naive T_P fixpoint (including ground rules), and confluence of the
+Section-4 protocols under the adversarial scheduler/channel zoo."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Atom, Fact, Instance, Program, Rule
+from repro.datalog.evaluation import evaluate_semipositive, immediate_consequence
+from repro.queries.program_generator import GeneratorConfig, random_program
+from repro.transducers import (
+    CHAOS_PLAN,
+    FairScheduler,
+    FaultyChannel,
+    Network,
+    TransducerNetwork,
+    chaos_scheduler_zoo,
+    section4_protocols,
+)
+
+values = st.integers(min_value=0, max_value=3)
+instances = st.frozensets(
+    st.one_of(
+        st.builds(Fact, relation=st.just("E"), values=st.tuples(values, values)),
+        st.builds(Fact, relation=st.just("V"), values=st.tuples(values)),
+    ),
+    max_size=8,
+).map(Instance)
+program_seeds = st.integers(min_value=0, max_value=200)
+run_seeds = st.integers(min_value=0, max_value=50)
+
+SEMIPOSITIVE = GeneratorConfig(strata=1)
+
+
+def naive_fixpoint(program: Program, instance: Instance) -> Instance:
+    current = instance
+    while True:
+        following = immediate_consequence(program, current)
+        if following == current:
+            return current
+        current = following
+
+
+def with_ground_rule(program: Program) -> Program:
+    """Graft a ground (empty positive body) rule onto *program*."""
+    ground = Rule(Atom("G", (0,)), pos=[], neg=[Atom("Absent", ())])
+    return Program(list(program) + [ground])
+
+
+class TestSemiNaiveMatchesNaive:
+    @given(program_seeds, instances)
+    @settings(max_examples=25, deadline=None)
+    def test_random_semipositive_programs(self, seed, instance):
+        program = random_program(seed, SEMIPOSITIVE)
+        assert evaluate_semipositive(program, instance) == naive_fixpoint(
+            program, instance
+        )
+
+    @given(program_seeds, instances)
+    @settings(max_examples=25, deadline=None)
+    def test_with_injected_ground_rule(self, seed, instance):
+        program = with_ground_rule(random_program(seed, SEMIPOSITIVE))
+        semi = evaluate_semipositive(program, instance)
+        assert semi == naive_fixpoint(program, instance)
+        assert Fact("G", (0,)) in semi  # the ground rule actually fired
+
+
+NETWORK = Network(["n1", "n2", "n3"])
+BUNDLES = {bundle.key: bundle for bundle in section4_protocols()}
+
+
+class TestChaosConfluence:
+    """Every adversarial schedule of a Section-4 protocol converges to the
+    same global output as the fair baseline — Theorems 4.3/4.4/4.5."""
+
+    @given(run_seeds, st.sampled_from(sorted(BUNDLES)))
+    @settings(max_examples=12, deadline=None)
+    def test_faulted_runs_match_fair_baseline(self, seed, key):
+        bundle = BUNDLES[key]
+        policy = bundle.policy(NETWORK)
+
+        def outcome(scheduler, channel=None):
+            net = TransducerNetwork(NETWORK, bundle.transducer, policy)
+            run = net.new_run(bundle.instance, channel=channel)
+            return run.run_to_quiescence(scheduler=scheduler)
+
+        fair = outcome(FairScheduler(seed))
+        assert fair == bundle.expected()
+        scheduler = chaos_scheduler_zoo(seed)[seed % 5]
+        assert outcome(scheduler, FaultyChannel(CHAOS_PLAN, seed)) == fair

@@ -1,0 +1,189 @@
+"""Unit tests for the fault-injection layer: channels and the scheduler zoo."""
+
+import pytest
+
+from repro.datalog import Fact, Instance, Schema, parse_facts
+from repro.transducers import (
+    CHAOS_PLAN,
+    ChaosScheduler,
+    FairScheduler,
+    FaultPlan,
+    FaultyChannel,
+    HeartbeatStormScheduler,
+    Network,
+    PythonTransducer,
+    SingletonScheduler,
+    StarvationScheduler,
+    TransducerNetwork,
+    TransducerSchema,
+    TrickleScheduler,
+    chaos_scheduler_zoo,
+    make_scheduler,
+    single_node_policy,
+)
+
+INPUTS = Schema({"E": 2})
+
+
+def echo_transducer():
+    schema = TransducerSchema(
+        inputs=INPUTS,
+        outputs=Schema({"O": 2}),
+        messages=Schema({"m": 2}),
+        memory=Schema({"seen": 2, "sent": 2}),
+    )
+
+    def send(view):
+        desired = {Fact("m", f.values) for f in view.local_input}
+        sent = {Fact("m", f.values[:2]) for f in view.memory if f.relation == "sent"}
+        return desired - sent
+
+    def insert(view):
+        for fact in view.delivered:
+            yield Fact("seen", fact.values)
+        for message in send(view):
+            yield Fact("sent", message.values)
+
+    def out(view):
+        for fact in view.memory:
+            if fact.relation == "seen":
+                yield Fact("O", fact.values)
+
+    return PythonTransducer(schema, out=out, insert=insert, send=send, name="echo")
+
+
+class TestFaultPlan:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError, match="duplicate_rate"):
+            FaultPlan(duplicate_rate=1.5)
+        with pytest.raises(ValueError, match="exceed 1"):
+            FaultPlan(delay_rate=0.7, drop_rate=0.7)
+        with pytest.raises(ValueError, match="max_copies"):
+            FaultPlan(max_copies=1)
+
+    def test_describe_mentions_all_faults(self):
+        text = CHAOS_PLAN.describe()
+        assert "dup=" in text and "delay=" in text and "drop=" in text
+
+
+class TestFaultyChannel:
+    def test_duplication_enqueues_extra_copies(self):
+        channel = FaultyChannel(FaultPlan(duplicate_rate=1.0, max_copies=2), seed=1)
+        copies = channel.transmit("a", "b", [Fact("m", (1, 2))], clock=0)
+        assert copies == [Fact("m", (1, 2))] * 2
+        assert channel.fault_counters()["duplicated"] == 1
+        assert channel.pending() == 0
+
+    def test_delay_holds_then_releases(self):
+        channel = FaultyChannel(FaultPlan(delay_rate=1.0, max_delay=3), seed=0)
+        assert channel.transmit("a", "b", [Fact("m", (1, 2))], clock=0) == []
+        assert channel.pending() == 1
+        # Due no later than clock 4 (1 + randrange(3) <= 3 past the send).
+        released = []
+        for clock in range(1, 5):
+            released += channel.release("b", clock)
+        assert released == [Fact("m", (1, 2))]
+        assert channel.pending() == 0
+
+    def test_release_only_for_the_target(self):
+        channel = FaultyChannel(FaultPlan(delay_rate=1.0, max_delay=1), seed=0)
+        channel.transmit("a", "b", [Fact("m", (1, 2))], clock=0)
+        assert channel.release("c", 100) == []
+        assert channel.release("b", 100) == [Fact("m", (1, 2))]
+
+    def test_drop_is_redelivered_on_flush(self):
+        channel = FaultyChannel(FaultPlan(drop_rate=1.0), seed=0)
+        assert channel.transmit("a", "b", [Fact("m", (1, 2))], clock=0) == []
+        assert channel.fault_counters()["dropped"] == 1
+        assert channel.flush("b") == [Fact("m", (1, 2))]
+        assert channel.fault_counters()["redelivered"] == 1
+        assert channel.pending() == 0
+
+    def test_fairness_nothing_lost_end_to_end(self, two_node_network):
+        """Even under heavy drop/delay, quiescence delivers everything."""
+        policy = single_node_policy(INPUTS, two_node_network, "n1")
+        net = TransducerNetwork(two_node_network, echo_transducer(), policy)
+        plan = FaultPlan(delay_rate=0.5, drop_rate=0.5, redelivery_delay=30)
+        run = net.new_run(
+            Instance(parse_facts("E(1,2). E(2,3). E(3,4).")),
+            channel=FaultyChannel(plan, seed=3),
+        )
+        output = run.run_to_quiescence()
+        assert {f.values for f in output} == {(1, 2), (2, 3), (3, 4)}
+        assert run.channel.pending() == 0
+
+
+class TestTrickleRegression:
+    def test_singleton_buffer_is_trickled(self, two_node_network):
+        """`order`/`pre_round` used to slice `pending[:len//2]`, delivering
+        nothing for a single buffered message; the ceil slice fixes it."""
+        policy = single_node_policy(INPUTS, two_node_network, "n1")
+        net = TransducerNetwork(two_node_network, echo_transducer(), policy)
+        run = net.new_run(Instance(parse_facts("E(1,2).")))
+        run.transition("n1")  # one message now buffered at n2
+        assert sum(run.buffer("n2").values()) == 1
+        TrickleScheduler(0).pre_round(run)
+        assert sum(run.buffer("n2").values()) == 0  # it trickled
+
+    def test_pre_round_transitions_accounted(self, two_node_network):
+        policy = single_node_policy(INPUTS, two_node_network, "n1")
+        net = TransducerNetwork(two_node_network, echo_transducer(), policy)
+        run = net.new_run(Instance(parse_facts("E(1,2). E(3,4).")))
+        run.transition("n1")  # pre-buffer messages at n2 for the first pre_round
+        run.run_to_quiescence(scheduler=TrickleScheduler(0))
+        assert run.metrics.pre_round_transitions > 0
+        assert run.metrics.transitions > run.metrics.pre_round_transitions
+        assert run.metrics.transitions == len(run.history)
+
+
+class TestSchedulerZoo:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            TrickleScheduler,
+            SingletonScheduler,
+            HeartbeatStormScheduler,
+            StarvationScheduler,
+            ChaosScheduler,
+        ],
+    )
+    def test_same_output_as_fair(self, scheduler_factory, three_node_network):
+        from repro.transducers import hash_policy
+
+        instance = Instance(parse_facts("E(1,2). E(2,3). E(3,1)."))
+        policy = hash_policy(INPUTS, three_node_network)
+
+        def output(scheduler, channel=None):
+            net = TransducerNetwork(three_node_network, echo_transducer(), policy)
+            run = net.new_run(instance, channel=channel)
+            return run.run_to_quiescence(scheduler=scheduler)
+
+        fair = output(FairScheduler(0))
+        for seed in (0, 1, 2):
+            assert output(scheduler_factory(seed)) == fair
+            assert (
+                output(scheduler_factory(seed), FaultyChannel(CHAOS_PLAN, seed))
+                == fair
+            )
+
+    def test_zoo_and_names(self):
+        zoo = chaos_scheduler_zoo(5)
+        assert {s.name for s in zoo} == {
+            "trickle",
+            "singleton",
+            "storm",
+            "starve",
+            "chaos",
+        }
+        assert make_scheduler("starve", 2).name == "starve"
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("nope")
+
+    def test_starvation_noop_on_single_node(self):
+        network = Network(["only"])
+        policy = single_node_policy(INPUTS, network, "only")
+        run = TransducerNetwork(network, echo_transducer(), policy).new_run(
+            Instance(parse_facts("E(1,2)."))
+        )
+        StarvationScheduler(0).pre_round(run)  # must not raise or loop
+        assert run.metrics.transitions == 0
