@@ -1,0 +1,200 @@
+"""ENGINE — microbenchmarks for the compiled-plan engine and the
+incremental transducer runtime.
+
+Unlike the paper-artifact benchmarks (one verification run each), these are
+honest microbenchmarks: small, join-heavy workloads measured over several
+rounds so that ``scripts/bench_report.py`` can A/B them against the legacy
+engine (``REPRO_DISABLE_PLANS=1 REPRO_DISABLE_QUERY_CACHE=1``) and distill
+the speedups into the committed ``BENCH_engine.json``.
+
+Workloads:
+
+* transitive closure (the canonical two-rule recursive join) at three
+  seeded random-graph sizes, the largest matching bench_scaling's 40-node /
+  120-edge shape;
+* win-move through the well-founded solver (negation + alternating
+  fixpoint, so the doubled program exercises plans under Datalog¬);
+* one Section-4 protocol driven to quiescence (end-to-end transducer cost);
+* the heartbeat-heavy chaos sweep — HeartbeatStormScheduler schedules are
+  dominated by transitions that deliver zero new facts, exactly the case
+  the fingerprint step-cache memoizes;
+* the default mixed chaos-confluence sweep (a smaller copy of
+  bench_chaos_confluence's adversary) as the "realistic mix" datapoint.
+
+``BENCH_ENGINE_SMOKE=1`` shrinks sizes and rounds for CI smoke runs.
+Every workload asserts its output against an engine-independent expectation
+so an A/B run that diverges fails loudly instead of timing garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.datalog import (
+    Fact,
+    Instance,
+    SemiNaiveEvaluator,
+    evaluate_well_founded,
+    parse_program,
+    winmove_program,
+)
+from repro.queries import random_game_graph
+from repro.transducers import (
+    CHAOS_PLAN,
+    FairScheduler,
+    FaultyChannel,
+    Network,
+    TransducerNetwork,
+    chaos_scheduler_zoo,
+    output_fingerprint,
+    section4_protocols,
+)
+from repro.transducers.faults import HeartbeatStormScheduler
+
+SMOKE = os.environ.get("BENCH_ENGINE_SMOKE", "").lower() in {"1", "true", "yes"}
+ROUNDS = 1 if SMOKE else 3
+NETWORK = Network(["n1", "n2", "n3"])
+
+TC_PROGRAM = parse_program(
+    "T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).",
+    output_relations=["T"],
+)
+
+# (nodes, edges) -> closure size for seed 42; recomputed once below and
+# asserted every round so both engine variants must agree on the output.
+TC_SIZES = [(10, 20), (40, 120)] if SMOKE else [(10, 20), (40, 120), (70, 210)]
+
+
+def random_edges(nodes: int, edges: int, seed: int = 42) -> Instance:
+    rng = random.Random(seed)
+    return Instance(
+        Fact("E", (f"n{rng.randrange(nodes)}", f"n{rng.randrange(nodes)}"))
+        for _ in range(edges)
+    )
+
+
+def tc_closure(instance: Instance) -> Instance:
+    return SemiNaiveEvaluator(TC_PROGRAM, check_semipositive=False).run(instance)
+
+
+def _measure(benchmark, fn, *args, iters: int = 1):
+    """Pedantic measurement; sub-50ms workloads pass iters > 1 so each round
+    is long enough to rise above timer jitter (smoke mode stays at 1)."""
+    iterations = 1 if SMOKE else iters
+    return benchmark.pedantic(
+        fn, args=args, rounds=ROUNDS, iterations=iterations, warmup_rounds=1
+    )
+
+
+def test_tc_small(benchmark):
+    instance = random_edges(*TC_SIZES[0])
+    expected = len(tc_closure(instance))
+    result = _measure(benchmark, tc_closure, instance, iters=20)
+    assert len(result) == expected
+
+
+def test_tc_medium(benchmark):
+    instance = random_edges(*TC_SIZES[1])
+    expected = len(tc_closure(instance))
+    result = _measure(benchmark, tc_closure, instance, iters=8)
+    assert len(result) == expected
+
+
+def test_tc_large(benchmark):
+    nodes, edges = TC_SIZES[-1]
+    instance = random_edges(nodes, edges)
+    expected = len(tc_closure(instance))
+    result = _measure(benchmark, tc_closure, instance, iters=3)
+    assert len(result) == expected
+
+
+def test_winmove_small(benchmark):
+    game = random_game_graph(14, 30, seed=7)
+    program = winmove_program()
+    expected = evaluate_well_founded(program, game)
+    model = _measure(benchmark, evaluate_well_founded, program, game, iters=10)
+    assert model.true == expected.true and model.undefined == expected.undefined
+
+
+def test_winmove_medium(benchmark):
+    game = random_game_graph(24 if SMOKE else 34, 50 if SMOKE else 80, seed=21)
+    program = winmove_program()
+    expected = evaluate_well_founded(program, game)
+    model = _measure(benchmark, evaluate_well_founded, program, game, iters=5)
+    assert model.true == expected.true and model.undefined == expected.undefined
+
+
+def protocol_run():
+    """One Section-4 protocol bundle driven to quiescence on a fair schedule."""
+    bundle = section4_protocols()[0]
+    run = TransducerNetwork(NETWORK, bundle.transducer, bundle.policy(NETWORK)).new_run(
+        bundle.instance
+    )
+    output = run.run_to_quiescence(scheduler=FairScheduler(0))
+    return output_fingerprint(output)
+
+
+def test_protocol_quiescence(benchmark):
+    expected = output_fingerprint(section4_protocols()[0].expected())
+    fingerprint = _measure(benchmark, protocol_run, iters=5)
+    assert fingerprint == expected
+
+
+def heartbeat_sweep(schedules: int, storms: int = 6) -> list[str]:
+    """Section-4 protocols under heartbeat storms + fault-injecting channels.
+
+    Heartbeat transitions deliver zero new facts, so the db-fingerprint
+    step cache should absorb almost all of them; this is the workload the
+    >= 3x acceptance target is measured on."""
+    prints = []
+    for bundle in section4_protocols():
+        policy = bundle.policy(NETWORK)
+        for seed in range(schedules):
+            run = TransducerNetwork(NETWORK, bundle.transducer, policy).new_run(
+                bundle.instance, channel=FaultyChannel(CHAOS_PLAN, seed)
+            )
+            output = run.run_to_quiescence(
+                scheduler=HeartbeatStormScheduler(seed, storms=storms)
+            )
+            prints.append(output_fingerprint(output))
+    return prints
+
+
+def test_heartbeat_heavy_chaos(benchmark):
+    schedules = 2 if SMOKE else 8
+    expected = [
+        output_fingerprint(bundle.expected())
+        for bundle in section4_protocols()
+        for _ in range(schedules)
+    ]
+    prints = _measure(benchmark, heartbeat_sweep, schedules)
+    assert prints == expected, "heartbeat sweep diverged from Q(I)"
+
+
+def mixed_chaos_sweep(schedules: int) -> list[str]:
+    """The bench_chaos_confluence adversary in miniature: every scheduler in
+    the zoo paired with a seeded faulty channel."""
+    prints = []
+    for bundle in section4_protocols():
+        policy = bundle.policy(NETWORK)
+        zoo_len = len(chaos_scheduler_zoo(0))
+        for seed in range(schedules):
+            scheduler = chaos_scheduler_zoo(seed)[seed % zoo_len]
+            run = TransducerNetwork(NETWORK, bundle.transducer, policy).new_run(
+                bundle.instance, channel=FaultyChannel(CHAOS_PLAN, seed)
+            )
+            output = run.run_to_quiescence(scheduler=scheduler)
+            prints.append(output_fingerprint(output))
+    return prints
+
+
+def test_mixed_chaos(benchmark):
+    schedules = 2 if SMOKE else 5
+    expected = [
+        output_fingerprint(bundle.expected())
+        for bundle in section4_protocols()
+        for _ in range(schedules)
+    ]
+    prints = _measure(benchmark, mixed_chaos_sweep, schedules)
+    assert prints == expected, "mixed chaos sweep diverged from Q(I)"

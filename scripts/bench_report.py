@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""A/B the engine microbenchmarks and distill the result into BENCH_engine.json.
+
+Runs ``benchmarks/bench_engine_microbench.py`` twice through pytest-benchmark
+(``--benchmark-json``):
+
+* **before** — the current tree with both engine kill-switches set
+  (``REPRO_DISABLE_PLANS=1 REPRO_DISABLE_QUERY_CACHE=1``), which restores the
+  legacy recursive join and uncached transducer stepping;
+* **after** — the same tree with compiled plans and the incremental
+  db-fingerprint caches enabled (the defaults).
+
+It then re-runs the chaos workloads **in-process, cached vs uncached**, and
+compares output fingerprints transition-for-transition: any divergence is a
+correctness bug in the caching layer and fails the script (nonzero exit), so
+CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py            # full suite
+    PYTHONPATH=src BENCH_ENGINE_SMOKE=1 python scripts/bench_report.py --smoke
+
+``--output`` overrides the destination (default: repo-root BENCH_engine.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+KILL_SWITCHES = {"REPRO_DISABLE_PLANS": "1", "REPRO_DISABLE_QUERY_CACHE": "1"}
+
+# Acceptance targets from the issue: the headline metric -> (benchmark test
+# name, minimum before/after speedup).
+TARGETS = {
+    "tc_semi_naive_40x120": ("test_tc_medium", 1.5),
+    "heartbeat_heavy_chaos": ("test_heartbeat_heavy_chaos", 3.0),
+}
+
+
+def run_suite(label: str, *, env_overrides: dict[str, str], smoke: bool) -> dict:
+    """Run the microbench suite once, returning {test_name: stats}."""
+    env = os.environ.copy()
+    env.pop("REPRO_DISABLE_PLANS", None)
+    env.pop("REPRO_DISABLE_QUERY_CACHE", None)
+    env.update(env_overrides)
+    env["PYTHONPATH"] = str(REPO / "src")
+    if smoke:
+        env["BENCH_ENGINE_SMOKE"] = "1"
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    try:
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "bench_engine_microbench.py",
+                "-q",
+                "--benchmark-only",
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=BENCH_DIR,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit(f"{label} benchmark run failed (exit {proc.returncode})")
+        with open(json_path) as handle:
+            payload = json.load(handle)
+    finally:
+        os.unlink(json_path)
+    results = {}
+    for bench in payload["benchmarks"]:
+        name = bench["name"].split("[")[0]
+        results[name] = {
+            "mean_s": bench["stats"]["mean"],
+            "min_s": bench["stats"]["min"],
+            "rounds": bench["stats"]["rounds"],
+        }
+    return results
+
+
+def divergence_check(smoke: bool) -> list[str]:
+    """Run the chaos workloads cached vs uncached in-process and diff the
+    output fingerprints.  Returns a list of divergence descriptions."""
+    sys.path.insert(0, str(REPO / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    if smoke:
+        os.environ["BENCH_ENGINE_SMOKE"] = "1"
+    # The caches must be off for the *uncached* leg before repro imports
+    # read the env.  Run the uncached leg in a subprocess instead so this
+    # process keeps its default (cached) configuration.
+    schedules = 2 if smoke else 4
+    script = (
+        "import sys; sys.path.insert(0, {src!r}); sys.path.insert(0, {bench!r})\n"
+        "from bench_engine_microbench import heartbeat_sweep, mixed_chaos_sweep\n"
+        "import json\n"
+        "print(json.dumps({{'heartbeat': heartbeat_sweep({n}),"
+        " 'mixed': mixed_chaos_sweep({n})}}))\n"
+    ).format(src=str(REPO / "src"), bench=str(BENCH_DIR), n=schedules)
+
+    def leg(env_overrides: dict[str, str]) -> dict:
+        env = os.environ.copy()
+        env.pop("REPRO_DISABLE_PLANS", None)
+        env.pop("REPRO_DISABLE_QUERY_CACHE", None)
+        env.update(env_overrides)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit("divergence-check leg failed")
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    cached = leg({})
+    uncached = leg(KILL_SWITCHES)
+    divergences = []
+    for workload in ("heartbeat", "mixed"):
+        if cached[workload] != uncached[workload]:
+            pairs = [
+                (i, a, b)
+                for i, (a, b) in enumerate(zip(cached[workload], uncached[workload]))
+                if a != b
+            ]
+            divergences.append(
+                f"{workload}: cached and uncached runs disagree at "
+                f"{len(pairs)} of {len(cached[workload])} runs "
+                f"(first: run {pairs[0][0]} {pairs[0][1][:12]} != {pairs[0][2][:12]})"
+            )
+    return divergences
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI smoke mode: smallest sizes, 1 round")
+    parser.add_argument("--output", default=str(REPO / "BENCH_engine.json"))
+    args = parser.parse_args()
+
+    print("== divergence check: cached vs uncached transducer runs ==")
+    divergences = divergence_check(args.smoke)
+    for line in divergences:
+        print(f"  DIVERGED  {line}")
+    if not divergences:
+        print("  ok — identical output fingerprints on every run")
+
+    print("== before: REPRO_DISABLE_PLANS=1 REPRO_DISABLE_QUERY_CACHE=1 ==")
+    before = run_suite("before", env_overrides=KILL_SWITCHES, smoke=args.smoke)
+    print("== after: compiled plans + incremental caches (defaults) ==")
+    after = run_suite("after", env_overrides={}, smoke=args.smoke)
+
+    benchmarks = {}
+    for name in sorted(before):
+        if name not in after:
+            continue
+        # min-over-rounds is the standard low-noise microbenchmark statistic;
+        # the mean of a handful of short rounds is dominated by jitter.
+        speedup = before[name]["min_s"] / after[name]["min_s"]
+        benchmarks[name] = {
+            "before_min_s": round(before[name]["min_s"], 6),
+            "after_min_s": round(after[name]["min_s"], 6),
+            "before_mean_s": round(before[name]["mean_s"], 6),
+            "after_mean_s": round(after[name]["mean_s"], 6),
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"  {name:<28} before={before[name]['min_s']:.4f}s "
+            f"after={after[name]['min_s']:.4f}s speedup={speedup:.2f}x"
+        )
+
+    headline = {}
+    failures = list(divergences)
+    for metric, (test, minimum) in TARGETS.items():
+        if test not in benchmarks:
+            failures.append(f"{metric}: benchmark {test} missing from results")
+            continue
+        speedup = benchmarks[test]["speedup"]
+        headline[metric] = {"speedup": speedup, "target": minimum, "ok": speedup >= minimum}
+        verdict = "ok" if speedup >= minimum else "BELOW TARGET"
+        print(f"  headline {metric}: {speedup:.2f}x (target >= {minimum}x) {verdict}")
+        if not args.smoke and speedup < minimum:
+            failures.append(f"{metric}: {speedup:.2f}x below target {minimum}x")
+
+    report = {
+        "suite": "bench_engine_microbench",
+        "mode": "smoke" if args.smoke else "full",
+        "baseline_env": KILL_SWITCHES,
+        "divergences": divergences,
+        "headline": headline,
+        "benchmarks": benchmarks,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if failures:
+        print("FAILURES:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

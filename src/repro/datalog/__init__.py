@@ -14,6 +14,8 @@ from .parser import ParseError, parse_facts, parse_program, parse_rule, parse_ru
 from .evaluation import (
     EvaluationError,
     FactIndex,
+    PlanCache,
+    RulePlan,
     SemiNaiveEvaluator,
     evaluate_semipositive,
     immediate_consequence,
@@ -80,6 +82,8 @@ __all__ = [
     "parse_rules",
     "EvaluationError",
     "FactIndex",
+    "PlanCache",
+    "RulePlan",
     "SemiNaiveEvaluator",
     "evaluate_semipositive",
     "immediate_consequence",

@@ -7,11 +7,21 @@ is permitted only over relations whose content is *fixed* during the fixpoint
 see :mod:`repro.datalog.stratified`).
 
 The join machinery (:func:`match_rule`) is shared by the stratified and
-well-founded evaluators and by the transducer runtime.
+well-founded evaluators and by the transducer runtime.  Joins run through
+*compiled plans*: a :class:`RulePlan` is built once per ``(rule,
+required_atom)`` pair — a static atom order chosen by bound-variable
+propagation with selectivity estimates from :meth:`FactIndex.count`, plus
+per-atom precomputed lookup/check/bind positions — and executed by an
+iterative (non-recursive) join loop.  :class:`PlanCache` holds the compiled
+plans; evaluators own one so plan compilation is paid once per program, not
+once per fixpoint iteration.  Setting ``REPRO_DISABLE_PLANS=1`` in the
+environment (or ``PLANS_ENABLED = False`` on this module) falls back to the
+original recursive join, which the property tests use as an oracle.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Hashable, Iterable, Iterator, Mapping
 
 from .instance import Instance
@@ -21,12 +31,23 @@ from .terms import Atom, Fact, Variable
 
 __all__ = [
     "FactIndex",
+    "RulePlan",
+    "PlanCache",
     "match_rule",
     "immediate_consequence",
     "evaluate_semipositive",
     "SemiNaiveEvaluator",
     "EvaluationError",
 ]
+
+#: When False, :func:`match_rule` uses the legacy recursive join instead of
+#: compiled plans.  Initialized from ``REPRO_DISABLE_PLANS``; tests flip the
+#: module attribute directly to compare both engines.
+PLANS_ENABLED = os.environ.get("REPRO_DISABLE_PLANS", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
 
 
 class EvaluationError(RuntimeError):
@@ -41,11 +62,15 @@ class FactIndex:
     lookups.
     """
 
-    __slots__ = ("_tuples", "_by_value")
+    __slots__ = ("_tuples", "_by_value", "_size")
 
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._tuples: dict[str, set[tuple]] = {}
         self._by_value: dict[tuple[str, int, Hashable], set[tuple]] = {}
+        # Running total of facts across all relation buckets.  ``__len__``
+        # is the semi-naive loop condition (``while len(delta)``), so it
+        # must not re-sum every bucket on each call.
+        self._size = 0
         self.add_all(facts)
 
     def add(self, fact: Fact) -> bool:
@@ -54,6 +79,7 @@ class FactIndex:
         if fact.values in bucket:
             return False
         bucket.add(fact.values)
+        self._size += 1
         for position, value in enumerate(fact.values):
             self._by_value.setdefault((fact.relation, position, value), set()).add(
                 fact.values
@@ -89,21 +115,37 @@ class FactIndex:
         )
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._tuples.values())
+        return self._size
 
 
 def _candidate_tuples(
     index: FactIndex, atom: Atom, binding: Mapping[Variable, Hashable]
 ) -> Iterable[tuple]:
-    """Tuples that could match *atom* given the current partial binding,
-    using the inverted index on the first bound position when possible."""
+    """Tuples that could match *atom* given the current partial binding.
+
+    Consults the inverted index on *every* bound position and returns the
+    smallest posting list (one ``len`` comparison per bound position) — an
+    earlier version returned the first bound position's posting list, which
+    can be arbitrarily larger than the best one.
+    """
+    best: Iterable[tuple] | None = None
+    best_len = 0
     for position, term in enumerate(atom.terms):
         if isinstance(term, Variable):
-            if term in binding:
-                return index.lookup(atom.relation, position, binding[term])
+            if term not in binding:
+                continue
+            value = binding[term]
         else:
-            return index.lookup(atom.relation, position, term)
-    return index.scan(atom.relation)
+            value = term
+        postings = index.lookup(atom.relation, position, value)
+        size = len(postings)
+        if size == 0:
+            return ()
+        if best is None or size < best_len:
+            best, best_len = postings, size
+    if best is None:
+        return index.scan(atom.relation)
+    return best
 
 
 def _extend_binding(
@@ -173,6 +215,476 @@ def _join(
             yield from _join(rest, index, extended)
 
 
+# ----------------------------------------------------------------------
+# Compiled join plans
+# ----------------------------------------------------------------------
+
+
+class _AtomStep:
+    """One positive atom of a plan, with its checks/binds precomputed.
+
+    Given the set of variables bound *before* this atom in the plan order,
+    every position of the atom falls into exactly one class:
+
+    * a constant — candidate tuples must carry that value there;
+    * an already-bound variable — candidate tuples must agree with the
+      current binding there (also usable for an inverted-index lookup);
+    * a repeated new variable — must equal its first occurrence;
+    * a first-occurrence new variable — binds it.
+
+    The classification is done once at compile time; :meth:`match` then
+    runs straight down precomputed position lists.
+    """
+
+    __slots__ = (
+        "relation",
+        "arity",
+        "const_checks",
+        "bound_checks",
+        "eq_checks",
+        "new_vars",
+        "prefiltered",
+    )
+
+    def __init__(self, atom: Atom, bound: set[Variable]) -> None:
+        self.relation = atom.relation
+        self.arity = atom.arity
+        const_checks: list[tuple[int, Hashable]] = []
+        bound_checks: list[tuple[int, Variable]] = []
+        eq_checks: list[tuple[int, int]] = []
+        new_vars: list[tuple[int, Variable]] = []
+        first_seen: dict[Variable, int] = {}
+        for position, term in enumerate(atom.terms):
+            if not isinstance(term, Variable):
+                const_checks.append((position, term))
+            elif term in bound:
+                bound_checks.append((position, term))
+            elif term in first_seen:
+                eq_checks.append((position, first_seen[term]))
+            else:
+                first_seen[term] = position
+                new_vars.append((position, term))
+        self.const_checks = tuple(const_checks)
+        self.bound_checks = tuple(bound_checks)
+        self.eq_checks = tuple(eq_checks)
+        self.new_vars = tuple(new_vars)
+        # With exactly one const/bound position and no repeated variables,
+        # every tuple drawn from :meth:`candidates` already passed that one
+        # check via its posting list — :meth:`match_filtered` may skip it.
+        self.prefiltered = not eq_checks and (
+            len(const_checks) + len(bound_checks) == 1
+        )
+
+    def candidates(
+        self, index: FactIndex, binding: Mapping[Variable, Hashable]
+    ) -> Iterable[tuple]:
+        """The smallest posting list over the bound positions, else a scan."""
+        best: Iterable[tuple] | None = None
+        best_len = 0
+        for position, value in self.const_checks:
+            postings = index.lookup(self.relation, position, value)
+            size = len(postings)
+            if size == 0:
+                return ()
+            if best is None or size < best_len:
+                best, best_len = postings, size
+        for position, variable in self.bound_checks:
+            postings = index.lookup(self.relation, position, binding[variable])
+            size = len(postings)
+            if size == 0:
+                return ()
+            if best is None or size < best_len:
+                best, best_len = postings, size
+        if best is None:
+            return index.scan(self.relation)
+        return best
+
+    def match(
+        self, values: tuple, binding: dict[Variable, Hashable]
+    ) -> dict[Variable, Hashable] | None:
+        """Unify a candidate tuple; returns the extended binding or None.
+
+        Preserves the :func:`_extend_binding` aliasing contract: when the
+        atom binds no new variable the result IS *binding* itself.
+        """
+        if len(values) != self.arity:
+            return None
+        for position, value in self.const_checks:
+            if values[position] != value:
+                return None
+        for position, variable in self.bound_checks:
+            if binding[variable] != values[position]:
+                return None
+        for position, first in self.eq_checks:
+            if values[position] != values[first]:
+                return None
+        if not self.new_vars:
+            return binding
+        extended = dict(binding)
+        for position, variable in self.new_vars:
+            extended[variable] = values[position]
+        return extended
+
+    def match_filtered(
+        self, values: tuple, binding: dict[Variable, Hashable]
+    ) -> dict[Variable, Hashable] | None:
+        """:meth:`match` for tuples that came from :meth:`candidates`.
+
+        Such tuples were selected through a posting list on one of the
+        const/bound positions; when that is the *only* check the step
+        would perform (``prefiltered``), it can be skipped wholesale.
+        """
+        if not self.prefiltered:
+            return self.match(values, binding)
+        if len(values) != self.arity:
+            return None
+        if not self.new_vars:
+            return binding
+        extended = dict(binding)
+        for position, variable in self.new_vars:
+            extended[variable] = values[position]
+        return extended
+
+
+class RulePlan:
+    """A compiled join plan for one ``(rule, required_atom)`` pair.
+
+    Compilation fixes a *static* atom order by greedy bound-variable
+    propagation: starting from the variables of the required atom (the
+    semi-naive delta seed), repeatedly pick the remaining atom with the
+    most bound terms, breaking ties toward the relation with the smallest
+    :meth:`FactIndex.count` in the index the plan was compiled against.
+    The legacy engine recomputed this order recursively for every partial
+    binding; a plan pays for it once.
+
+    Execution is an iterative (non-recursive) nested-loop join over the
+    precomputed :class:`_AtomStep`s, followed by inequality filters and
+    negated-atom probes whose value extractors are also precompiled.
+    """
+
+    __slots__ = (
+        "rule",
+        "required_atom",
+        "_seed_step",
+        "_steps",
+        "_ineq",
+        "_neg",
+        "_head",
+    )
+
+    def __init__(
+        self,
+        rule: Rule,
+        required_atom: Atom | None,
+        steps: tuple[_AtomStep, ...],
+        seed_step: _AtomStep | None,
+    ) -> None:
+        self.rule = rule
+        self.required_atom = required_atom
+        self._steps = steps
+        self._seed_step = seed_step
+        self._head = (
+            rule.head.relation,
+            tuple(
+                (isinstance(term, Variable), term) for term in rule.head.terms
+            ),
+        )
+        self._ineq = tuple(sorted(rule.ineq, key=repr))
+        self._neg = tuple(
+            (
+                atom.relation,
+                tuple(
+                    (isinstance(term, Variable), term) for term in atom.terms
+                ),
+            )
+            for atom in sorted(rule.neg, key=repr)
+        )
+
+    @classmethod
+    def compile(
+        cls, rule: Rule, required_atom: Atom | None, index: FactIndex
+    ) -> "RulePlan":
+        """Compile the plan, estimating selectivity from *index*."""
+        bound: set[Variable] = set()
+        seed_step: _AtomStep | None = None
+        if required_atom is not None:
+            seed_step = _AtomStep(required_atom, set())
+            bound |= required_atom.variables()
+            remaining = sorted(
+                (atom for atom in rule.pos if atom != required_atom), key=repr
+            )
+        else:
+            remaining = sorted(rule.pos, key=repr)
+
+        steps: list[_AtomStep] = []
+        while remaining:
+            best_position = 0
+            best_key: tuple[int, int] | None = None
+            for position, atom in enumerate(remaining):
+                boundness = sum(
+                    1
+                    for term in atom.terms
+                    if not isinstance(term, Variable) or term in bound
+                )
+                key = (boundness, -index.count(atom.relation))
+                if best_key is None or key > best_key:
+                    best_position, best_key = position, key
+            atom = remaining.pop(best_position)
+            steps.append(_AtomStep(atom, bound))
+            bound |= atom.variables()
+        return cls(rule, required_atom, tuple(steps), seed_step)
+
+    def derive(self, valuation: Mapping[Variable, Hashable]) -> Fact:
+        """V(head) through the precompiled extractor — equivalent to
+        ``rule.derive(valuation)`` without re-classifying head terms or
+        re-validating groundness (valuation values come from ground facts).
+        """
+        relation, extractor = self._head
+        return Fact.unchecked(
+            relation,
+            tuple(
+                valuation[term] if is_variable else term
+                for is_variable, term in extractor
+            ),
+        )
+
+    def seed_bindings(
+        self, required_index: FactIndex
+    ) -> Iterator[dict[Variable, Hashable]]:
+        """Seeds for the semi-naive delta: one binding per matching delta
+        tuple of the required atom."""
+        seed_step = self._seed_step
+        assert seed_step is not None
+        for values in required_index.scan(seed_step.relation):
+            binding = seed_step.match(values, {})
+            if binding is not None:
+                yield binding
+
+    def join(
+        self, index: FactIndex, seed: dict[Variable, Hashable]
+    ) -> Iterator[dict[Variable, Hashable]]:
+        """All bindings extending *seed* that match every positive atom."""
+        steps = self._steps
+        depth_count = len(steps)
+        if depth_count == 0:
+            yield seed
+            return
+        bindings: list[dict[Variable, Hashable]] = [seed]
+        iterators: list[Iterator[tuple]] = [
+            iter(steps[0].candidates(index, seed))
+        ]
+        while iterators:
+            depth = len(iterators) - 1
+            step = steps[depth]
+            binding = bindings[depth]
+            extended = None
+            for values in iterators[depth]:
+                extended = step.match_filtered(values, binding)
+                if extended is not None:
+                    break
+            if extended is None:
+                iterators.pop()
+                bindings.pop()
+                continue
+            if depth + 1 == depth_count:
+                yield extended
+            else:
+                bindings.append(extended)
+                iterators.append(
+                    iter(steps[depth + 1].candidates(index, extended))
+                )
+
+    def valuations(
+        self,
+        positive_index: FactIndex,
+        negative_index: FactIndex,
+        seed: dict[Variable, Hashable],
+    ) -> Iterator[dict[Variable, Hashable]]:
+        """Satisfying valuations extending *seed*: join, then inequality
+        and negated-atom filters."""
+        ineqs = self._ineq
+        negs = self._neg
+        for valuation in self.join(positive_index, seed):
+            satisfied = True
+            for ineq in ineqs:
+                if valuation[ineq.left] == valuation[ineq.right]:
+                    satisfied = False
+                    break
+            if not satisfied:
+                continue
+            for relation, extractor in negs:
+                values = tuple(
+                    valuation[term] if is_variable else term
+                    for is_variable, term in extractor
+                )
+                if negative_index.contains(relation, values):
+                    satisfied = False
+                    break
+            if satisfied:
+                yield valuation
+
+    def fire(
+        self,
+        positive_index: FactIndex,
+        negative_index: FactIndex,
+        required_index: FactIndex | None = None,
+    ) -> list[Fact]:
+        """Fused plan execution: seed, iterative join, inequality and
+        negation filters, and head derivation in one loop.
+
+        Semantically identical to ``derive() over valuations() over
+        seed_bindings()`` but without the per-valuation generator hops and
+        method calls — this is the hot path of the semi-naive evaluators.
+        Returns derived facts (possibly with duplicates; callers dedupe).
+        """
+        derived: list[Fact] = []
+        append = derived.append
+        steps = self._steps
+        depth_count = len(steps)
+        ineqs = self._ineq
+        negs = self._neg
+        head_relation, head_extractor = self._head
+        unchecked = Fact.unchecked
+        neg_contains = negative_index.contains
+
+        seed_step = self._seed_step
+        if seed_step is None:
+            seeds: Iterable[dict[Variable, Hashable]] = ({},)
+        else:
+            if required_index is None:
+                raise ValueError("plan with a seed step needs required_index")
+            seeds = (
+                binding
+                for values in required_index.scan(seed_step.relation)
+                if (binding := seed_step.match(values, {})) is not None
+            )
+
+        for seed in seeds:
+            if depth_count == 0:
+                valuation = seed
+                ok = True
+                for ineq in ineqs:
+                    if valuation[ineq.left] == valuation[ineq.right]:
+                        ok = False
+                        break
+                if ok:
+                    for relation, extractor in negs:
+                        if neg_contains(
+                            relation,
+                            tuple(
+                                valuation[term] if is_variable else term
+                                for is_variable, term in extractor
+                            ),
+                        ):
+                            ok = False
+                            break
+                if ok:
+                    append(
+                        unchecked(
+                            head_relation,
+                            tuple(
+                                [
+                                    valuation[term] if is_variable else term
+                                    for is_variable, term in head_extractor
+                                ]
+                            ),
+                        )
+                    )
+                continue
+
+            bindings = [seed]
+            iterators = [iter(steps[0].candidates(positive_index, seed))]
+            last_depth = depth_count - 1
+            while iterators:
+                depth = len(iterators) - 1
+                step = steps[depth]
+                binding = bindings[depth]
+                extended = None
+                for values in iterators[depth]:
+                    extended = step.match_filtered(values, binding)
+                    if extended is not None:
+                        break
+                if extended is None:
+                    iterators.pop()
+                    bindings.pop()
+                    continue
+                if depth != last_depth:
+                    bindings.append(extended)
+                    iterators.append(
+                        iter(steps[depth + 1].candidates(positive_index, extended))
+                    )
+                    continue
+                valuation = extended
+                ok = True
+                for ineq in ineqs:
+                    if valuation[ineq.left] == valuation[ineq.right]:
+                        ok = False
+                        break
+                if ok:
+                    for relation, extractor in negs:
+                        if neg_contains(
+                            relation,
+                            tuple(
+                                valuation[term] if is_variable else term
+                                for is_variable, term in extractor
+                            ),
+                        ):
+                            ok = False
+                            break
+                if ok:
+                    append(
+                        unchecked(
+                            head_relation,
+                            tuple(
+                                [
+                                    valuation[term] if is_variable else term
+                                    for is_variable, term in head_extractor
+                                ]
+                            ),
+                        )
+                    )
+        return derived
+
+
+class PlanCache:
+    """Compiled plans, keyed by ``(rule, required_atom)``.
+
+    Evaluators own one cache per program so every fixpoint iteration (and
+    every re-evaluation on a new input) reuses the same plans.  A bounded
+    FIFO keeps the module-level default cache from growing without limit
+    under generated-program workloads; ``compiled`` counts compilations and
+    is surfaced as ``plans_compiled`` in the run telemetry.
+    """
+
+    __slots__ = ("_plans", "max_plans", "compiled")
+
+    def __init__(self, max_plans: int = 4096) -> None:
+        self._plans: dict[tuple[Rule, Atom | None], RulePlan] = {}
+        self.max_plans = max_plans
+        self.compiled = 0
+
+    def get(
+        self, rule: Rule, required_atom: Atom | None, index: FactIndex
+    ) -> RulePlan:
+        key = (rule, required_atom)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = RulePlan.compile(rule, required_atom, index)
+            self.compiled += 1
+            if len(self._plans) >= self.max_plans:
+                del self._plans[next(iter(self._plans))]
+            self._plans[key] = plan
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+#: The shared cache behind bare :func:`match_rule` calls (evaluators pass
+#: their own).
+_DEFAULT_PLAN_CACHE = PlanCache()
+
+
 def match_rule(
     rule: Rule,
     positive_index: FactIndex,
@@ -180,6 +692,7 @@ def match_rule(
     *,
     required_atom: Atom | None = None,
     required_index: FactIndex | None = None,
+    plan_cache: PlanCache | None = None,
 ) -> Iterator[dict[Variable, Hashable]]:
     """Enumerate the satisfying valuations of *rule*.
 
@@ -189,18 +702,55 @@ def match_rule(
     given, that occurrence is matched against *required_index* instead —
     the hook used for semi-naive delta rules.
 
+    The join runs through a compiled :class:`RulePlan` drawn from
+    *plan_cache* (the module-level default when omitted); with
+    ``PLANS_ENABLED`` off it falls back to the legacy recursive join.
+
     Yielded valuations may alias each other and internal join state (see
     the :func:`_extend_binding` aliasing contract): consume them read-only,
     or copy before mutating.
     """
     if negative_index is None:
         negative_index = positive_index
+    if required_atom is not None and required_index is None:
+        raise ValueError("required_atom needs required_index")
 
+    if not PLANS_ENABLED:
+        yield from _match_rule_recursive(
+            rule,
+            positive_index,
+            negative_index,
+            required_atom=required_atom,
+            required_index=required_index,
+        )
+        return
+
+    cache = plan_cache if plan_cache is not None else _DEFAULT_PLAN_CACHE
+    plan = cache.get(rule, required_atom, positive_index)
+    seeds: Iterable[dict[Variable, Hashable]]
+    if required_atom is not None:
+        assert required_index is not None
+        seeds = plan.seed_bindings(required_index)
+    else:
+        seeds = ({},)
+    for seed in seeds:
+        yield from plan.valuations(positive_index, negative_index, seed)
+
+
+def _match_rule_recursive(
+    rule: Rule,
+    positive_index: FactIndex,
+    negative_index: FactIndex,
+    *,
+    required_atom: Atom | None = None,
+    required_index: FactIndex | None = None,
+) -> Iterator[dict[Variable, Hashable]]:
+    """The pre-plan join engine, kept as the oracle for the property tests
+    and as the ``REPRO_DISABLE_PLANS`` fallback."""
     atoms = list(rule.pos)
     seeds: Iterable[dict[Variable, Hashable]]
     if required_atom is not None:
-        if required_index is None:
-            raise ValueError("required_atom needs required_index")
+        assert required_index is not None
         atoms = [a for a in atoms if a is not required_atom]
         seeds = (
             extended
@@ -246,12 +796,27 @@ class SemiNaiveEvaluator:
     lower strata.
     """
 
-    def __init__(self, program: Program, *, check_semipositive: bool = True) -> None:
+    def __init__(
+        self,
+        program: Program,
+        *,
+        check_semipositive: bool = True,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
         if check_semipositive and not program.is_semi_positive():
             raise EvaluationError(
                 "program negates idb relations; use the stratified evaluator"
             )
         self._program = program
+        self._plan_cache = plan_cache if plan_cache is not None else PlanCache()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._plan_cache
+
+    @property
+    def plans_compiled(self) -> int:
+        return self._plan_cache.compiled
 
     def run(self, instance: Instance, *, max_iterations: int | None = None) -> Instance:
         """Compute the minimal fixpoint of T_P containing *instance*."""
@@ -266,10 +831,18 @@ class SemiNaiveEvaluator:
         for rule in self._program:
             if rule.pos:
                 continue
-            for valuation in match_rule(rule, index):
-                fact = rule.derive(valuation)
-                if index.add(fact):
-                    delta.add(fact)
+            if PLANS_ENABLED:
+                plan = self._plan_cache.get(rule, None, index)
+                for fact in plan.fire(index, index):
+                    if index.add(fact):
+                        delta.add(fact)
+            else:
+                for valuation in match_rule(
+                    rule, index, plan_cache=self._plan_cache
+                ):
+                    fact = rule.derive(valuation)
+                    if index.add(fact):
+                        delta.add(fact)
         iterations = 0
         while len(delta):
             iterations += 1
@@ -301,10 +874,18 @@ class SemiNaiveEvaluator:
             if key in seen_relations:
                 continue
             seen_relations.add(key)
-            for valuation in match_rule(
-                rule, index, required_atom=atom, required_index=delta
-            ):
-                produced.add(rule.derive(valuation))
+            if PLANS_ENABLED:
+                plan = self._plan_cache.get(rule, atom, index)
+                produced.update(plan.fire(index, index, delta))
+            else:
+                for valuation in match_rule(
+                    rule,
+                    index,
+                    required_atom=atom,
+                    required_index=delta,
+                    plan_cache=self._plan_cache,
+                ):
+                    produced.add(rule.derive(valuation))
         return produced
 
 

@@ -43,6 +43,16 @@ class Instance:
                 raise TypeError(f"instances contain Facts, got {fact!r}")
         self._adom: frozenset[Hashable] | None = None
 
+    @classmethod
+    def _wrap(cls, facts: frozenset) -> "Instance":
+        """Wrap an already-validated fact set without re-checking every
+        element (the set-algebra fast path: both operands were validated
+        when first constructed)."""
+        instance = cls.__new__(cls)
+        instance._facts = facts
+        instance._adom = None
+        return instance
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
@@ -86,13 +96,17 @@ class Instance:
         return bool(self._facts)
 
     def __or__(self, other: "Instance | Iterable[Fact]") -> "Instance":
+        if isinstance(other, Instance):
+            return Instance._wrap(self._facts | other._facts)
         return Instance(self._facts | _factset(other))
 
     def __and__(self, other: "Instance | Iterable[Fact]") -> "Instance":
-        return Instance(self._facts & _factset(other))
+        # An intersection is a subset of self, hence already validated.
+        return Instance._wrap(self._facts & _factset(other))
 
     def __sub__(self, other: "Instance | Iterable[Fact]") -> "Instance":
-        return Instance(self._facts - _factset(other))
+        # A difference is a subset of self, hence already validated.
+        return Instance._wrap(self._facts - _factset(other))
 
     def __le__(self, other: "Instance | Iterable[Fact]") -> bool:
         return self._facts <= _factset(other)
@@ -134,9 +148,13 @@ class Instance:
         of relation names (name-checked only).
         """
         if isinstance(schema, Schema):
-            return Instance(f for f in self._facts if schema.contains_fact(f))
+            return Instance._wrap(
+                frozenset(f for f in self._facts if schema.contains_fact(f))
+            )
         names = set(schema)
-        return Instance(f for f in self._facts if f.relation in names)
+        return Instance._wrap(
+            frozenset(f for f in self._facts if f.relation in names)
+        )
 
     def relations(self) -> frozenset[str]:
         """The set of relation names with at least one fact."""

@@ -134,10 +134,26 @@ class Fact:
     def __init__(self, relation: str, values: Iterable[Hashable]) -> None:
         object.__setattr__(self, "relation", relation)
         object.__setattr__(self, "values", tuple(values))
-        if not self.relation:
+        if not relation:
             raise ValueError("relation name must be non-empty")
-        if any(isinstance(value, Variable) for value in self.values):
-            raise TypeError("facts must be ground; found a Variable argument")
+        for value in self.values:
+            if isinstance(value, Variable):
+                raise TypeError(
+                    "facts must be ground; found a Variable argument"
+                )
+
+    @classmethod
+    def unchecked(cls, relation: str, values: tuple) -> "Fact":
+        """Construct without groundness validation (hot-path constructor).
+
+        Callers must guarantee *relation* is non-empty and *values* is a
+        tuple of ground data values — e.g. values drawn from existing facts,
+        as in the compiled-plan derivation loop.
+        """
+        fact = cls.__new__(cls)
+        object.__setattr__(fact, "relation", relation)
+        object.__setattr__(fact, "values", values)
+        return fact
 
     @property
     def arity(self) -> int:

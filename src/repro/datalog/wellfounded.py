@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .evaluation import FactIndex, match_rule
+from .evaluation import FactIndex, PlanCache, match_rule
 from .instance import Instance
 from .program import Program
 from .rules import Rule
@@ -57,12 +57,18 @@ class WellFoundedModel:
         return self.true | self.undefined
 
 
-def _gamma(program: Program, base: Instance, assumed: FactIndex) -> FactIndex:
+def _gamma(
+    program: Program,
+    base: Instance,
+    assumed: FactIndex,
+    plan_cache: PlanCache | None = None,
+) -> FactIndex:
     """The Gelder operator Γ(S): the least fixpoint of *program* on *base*
     where a negated atom ¬A is considered satisfied iff A ∉ S (= *assumed*).
 
     Because the negative information is frozen, this is a plain monotone
-    fixpoint and a naive loop converges.
+    fixpoint and a naive loop converges.  Callers iterating Γ pass a shared
+    *plan_cache* so join plans survive across the alternating fixpoint.
     """
     index = FactIndex(base)
     changed = True
@@ -71,7 +77,9 @@ def _gamma(program: Program, base: Instance, assumed: FactIndex) -> FactIndex:
         derived = [
             rule.derive(valuation)
             for rule in program
-            for valuation in match_rule(rule, index, negative_index=assumed)
+            for valuation in match_rule(
+                rule, index, negative_index=assumed, plan_cache=plan_cache
+            )
         ]
         for fact in derived:
             if index.add(fact):
@@ -87,13 +95,14 @@ def evaluate_well_founded(
     The sequence ``K_0 = ∅``, ``K_{i+1} = Γ(Γ(K_i))`` increases to the set of
     true facts W; ``Γ(W)`` is the over-approximation (true ∪ undefined).
     """
+    plan_cache = PlanCache()
     under = FactIndex(instance)
     for _ in range(max_rounds):
-        over = _gamma(program, instance, under)
-        new_under = _gamma(program, instance, over)
+        over = _gamma(program, instance, under, plan_cache)
+        new_under = _gamma(program, instance, over, plan_cache)
         if len(new_under) == len(under):
             true_facts = new_under.to_instance()
-            possible = _gamma(program, instance, new_under).to_instance()
+            possible = _gamma(program, instance, new_under, plan_cache).to_instance()
             return WellFoundedModel(
                 true=true_facts, undefined=possible - true_facts
             )
@@ -148,11 +157,12 @@ def evaluate_doubled(
     :func:`evaluate_well_founded`; the tests assert that equivalence.
     """
     idb = frozenset(program.idb())
+    plan_cache = PlanCache()
     under = FactIndex(instance)
-    over = _gamma(program, instance, under)
+    over = _gamma(program, instance, under, plan_cache)
     for _ in range(max_rounds):
-        new_under = _gamma(program, instance, over)
-        new_over = _gamma(program, instance, new_under)
+        new_under = _gamma(program, instance, over, plan_cache)
+        new_over = _gamma(program, instance, new_under, plan_cache)
         if len(new_under) == len(under) and len(new_over) == len(over):
             true_facts = new_under.to_instance()
             possible = new_over.to_instance()

@@ -63,6 +63,24 @@ class QuiescenceError(RuntimeError):
     """Raised when a run fails to quiesce within its transition budget."""
 
 
+#: Modulus for the incremental database fingerprints (64-bit wraparound).
+_HASH_MOD = 1 << 64
+
+
+def _section_hash(section: str, facts: Iterable[Fact]) -> int:
+    """An order-independent content hash of one section of the database D.
+
+    A plain sum of per-fact hashes (mod 2^64) so the runtime can maintain it
+    *incrementally*: adding a fact adds its term, removing subtracts it.
+    The section tag keeps equal facts in different roles (input vs memory vs
+    delivered message) from cancelling across sections.
+    """
+    total = 0
+    for fact in facts:
+        total += hash((section, fact))
+    return total % _HASH_MOD
+
+
 @dataclass
 class NodeState:
     """s(x): the output and memory facts stored at one node."""
@@ -116,6 +134,9 @@ class RunMetrics:
     message_deliveries: int = 0
     rounds: int = 0
     pre_round_transitions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    plans_compiled: int = 0
 
     def record(self, record: TransitionRecord, fanout: int) -> None:
         self.transitions += 1
@@ -132,6 +153,9 @@ class RunMetrics:
             "message_deliveries": self.message_deliveries,
             "rounds": self.rounds,
             "pre_round_transitions": self.pre_round_transitions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "plans_compiled": self.plans_compiled,
         }
 
 
@@ -250,6 +274,25 @@ class Run:
             node: set() for node in network.network
         }
         self._channel = channel if channel is not None else Channel()
+        # Database fingerprints (the step-cache tokens): the local input
+        # fragment is hashed once, the output/memory hash is maintained
+        # incrementally by `transition`, and the delivered set is hashed per
+        # transition.  The context ties tokens to this run's network, policy
+        # and model variant, since one transducer object may serve many runs
+        # (the policy participates by identity; the run holds a strong
+        # reference, so its id cannot be recycled while tokens live).
+        self._cache_context = (
+            network.transducer.schema.variant.name,
+            frozenset(network.network),
+            network.policy,
+        )
+        self._input_hash: dict[Hashable, int] = {
+            node: _section_hash("in", self._fragments[node])
+            for node in network.network
+        }
+        self._state_hash: dict[Hashable, int] = {
+            node: 0 for node in network.network
+        }
         self.metrics = RunMetrics()
         self.node_stats: dict[Hashable, NodeStats] = {
             node: NodeStats() for node in network.network
@@ -295,7 +338,13 @@ class Run:
 
     # -- the transition relation -----------------------------------------
 
-    def view(self, node: Hashable, delivered: Instance) -> LocalView:
+    def view(
+        self,
+        node: Hashable,
+        delivered: Instance,
+        *,
+        db_token: Hashable | None = None,
+    ) -> LocalView:
         state = self._states[node]
         return LocalView(
             node=node,
@@ -306,6 +355,7 @@ class Run:
             output=state.output,
             memory=state.memory,
             delivered=delivered,
+            db_token=db_token,
         )
 
     def transition(
@@ -334,8 +384,27 @@ class Run:
                     f"cannot deliver messages not in the buffer: {set(overdraw)}"
                 )
         delivered_set = Instance(chosen.keys())
-        view = self.view(node, delivered_set)
-        update = self._network.transducer.step(view)
+        transducer = self._network.transducer
+        token = (
+            node,
+            self._cache_context,
+            self._input_hash[node],
+            self._state_hash[node],
+            _section_hash("msg", delivered_set),
+        )
+        view = self.view(node, delivered_set, db_token=token)
+        stats_before = transducer.evaluation_stats()
+        update = transducer.step(view)
+        stats_after = transducer.evaluation_stats()
+        self.metrics.cache_hits += (
+            stats_after["cache_hits"] - stats_before["cache_hits"]
+        )
+        self.metrics.cache_misses += (
+            stats_after["cache_misses"] - stats_before["cache_misses"]
+        )
+        self.metrics.plans_compiled += (
+            stats_after["plans_compiled"] - stats_before["plans_compiled"]
+        )
 
         state = self._states[node]
         before = state.snapshot()
@@ -343,6 +412,17 @@ class Run:
         ins_only = update.insertions - update.deletions
         del_only = update.deletions - update.insertions
         state.memory = (state.memory | ins_only) - del_only
+
+        # Maintain the node's output/memory fingerprint incrementally so
+        # the next transition's token costs O(|changes|), not O(|state|).
+        added_output = update.output - before[0]
+        added_memory = ins_only - before[1]
+        removed_memory = Instance(f for f in del_only if f in before[1])
+        if added_output or added_memory or removed_memory:
+            delta = _section_hash("out", added_output)
+            delta += _section_hash("mem", added_memory)
+            delta -= _section_hash("mem", removed_memory)
+            self._state_hash[node] = (self._state_hash[node] + delta) % _HASH_MOD
 
         buffer.subtract(chosen)
         for key in [k for k, count in buffer.items() if count <= 0]:

@@ -20,6 +20,7 @@ programmatic analogue of the relation simply not being in the schema.
 from __future__ import annotations
 
 import itertools
+import os
 from abc import ABC, abstractmethod
 from typing import Callable, Hashable, Iterable, Iterator
 
@@ -69,6 +70,7 @@ class LocalView:
         output: Instance,
         memory: Instance,
         delivered: Instance,
+        db_token: Hashable | None = None,
     ) -> None:
         self._node = node
         self._network = network
@@ -79,6 +81,24 @@ class LocalView:
         self._memory = memory
         self._delivered = delivered
         self._known: frozenset | None = None
+        self._responsible: frozenset | None = None
+        self._db_token = db_token
+        #: Per-view memo for values derived purely from this view.  The four
+        #: queries of one transition see the same immutable database D, so
+        #: protocol implementations stash shared intermediates here (decoded
+        #: memory, candidate message lists) instead of recomputing them in
+        #: each of Qout/Qins/Qdel/Qsnd.
+        self.scratch: dict[str, object] = {}
+
+    @property
+    def db_token(self) -> Hashable | None:
+        """A fingerprint of the database D this view presents, or ``None``.
+
+        Supplied by the runtime (see ``Run.transition``): views with equal
+        tokens are guaranteed to present an identical D to the transducer,
+        so the step result can be replayed from cache.  ``None`` means
+        "unknown provenance — always evaluate"."""
+        return self._db_token
 
     # -- raw parts of J -------------------------------------------------
 
@@ -172,6 +192,19 @@ class LocalView:
         iff ``policy_R(a, ..., a)`` is shown to x for at least one input
         relation R.
         """
+        if self._responsible is not None:
+            return self._responsible
+        memo = getattr(self._policy, "responsible_memo", None)
+        key = None
+        if memo is not None:
+            # Ownership depends only on (policy, node, known adom); the
+            # policy object anchors the memo so it is shared across
+            # transitions and runs.
+            key = (self._node, self._known_values())
+            cached = memo.get(key)
+            if cached is not None:
+                self._responsible = cached
+                return cached
         values = set()
         for value in self._known_values():
             for relation in self._schema.inputs:
@@ -183,7 +216,12 @@ class LocalView:
                 if self.is_responsible(Fact(relation, (value,) * arity)):
                     values.add(value)
                     break
-        return frozenset(values)
+        self._responsible = frozenset(values)
+        if memo is not None:
+            if len(memo) >= 65_536:
+                del memo[next(iter(memo))]
+            memo[key] = self._responsible
+        return self._responsible
 
     def policy_facts(self, *, limit: int = 200_000) -> Iterator[Fact]:
         """Materialize all ``policy_R`` facts over the known active domain.
@@ -247,12 +285,46 @@ class TransducerUpdate:
         self.messages = messages
 
 
-class Transducer(ABC):
-    """A relational transducer over a :class:`TransducerSchema`."""
+#: Default FIFO capacity of the per-transducer step cache.
+STEP_CACHE_SIZE = 4096
 
-    def __init__(self, schema: TransducerSchema, name: str = "transducer") -> None:
+
+def _cache_enabled_default() -> bool:
+    return os.environ.get("REPRO_DISABLE_QUERY_CACHE", "").lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+class Transducer(ABC):
+    """A relational transducer over a :class:`TransducerSchema`.
+
+    The four queries of the model are *generic deterministic queries over
+    the database D* (Section 4.1.3), so the whole transition result is a
+    pure function of D.  :meth:`step` exploits this: when the runtime
+    supplies a database fingerprint (``LocalView.db_token``), the computed
+    :class:`TransducerUpdate` is memoized under that token and replayed on
+    the next transition that presents an identical D — which is every
+    heartbeat and every duplicate delivery.  Set ``REPRO_DISABLE_QUERY_CACHE=1``
+    (or pass ``cache=False``) to force re-evaluation on every step.
+    """
+
+    def __init__(
+        self,
+        schema: TransducerSchema,
+        name: str = "transducer",
+        *,
+        cache: bool | None = None,
+    ) -> None:
         self._schema = schema
         self._name = name
+        self._cache_enabled = (
+            _cache_enabled_default() if cache is None else cache
+        )
+        self._step_cache: dict[Hashable, TransducerUpdate] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @property
     def schema(self) -> TransducerSchema:
@@ -279,13 +351,48 @@ class Transducer(ABC):
         """Qsnd: messages sent to every other node (target Upsilon_msg)."""
 
     def step(self, view: LocalView) -> TransducerUpdate:
-        """Run all four queries and validate their target schemas."""
+        """Run all four queries and validate their target schemas.
+
+        When the view carries a database fingerprint, the update is served
+        from (and stored into) the step cache; the returned update must be
+        treated as read-only by callers, as cache hits alias earlier
+        results.
+        """
+        token = view.db_token if self._cache_enabled else None
+        if token is not None:
+            cached = self._step_cache.get(token)
+            if cached is not None:
+                self._cache_hits += 1
+                return cached
+            self._cache_misses += 1
+        update = self._evaluate(view)
+        if token is not None:
+            if len(self._step_cache) >= STEP_CACHE_SIZE:
+                del self._step_cache[next(iter(self._step_cache))]
+            self._step_cache[token] = update
+        return update
+
+    def _evaluate(self, view: LocalView) -> TransducerUpdate:
+        """Actually run the four queries (no caching)."""
         return TransducerUpdate(
             output=self._checked(self.out_query(view), self._schema.outputs, "Qout"),
             insertions=self._checked(self.insert_query(view), self._schema.memory, "Qins"),
             deletions=self._checked(self.delete_query(view), self._schema.memory, "Qdel"),
             messages=self._checked(self.send_query(view), self._schema.messages, "Qsnd"),
         )
+
+    def evaluation_stats(self) -> dict[str, int]:
+        """Cumulative evaluation counters, surfaced in run telemetry."""
+        return {
+            "cache_hits": self._cache_hits,
+            "cache_misses": self._cache_misses,
+            "plans_compiled": self.plans_compiled(),
+        }
+
+    def plans_compiled(self) -> int:
+        """Join plans compiled by this transducer's evaluators (0 unless the
+        queries run through the Datalog engine)."""
+        return 0
 
     def _checked(self, facts: Iterable[Fact], target, label: str) -> Instance:
         produced = Instance(facts)
@@ -303,6 +410,11 @@ class Transducer(ABC):
         clone = self.__class__.__new__(self.__class__)
         clone.__dict__.update(self.__dict__)
         clone._schema = self._schema.with_variant(variant)
+        # The clone answers queries under a different variant (different
+        # system relations in D), so it gets its own cache and counters.
+        clone._step_cache = {}
+        clone._cache_hits = 0
+        clone._cache_misses = 0
         return clone
 
 
@@ -374,6 +486,13 @@ class DatalogTransducer(Transducer):
         if evaluator is None:
             return ()
         return evaluator.output(view.database())
+
+    def plans_compiled(self) -> int:
+        return sum(
+            evaluator.plans_compiled
+            for evaluator in self._evaluators.values()
+            if evaluator is not None
+        )
 
     def out_query(self, view: LocalView) -> Iterable[Fact]:
         return self._run("out", view)

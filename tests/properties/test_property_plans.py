@@ -1,0 +1,150 @@
+"""Property tests for this PR's engine work: compiled join plans must be
+observationally identical to both the naive T_P fixpoint and the legacy
+recursive join, and the transducer step cache must be transparent — cached
+and uncached runs of the Section-4 protocols agree fingerprint-for-
+fingerprint across the adversarial scheduler/channel zoo."""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+import repro.datalog.evaluation as evaluation
+from repro.datalog import Fact, Instance, evaluate_stratified
+from repro.datalog.evaluation import (
+    FactIndex,
+    evaluate_semipositive,
+    immediate_consequence,
+    match_rule,
+)
+from repro.queries.program_generator import GeneratorConfig, random_program
+from repro.transducers import (
+    CHAOS_PLAN,
+    FaultyChannel,
+    Network,
+    TransducerNetwork,
+    chaos_scheduler_zoo,
+    output_fingerprint,
+    section4_protocols,
+)
+
+values = st.integers(min_value=0, max_value=3)
+instances = st.frozensets(
+    st.one_of(
+        st.builds(Fact, relation=st.just("E"), values=st.tuples(values, values)),
+        st.builds(Fact, relation=st.just("V"), values=st.tuples(values)),
+    ),
+    max_size=8,
+).map(Instance)
+program_seeds = st.integers(min_value=0, max_value=200)
+run_seeds = st.integers(min_value=0, max_value=50)
+
+SEMIPOSITIVE = GeneratorConfig(strata=1)
+STRATIFIED = GeneratorConfig(strata=2)
+
+
+def naive_fixpoint(program, instance):
+    current = instance
+    while True:
+        following = immediate_consequence(program, current)
+        if following == current:
+            return current
+        current = following
+
+
+def without_plans(fn, *args):
+    """Run *fn* with the compiled-plan engine switched off (legacy join)."""
+    previous = evaluation.PLANS_ENABLED
+    evaluation.PLANS_ENABLED = False
+    try:
+        return fn(*args)
+    finally:
+        evaluation.PLANS_ENABLED = previous
+
+
+class TestPlansMatchOracles:
+    @given(program_seeds, instances)
+    @settings(max_examples=25, deadline=None)
+    def test_plan_fixpoint_matches_naive_tp(self, seed, instance):
+        """Compiled plans reproduce the naive T_P fixpoint exactly.  (Under
+        REPRO_DISABLE_PLANS this degrades to legacy-vs-naive, still valid.)"""
+        program = random_program(seed, SEMIPOSITIVE)
+        assert evaluate_semipositive(program, instance) == naive_fixpoint(
+            program, instance
+        )
+
+    @given(program_seeds, instances)
+    @settings(max_examples=25, deadline=None)
+    def test_plan_fixpoint_matches_legacy_join(self, seed, instance):
+        """Plans on vs. off is invisible to the semi-naive evaluator."""
+        program = random_program(seed, SEMIPOSITIVE)
+        planned = evaluate_semipositive(program, instance)
+        legacy = without_plans(evaluate_semipositive, program, instance)
+        assert planned == legacy
+
+    @given(program_seeds, instances)
+    @settings(max_examples=20, deadline=None)
+    def test_stratified_matches_legacy_join(self, seed, instance):
+        """Same transparency through stratified Datalog¬ (negation + strata
+        share one plan cache across stage evaluators)."""
+        program = random_program(seed, STRATIFIED)
+        planned = evaluate_stratified(program, instance)
+        legacy = without_plans(evaluate_stratified, program, instance)
+        assert planned == legacy
+
+    @given(program_seeds, instances)
+    @settings(max_examples=20, deadline=None)
+    def test_match_rule_valuations_agree(self, seed, instance):
+        """Rule-level check: the plan join and the legacy recursive join
+        enumerate exactly the same satisfying valuations."""
+        program = random_program(seed, STRATIFIED)
+        index = FactIndex(instance)
+        for rule in program:
+            planned = {
+                frozenset(valuation.items())
+                for valuation in match_rule(rule, index)
+            }
+            legacy = {
+                frozenset(valuation.items())
+                for valuation in evaluation._match_rule_recursive(
+                    rule, index, index
+                )
+            }
+            assert planned == legacy
+
+
+NETWORK = Network(["n1", "n2", "n3"])
+BUNDLE_KEYS = sorted(bundle.key for bundle in section4_protocols())
+
+
+def run_bundle(key, seed):
+    """One chaos run of the bundle named *key*: faulty channel + the
+    seed-selected adversarial scheduler.  Bundles, policies and transducers
+    are constructed fresh so they pick up the current cache configuration."""
+    bundle = next(b for b in section4_protocols() if b.key == key)
+    zoo = chaos_scheduler_zoo(seed)
+    scheduler = zoo[seed % len(zoo)]
+    run = TransducerNetwork(NETWORK, bundle.transducer, bundle.policy(NETWORK)).new_run(
+        bundle.instance, channel=FaultyChannel(CHAOS_PLAN, seed)
+    )
+    output = run.run_to_quiescence(scheduler=scheduler)
+    return output_fingerprint(output), output_fingerprint(bundle.expected())
+
+
+class TestStepCacheTransparent:
+    @given(run_seeds, st.sampled_from(BUNDLE_KEYS))
+    @settings(max_examples=15, deadline=None)
+    def test_cached_equals_uncached_under_chaos(self, seed, key):
+        """The db-fingerprint step cache (and every memo behind
+        REPRO_DISABLE_QUERY_CACHE) never changes a run's output."""
+        cached_print, expected = run_bundle(key, seed)
+        previous = os.environ.get("REPRO_DISABLE_QUERY_CACHE")
+        os.environ["REPRO_DISABLE_QUERY_CACHE"] = "1"
+        try:
+            uncached_print, _ = run_bundle(key, seed)
+        finally:
+            if previous is None:
+                del os.environ["REPRO_DISABLE_QUERY_CACHE"]
+            else:
+                os.environ["REPRO_DISABLE_QUERY_CACHE"] = previous
+        assert cached_print == uncached_print
+        assert cached_print == expected

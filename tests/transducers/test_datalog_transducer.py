@@ -137,3 +137,22 @@ class TestDatalogTransducer:
         output = run.state("n1").output
         assert Fact("O", (2, 1)) in output  # responsible for it, not present
         assert Fact("O", (1, 2)) not in output  # present locally
+
+
+class TestEvaluationCounters:
+    def test_datalog_transducer_compiles_plans(self, two_node_network):
+        """Datalog queries run through compiled plans; the compilation count
+        surfaces both on the transducer and in the run metrics."""
+        import repro.datalog.evaluation as evaluation
+
+        transducer = tc_datalog_transducer()
+        run = TransducerNetwork(
+            two_node_network, transducer, hash_policy(INPUTS, two_node_network)
+        ).new_run(Instance(parse_facts("E(1,2). E(2,3).")))
+        run.run_to_quiescence(scheduler=FairScheduler(1))
+        stats = transducer.evaluation_stats()
+        assert run.metrics.plans_compiled == stats["plans_compiled"]
+        if evaluation.PLANS_ENABLED:
+            assert stats["plans_compiled"] > 0
+        else:
+            assert stats["plans_compiled"] == 0

@@ -140,3 +140,55 @@ class TestRunReport:
         summary = build_run_report(finished_run).summary()
         assert "\n" not in summary
         assert "echo" in summary and "quiesced" in summary
+
+
+class TestEvaluationCounters:
+    """The incremental-evaluation counters (db-fingerprint step cache and
+    compiled-plan compilation count) surface through RunMetrics/RunReport."""
+
+    def test_counters_present_and_consistent(self, finished_run):
+        from repro.transducers.transducer import _cache_enabled_default
+
+        metrics = build_run_report(finished_run).metrics
+        for key in ("cache_hits", "cache_misses", "plans_compiled"):
+            assert key in metrics and metrics[key] >= 0
+        if not _cache_enabled_default():  # REPRO_DISABLE_QUERY_CACHE set
+            assert metrics["cache_hits"] == metrics["cache_misses"] == 0
+            return
+        # Every transition is exactly one step() call: a hit or a miss.
+        assert (
+            metrics["cache_hits"] + metrics["cache_misses"]
+            == metrics["transitions"]
+        )
+        assert metrics["cache_misses"] >= 1  # first step can never hit
+
+    def test_heartbeats_replay_from_cache(self, three_node_network):
+        from repro.transducers.transducer import _cache_enabled_default
+
+        if not _cache_enabled_default():
+            pytest.skip("step cache disabled via REPRO_DISABLE_QUERY_CACHE")
+        """A heartbeat presents the same D as the previous step at that
+        node, so a quiescence run (which ends with one heartbeat round per
+        node) must record cache hits."""
+        policy = hash_policy(INPUTS, three_node_network)
+        net = TransducerNetwork(three_node_network, echo_transducer(), policy)
+        run = net.new_run(Instance(parse_facts("E(1,2). E(2,3).")))
+        run.run_to_quiescence(scheduler=FairScheduler(3))
+        metrics = build_run_report(run).metrics
+        assert metrics["cache_hits"] > 0
+
+    def test_cache_disabled_counts_nothing(self, three_node_network):
+        policy = hash_policy(INPUTS, three_node_network)
+        transducer = echo_transducer()
+        transducer._cache_enabled = False
+        net = TransducerNetwork(three_node_network, transducer, policy)
+        run = net.new_run(Instance(parse_facts("E(1,2).")))
+        run.run_to_quiescence(scheduler=FairScheduler(0))
+        metrics = build_run_report(run).metrics
+        assert metrics["cache_hits"] == 0
+        assert metrics["cache_misses"] == 0
+
+    def test_python_transducer_compiles_no_plans(self, finished_run):
+        # plans_compiled counts Datalog plan compilations; the echo
+        # transducer is a PythonTransducer, so the counter stays zero.
+        assert build_run_report(finished_run).metrics["plans_compiled"] == 0
