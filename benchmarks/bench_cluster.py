@@ -1,0 +1,142 @@
+"""The cluster divergence gate: async runtime vs. synchronous simulator.
+
+For every gate workload (Section-4 protocol bundles, the barrier baseline,
+and every planned query-zoo program) this sweep:
+
+1. runs the synchronous simulator under all six schedulers and asserts a
+   single output fingerprint (the confluence guarantee, sync side);
+2. runs the asynchronous cluster for every seed × transport × fault mode
+   and asserts the same fingerprint (the gate).
+
+The full sweep (default: 20 seeds × {memory, tcp} × {faults off, on}) is
+what produces the committed ``BENCH_cluster.json``; CI re-runs a smoke
+subset (``--smoke``: 5 seeds) on every push and validates the committed
+artifact's shape.  Exit status is non-zero on any divergence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py            # full, 20 seeds
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke    # 5 seeds
+    PYTHONPATH=src python benchmarks/bench_cluster.py --seeds 3 --transports memory
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster.gate import (  # noqa: E402
+    GATE_NETWORK_NODES,
+    check_workload,
+    gate_workloads,
+)
+from repro.cluster.transport import TRANSPORT_NAMES  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+def run_gate(
+    *,
+    seeds: int,
+    transports: list[str],
+    fault_modes: list[bool],
+    keys: list[str] | None = None,
+) -> dict:
+    workloads = gate_workloads()
+    if keys:
+        workloads = tuple(w for w in workloads if w.key in keys)
+    verdicts = []
+    total_runs = 0
+    started = time.time()
+    for workload in workloads:
+        t0 = time.time()
+        verdict = check_workload(
+            workload,
+            seeds=range(seeds),
+            transports=transports,
+            fault_modes=fault_modes,
+        )
+        verdicts.append(verdict)
+        total_runs += verdict.runs
+        status = "ok" if verdict.passed else "DIVERGED"
+        print(
+            f"  {workload.key:28s} {status:8s} "
+            f"{verdict.runs:4d} runs  {time.time() - t0:5.1f}s",
+            flush=True,
+        )
+    return {
+        "suite": "cluster-divergence-gate",
+        "date": datetime.date.today().isoformat(),
+        "network": list(GATE_NETWORK_NODES),
+        "seeds": seeds,
+        "transports": transports,
+        "fault_modes": fault_modes,
+        "workloads": [v.to_dict() for v in verdicts],
+        "total_runs": total_runs,
+        "elapsed_seconds": round(time.time() - started, 1),
+        "passed": all(v.passed for v in verdicts),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", type=int, default=20, help="seeds per (transport, faults) cell"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: 5 seeds (overrides --seeds)",
+    )
+    parser.add_argument(
+        "--transports",
+        nargs="+",
+        choices=sorted(TRANSPORT_NAMES),
+        default=sorted(TRANSPORT_NAMES),
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="KEY",
+        help="restrict to these workload keys (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the result JSON (default: {DEFAULT_OUTPUT.name})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="print only; do not write JSON"
+    )
+    args = parser.parse_args(argv)
+    seeds = 5 if args.smoke else args.seeds
+    print(
+        f"divergence gate: {seeds} seeds x {args.transports} x faults off/on",
+        flush=True,
+    )
+    payload = run_gate(
+        seeds=seeds,
+        transports=list(args.transports),
+        fault_modes=[False, True],
+        keys=args.workloads,
+    )
+    if not args.no_write:
+        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    print(
+        f"{payload['total_runs']} cluster runs, "
+        f"{'all matched' if payload['passed'] else 'DIVERGENCES FOUND'} "
+        f"({payload['elapsed_seconds']}s)"
+    )
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,11 +21,16 @@ Usage::
     PYTHONPATH=src BENCH_ENGINE_SMOKE=1 python scripts/bench_report.py --smoke
 
 ``--output`` overrides the destination (default: repo-root BENCH_engine.json).
+The output file keeps a dated **history**: each invocation appends one
+entry under ``history`` instead of overwriting previous results, so
+regressions are visible as a time series.  Legacy single-entry files are
+migrated in place on first touch.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
 import subprocess
@@ -143,6 +148,41 @@ def divergence_check(smoke: bool) -> list[str]:
     return divergences
 
 
+#: The date stamped onto a legacy (pre-history) BENCH_engine.json entry
+#: during migration: the commit date of the run that produced it.
+LEGACY_DATE = "2026-08-06"
+
+
+def load_history(path: Path) -> dict:
+    """Read the existing report, migrating the legacy single-entry layout
+    (top-level ``benchmarks``) into ``history`` form."""
+    base = {
+        "suite": "bench_engine_microbench",
+        "baseline_env": KILL_SWITCHES,
+        "history": [],
+    }
+    if not path.exists():
+        return base
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return base
+    if "history" in payload:
+        base["history"] = list(payload["history"])
+        return base
+    if "benchmarks" in payload:  # legacy one-shot layout
+        base["history"] = [
+            {
+                "date": LEGACY_DATE,
+                "mode": payload.get("mode", "full"),
+                "divergences": payload.get("divergences", []),
+                "headline": payload.get("headline", {}),
+                "benchmarks": payload.get("benchmarks", {}),
+            }
+        ]
+    return base
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI smoke mode: smallest sizes, 1 round")
@@ -193,16 +233,19 @@ def main() -> int:
         if not args.smoke and speedup < minimum:
             failures.append(f"{metric}: {speedup:.2f}x below target {minimum}x")
 
-    report = {
-        "suite": "bench_engine_microbench",
+    entry = {
+        "date": datetime.date.today().isoformat(),
         "mode": "smoke" if args.smoke else "full",
-        "baseline_env": KILL_SWITCHES,
         "divergences": divergences,
         "headline": headline,
         "benchmarks": benchmarks,
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    output = Path(args.output)
+    report = load_history(output)
+    report["history"].append(entry)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output} ({len(report['history'])} history entr"
+          f"{'y' if len(report['history']) == 1 else 'ies'})")
     if failures:
         print("FAILURES:\n  " + "\n  ".join(failures))
         return 1

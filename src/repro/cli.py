@@ -21,6 +21,14 @@ Usage (also via ``python -m repro``):
         singleton / storm / starve / chaos; ``--report`` writes the
         structured JSON run report (see docs/CHAOS.md).
 
+    repro cluster PROGRAM.dl FACTS.dl [--nodes N] [--seed S]
+               [--transport memory|tcp] [--chaos] [--report OUT.json]
+        Distributed evaluation on the *asynchronous* cluster runtime:
+        one asyncio task per node, wire-encoded envelopes over the chosen
+        transport, quiescence detected decentrally by Safra's token ring
+        (see docs/CLUSTER.md).  ``--chaos`` wraps every endpoint in the
+        fault layer (duplication, delay, drop-with-redelivery).
+
     repro solve-game FACTS.dl
         Solve the win-move game in FACTS.dl (Move facts) by retrograde
         analysis: won / drawn / lost positions and winning moves.
@@ -154,6 +162,49 @@ def _cmd_run(args, out) -> int:
     return 0 if result == expected and quiesced else 1
 
 
+def _cmd_cluster(args, out) -> int:
+    from .cluster import ClusterRun, build_cluster_report
+    from .core.analyzer import planned_network
+    from .transducers.faults import CHAOS_PLAN
+    from .transducers.runtime import QuiescenceError
+    from .transducers.telemetry import write_report
+
+    program = _load_program(args.program)
+    instance = _load_facts(args.facts)
+    plan = plan_distribution(program)
+    nodes = tuple(f"n{i + 1}" for i in range(args.nodes))
+    run = ClusterRun(
+        planned_network(program, nodes),
+        instance,
+        transport=args.transport,
+        fault_plan=CHAOS_PLAN if args.chaos else None,
+        seed=args.seed,
+    )
+    quiesced = True
+    try:
+        result = run.run_to_quiescence()
+    except QuiescenceError as error:
+        quiesced = False
+        result = run.global_output()
+        print(f"warning:      {error}", file=out)
+    expected = plan.query(instance)
+    print(f"strategy:     {plan.transducer.name}", file=out)
+    print(f"network:      {', '.join(nodes)}", file=out)
+    print(f"transport:    {run.transport_name}", file=out)
+    print(f"token rounds: {run.token_probes}", file=out)
+    if args.chaos:
+        print(f"faults:       {CHAOS_PLAN.describe()}", file=out)
+    print(f"{len(result)} output fact(s):", file=out)
+    _print_instance(result, out)
+    status = "OK" if result == expected else "MISMATCH"
+    print(f"matches centralized evaluation: {status}", file=out)
+    if args.report:
+        report = build_cluster_report(run, quiesced=quiesced)
+        write_report(report, args.report)
+        print(f"report:       {args.report}", file=out)
+    return 0 if result == expected and quiesced else 1
+
+
 def _cmd_solve_game(args, out) -> int:
     instance = _load_facts(args.facts)
     solution = solve_game(instance)
@@ -214,6 +265,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed the transition trace in the report",
     )
     run_cmd.set_defaults(handler=_cmd_run)
+
+    cluster_cmd = commands.add_parser(
+        "cluster", help="evaluate on the asynchronous cluster runtime"
+    )
+    cluster_cmd.add_argument("program")
+    cluster_cmd.add_argument("facts")
+    cluster_cmd.add_argument("--nodes", type=int, default=3)
+    cluster_cmd.add_argument("--seed", type=int, default=0)
+    cluster_cmd.add_argument(
+        "--transport",
+        choices=["memory", "tcp"],
+        default="memory",
+        help="wire transport (in-process queues or loopback TCP)",
+    )
+    cluster_cmd.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject transport faults (duplication, delay, drop-with-redelivery)",
+    )
+    cluster_cmd.add_argument(
+        "--report", metavar="PATH", help="write the JSON run report to PATH"
+    )
+    cluster_cmd.set_defaults(handler=_cmd_cluster)
 
     game_cmd = commands.add_parser("solve-game", help="solve a win-move game")
     game_cmd.add_argument("facts")

@@ -1,0 +1,59 @@
+"""repro.cluster: the asynchronous distributed runtime.
+
+Runs a :class:`~repro.transducers.runtime.TransducerNetwork` as concurrent
+asyncio tasks — one per node, each with a bounded mailbox — talking only
+through a versioned wire codec over pluggable transports, with quiescence
+detected decentrally by Safra's token-ring algorithm.  See
+``docs/CLUSTER.md`` for the architecture and the termination argument.
+"""
+
+from .codec import (
+    CODEC_VERSION,
+    CodecError,
+    Envelope,
+    TokenState,
+    decode_envelope,
+    decode_fact,
+    encode_envelope,
+    encode_fact,
+)
+from .faults import FaultLayer, FaultyEndpoint
+from .gate import check_workload, gate_workloads
+from .runtime import ClusterNode, ClusterRun
+from .telemetry import build_cluster_report
+from .transport import (
+    TRANSPORT_NAMES,
+    Endpoint,
+    InMemoryTransport,
+    Mailbox,
+    TcpTransport,
+    Transport,
+    TransportError,
+    make_transport,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "CodecError",
+    "Envelope",
+    "TokenState",
+    "encode_fact",
+    "decode_fact",
+    "encode_envelope",
+    "decode_envelope",
+    "FaultLayer",
+    "FaultyEndpoint",
+    "ClusterNode",
+    "ClusterRun",
+    "check_workload",
+    "gate_workloads",
+    "build_cluster_report",
+    "Endpoint",
+    "Mailbox",
+    "Transport",
+    "InMemoryTransport",
+    "TcpTransport",
+    "TransportError",
+    "TRANSPORT_NAMES",
+    "make_transport",
+]

@@ -1,0 +1,162 @@
+"""Fault injection at the transport layer: the :class:`FaultyChannel`
+semantics of :mod:`repro.transducers.faults`, recast as endpoint wrappers.
+
+The synchronous simulator injects faults inside its global ``Channel``
+object; a cluster has no such object, so faults live where they live in a
+real system — on the sender's edge of the wire.  A :class:`FaultyEndpoint`
+wraps a plain endpoint and applies the same :class:`FaultPlan` knobs,
+**per fact** (matching the sync semantics, where each fact of a send draws
+independently):
+
+* **duplicate** — the fact is dispatched 2..max_copies times; legal because
+  mailboxes are multisets (and the protocols are idempotent).
+* **delay** — the fact is withheld and redelivered after a bounded number
+  of ticks (``plan.max_delay`` × ``tick`` seconds of real time).
+* **drop** — identical to delay with the longer ``redelivery_delay`` bound:
+  nothing is ever lost for good, preserving the fair-run guarantee.
+
+Control traffic (termination tokens, STOP) bypasses the fault path — the
+Safra ring assumes reliable token forwarding, just as the paper's fair-run
+semantics assumes eventual delivery.  Crucially for the termination
+detector, every copy this wrapper accepts is *counted at accept time* (the
+``send`` return value), so a delayed fact keeps the global
+sent-minus-received sum positive and quiescence cannot be declared while
+anything is still held.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Hashable
+
+from ..transducers.faults import CHAOS_PLAN, FaultPlan
+from .codec import KIND_DATA, Envelope, decode_envelope, encode_envelope, peek_kind
+from .transport import Endpoint
+
+__all__ = ["FaultyEndpoint", "FaultLayer", "CHAOS_PLAN", "FaultPlan"]
+
+
+class FaultLayer:
+    """Shared state for all faulty endpoints of one cluster run: the plan,
+    aggregate counters, and the set of in-flight redelivery tasks."""
+
+    def __init__(
+        self, plan: FaultPlan = CHAOS_PLAN, seed: int = 0, *, tick: float = 0.002
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.tick = tick
+        self.counters = {
+            "duplicated": 0,
+            "delayed": 0,
+            "dropped": 0,
+            "redelivered": 0,
+        }
+        self._tasks: set[asyncio.Task] = set()
+        self._held = 0
+        self.held_high_water = 0
+
+    def rng_for(self, node: Hashable) -> random.Random:
+        # String seeding is process-independent (unlike hash()), so a seeded
+        # chaos cluster draws the same fault schedule on every run.
+        return random.Random(f"cluster-faults:{self.seed}:{node!r}")
+
+    def wrap(self, endpoint: Endpoint) -> "FaultyEndpoint":
+        return FaultyEndpoint(endpoint, self)
+
+    def note_held(self, delta: int) -> None:
+        self._held += delta
+        if self._held > self.held_high_water:
+            self.held_high_water = self._held
+
+    def held(self) -> int:
+        """Facts currently withheld for later redelivery (all endpoints)."""
+        return self._held
+
+    def track(self, task: asyncio.Task) -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def drain(self) -> None:
+        """Await any still-scheduled redeliveries (shutdown hygiene; by the
+        time termination is detected the set is necessarily empty)."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+
+class FaultyEndpoint(Endpoint):
+    """An endpoint whose *data* sends pass through the fault plan."""
+
+    def __init__(self, inner: Endpoint, layer: FaultLayer) -> None:
+        self._inner = inner
+        self._layer = layer
+        self._rng = layer.rng_for(inner.node)
+
+    @property
+    def node(self) -> Hashable:
+        return self._inner.node
+
+    async def recv(self) -> bytes:
+        return await self._inner.recv()
+
+    def recv_nowait(self) -> bytes | None:
+        return self._inner.recv_nowait()
+
+    async def send(self, target: Hashable, frame: bytes) -> int:
+        if peek_kind(frame) != KIND_DATA:
+            return await self._inner.send(target, frame)
+        envelope = decode_envelope(frame)
+        plan = self._layer.plan
+        rng = self._rng
+        counters = self._layer.counters
+        now: list = []
+        held: list[tuple[int, object]] = []  # (ticks, fact)
+        for fact in envelope.facts:
+            draw = rng.random()
+            if draw < plan.drop_rate:
+                held.append((1 + rng.randrange(plan.redelivery_delay), fact))
+                counters["dropped"] += 1
+            elif draw < plan.drop_rate + plan.delay_rate:
+                held.append((1 + rng.randrange(plan.max_delay), fact))
+                counters["delayed"] += 1
+            else:
+                copies = 1
+                if rng.random() < plan.duplicate_rate:
+                    copies = rng.randint(2, plan.max_copies)
+                    counters["duplicated"] += copies - 1
+                now.extend([fact] * copies)
+        dispatched = 0
+        if now:
+            dispatched += await self._inner.send(
+                target, encode_envelope(self._replace_facts(envelope, now))
+            )
+        for ticks, fact in held:
+            # Each withheld fact becomes its own in-flight envelope, counted
+            # here and now: the sender's Safra counter must cover it from the
+            # moment it is accepted, or termination could be declared while
+            # the redelivery timer is still pending.
+            dispatched += 1
+            self._layer.note_held(1)
+            task = asyncio.ensure_future(
+                self._redeliver(target, self._replace_facts(envelope, [fact]), ticks)
+            )
+            self._layer.track(task)
+        return dispatched
+
+    def _replace_facts(self, envelope: Envelope, facts: list) -> Envelope:
+        return Envelope(
+            kind=envelope.kind,
+            sender=envelope.sender,
+            round=envelope.round,
+            sequence=envelope.sequence,
+            facts=tuple(facts),
+        )
+
+    async def _redeliver(self, target: Hashable, envelope: Envelope, ticks: int) -> None:
+        await asyncio.sleep(ticks * self._layer.tick)
+        try:
+            await self._inner.send(target, encode_envelope(envelope))
+            self._layer.counters["redelivered"] += 1
+        finally:
+            self._layer.note_held(-1)

@@ -1,0 +1,228 @@
+"""The divergence gate: the cluster runtime vs. the synchronous simulator.
+
+The paper's confluence results (Theorems 4.3–4.5, and the barrier fallback
+by construction) guarantee that *every* fair run of one of our transducer
+networks converges to the same global output Q(I).  That makes a sharp
+equivalence oracle available for free: run the synchronous simulator under
+every scheduler, run the cluster under many seeds × transports × fault
+plans, and require all output fingerprints to be identical.  Any
+divergence is a bug in one of the runtimes — there is no "acceptable
+nondeterminism" bucket to hide in.
+
+:func:`gate_workloads` enumerates the corpus: the five Section-4 protocol
+bundles, the global-barrier baseline, and every query-zoo program routed
+through :func:`repro.core.analyzer.plan_distribution` (so the gate also
+covers the planner's protocol selection, including the barrier fallback
+for non-monotone programs).  :func:`check_workload` runs one workload
+through the full matrix and returns a machine-readable verdict; the
+committed ``BENCH_cluster.json`` is a sweep of these verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..datalog.instance import Instance
+from ..datalog.parser import parse_facts
+from ..transducers.faults import CHAOS_PLAN, SCHEDULER_NAMES, make_scheduler
+from ..transducers.policy import Network
+from ..transducers.protocols import Section4Protocol, section4_protocols
+from ..transducers.runtime import TransducerNetwork
+from ..transducers.telemetry import output_fingerprint
+from .runtime import ClusterRun
+from .transport import TRANSPORT_NAMES
+
+__all__ = [
+    "GATE_NETWORK_NODES",
+    "gate_workloads",
+    "workload_by_key",
+    "sync_fingerprint",
+    "cluster_fingerprint",
+    "check_workload",
+]
+
+#: The canonical gate network (matches the chaos-confluence benchmark).
+GATE_NETWORK_NODES = ("n1", "n2", "n3")
+
+#: Small witness inputs for the zoo programs (edb relations differ per
+#: program).  Chosen to exercise recursion, negation and emptiness without
+#: making the async sweep slow.
+_ZOO_INSTANCES: dict[str, str] = {
+    "tc": "E(1,2). E(2,3). E(3,1).",
+    "neq-pairs": "E(1,1). E(1,2). E(2,3).",
+    "non-loop-sources": "E(1,1). E(1,2). E(2,3).",
+    "sp-missing-targets": "E(1,2). E(2,3). E(3,1). Mark(2).",
+    "example51-p1": "E(1,2). E(2,3). E(3,1). E(3,4).",
+    "example51-p2": "E(1,2). E(2,3). E(3,1). E(4,5).",
+    "co-tc": "E(1,2). E(2,1). E(3,4).",
+    "isolated-vertices": "V(1). V(2). V(3). E(1,2).",
+    "two-relation-join": "R(1,2). R(2,2). S(2,3). S(3,1).",
+    "win-move": "Move(1,2). Move(2,1). Move(2,3).",
+    "disconnected-product": "S(1). S(2). T(3).",
+}
+
+
+def _zoo_workloads() -> list[Section4Protocol]:
+    from ..core.analyzer import plan_distribution
+    from ..queries.zoo import zoo_entries, zoo_program
+
+    workloads = []
+    for entry in zoo_entries():
+        program = zoo_program(entry.name)
+        plan = plan_distribution(program)
+        workloads.append(
+            Section4Protocol(
+                key=f"zoo-{entry.name}",
+                theorem=f"planner:{entry.monotonicity}",
+                transducer=plan.transducer,
+                query=plan.query,
+                instance=Instance(parse_facts(_ZOO_INSTANCES[entry.name])),
+                domain_guided=plan.requires_domain_guided,
+            )
+        )
+    return workloads
+
+
+def gate_workloads() -> tuple[Section4Protocol, ...]:
+    """Every workload the divergence gate covers: Section-4 protocol
+    bundles, the barrier baseline, and the planned query zoo."""
+    from ..transducers.barrier import barrier_baseline
+
+    return (*section4_protocols(), barrier_baseline(), *_zoo_workloads())
+
+
+def workload_by_key(key: str) -> Section4Protocol:
+    for workload in gate_workloads():
+        if workload.key == key:
+            return workload
+    known = ", ".join(w.key for w in gate_workloads())
+    raise KeyError(f"unknown gate workload {key!r} (known: {known})")
+
+
+def _build_network(
+    workload: Section4Protocol, nodes: Sequence[Hashable]
+) -> TransducerNetwork:
+    network = Network(nodes)
+    return TransducerNetwork(
+        network, workload.transducer, workload.policy(network)
+    )
+
+
+def sync_fingerprint(
+    workload: Section4Protocol,
+    *,
+    nodes: Sequence[Hashable] = GATE_NETWORK_NODES,
+    schedulers: Iterable[str] = SCHEDULER_NAMES,
+    seed: int = 0,
+) -> str:
+    """The synchronous simulator's fingerprint, asserted identical across
+    every named scheduler (the sync side of the confluence guarantee)."""
+    fingerprints = {}
+    for name in schedulers:
+        run = _build_network(workload, nodes).new_run(workload.instance)
+        run.run_to_quiescence(scheduler=make_scheduler(name, seed))
+        fingerprints[name] = output_fingerprint(run.global_output())
+    distinct = set(fingerprints.values())
+    if len(distinct) != 1:
+        raise AssertionError(
+            f"sync runs of {workload.key!r} diverge across schedulers: "
+            f"{fingerprints}"
+        )
+    return distinct.pop()
+
+
+def cluster_fingerprint(
+    workload: Section4Protocol,
+    *,
+    nodes: Sequence[Hashable] = GATE_NETWORK_NODES,
+    transport: str = "memory",
+    faults: bool = False,
+    seed: int = 0,
+) -> tuple[str, ClusterRun]:
+    """One cluster execution; returns (fingerprint, finished run)."""
+    run = ClusterRun(
+        _build_network(workload, nodes),
+        workload.instance,
+        transport=transport,
+        fault_plan=CHAOS_PLAN if faults else None,
+        seed=seed,
+    )
+    run.run_to_quiescence()
+    return output_fingerprint(run.global_output()), run
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """The outcome of gating one workload across the full matrix."""
+
+    key: str
+    expected_fingerprint: str
+    runs: int
+    divergences: tuple[dict, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "expected_fingerprint": self.expected_fingerprint,
+            "runs": self.runs,
+            "passed": self.passed,
+            "divergences": list(self.divergences),
+        }
+
+
+def check_workload(
+    workload: Section4Protocol,
+    *,
+    nodes: Sequence[Hashable] = GATE_NETWORK_NODES,
+    seeds: Iterable[int] = range(20),
+    transports: Iterable[str] = tuple(TRANSPORT_NAMES),
+    fault_modes: Iterable[bool] = (False, True),
+) -> GateVerdict:
+    """Gate one workload: sync fingerprint (all schedulers) must equal the
+    cluster fingerprint for every seed × transport × fault mode."""
+    expected = sync_fingerprint(workload, nodes=nodes)
+    # The paper's expected Q(I) — a third, runtime-independent witness.
+    centralized = output_fingerprint(workload.expected())
+    divergences = []
+    runs = 0
+    if centralized != expected:
+        divergences.append(
+            {
+                "seed": None,
+                "transport": "sync",
+                "faults": False,
+                "fingerprint": expected,
+                "note": "sync output differs from centralized Q(I)",
+            }
+        )
+    for transport in transports:
+        for faults in fault_modes:
+            for seed in seeds:
+                actual, _ = cluster_fingerprint(
+                    workload,
+                    nodes=nodes,
+                    transport=transport,
+                    faults=faults,
+                    seed=seed,
+                )
+                runs += 1
+                if actual != expected:
+                    divergences.append(
+                        {
+                            "seed": seed,
+                            "transport": transport,
+                            "faults": faults,
+                            "fingerprint": actual,
+                        }
+                    )
+    return GateVerdict(
+        key=workload.key,
+        expected_fingerprint=expected,
+        runs=runs,
+        divergences=tuple(divergences),
+    )

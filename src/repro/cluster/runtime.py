@@ -1,0 +1,447 @@
+"""The asynchronous cluster runtime with decentralized quiescence detection.
+
+:class:`~repro.transducers.runtime.Run` simulates a transducer network with
+a single global round loop whose quiescence check inspects every buffer at
+once — an omniscient coordinator, exactly the thing the paper's Section 4
+protocols are designed to live without.  :class:`ClusterRun` executes the
+same network as genuinely concurrent processes:
+
+* every node runs as an independent ``asyncio`` task holding only its own
+  :class:`~repro.transducers.runtime.NodeState`, its input fragment, and
+  one transport :class:`~repro.cluster.transport.Endpoint`;
+* all communication is encoded through the wire codec
+  (:mod:`repro.cluster.codec`) and moved by a pluggable transport —
+  in-process queues by default, loopback TCP behind the same interface;
+* **quiescence is detected decentrally** with Safra's token-ring
+  termination-detection algorithm (Dijkstra, EWD 998): no node ever reads
+  another node's mailbox, and termination is decided purely from envelope
+  metadata.
+
+Safra's algorithm, as implemented here
+--------------------------------------
+
+Nodes are arranged in a ring (sorted node order).  Each node keeps a
+message *counter* (data envelopes sent − received) and a *colour* (black
+once it has received a data envelope since it last forwarded the token).
+The first node initiates a probe by sending a white token with count 0
+around the ring.  A node forwards the token only while *passive* (mailbox
+drained, local transition closure finished), adding its counter and
+staining the token black if it is black itself, then turns white.  When
+the token returns to the initiator, termination is announced iff the
+initiator is white and passive, the token is white, and token count plus
+the initiator's counter is zero — otherwise a fresh probe starts.  The
+count invariant makes the detection safe under the fault layer too: a
+delayed or "dropped" (redelivery-pending) envelope is counted by its
+sender from the moment it is accepted, so the global sum cannot reach
+zero while anything is still in flight.  On success the initiator
+broadcasts STOP and every task exits.
+
+A node becomes passive only after running its transducer to a *local
+closure*: transitions (first delivering the received batch, then
+heartbeats) until one changes no state and emits no messages.  This mirrors
+the synchronous runtime, where every node heartbeats once per round until
+the global round fixpoint; the confluence theorems (4.3–4.5) guarantee both
+executions converge to the same global output, and the divergence gate in
+:mod:`repro.cluster.gate` holds them to it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Hashable, Iterable
+
+from ..datalog.instance import Instance
+from ..datalog.terms import Fact
+from ..transducers.runtime import (
+    NodeState,
+    NodeStats,
+    QuiescenceError,
+    RunMetrics,
+    TransducerNetwork,
+)
+from ..transducers.transducer import LocalView
+from .codec import (
+    KIND_DATA,
+    KIND_STOP,
+    KIND_TOKEN,
+    Envelope,
+    TokenState,
+    decode_envelope,
+    encode_envelope,
+)
+from .faults import FaultLayer, FaultPlan
+from .transport import (
+    DEFAULT_MAILBOX_CAPACITY,
+    Transport,
+    make_transport,
+)
+
+__all__ = ["ClusterRun", "ClusterNode"]
+
+
+def _wire_sender(node: Hashable) -> Hashable:
+    """A codec-representable stand-in for a node identifier."""
+    if isinstance(node, (str, int, float, bytes, tuple, bool)) or node is None:
+        return node
+    return repr(node)
+
+
+class ClusterNode:
+    """One node of the cluster: transducer state, a transport endpoint, and
+    the Safra bookkeeping.  Sees nothing of the rest of the world."""
+
+    def __init__(
+        self,
+        *,
+        node: Hashable,
+        network: TransducerNetwork,
+        fragment: Instance,
+        endpoint,
+        peers: list[Hashable],
+        ring_next: Hashable,
+        initiator: bool,
+        max_probes: int,
+    ) -> None:
+        self.node = node
+        self._network = network
+        self._fragment = fragment
+        self._endpoint = endpoint
+        self._peers = peers  # every other node, sorted (broadcast targets)
+        self._ring_next = ring_next
+        self._initiator = initiator
+        self._max_probes = max_probes
+
+        self.state = NodeState()
+        self.stats = NodeStats()
+        self.counter = 0  # data envelopes sent − received (Safra)
+        self.black = False
+        self.token: TokenState | None = None
+        self.token_probes = 0  # filled at the initiator on success
+        self._probe_started = False
+        self._failed_probes = 0
+        self._sequence = 0
+        self._transitions = 0
+        self._stopped = False
+
+    # -- the transducer transition, node-locally --------------------------
+
+    def _view(self, delivered: Instance) -> LocalView:
+        return LocalView(
+            node=self.node,
+            network=self._network.network,
+            schema=self._network.transducer.schema,
+            policy=self._network.policy,
+            local_input=self._fragment,
+            output=self.state.output,
+            memory=self.state.memory,
+            delivered=delivered,
+            db_token=None,  # cluster steps always evaluate (no shared clock)
+        )
+
+    def _transition(self, delivered_facts: Iterable[Fact]) -> tuple[Instance, bool]:
+        """One transducer transition; returns (messages, state_changed).
+
+        The state update is exactly :meth:`repro.transducers.runtime.
+        Run.transition`: output grows monotonically, memory becomes
+        ``(mem ∪ (ins \\ del)) \\ (del \\ ins)``.
+        """
+        delivered_set = Instance(set(delivered_facts))
+        update = self._network.transducer.step(self._view(delivered_set))
+        state = self.state
+        before = state.snapshot()
+        state.output = state.output | update.output
+        ins_only = update.insertions - update.deletions
+        del_only = update.deletions - update.insertions
+        state.memory = (state.memory | ins_only) - del_only
+        changed = state.snapshot() != before
+        self._transitions += 1
+        self.stats.transitions += 1
+        if not delivered_set:
+            self.stats.heartbeats += 1
+        self.stats.sent_facts += len(update.messages)
+        return update.messages, changed
+
+    async def _deliver_and_close(self, delivered_facts: list[Fact]) -> None:
+        """Deliver a batch, then heartbeat to the local fixpoint, sending
+        each transition's messages as it goes."""
+        delivered: list[Fact] = delivered_facts
+        while True:
+            messages, changed = self._transition(delivered)
+            if messages:
+                await self._broadcast(messages)
+            if not changed and not messages:
+                return
+            delivered = []
+
+    async def _broadcast(self, messages: Instance) -> None:
+        facts = tuple(sorted(messages))
+        for target in self._peers:
+            envelope = Envelope(
+                kind=KIND_DATA,
+                sender=_wire_sender(self.node),
+                round=self._transitions,
+                sequence=self._next_sequence(),
+                facts=facts,
+            )
+            self.counter += await self._endpoint.send(
+                target, encode_envelope(envelope)
+            )
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    # -- Safra's termination detection ------------------------------------
+
+    async def _send_token(self, token: TokenState) -> None:
+        envelope = Envelope(
+            kind=KIND_TOKEN,
+            sender=_wire_sender(self.node),
+            round=token.probe,
+            sequence=self._next_sequence(),
+            token=token,
+        )
+        await self._endpoint.send(self._ring_next, encode_envelope(envelope))
+
+    async def _announce_stop(self) -> None:
+        for target in self._peers:
+            envelope = Envelope(
+                kind=KIND_STOP,
+                sender=_wire_sender(self.node),
+                round=self._transitions,
+                sequence=self._next_sequence(),
+            )
+            await self._endpoint.send(target, encode_envelope(envelope))
+
+    async def _token_action_while_passive(self) -> None:
+        """Called only at passive points: mailbox drained, closure done."""
+        if self._initiator and not self._probe_started:
+            self._probe_started = True
+            self.black = False
+            await self._send_token(TokenState(count=0, black=False, probe=1))
+            return
+        if self.token is None:
+            return
+        token, self.token = self.token, None
+        if not self._initiator:
+            forwarded = TokenState(
+                count=token.count + self.counter,
+                black=token.black or self.black,
+                probe=token.probe,
+            )
+            self.black = False
+            await self._send_token(forwarded)
+            return
+        # The probe came home.  Termination iff everything is white and the
+        # global envelope count balances out.
+        if not token.black and not self.black and token.count + self.counter == 0:
+            self.token_probes = token.probe
+            await self._announce_stop()
+            self._stopped = True
+            return
+        self._failed_probes += 1
+        if self._failed_probes >= self._max_probes:
+            raise QuiescenceError(
+                f"cluster did not quiesce within {self._max_probes} "
+                f"termination probes (counter={self.counter}, "
+                f"token={token})"
+            )
+        # Give redelivery timers room before burning another circulation.
+        if self._failed_probes > 3:
+            await asyncio.sleep(min(0.001 * (self._failed_probes - 3), 0.02))
+        self.black = False
+        await self._send_token(
+            TokenState(count=0, black=False, probe=token.probe + 1)
+        )
+
+    # -- the task body -----------------------------------------------------
+
+    async def run(self) -> None:
+        await self._deliver_and_close([])  # startup heartbeat closure
+        while not self._stopped:
+            await self._token_action_while_passive()
+            if self._stopped:
+                break
+            frames = [await self._endpoint.recv()]
+            while True:
+                extra = self._endpoint.recv_nowait()
+                if extra is None:
+                    break
+                frames.append(extra)
+            batch: list[Fact] = []
+            got_data = False
+            for frame in frames:
+                envelope = decode_envelope(frame)
+                if envelope.kind == KIND_STOP:
+                    self._stopped = True
+                elif envelope.kind == KIND_TOKEN:
+                    self.token = envelope.token
+                else:
+                    got_data = True
+                    self.counter -= 1
+                    self.black = True
+                    self.stats.deliveries += len(envelope.facts)
+                    batch.extend(envelope.facts)
+            if self._stopped:
+                break
+            if got_data:
+                await self._deliver_and_close(batch)
+
+
+class ClusterRun:
+    """A one-shot asynchronous execution of a transducer network.
+
+    Mirrors :class:`~repro.transducers.runtime.Run`'s surface where it can
+    (``global_output``, ``node_stats``, ``metrics``) and adds the
+    cluster-only telemetry: per-node mailbox high-water marks, the held
+    in-flight high-water of the fault layer, and the number of termination
+    probes the Safra ring needed.
+    """
+
+    def __init__(
+        self,
+        network: TransducerNetwork,
+        instance: Instance,
+        *,
+        transport: str | Transport = "memory",
+        fault_plan: FaultPlan | None = None,
+        seed: int = 0,
+        mailbox_capacity: int = DEFAULT_MAILBOX_CAPACITY,
+        tick: float = 0.002,
+        max_probes: int = 10_000,
+        timeout: float | None = 120.0,
+    ) -> None:
+        self._network = network
+        self._instance = instance.restrict(network.transducer.schema.inputs)
+        self._fragments = network.policy.distribute(self._instance)
+        if isinstance(transport, Transport):
+            self._transport = transport
+        else:
+            self._transport = make_transport(
+                transport, mailbox_capacity=mailbox_capacity
+            )
+        self._fault_layer = (
+            FaultLayer(fault_plan, seed, tick=tick)
+            if fault_plan is not None
+            else None
+        )
+        self._seed = seed
+        self._max_probes = max_probes
+        self._timeout = timeout
+        self._nodes: dict[Hashable, ClusterNode] = {}
+        self._completed = False
+        self.metrics = RunMetrics()
+        self.node_stats: dict[Hashable, NodeStats] = {}
+        self.token_probes = 0
+        self.in_flight_high_water = 0
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def network(self) -> TransducerNetwork:
+        return self._network
+
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    @property
+    def transport_name(self) -> str:
+        name = self._transport.name
+        return f"{name}+faulty" if self._fault_layer is not None else name
+
+    def nodes(self) -> list[Hashable]:
+        return self._network.network.sorted_nodes()
+
+    def state(self, node: Hashable) -> NodeState:
+        return self._nodes[node].state
+
+    def local_input(self, node: Hashable) -> Instance:
+        return self._fragments[node]
+
+    def global_output(self) -> Instance:
+        result = Instance()
+        for cluster_node in self._nodes.values():
+            result = result | cluster_node.state.output
+        return result
+
+    def fault_counters(self) -> dict[str, int]:
+        if self._fault_layer is None:
+            return {}
+        return dict(self._fault_layer.counters)
+
+    # -- execution ---------------------------------------------------------
+
+    def run_to_quiescence(self) -> Instance:
+        """Execute the cluster to detected quiescence; returns the global
+        output.  Synchronous wrapper over :meth:`arun` — must not be called
+        from inside a running event loop."""
+        return asyncio.run(self.arun())
+
+    async def arun(self) -> Instance:
+        if self._completed:
+            raise RuntimeError("a ClusterRun is one-shot; build a new one")
+        self._completed = True
+        ordered = self.nodes()
+        endpoints = await self._transport.open(ordered)
+        if self._fault_layer is not None:
+            endpoints = {
+                node: self._fault_layer.wrap(endpoint)
+                for node, endpoint in endpoints.items()
+            }
+        for index, node in enumerate(ordered):
+            self._nodes[node] = ClusterNode(
+                node=node,
+                network=self._network,
+                fragment=self._fragments[node],
+                endpoint=endpoints[node],
+                peers=[n for n in ordered if n != node],
+                ring_next=ordered[(index + 1) % len(ordered)],
+                initiator=index == 0,
+                max_probes=self._max_probes,
+            )
+        tasks = [
+            asyncio.ensure_future(cluster_node.run())
+            for cluster_node in self._nodes.values()
+        ]
+        try:
+            gathered = asyncio.gather(*tasks)
+            if self._timeout is not None:
+                try:
+                    await asyncio.wait_for(gathered, self._timeout)
+                except asyncio.TimeoutError:
+                    raise QuiescenceError(
+                        f"cluster did not quiesce within {self._timeout}s "
+                        f"wall clock"
+                    ) from None
+            else:
+                await gathered
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            if self._fault_layer is not None:
+                await self._fault_layer.drain()
+            await self._transport.close()
+        self._harvest()
+        return self.global_output()
+
+    def _harvest(self) -> None:
+        """Fold per-node counters into Run-compatible telemetry.  Runs only
+        after every node task has exited — this is reporting, not decision
+        making; no node ever saw any of it."""
+        fanout = max(len(self._nodes) - 1, 0)
+        for node, cluster_node in self._nodes.items():
+            stats = cluster_node.stats
+            stats.buffer_high_water = self._transport.mailbox_high_water(node)
+            self.node_stats[node] = stats
+            self.metrics.transitions += stats.transitions
+            self.metrics.heartbeats += stats.heartbeats
+            self.metrics.message_deliveries += stats.deliveries
+            self.metrics.message_facts_sent += stats.sent_facts * fanout
+            if cluster_node.token_probes:
+                self.token_probes = cluster_node.token_probes
+        self.metrics.rounds = self.token_probes
+        if self._fault_layer is not None:
+            self.in_flight_high_water = self._fault_layer.held_high_water

@@ -1,0 +1,248 @@
+"""Pluggable transports: how encoded envelopes move between cluster nodes.
+
+A :class:`Transport` owns the infrastructure (queues or sockets) and hands
+each node exactly one :class:`Endpoint`.  The endpoint is the *whole* world
+a node may observe: ``send(target, frame)`` and ``recv()`` /
+``recv_nowait()`` over its own bounded mailbox.  Nothing on the interface
+exposes another node's mailbox or any global buffer state — the
+decentralized-quiescence guarantee of :mod:`repro.cluster.runtime` is
+enforced structurally here (and asserted by a test that runs the nodes
+behind a proxy stripping everything but send/receive).
+
+Two transports ship:
+
+* :class:`InMemoryTransport` — per-node ``asyncio.Queue`` mailboxes inside
+  one event loop; the default, fastest, zero-setup option.
+* :class:`TcpTransport` — every node listens on a loopback TCP socket and
+  keeps one persistent connection per peer; frames are length-prefixed.
+  Same interface, real sockets, real kernel buffering.
+
+Mailboxes are *bounded* (``mailbox_capacity``): a sender awaiting
+``send()`` on a full mailbox experiences backpressure exactly like a
+blocking socket write.  High-water marks are tracked for telemetry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Hashable, Iterable
+
+__all__ = [
+    "TransportError",
+    "Mailbox",
+    "Endpoint",
+    "Transport",
+    "InMemoryTransport",
+    "TcpTransport",
+    "make_transport",
+    "TRANSPORT_NAMES",
+]
+
+_LEN = struct.Struct("<I")
+
+#: Default bound on a node mailbox, in frames.  Generous relative to the
+#: experiment sizes; small enough that a runaway protocol hits backpressure
+#: instead of exhausting memory.
+DEFAULT_MAILBOX_CAPACITY = 1024
+
+
+class TransportError(RuntimeError):
+    """Raised when a transport cannot be started or a peer is unknown."""
+
+
+class Mailbox:
+    """A bounded frame queue with a high-water mark (telemetry)."""
+
+    def __init__(self, capacity: int = DEFAULT_MAILBOX_CAPACITY) -> None:
+        self._queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=capacity)
+        self.high_water = 0
+        self.enqueued = 0
+
+    async def put(self, frame: bytes) -> None:
+        await self._queue.put(frame)
+        self.enqueued += 1
+        depth = self._queue.qsize()
+        if depth > self.high_water:
+            self.high_water = depth
+
+    async def get(self) -> bytes:
+        return await self._queue.get()
+
+    def get_nowait(self) -> bytes | None:
+        try:
+            return self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+
+class Endpoint:
+    """One node's window on the network: send to a peer, receive from the
+    own mailbox.  This is the complete interface node logic may use."""
+
+    def __init__(self, node: Hashable, transport: "Transport") -> None:
+        self._node = node
+        self._transport = transport
+
+    @property
+    def node(self) -> Hashable:
+        return self._node
+
+    async def send(self, target: Hashable, frame: bytes) -> int:
+        """Dispatch one frame to *target*; returns the number of wire
+        copies put in flight (1 here; fault wrappers may differ)."""
+        await self._transport.deliver(self._node, target, frame)
+        return 1
+
+    async def recv(self) -> bytes:
+        """Await the next frame from this node's mailbox."""
+        return await self._transport.mailbox(self._node).get()
+
+    def recv_nowait(self) -> bytes | None:
+        """The next frame if one is already buffered, else ``None``."""
+        return self._transport.mailbox(self._node).get_nowait()
+
+
+class Transport:
+    """Base class: mailbox bookkeeping shared by both transports."""
+
+    name = "abstract"
+
+    def __init__(self, *, mailbox_capacity: int = DEFAULT_MAILBOX_CAPACITY) -> None:
+        self._mailboxes: dict[Hashable, Mailbox] = {}
+        self._capacity = mailbox_capacity
+
+    async def open(self, nodes: Iterable[Hashable]) -> dict[Hashable, Endpoint]:
+        """Start the infrastructure and mint one endpoint per node."""
+        self._mailboxes = {node: Mailbox(self._capacity) for node in nodes}
+        await self._start()
+        return {node: Endpoint(node, self) for node in self._mailboxes}
+
+    async def _start(self) -> None:
+        """Transport-specific startup (default: nothing)."""
+
+    def mailbox(self, node: Hashable) -> Mailbox:
+        try:
+            return self._mailboxes[node]
+        except KeyError:
+            raise TransportError(f"unknown node {node!r}") from None
+
+    async def deliver(self, source: Hashable, target: Hashable, frame: bytes) -> None:
+        """Move one frame from *source* to *target*'s mailbox."""
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Tear down the infrastructure (default: nothing)."""
+
+    def mailbox_high_water(self, node: Hashable) -> int:
+        return self.mailbox(node).high_water
+
+    def frames_delivered(self) -> int:
+        return sum(box.enqueued for box in self._mailboxes.values())
+
+
+class InMemoryTransport(Transport):
+    """Envelopes move between ``asyncio.Queue`` mailboxes in-process."""
+
+    name = "memory"
+
+    async def deliver(self, source: Hashable, target: Hashable, frame: bytes) -> None:
+        await self.mailbox(target).put(frame)
+
+
+class TcpTransport(Transport):
+    """Loopback TCP: one listening socket per node, length-prefixed frames,
+    persistent per-(source, target) connections opened on first use."""
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        mailbox_capacity: int = DEFAULT_MAILBOX_CAPACITY,
+    ) -> None:
+        super().__init__(mailbox_capacity=mailbox_capacity)
+        self._host = host
+        self._servers: dict[Hashable, asyncio.base_events.Server] = {}
+        self._ports: dict[Hashable, int] = {}
+        self._writers: dict[tuple[Hashable, Hashable], asyncio.StreamWriter] = {}
+        self._reader_tasks: list[asyncio.Task] = []
+
+    async def _start(self) -> None:
+        for node in self._mailboxes:
+            server = await asyncio.start_server(
+                lambda r, w, node=node: self._reader_tasks.append(
+                    asyncio.ensure_future(self._pump(node, r, w))
+                ),
+                self._host,
+                0,
+            )
+            self._servers[node] = server
+            self._ports[node] = server.sockets[0].getsockname()[1]
+
+    async def _pump(
+        self, node: Hashable, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Feed one inbound connection into *node*'s mailbox."""
+        try:
+            while True:
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                frame = await reader.readexactly(length)
+                await self.mailbox(node).put(frame)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed; normal shutdown path
+        finally:
+            writer.close()
+
+    async def deliver(self, source: Hashable, target: Hashable, frame: bytes) -> None:
+        key = (source, target)
+        writer = self._writers.get(key)
+        if writer is None:
+            if target not in self._ports:
+                raise TransportError(f"unknown node {target!r}")
+            _, writer = await asyncio.open_connection(self._host, self._ports[target])
+            self._writers[key] = writer
+        writer.write(_LEN.pack(len(frame)) + frame)
+        await writer.drain()
+
+    async def close(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        for task in self._reader_tasks:
+            task.cancel()
+        for task in self._reader_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._reader_tasks.clear()
+
+
+TRANSPORT_NAMES: dict[str, type[Transport]] = {
+    "memory": InMemoryTransport,
+    "tcp": TcpTransport,
+}
+
+
+def make_transport(
+    name: str, *, mailbox_capacity: int = DEFAULT_MAILBOX_CAPACITY
+) -> Transport:
+    """Instantiate a transport by CLI name (see ``TRANSPORT_NAMES``)."""
+    try:
+        factory = TRANSPORT_NAMES[name]
+    except KeyError:
+        known = ", ".join(sorted(TRANSPORT_NAMES))
+        raise TransportError(
+            f"unknown transport {name!r} (known: {known})"
+        ) from None
+    return factory(mailbox_capacity=mailbox_capacity)

@@ -218,6 +218,22 @@ def plan_distribution(program: Program) -> DistributedPlan:
     )
 
 
+def planned_network(
+    program: Program, nodes: Iterable[Hashable] = ("n1", "n2", "n3")
+) -> TransducerNetwork:
+    """The analyzer's chosen transducer network for *program* on *nodes*,
+    ready for either runtime (synchronous ``Run`` or ``repro.cluster``)."""
+    network = Network(nodes)
+    plan = plan_distribution(program)
+    if plan.requires_domain_guided:
+        policy = domain_guided_policy(
+            plan.query.input_schema, network, hash_domain_assignment(network)
+        )
+    else:
+        policy = hash_policy(plan.query.input_schema, network)
+    return TransducerNetwork(network, plan.transducer, policy)
+
+
 def distributed_run(
     program: Program,
     instance: Instance,
@@ -230,17 +246,7 @@ def distributed_run(
     Returns the fresh :class:`Run` so callers can pick a scheduler, inject
     channel faults and harvest telemetry — the CLI's ``repro run`` path.
     """
-    network = Network(nodes)
-    plan = plan_distribution(program)
-    if plan.requires_domain_guided:
-        policy = domain_guided_policy(
-            plan.query.input_schema, network, hash_domain_assignment(network)
-        )
-    else:
-        policy = hash_policy(plan.query.input_schema, network)
-    return TransducerNetwork(network, plan.transducer, policy).new_run(
-        instance, channel=channel
-    )
+    return planned_network(program, nodes).new_run(instance, channel=channel)
 
 
 def run_distributed(

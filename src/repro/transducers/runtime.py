@@ -264,14 +264,18 @@ class Run:
         self._network = network
         self._instance = instance.restrict(network.transducer.schema.inputs)
         self._fragments = network.policy.distribute(self._instance)
+        # Sorted node order everywhere a dict's insertion order can leak into
+        # scheduling or telemetry: Network is a frozenset, and frozenset
+        # iteration order varies with the per-process hash salt.
+        ordered_nodes = network.network.sorted_nodes()
         self._states: dict[Hashable, NodeState] = {
-            node: NodeState() for node in network.network
+            node: NodeState() for node in ordered_nodes
         }
         self._buffers: dict[Hashable, Counter] = {
-            node: Counter() for node in network.network
+            node: Counter() for node in ordered_nodes
         }
         self._delivered_ever: dict[Hashable, set[Fact]] = {
-            node: set() for node in network.network
+            node: set() for node in ordered_nodes
         }
         self._channel = channel if channel is not None else Channel()
         # Database fingerprints (the step-cache tokens): the local input
@@ -288,14 +292,14 @@ class Run:
         )
         self._input_hash: dict[Hashable, int] = {
             node: _section_hash("in", self._fragments[node])
-            for node in network.network
+            for node in ordered_nodes
         }
         self._state_hash: dict[Hashable, int] = {
-            node: 0 for node in network.network
+            node: 0 for node in ordered_nodes
         }
         self.metrics = RunMetrics()
         self.node_stats: dict[Hashable, NodeStats] = {
-            node: NodeStats() for node in network.network
+            node: NodeStats() for node in ordered_nodes
         }
         self._transition_count = 0
         self.history: list[TransitionRecord] = []
@@ -431,11 +435,19 @@ class Run:
 
         fanout = 0
         if update.messages:
-            others = [n for n in self._network.network if n != node]
+            # Canonical (sorted) fact and target orders: buffer insertion and
+            # the channel's per-fact randomness must not depend on frozenset
+            # iteration order, which is salted per process for str values —
+            # this is what makes `repro run --chaos --seed S` byte-reproducible
+            # across interpreter invocations.
+            outgoing = sorted(update.messages.facts)
+            others = [
+                n for n in self._network.network.sorted_nodes() if n != node
+            ]
             fanout = len(others)
             for other in others:
                 copies = self._channel.transmit(
-                    node, other, update.messages.facts, self._transition_count
+                    node, other, outgoing, self._transition_count
                 )
                 if copies:
                     self._buffers[other].update(copies)

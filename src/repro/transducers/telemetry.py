@@ -58,9 +58,12 @@ class NodeReport:
     buffered_at_end: int
     output_facts: int
     memory_facts: int
+    #: Cluster runs only: deepest this node's transport mailbox ever got,
+    #: in frames.  ``None`` for synchronous-simulator reports.
+    mailbox_high_water: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "node": self.node,
             "transitions": self.transitions,
             "heartbeats": self.heartbeats,
@@ -71,6 +74,9 @@ class NodeReport:
             "output_facts": self.output_facts,
             "memory_facts": self.memory_facts,
         }
+        if self.mailbox_high_water is not None:
+            payload["mailbox_high_water"] = self.mailbox_high_water
+        return payload
 
 
 @dataclass(frozen=True)
@@ -89,6 +95,12 @@ class RunReport:
     output_facts: int
     output_fingerprint: str
     trace: tuple[dict[str, Any], ...] | None = None
+    #: Cluster runs only (``None`` for synchronous-simulator reports):
+    #: transport name, Safra probe circulations until quiescence, and the
+    #: fault layer's peak count of facts withheld for redelivery.
+    transport: str | None = None
+    token_rounds: int | None = None
+    in_flight_high_water: int | None = None
     version: int = field(default=REPORT_VERSION)
 
     @property
@@ -114,6 +126,12 @@ class RunReport:
         }
         if self.trace is not None:
             payload["trace"] = [dict(record) for record in self.trace]
+        if self.transport is not None:
+            payload["transport"] = self.transport
+        if self.token_rounds is not None:
+            payload["token_rounds"] = self.token_rounds
+        if self.in_flight_high_water is not None:
+            payload["in_flight_high_water"] = self.in_flight_high_water
         return payload
 
     def to_json(self, *, indent: int | None = 2) -> str:

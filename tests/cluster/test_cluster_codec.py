@@ -1,0 +1,165 @@
+"""Unit tests for the wire codec: values, facts, envelopes, strictness."""
+
+import pytest
+
+from repro.cluster.codec import (
+    CODEC_VERSION,
+    KIND_DATA,
+    KIND_STOP,
+    KIND_TOKEN,
+    MAGIC,
+    CodecError,
+    Envelope,
+    TokenState,
+    decode_envelope,
+    decode_fact,
+    encode_envelope,
+    encode_fact,
+    peek_kind,
+)
+from repro.datalog import Fact
+
+
+def roundtrip_fact(fact: Fact) -> Fact:
+    return decode_fact(encode_fact(fact))
+
+
+def roundtrip_envelope(envelope: Envelope) -> Envelope:
+    return decode_envelope(encode_envelope(envelope))
+
+
+class TestFactCodec:
+    def test_simple_fact(self):
+        fact = Fact("E", (1, 2))
+        assert roundtrip_fact(fact) == fact
+
+    def test_value_universe(self):
+        fact = Fact(
+            "Mixed",
+            (None, True, False, 0, -1, 2**200, -(2**200), 3.5, "héllo", b"\x00\xff",
+             ("nested", (1, ()), None)),
+        )
+        assert roundtrip_fact(fact) == fact
+
+    def test_nullary_fact(self):
+        fact = Fact("Ready", ())
+        assert roundtrip_fact(fact) == fact
+
+    def test_bool_int_distinction_survives(self):
+        fact = Fact("R", (True, 1, False, 0))
+        decoded = roundtrip_fact(fact)
+        assert [type(v) for v in decoded.values] == [bool, int, bool, int]
+
+    def test_unrepresentable_value_rejected(self):
+        with pytest.raises(CodecError, match="not.*wire-representable"):
+            encode_fact(Fact("R", (frozenset({1}),)))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError, match="trailing"):
+            decode_fact(encode_fact(Fact("E", (1,))) + b"\x00")
+
+    def test_truncation_rejected(self):
+        data = encode_fact(Fact("E", ("abcdef",)))
+        for cut in range(1, len(data)):
+            with pytest.raises(CodecError):
+                decode_fact(data[:cut])
+
+    def test_empty_relation_rejected(self):
+        # Hand-build: relation of length 0.
+        with pytest.raises(CodecError, match="empty relation"):
+            decode_fact(b"\x00\x00\x00\x00" + b"\x00\x00\x00\x00")
+
+
+class TestEnvelopeCodec:
+    def test_data_roundtrip(self):
+        envelope = Envelope(
+            kind=KIND_DATA,
+            sender="n1",
+            round=7,
+            sequence=123456789,
+            facts=(Fact("m", (1, "x")), Fact("m", (2, "y"))),
+        )
+        assert roundtrip_envelope(envelope) == envelope
+
+    def test_token_roundtrip(self):
+        envelope = Envelope(
+            kind=KIND_TOKEN,
+            sender="n2",
+            round=3,
+            sequence=9,
+            token=TokenState(count=-4, black=True, probe=11),
+        )
+        assert roundtrip_envelope(envelope) == envelope
+
+    def test_stop_roundtrip(self):
+        envelope = Envelope(kind=KIND_STOP, sender=("a", 1), round=0, sequence=1)
+        assert roundtrip_envelope(envelope) == envelope
+
+    def test_peek_kind(self):
+        for kind, extra in (
+            (KIND_DATA, {}),
+            (KIND_TOKEN, {"token": TokenState()}),
+            (KIND_STOP, {}),
+        ):
+            frame = encode_envelope(
+                Envelope(kind=kind, sender="n", round=0, sequence=0, **extra)
+            )
+            assert peek_kind(frame) == kind
+
+    def test_bad_magic_rejected(self):
+        frame = encode_envelope(Envelope(KIND_STOP, "n", 0, 0))
+        with pytest.raises(CodecError, match="magic"):
+            decode_envelope(b"XXXX" + frame[4:])
+        with pytest.raises(CodecError):
+            peek_kind(b"XXXX" + frame[4:])
+
+    def test_wrong_version_rejected(self):
+        frame = bytearray(encode_envelope(Envelope(KIND_STOP, "n", 0, 0)))
+        frame[4] = CODEC_VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            decode_envelope(bytes(frame))
+        with pytest.raises(CodecError, match="version"):
+            peek_kind(bytes(frame))
+
+    def test_unknown_kind_rejected(self):
+        frame = bytearray(encode_envelope(Envelope(KIND_STOP, "n", 0, 0)))
+        frame[5] = 99
+        with pytest.raises(CodecError, match="kind"):
+            decode_envelope(bytes(frame))
+
+    def test_truncated_envelope_rejected(self):
+        frame = encode_envelope(
+            Envelope(KIND_DATA, "n1", 1, 2, facts=(Fact("m", (1,)),))
+        )
+        for cut in range(1, len(frame)):
+            with pytest.raises(CodecError):
+                decode_envelope(frame[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        frame = encode_envelope(Envelope(KIND_STOP, "n", 0, 0))
+        with pytest.raises(CodecError, match="trailing"):
+            decode_envelope(frame + b"!")
+
+    def test_tuple_bomb_guard(self):
+        # A frame claiming a 2^32-ish tuple must fail fast, not allocate.
+        out = bytearray()
+        out += MAGIC
+        out.append(CODEC_VERSION)
+        out.append(KIND_DATA)
+        out += b"N"  # sender None
+        out += (0).to_bytes(4, "little")  # round
+        out += (0).to_bytes(8, "little")  # sequence
+        out += (4_000_000_000).to_bytes(4, "little")  # absurd fact count
+        with pytest.raises(CodecError, match="exceeds frame size"):
+            decode_envelope(bytes(out))
+
+    def test_envelope_invariants(self):
+        with pytest.raises(CodecError, match="unknown envelope kind"):
+            Envelope(kind=42, sender="n", round=0, sequence=0)
+        with pytest.raises(CodecError, match="TokenState"):
+            Envelope(kind=KIND_TOKEN, sender="n", round=0, sequence=0)
+        with pytest.raises(CodecError, match="only data"):
+            Envelope(
+                kind=KIND_STOP, sender="n", round=0, sequence=0,
+                facts=(Fact("m", (1,)),),
+            )

@@ -1,0 +1,105 @@
+"""Unit tests for the transport layer: mailboxes, memory and TCP delivery."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.transport import (
+    InMemoryTransport,
+    Mailbox,
+    TcpTransport,
+    TransportError,
+    make_transport,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMailbox:
+    def test_high_water_tracks_depth(self):
+        async def scenario():
+            box = Mailbox(capacity=8)
+            for i in range(3):
+                await box.put(b"x")
+            assert box.depth() == 3
+            assert box.high_water == 3
+            assert await box.get() == b"x"
+            await box.put(b"y")
+            # High water is a max, not the current depth.
+            assert box.high_water == 3
+            assert box.enqueued == 4
+
+        run(scenario())
+
+    def test_bounded_put_blocks(self):
+        async def scenario():
+            box = Mailbox(capacity=1)
+            await box.put(b"a")
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(box.put(b"b"), timeout=0.05)
+
+        run(scenario())
+
+    def test_get_nowait_empty_returns_none(self):
+        async def scenario():
+            box = Mailbox()
+            assert box.get_nowait() is None
+
+        run(scenario())
+
+
+@pytest.mark.parametrize("transport_name", ["memory", "tcp"])
+class TestTransports:
+    def test_delivery_and_ordering(self, transport_name):
+        async def scenario():
+            transport = make_transport(transport_name)
+            try:
+                endpoints = await transport.open(["a", "b"])
+                for i in range(5):
+                    assert await endpoints["a"].send("b", b"frame%d" % i) == 1
+                frames = [await endpoints["b"].recv() for _ in range(5)]
+                assert frames == [b"frame%d" % i for i in range(5)]
+                assert endpoints["b"].recv_nowait() is None
+                assert transport.frames_delivered() == 5
+                assert transport.mailbox_high_water("b") >= 1
+                assert transport.mailbox_high_water("a") == 0
+            finally:
+                await transport.close()
+
+        run(scenario())
+
+    def test_self_send(self, transport_name):
+        async def scenario():
+            transport = make_transport(transport_name)
+            try:
+                endpoints = await transport.open(["solo"])
+                await endpoints["solo"].send("solo", b"ring")
+                assert await endpoints["solo"].recv() == b"ring"
+            finally:
+                await transport.close()
+
+        run(scenario())
+
+    def test_unknown_target_rejected(self, transport_name):
+        async def scenario():
+            transport = make_transport(transport_name)
+            try:
+                endpoints = await transport.open(["a"])
+                with pytest.raises(TransportError, match="unknown node"):
+                    await endpoints["a"].send("ghost", b"x")
+            finally:
+                await transport.close()
+
+        run(scenario())
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_transport("memory"), InMemoryTransport)
+        assert isinstance(make_transport("tcp"), TcpTransport)
+
+    def test_unknown_name(self):
+        with pytest.raises(TransportError, match="unknown transport"):
+            make_transport("carrier-pigeon")

@@ -114,6 +114,87 @@ class TestRun:
         assert "scheduler:    starve" in text
 
 
+class TestSeedReproducibility:
+    def test_chaos_reports_are_byte_identical_across_hash_seeds(self, files, tmp_path):
+        """`repro run --chaos --seed S` is byte-reproducible from the CLI:
+        the report must not depend on the interpreter's hash salt (frozenset
+        iteration order), only on the declared --seed."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        program, facts, _ = files
+        src = Path(__file__).resolve().parents[2] / "src"
+        reports = []
+        for hash_seed in ("1", "2", "33"):
+            report_path = tmp_path / f"report-{hash_seed}.json"
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "run",
+                    str(program), str(facts),
+                    "--chaos", "--seed", "7", "--scheduler", "chaos",
+                    "--trace", "--report", str(report_path),
+                ],
+                env={"PYTHONPATH": str(src), "PYTHONHASHSEED": hash_seed},
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            assert result.returncode == 0, result.stderr
+            reports.append(report_path.read_bytes())
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_different_seeds_draw_different_fault_schedules(self, files, tmp_path):
+        import json
+
+        program, facts, _ = files
+        totals = []
+        for seed in ("3", "4"):
+            report_path = tmp_path / f"seed-{seed}.json"
+            code, _ = run_cli(
+                "run", str(program), str(facts),
+                "--chaos", "--seed", seed, "--report", str(report_path),
+            )
+            assert code == 0
+            payload = json.loads(report_path.read_text())
+            totals.append(
+                (payload["metrics"]["transitions"], tuple(sorted(payload["faults"].items())))
+            )
+        assert totals[0] != totals[1]
+
+
+class TestCluster:
+    def test_cluster_matches(self, files):
+        program, facts, _ = files
+        code, text = run_cli("cluster", str(program), str(facts))
+        assert code == 0
+        assert "matches centralized evaluation: OK" in text
+        assert "transport:    memory" in text
+        assert "token rounds:" in text
+
+    @pytest.mark.parametrize("transport", ["memory", "tcp"])
+    def test_cluster_chaos_report(self, files, tmp_path, transport):
+        import json
+
+        program, facts, _ = files
+        report_path = tmp_path / "cluster.json"
+        code, text = run_cli(
+            "cluster", str(program), str(facts),
+            "--transport", transport, "--chaos", "--seed", "3",
+            "--report", str(report_path),
+        )
+        assert code == 0
+        assert "matches centralized evaluation: OK" in text
+        payload = json.loads(report_path.read_text())
+        assert payload["transport"] == f"{transport}+faulty"
+        assert payload["scheduler"] == "async"
+        assert payload["quiesced"] is True
+        assert payload["token_rounds"] >= 1
+        assert all(
+            node["buffered_at_end"] == 0 for node in payload["per_node"]
+        )
+
+
 class TestSolveGame:
     def test_classification(self, files):
         _, _, game = files

@@ -1,0 +1,153 @@
+"""Property tests for the cluster wire codec.
+
+Round-trip identity over the full wire-representable value universe
+(unicode constants, nested and empty tuples, huge ints, bytes), and
+strictness: mutated magic/version bytes and random byte soup must raise
+:class:`CodecError`, never return partial data or crash differently.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.cluster.codec import (
+    CODEC_VERSION,
+    KIND_DATA,
+    KIND_STOP,
+    KIND_TOKEN,
+    MAGIC,
+    CodecError,
+    Envelope,
+    TokenState,
+    decode_envelope,
+    decode_fact,
+    encode_envelope,
+    encode_fact,
+)
+from repro.datalog import Fact
+
+# The wire-representable value universe, nested tuples included.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: arbitrary-precision on the wire
+    st.floats(allow_nan=False),  # NaN != NaN would break equality checks
+    st.text(),  # full unicode, including astral planes
+    st.binary(),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.lists(children, max_size=4).map(tuple),
+    max_leaves=12,
+)
+relations = st.text(min_size=1, max_size=12)
+facts = st.builds(
+    Fact,
+    relation=relations,
+    values=st.lists(values, max_size=5).map(tuple),
+)
+
+
+@given(fact=facts)
+def test_fact_roundtrip(fact):
+    assert decode_fact(encode_fact(fact)) == fact
+
+
+@given(fact=facts)
+def test_fact_decoding_is_strict_under_truncation(fact):
+    data = encode_fact(fact)
+    for cut in range(len(data)):
+        with pytest.raises(CodecError):
+            decode_fact(data[:cut])
+
+
+data_envelopes = st.builds(
+    Envelope,
+    kind=st.just(KIND_DATA),
+    sender=values,
+    round=st.integers(min_value=0, max_value=2**32 - 1),
+    sequence=st.integers(min_value=0, max_value=2**64 - 1),
+    facts=st.lists(facts, max_size=4).map(tuple),
+)
+token_envelopes = st.builds(
+    Envelope,
+    kind=st.just(KIND_TOKEN),
+    sender=values,
+    round=st.integers(min_value=0, max_value=2**32 - 1),
+    sequence=st.integers(min_value=0, max_value=2**64 - 1),
+    token=st.builds(
+        TokenState,
+        count=st.integers(),
+        black=st.booleans(),
+        probe=st.integers(min_value=0, max_value=2**32 - 1),
+    ),
+)
+stop_envelopes = st.builds(
+    Envelope,
+    kind=st.just(KIND_STOP),
+    sender=values,
+    round=st.integers(min_value=0, max_value=2**32 - 1),
+    sequence=st.integers(min_value=0, max_value=2**64 - 1),
+)
+envelopes = st.one_of(data_envelopes, token_envelopes, stop_envelopes)
+
+
+@given(envelope=envelopes)
+def test_envelope_roundtrip(envelope):
+    assert decode_envelope(encode_envelope(envelope)) == envelope
+
+
+@given(envelope=envelopes, junk=st.binary(min_size=1, max_size=8))
+def test_trailing_bytes_always_rejected(envelope, junk):
+    with pytest.raises(CodecError):
+        decode_envelope(encode_envelope(envelope) + junk)
+
+
+@given(envelope=envelopes, version=st.integers(min_value=0, max_value=255))
+def test_wrong_version_always_rejected(envelope, version):
+    frame = bytearray(encode_envelope(envelope))
+    if version == CODEC_VERSION:
+        return
+    frame[4] = version
+    with pytest.raises(CodecError, match="version"):
+        decode_envelope(bytes(frame))
+
+
+@given(
+    envelope=envelopes,
+    position=st.integers(min_value=0, max_value=3),
+    byte=st.integers(min_value=0, max_value=255),
+)
+def test_corrupted_magic_always_rejected(envelope, position, byte):
+    frame = bytearray(encode_envelope(envelope))
+    if frame[position] == byte:
+        return
+    frame[position] = byte
+    with pytest.raises(CodecError, match="magic"):
+        decode_envelope(bytes(frame))
+
+
+@settings(max_examples=200)
+@given(soup=st.binary(max_size=64))
+def test_byte_soup_never_crashes_differently(soup):
+    """Arbitrary bytes either decode (if they happen to be a frame) or
+    raise CodecError — never KeyError / struct.error / UnicodeDecodeError."""
+    try:
+        decode_envelope(soup)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=200)
+@given(envelope=envelopes, data=st.data())
+def test_single_byte_corruption_is_contained(envelope, data):
+    """Flipping one byte anywhere in a valid frame either still decodes to
+    *some* envelope or raises CodecError — decoding must stay total."""
+    frame = bytearray(encode_envelope(envelope))
+    index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    frame[index] ^= flip
+    try:
+        decode_envelope(bytes(frame))
+    except CodecError:
+        pass
