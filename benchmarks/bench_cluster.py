@@ -5,13 +5,16 @@ and every planned query-zoo program) this sweep:
 
 1. runs the synchronous simulator under all six schedulers and asserts a
    single output fingerprint (the confluence guarantee, sync side);
-2. runs the asynchronous cluster for every seed × transport × fault mode
-   and asserts the same fingerprint (the gate).
+2. runs the asynchronous cluster for every seed × transport × fault/crash
+   mode and asserts the same fingerprint (the gate).  Crash mode layers
+   checkpoint/WAL crash-recovery on top of the message chaos; every crash
+   run must exercise at least one actual recovery.
 
-The full sweep (default: 20 seeds × {memory, tcp} × {faults off, on}) is
-what produces the committed ``BENCH_cluster.json``; CI re-runs a smoke
-subset (``--smoke``: 5 seeds) on every push and validates the committed
-artifact's shape.  Exit status is non-zero on any divergence.
+The full sweep (default: 20 seeds × {memory, tcp} × {clean, chaos,
+chaos+crash}) is what produces the committed ``BENCH_cluster.json``; CI
+re-runs a smoke subset (``--smoke``: 5 seeds) on every push and validates
+the committed artifact's shape.  Exit status is non-zero on any
+divergence.
 
 Usage::
 
@@ -46,8 +49,11 @@ def run_gate(
     seeds: int,
     transports: list[str],
     fault_modes: list[bool],
+    crash_modes: list[bool] | None = None,
     keys: list[str] | None = None,
 ) -> dict:
+    if crash_modes is None:
+        crash_modes = [False, True]
     workloads = gate_workloads()
     if keys:
         workloads = tuple(w for w in workloads if w.key in keys)
@@ -61,6 +67,7 @@ def run_gate(
             seeds=range(seeds),
             transports=transports,
             fault_modes=fault_modes,
+            crash_modes=crash_modes,
         )
         verdicts.append(verdict)
         total_runs += verdict.runs
@@ -77,6 +84,7 @@ def run_gate(
         "seeds": seeds,
         "transports": transports,
         "fault_modes": fault_modes,
+        "crash_modes": crash_modes,
         "workloads": [v.to_dict() for v in verdicts],
         "total_runs": total_runs,
         "elapsed_seconds": round(time.time() - started, 1),
@@ -118,13 +126,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     seeds = 5 if args.smoke else args.seeds
     print(
-        f"divergence gate: {seeds} seeds x {args.transports} x faults off/on",
+        f"divergence gate: {seeds} seeds x {args.transports} x "
+        f"{{clean, chaos, chaos+crash}}",
         flush=True,
     )
     payload = run_gate(
         seeds=seeds,
         transports=list(args.transports),
         fault_modes=[False, True],
+        crash_modes=[False, True],
         keys=args.workloads,
     )
     if not args.no_write:

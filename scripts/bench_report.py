@@ -21,10 +21,12 @@ Usage::
     PYTHONPATH=src BENCH_ENGINE_SMOKE=1 python scripts/bench_report.py --smoke
 
 ``--output`` overrides the destination (default: repo-root BENCH_engine.json).
-The output file keeps a dated **history**: each invocation appends one
-entry under ``history`` instead of overwriting previous results, so
-regressions are visible as a time series.  Legacy single-entry files are
-migrated in place on first touch.
+The output file keeps a dated **history**: each invocation upserts one
+entry under ``history`` instead of overwriting previous results — a
+re-run on the same date replaces that day's entry in place (no
+duplicates), other dates accumulate, so regressions are visible as a
+time series.  Legacy single-entry files are migrated in place on first
+touch.
 """
 
 from __future__ import annotations
@@ -183,6 +185,25 @@ def load_history(path: Path) -> dict:
     return base
 
 
+def upsert_history(history: list[dict], entry: dict) -> list[dict]:
+    """Insert *entry* into the dated history, replacing any same-day entry
+    in place (re-running the suite twice in one day refreshes that day's
+    numbers instead of duplicating the row).  Stray same-day duplicates
+    from older files are collapsed too.  Returns the updated list."""
+    replaced = False
+    updated = []
+    for existing in history:
+        if existing.get("date") == entry["date"]:
+            if not replaced:
+                updated.append(entry)
+                replaced = True
+            continue  # drop further same-day duplicates
+        updated.append(existing)
+    if not replaced:
+        updated.append(entry)
+    return updated
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI smoke mode: smallest sizes, 1 round")
@@ -242,7 +263,7 @@ def main() -> int:
     }
     output = Path(args.output)
     report = load_history(output)
-    report["history"].append(entry)
+    report["history"] = upsert_history(report["history"], entry)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output} ({len(report['history'])} history entr"
           f"{'y' if len(report['history']) == 1 else 'ies'})")

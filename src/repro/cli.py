@@ -22,12 +22,15 @@ Usage (also via ``python -m repro``):
         structured JSON run report (see docs/CHAOS.md).
 
     repro cluster PROGRAM.dl FACTS.dl [--nodes N] [--seed S]
-               [--transport memory|tcp] [--chaos] [--report OUT.json]
+               [--transport memory|tcp] [--chaos] [--crash]
+               [--max-crashes N] [--report OUT.json]
         Distributed evaluation on the *asynchronous* cluster runtime:
         one asyncio task per node, wire-encoded envelopes over the chosen
         transport, quiescence detected decentrally by Safra's token ring
         (see docs/CLUSTER.md).  ``--chaos`` wraps every endpoint in the
-        fault layer (duplication, delay, drop-with-redelivery).
+        fault layer (duplication, delay, drop-with-redelivery); ``--crash``
+        additionally kills and checkpoint-recovers node tasks mid-round
+        (crash-recovery protocol in docs/CLUSTER.md).
 
     repro solve-game FACTS.dl
         Solve the win-move game in FACTS.dl (Move facts) by retrograde
@@ -163,9 +166,11 @@ def _cmd_run(args, out) -> int:
 
 
 def _cmd_cluster(args, out) -> int:
+    from dataclasses import replace
+
     from .cluster import ClusterRun, build_cluster_report
     from .core.analyzer import planned_network
-    from .transducers.faults import CHAOS_PLAN
+    from .transducers.faults import CHAOS_PLAN, FaultPlan
     from .transducers.runtime import QuiescenceError
     from .transducers.telemetry import write_report
 
@@ -173,11 +178,23 @@ def _cmd_cluster(args, out) -> int:
     instance = _load_facts(args.facts)
     plan = plan_distribution(program)
     nodes = tuple(f"n{i + 1}" for i in range(args.nodes))
+    fault_plan = None
+    if args.chaos:
+        fault_plan = CHAOS_PLAN
+    if args.crash:
+        # Crash faults layer on whatever message chaos was requested (a
+        # quiet wire otherwise); rate 1.0 guarantees the budget is spent.
+        base = fault_plan if fault_plan is not None else FaultPlan(
+            duplicate_rate=0.0, delay_rate=0.0, drop_rate=0.0
+        )
+        fault_plan = replace(
+            base, crash_rate=1.0, max_crashes=args.max_crashes
+        )
     run = ClusterRun(
         planned_network(program, nodes),
         instance,
         transport=args.transport,
-        fault_plan=CHAOS_PLAN if args.chaos else None,
+        fault_plan=fault_plan,
         seed=args.seed,
     )
     quiesced = True
@@ -192,8 +209,12 @@ def _cmd_cluster(args, out) -> int:
     print(f"network:      {', '.join(nodes)}", file=out)
     print(f"transport:    {run.transport_name}", file=out)
     print(f"token rounds: {run.token_probes}", file=out)
-    if args.chaos:
-        print(f"faults:       {CHAOS_PLAN.describe()}", file=out)
+    if fault_plan is not None:
+        print(f"faults:       {fault_plan.describe()}", file=out)
+    if args.crash:
+        print(f"crashes:      {run.crashes}", file=out)
+        print(f"recoveries:   {run.recoveries}", file=out)
+        print(f"wal replayed: {run.wal_replayed}", file=out)
     print(f"{len(result)} output fact(s):", file=out)
     _print_instance(result, out)
     status = "OK" if result == expected else "MISMATCH"
@@ -283,6 +304,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos",
         action="store_true",
         help="inject transport faults (duplication, delay, drop-with-redelivery)",
+    )
+    cluster_cmd.add_argument(
+        "--crash",
+        action="store_true",
+        help="inject node crashes with checkpoint/WAL recovery "
+        "(combine with --chaos for message faults too)",
+    )
+    cluster_cmd.add_argument(
+        "--max-crashes",
+        type=int,
+        default=2,
+        metavar="N",
+        help="crash budget for --crash (default: 2)",
     )
     cluster_cmd.add_argument(
         "--report", metavar="PATH", help="write the JSON run report to PATH"

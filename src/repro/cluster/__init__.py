@@ -7,6 +7,15 @@ detected decentrally by Safra's token-ring algorithm.  See
 ``docs/CLUSTER.md`` for the architecture and the termination argument.
 """
 
+from .checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+    NodeJournal,
+    NodeSnapshot,
+    make_checkpoint_store,
+)
 from .codec import (
     CODEC_VERSION,
     CodecError,
@@ -14,10 +23,12 @@ from .codec import (
     TokenState,
     decode_envelope,
     decode_fact,
+    decode_value,
     encode_envelope,
     encode_fact,
+    encode_value,
 )
-from .faults import FaultLayer, FaultyEndpoint
+from .faults import CRASH_PLAN, FaultLayer, FaultyEndpoint, NodeCrashed
 from .gate import check_workload, gate_workloads
 from .runtime import ClusterNode, ClusterRun
 from .telemetry import build_cluster_report
@@ -41,8 +52,19 @@ __all__ = [
     "decode_fact",
     "encode_envelope",
     "decode_envelope",
+    "encode_value",
+    "decode_value",
+    "CheckpointError",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "DiskCheckpointStore",
+    "NodeJournal",
+    "NodeSnapshot",
+    "make_checkpoint_store",
+    "CRASH_PLAN",
     "FaultLayer",
     "FaultyEndpoint",
+    "NodeCrashed",
     "ClusterNode",
     "ClusterRun",
     "check_workload",

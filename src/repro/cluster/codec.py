@@ -46,6 +46,8 @@ __all__ = [
     "CodecError",
     "TokenState",
     "Envelope",
+    "encode_value",
+    "decode_value",
     "encode_fact",
     "decode_fact",
     "encode_envelope",
@@ -185,6 +187,28 @@ def _decode_value(reader: _Reader) -> Hashable:
             raise CodecError(f"tuple length {count} exceeds frame size")
         return tuple(_decode_value(reader) for _ in range(count))
     raise CodecError(f"unknown value tag 0x{tag:02x} at offset {reader.pos - 1}")
+
+
+def encode_value(value: Hashable) -> bytes:
+    """Encode one tagged value to a self-contained byte string.
+
+    The same tagged encoding the envelope bodies use; the checkpoint layer
+    (:mod:`repro.cluster.checkpoint`) builds snapshots and write-ahead-log
+    entries out of these so durable state shares the wire format's
+    versioning and strictness.
+    """
+    out = bytearray()
+    _encode_value(value, out)
+    return bytes(out)
+
+
+def decode_value(data: bytes) -> Hashable:
+    """Decode one tagged value; the buffer must contain exactly one value."""
+    reader = _Reader(data)
+    value = _decode_value(reader)
+    if not reader.done():
+        raise CodecError(f"{len(data) - reader.pos} trailing bytes after value")
+    return value
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,15 @@ detector, every copy this wrapper accepts is *counted at accept time* (the
 ``send`` return value), so a delayed fact keeps the global
 sent-minus-received sum positive and quiescence cannot be declared while
 anything is still held.
+
+The layer also schedules **crashes** (``plan.crash_rate`` /
+``plan.max_crashes``): at each decision point a node's runtime offers
+(:meth:`FaultLayer.maybe_crash`), a per-node seeded stream decides whether
+to raise :exc:`NodeCrashed`, killing that node's task mid-round.  Crashes
+live outside :data:`~repro.transducers.faults.FAULT_COUNTER_NAMES` —
+they are a cluster-only adversary with no synchronous counterpart, and
+keeping them out of ``counters`` keeps the message-fault vocabulary
+identical between the simulator and the cluster.
 """
 
 from __future__ import annotations
@@ -30,11 +39,44 @@ import asyncio
 import random
 from typing import Hashable
 
-from ..transducers.faults import CHAOS_PLAN, FaultPlan
+from ..transducers.faults import CHAOS_PLAN, FAULT_COUNTER_NAMES, FaultPlan
 from .codec import KIND_DATA, Envelope, decode_envelope, encode_envelope, peek_kind
 from .transport import Endpoint
 
-__all__ = ["FaultyEndpoint", "FaultLayer", "CHAOS_PLAN", "FaultPlan"]
+__all__ = [
+    "FaultyEndpoint",
+    "FaultLayer",
+    "NodeCrashed",
+    "CHAOS_PLAN",
+    "CRASH_PLAN",
+    "FaultPlan",
+    "REDELIVERY_SEQUENCE_BASE",
+]
+
+#: The chaos plan plus an aggressive crash schedule: every decision point
+#: crashes (until the per-run budget is spent), so any crash-mode gate run
+#: is guaranteed to exercise at least one recovery.
+CRASH_PLAN = FaultPlan(
+    duplicate_rate=0.25,
+    delay_rate=0.25,
+    drop_rate=0.15,
+    crash_rate=1.0,
+    max_crashes=2,
+)
+
+#: Redelivered envelopes get fresh sequences allocated from this base —
+#: far above anything a node's own allocator (which counts up from 1)
+#: reaches, so fault-layer frames can never collide with live traffic.
+REDELIVERY_SEQUENCE_BASE = 1 << 48
+
+
+class NodeCrashed(RuntimeError):
+    """Raised inside a node's task by an injected crash fault.  The run
+    supervisor catches it and restarts the node from durable state."""
+
+    def __init__(self, node: Hashable) -> None:
+        super().__init__(f"injected crash on node {node!r}")
+        self.node = node
 
 
 class FaultLayer:
@@ -47,20 +89,51 @@ class FaultLayer:
         self.plan = plan
         self.seed = seed
         self.tick = tick
-        self.counters = {
-            "duplicated": 0,
-            "delayed": 0,
-            "dropped": 0,
-            "redelivered": 0,
-        }
+        # Same counter vocabulary as the synchronous FaultyChannel; like
+        # there, "dropped" counts drop-with-redelivery (nothing is lost).
+        self.counters = {name: 0 for name in FAULT_COUNTER_NAMES}
+        self.crashes = 0
         self._tasks: set[asyncio.Task] = set()
         self._held = 0
         self.held_high_water = 0
+        self._redelivery_sequences: dict[Hashable, int] = {}
+        self._crash_rngs: dict[Hashable, random.Random] = {}
 
     def rng_for(self, node: Hashable) -> random.Random:
         # String seeding is process-independent (unlike hash()), so a seeded
         # chaos cluster draws the same fault schedule on every run.
         return random.Random(f"cluster-faults:{self.seed}:{node!r}")
+
+    def next_redelivery_sequence(self, sender: Hashable) -> int:
+        """Mint a fresh wire sequence for a redelivered envelope.
+
+        The fault layer splits one sent envelope into several in-flight
+        frames; reusing the original sequence would give distinct frames
+        one ``(sender, sequence)`` identity, which breaks anything keyed
+        on it (WAL replay, wire tracing).  Allocation is per sender, from
+        a range disjoint from node-allocated sequences.
+        """
+        sequence = self._redelivery_sequences.get(sender, REDELIVERY_SEQUENCE_BASE)
+        self._redelivery_sequences[sender] = sequence + 1
+        return sequence
+
+    def maybe_crash(self, node: Hashable) -> None:
+        """One crash decision point: raise :exc:`NodeCrashed` if the plan's
+        per-node stream says so and the run's crash budget isn't spent.
+
+        The stream is separate from the message-fault stream so enabling
+        crashes does not perturb a seed's duplicate/delay/drop schedule.
+        """
+        plan = self.plan
+        if plan.crash_rate <= 0.0 or self.crashes >= plan.max_crashes:
+            return
+        rng = self._crash_rngs.get(node)
+        if rng is None:
+            rng = random.Random(f"cluster-crash:{self.seed}:{node!r}")
+            self._crash_rngs[node] = rng
+        if rng.random() < plan.crash_rate:
+            self.crashes += 1
+            raise NodeCrashed(node)
 
     def wrap(self, endpoint: Endpoint) -> "FaultyEndpoint":
         return FaultyEndpoint(endpoint, self)
@@ -128,28 +201,41 @@ class FaultyEndpoint(Endpoint):
                 now.extend([fact] * copies)
         dispatched = 0
         if now:
+            # The immediate portion stays one frame, so it keeps the
+            # original sequence; only the extra frames minted below need
+            # fresh identities.
             dispatched += await self._inner.send(
-                target, encode_envelope(self._replace_facts(envelope, now))
+                target,
+                encode_envelope(
+                    self._replace_facts(envelope, now, envelope.sequence)
+                ),
             )
         for ticks, fact in held:
-            # Each withheld fact becomes its own in-flight envelope, counted
-            # here and now: the sender's Safra counter must cover it from the
-            # moment it is accepted, or termination could be declared while
-            # the redelivery timer is still pending.
+            # Each withheld fact becomes its own in-flight envelope with a
+            # freshly minted sequence (distinct frames must have distinct
+            # (sender, sequence) identities), counted here and now: the
+            # sender's Safra counter must cover it from the moment it is
+            # accepted, or termination could be declared while the
+            # redelivery timer is still pending.
             dispatched += 1
             self._layer.note_held(1)
+            sequence = self._layer.next_redelivery_sequence(envelope.sender)
             task = asyncio.ensure_future(
-                self._redeliver(target, self._replace_facts(envelope, [fact]), ticks)
+                self._redeliver(
+                    target, self._replace_facts(envelope, [fact], sequence), ticks
+                )
             )
             self._layer.track(task)
         return dispatched
 
-    def _replace_facts(self, envelope: Envelope, facts: list) -> Envelope:
+    def _replace_facts(
+        self, envelope: Envelope, facts: list, sequence: int
+    ) -> Envelope:
         return Envelope(
             kind=envelope.kind,
             sender=envelope.sender,
             round=envelope.round,
-            sequence=envelope.sequence,
+            sequence=sequence,
             facts=tuple(facts),
         )
 

@@ -30,6 +30,7 @@ from ..transducers.policy import Network
 from ..transducers.protocols import Section4Protocol, section4_protocols
 from ..transducers.runtime import TransducerNetwork
 from ..transducers.telemetry import output_fingerprint
+from .faults import CRASH_PLAN
 from .runtime import ClusterRun
 from .transport import TRANSPORT_NAMES
 
@@ -138,14 +139,27 @@ def cluster_fingerprint(
     nodes: Sequence[Hashable] = GATE_NETWORK_NODES,
     transport: str = "memory",
     faults: bool = False,
+    crashes: bool = False,
     seed: int = 0,
 ) -> tuple[str, ClusterRun]:
-    """One cluster execution; returns (fingerprint, finished run)."""
+    """One cluster execution; returns (fingerprint, finished run).
+
+    ``crashes`` layers the crash schedule (:data:`~repro.cluster.faults.
+    CRASH_PLAN`) on top of the message chaos: every run under it must kill
+    and recover at least one node, which the gate asserts via the run's
+    ``recoveries`` counter.
+    """
+    if crashes:
+        plan = CRASH_PLAN
+    elif faults:
+        plan = CHAOS_PLAN
+    else:
+        plan = None
     run = ClusterRun(
         _build_network(workload, nodes),
         workload.instance,
         transport=transport,
-        fault_plan=CHAOS_PLAN if faults else None,
+        fault_plan=plan,
         seed=seed,
     )
     run.run_to_quiescence()
@@ -160,6 +174,8 @@ class GateVerdict:
     expected_fingerprint: str
     runs: int
     divergences: tuple[dict, ...]
+    crash_runs: int = 0
+    min_recoveries: int | None = None
 
     @property
     def passed(self) -> bool:
@@ -170,6 +186,8 @@ class GateVerdict:
             "key": self.key,
             "expected_fingerprint": self.expected_fingerprint,
             "runs": self.runs,
+            "crash_runs": self.crash_runs,
+            "min_recoveries": self.min_recoveries,
             "passed": self.passed,
             "divergences": list(self.divergences),
         }
@@ -182,47 +200,86 @@ def check_workload(
     seeds: Iterable[int] = range(20),
     transports: Iterable[str] = tuple(TRANSPORT_NAMES),
     fault_modes: Iterable[bool] = (False, True),
+    crash_modes: Iterable[bool] = (False, True),
 ) -> GateVerdict:
     """Gate one workload: sync fingerprint (all schedulers) must equal the
-    cluster fingerprint for every seed × transport × fault mode."""
+    cluster fingerprint for every seed × transport × fault/crash mode.
+
+    The mode matrix is the cross product minus (crash without faults):
+    the crash schedule layers on top of message chaos, so the effective
+    trio per transport×seed is {clean, chaos, chaos+crash}.  Every
+    crash-mode run must actually exercise ≥ 1 recovery (a crash schedule
+    that never fires would silently gate nothing), asserted via the run's
+    ``recoveries`` counter and surfaced as ``min_recoveries``.
+    """
     expected = sync_fingerprint(workload, nodes=nodes)
     # The paper's expected Q(I) — a third, runtime-independent witness.
     centralized = output_fingerprint(workload.expected())
     divergences = []
     runs = 0
+    crash_runs = 0
+    min_recoveries: int | None = None
     if centralized != expected:
         divergences.append(
             {
                 "seed": None,
                 "transport": "sync",
                 "faults": False,
+                "crashes": False,
                 "fingerprint": expected,
                 "note": "sync output differs from centralized Q(I)",
             }
         )
     for transport in transports:
         for faults in fault_modes:
-            for seed in seeds:
-                actual, _ = cluster_fingerprint(
-                    workload,
-                    nodes=nodes,
-                    transport=transport,
-                    faults=faults,
-                    seed=seed,
-                )
-                runs += 1
-                if actual != expected:
-                    divergences.append(
-                        {
-                            "seed": seed,
-                            "transport": transport,
-                            "faults": faults,
-                            "fingerprint": actual,
-                        }
+            for crashes in crash_modes:
+                if crashes and not faults:
+                    continue
+                for seed in seeds:
+                    actual, run = cluster_fingerprint(
+                        workload,
+                        nodes=nodes,
+                        transport=transport,
+                        faults=faults,
+                        crashes=crashes,
+                        seed=seed,
                     )
+                    runs += 1
+                    if actual != expected:
+                        divergences.append(
+                            {
+                                "seed": seed,
+                                "transport": transport,
+                                "faults": faults,
+                                "crashes": crashes,
+                                "fingerprint": actual,
+                            }
+                        )
+                    if crashes:
+                        crash_runs += 1
+                        if (
+                            min_recoveries is None
+                            or run.recoveries < min_recoveries
+                        ):
+                            min_recoveries = run.recoveries
+                        if run.recoveries < 1:
+                            divergences.append(
+                                {
+                                    "seed": seed,
+                                    "transport": transport,
+                                    "faults": faults,
+                                    "crashes": crashes,
+                                    "fingerprint": actual,
+                                    "note": (
+                                        "crash schedule exercised no recovery"
+                                    ),
+                                }
+                            )
     return GateVerdict(
         key=workload.key,
         expected_fingerprint=expected,
         runs=runs,
         divergences=tuple(divergences),
+        crash_runs=crash_runs,
+        min_recoveries=min_recoveries,
     )

@@ -43,12 +43,42 @@ the synchronous runtime, where every node heartbeats once per round until
 the global round fixpoint; the confluence theorems (4.3–4.5) guarantee both
 executions converge to the same global output, and the divergence gate in
 :mod:`repro.cluster.gate` holds them to it.
+
+Crash recovery
+--------------
+
+With a checkpoint store attached (:mod:`repro.cluster.checkpoint`), a node
+journals every accepted input and counted output before acting on it, and
+snapshots its transducer state (a small local database, per the relational
+transducer model) after closures.  An injected crash
+(:exc:`~repro.cluster.faults.NodeCrashed`, from ``FaultPlan.crash_rate``)
+kills the node's task mid-round; the run supervisor then builds a fresh
+:class:`ClusterNode` over the *same* endpoint and journal, which
+
+1. reloads the last snapshot (state, Safra counter/colour, sequence
+   allocator),
+2. replays the WAL suffix — re-running each logged closure
+   deterministically while *consuming* its logged ``send`` entries instead
+   of re-dispatching them (the frames are already on the wire; only the
+   counter increment is re-applied), and restoring logged token
+   receipts/forwards,
+3. rejoins the ring exactly where it died: its mailbox survived the crash
+   (infrastructure, like a kernel socket buffer), its sends stayed counted,
+   so the token can never declare termination over a dead node's facts.
+
+Crash points are cooperative — checked only between a transition's
+journal append and the next, so "dispatch + log" is atomic with respect to
+injected crashes and the replayed send sequence is always a prefix of the
+deterministic regeneration.  Crashes are suppressed during recovery, and a
+per-run ``max_crashes`` budget bounds the adversary, so every crashed run
+is still a fair run and converges to the same output (Theorems 4.3–4.5).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Hashable, Iterable
+from collections import deque
+from typing import Callable, Hashable, Iterable
 
 from ..datalog.instance import Instance
 from ..datalog.terms import Fact
@@ -60,6 +90,14 @@ from ..transducers.runtime import (
     TransducerNetwork,
 )
 from ..transducers.transducer import LocalView
+from .checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    NodeJournal,
+    NodeSnapshot,
+    group_replay_ops,
+    make_checkpoint_store,
+)
 from .codec import (
     KIND_DATA,
     KIND_STOP,
@@ -69,7 +107,7 @@ from .codec import (
     decode_envelope,
     encode_envelope,
 )
-from .faults import FaultLayer, FaultPlan
+from .faults import FaultLayer, FaultPlan, NodeCrashed
 from .transport import (
     DEFAULT_MAILBOX_CAPACITY,
     Transport,
@@ -101,6 +139,10 @@ class ClusterNode:
         ring_next: Hashable,
         initiator: bool,
         max_probes: int,
+        journal: NodeJournal | None = None,
+        crash_probe: Callable[[], None] | None = None,
+        snapshot_every: int = 1,
+        replay_sink: Callable[[int], None] | None = None,
     ) -> None:
         self.node = node
         self._network = network
@@ -110,6 +152,10 @@ class ClusterNode:
         self._ring_next = ring_next
         self._initiator = initiator
         self._max_probes = max_probes
+        self._journal = journal
+        self._crash_probe = crash_probe  # raises NodeCrashed when scheduled
+        self._snapshot_every = max(1, snapshot_every)
+        self._replay_sink = replay_sink
 
         self.state = NodeState()
         self.stats = NodeStats()
@@ -122,6 +168,9 @@ class ClusterNode:
         self._sequence = 0
         self._transitions = 0
         self._stopped = False
+        self._recovering = False
+        self._replay_sends: deque[tuple[Hashable, int, int]] = deque()
+        self._closures_since_snapshot = 0
 
     # -- the transducer transition, node-locally --------------------------
 
@@ -163,33 +212,149 @@ class ClusterNode:
 
     async def _deliver_and_close(self, delivered_facts: list[Fact]) -> None:
         """Deliver a batch, then heartbeat to the local fixpoint, sending
-        each transition's messages as it goes."""
+        each transition's messages as it goes.
+
+        Crash decision points live here, after each transition's sends are
+        dispatched *and* journaled — so an injected crash can never split
+        a dispatch from its WAL entry, and recovery's deterministic
+        re-execution always finds the logged sends as a prefix of what it
+        regenerates.
+        """
         delivered: list[Fact] = delivered_facts
         while True:
             messages, changed = self._transition(delivered)
             if messages:
                 await self._broadcast(messages)
+            self._maybe_crash()
             if not changed and not messages:
-                return
+                break
             delivered = []
+        self._maybe_snapshot()
 
     async def _broadcast(self, messages: Instance) -> None:
         facts = tuple(sorted(messages))
         for target in self._peers:
+            sequence = self._next_sequence()
+            target_wire = _wire_sender(target)
+            if self._replay_sends:
+                # Recovery replay: this send already happened before the
+                # crash (it is on the wire); verify the regeneration
+                # matches the log and restore the counter, nothing else.
+                logged_target, logged_sequence, logged_count = (
+                    self._replay_sends.popleft()
+                )
+                if (logged_target, logged_sequence) != (target_wire, sequence):
+                    raise CheckpointError(
+                        f"replay divergence at node {self.node!r}: "
+                        f"regenerated send ({target_wire!r}, seq {sequence}) "
+                        f"but the WAL recorded ({logged_target!r}, seq "
+                        f"{logged_sequence})"
+                    )
+                self.counter += logged_count
+                continue
             envelope = Envelope(
                 kind=KIND_DATA,
                 sender=_wire_sender(self.node),
                 round=self._transitions,
-                sequence=self._next_sequence(),
+                sequence=sequence,
                 facts=facts,
             )
-            self.counter += await self._endpoint.send(
-                target, encode_envelope(envelope)
-            )
+            dispatched = await self._endpoint.send(target, encode_envelope(envelope))
+            if self._journal is not None:
+                self._journal.append_send(target_wire, sequence, dispatched)
+            self.counter += dispatched
 
     def _next_sequence(self) -> int:
         self._sequence += 1
         return self._sequence
+
+    # -- durability ---------------------------------------------------------
+
+    def _maybe_crash(self) -> None:
+        if self._crash_probe is not None and not self._recovering:
+            self._crash_probe()
+
+    def _maybe_snapshot(self) -> None:
+        if self._journal is None or self._recovering:
+            return
+        self._closures_since_snapshot += 1
+        if self._closures_since_snapshot >= self._snapshot_every:
+            self._take_snapshot()
+
+    def _take_snapshot(self) -> None:
+        assert self._journal is not None
+        self._journal.save_snapshot(
+            NodeSnapshot(
+                counter=self.counter,
+                black=self.black,
+                sequence=self._sequence,
+                transitions=self._transitions,
+                probe_started=self._probe_started,
+                wal_position=self._journal.position,
+                stats=(
+                    self.stats.transitions,
+                    self.stats.heartbeats,
+                    self.stats.deliveries,
+                    self.stats.sent_facts,
+                ),
+                output=tuple(sorted(self.state.output)),
+                memory=tuple(sorted(self.state.memory)),
+            )
+        )
+        self._closures_since_snapshot = 0
+
+    async def _recover(self) -> None:
+        """Rebuild pre-crash state: snapshot, then deterministic WAL-suffix
+        replay.  Crashes are suppressed throughout (including the live tail
+        of a closure the crash interrupted), so each recovery makes real
+        progress."""
+        assert self._journal is not None
+        self._recovering = True
+        try:
+            snapshot = self._journal.load_snapshot()
+            start = 0
+            if snapshot is not None:
+                self.counter = snapshot.counter
+                self.black = snapshot.black
+                self._sequence = snapshot.sequence
+                self._transitions = snapshot.transitions
+                self._probe_started = snapshot.probe_started
+                self.state.output = Instance(set(snapshot.output))
+                self.state.memory = Instance(set(snapshot.memory))
+                (
+                    self.stats.transitions,
+                    self.stats.heartbeats,
+                    self.stats.deliveries,
+                    self.stats.sent_facts,
+                ) = snapshot.stats
+                start = snapshot.wal_position
+            entries = self._journal.entries()[start:]
+            for op in group_replay_ops(entries, decode_data_frame=decode_envelope):
+                if op.kind == "closure":
+                    if not op.boot:
+                        self.counter -= op.envelopes
+                        self.black = True
+                        self.stats.deliveries += len(op.facts)
+                    self._replay_sends = deque(op.sends)
+                    await self._deliver_and_close(list(op.facts))
+                    if self._replay_sends:
+                        raise CheckpointError(
+                            f"replay divergence at node {self.node!r}: "
+                            f"{len(self._replay_sends)} logged sends were "
+                            f"never regenerated"
+                        )
+                elif op.kind == "token":
+                    self.token = op.token
+                else:  # token-sent: the token left again before the crash
+                    self.token = None
+                    self.black = False
+                    self._probe_started = True
+                    self._sequence = op.sequence
+            if self._replay_sink is not None:
+                self._replay_sink(len(entries))
+        finally:
+            self._recovering = False
+        self._take_snapshot()
 
     # -- Safra's termination detection ------------------------------------
 
@@ -202,6 +367,11 @@ class ClusterNode:
             token=token,
         )
         await self._endpoint.send(self._ring_next, encode_envelope(envelope))
+        if self._journal is not None:
+            # Log the departure (and the post-send sequence allocator, which
+            # closure replay alone cannot reconstruct): a node that crashes
+            # after forwarding must not resurrect holding the token.
+            self._journal.append_token_sent(token.probe, self._sequence)
 
     async def _announce_stop(self) -> None:
         for target in self._peers:
@@ -256,8 +426,18 @@ class ClusterNode:
 
     # -- the task body -----------------------------------------------------
 
+    async def _startup(self) -> None:
+        """First run: journal a boot marker, then the startup heartbeat
+        closure.  Restart: recover from durable state instead."""
+        if self._journal is not None and self._journal.has_history():
+            await self._recover()
+            return
+        if self._journal is not None:
+            self._journal.append_boot()
+        await self._deliver_and_close([])
+
     async def run(self) -> None:
-        await self._deliver_and_close([])  # startup heartbeat closure
+        await self._startup()
         while not self._stopped:
             await self._token_action_while_passive()
             if self._stopped:
@@ -269,22 +449,31 @@ class ClusterNode:
                     break
                 frames.append(extra)
             batch: list[Fact] = []
-            got_data = False
+            data_frames: list[bytes] = []
             for frame in frames:
                 envelope = decode_envelope(frame)
                 if envelope.kind == KIND_STOP:
                     self._stopped = True
                 elif envelope.kind == KIND_TOKEN:
+                    # Write-ahead: the token is durable before it is held.
+                    if self._journal is not None:
+                        self._journal.append_token(frame)
                     self.token = envelope.token
                 else:
-                    got_data = True
-                    self.counter -= 1
-                    self.black = True
-                    self.stats.deliveries += len(envelope.facts)
+                    data_frames.append(frame)
                     batch.extend(envelope.facts)
             if self._stopped:
+                # STOP implies global quiescence was detected, so no data
+                # frame can share this drain — nothing is lost by exiting.
                 break
-            if got_data:
+            if data_frames:
+                # Write-ahead: acceptance is durable before any effect, so
+                # a crash inside the closure can replay the exact batch.
+                if self._journal is not None:
+                    self._journal.append_batch(data_frames)
+                self.counter -= len(data_frames)
+                self.black = True
+                self.stats.deliveries += len(batch)
                 await self._deliver_and_close(batch)
 
 
@@ -310,6 +499,8 @@ class ClusterRun:
         tick: float = 0.002,
         max_probes: int = 10_000,
         timeout: float | None = 120.0,
+        checkpoints: CheckpointStore | str | None = None,
+        snapshot_every: int = 1,
     ) -> None:
         self._network = network
         self._instance = instance.restrict(network.transducer.schema.inputs)
@@ -325,15 +516,33 @@ class ClusterRun:
             if fault_plan is not None
             else None
         )
+        if (
+            checkpoints is None
+            and fault_plan is not None
+            and fault_plan.crash_rate > 0.0
+        ):
+            # Crash faults without durable state would lose work; default
+            # to the in-run store (same role as the kernel socket buffer).
+            checkpoints = "memory"
+        self._checkpoints = (
+            make_checkpoint_store(checkpoints) if checkpoints is not None else None
+        )
+        self._snapshot_every = snapshot_every
         self._seed = seed
         self._max_probes = max_probes
         self._timeout = timeout
         self._nodes: dict[Hashable, ClusterNode] = {}
+        self._endpoints: dict[Hashable, object] = {}
+        self._journals: dict[Hashable, NodeJournal] = {}
         self._completed = False
         self.metrics = RunMetrics()
         self.node_stats: dict[Hashable, NodeStats] = {}
         self.token_probes = 0
         self.in_flight_high_water = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.wal_replayed = 0
+        self.snapshot_bytes = 0
 
     # -- accessors ---------------------------------------------------------
 
@@ -378,6 +587,42 @@ class ClusterRun:
         from inside a running event loop."""
         return asyncio.run(self.arun())
 
+    def _make_node(self, index: int, node: Hashable, ordered: list) -> ClusterNode:
+        crash_probe = None
+        if self._fault_layer is not None and self._fault_layer.plan.crash_rate > 0.0:
+            layer = self._fault_layer
+            crash_probe = lambda layer=layer, node=node: layer.maybe_crash(node)
+        return ClusterNode(
+            node=node,
+            network=self._network,
+            fragment=self._fragments[node],
+            endpoint=self._endpoints[node],
+            peers=[n for n in ordered if n != node],
+            ring_next=ordered[(index + 1) % len(ordered)],
+            initiator=index == 0,
+            max_probes=self._max_probes,
+            journal=self._journals.get(node),
+            crash_probe=crash_probe,
+            snapshot_every=self._snapshot_every,
+            replay_sink=self._note_replay,
+        )
+
+    def _note_replay(self, entries: int) -> None:
+        self.wal_replayed += entries
+
+    async def _supervise(self, index: int, node: Hashable, ordered: list) -> None:
+        """Run one node to completion, restarting it from durable state on
+        every injected crash.  The endpoint, mailbox, and journal survive
+        (they are infrastructure); only the node's volatile task dies."""
+        while True:
+            try:
+                await self._nodes[node].run()
+                return
+            except NodeCrashed:
+                self.crashes += 1
+                self._nodes[node] = self._make_node(index, node, ordered)
+                self.recoveries += 1
+
     async def arun(self) -> Instance:
         if self._completed:
             raise RuntimeError("a ClusterRun is one-shot; build a new one")
@@ -389,20 +634,16 @@ class ClusterRun:
                 node: self._fault_layer.wrap(endpoint)
                 for node, endpoint in endpoints.items()
             }
+        self._endpoints = endpoints
+        if self._checkpoints is not None:
+            self._journals = {
+                node: NodeJournal(self._checkpoints, node) for node in ordered
+            }
         for index, node in enumerate(ordered):
-            self._nodes[node] = ClusterNode(
-                node=node,
-                network=self._network,
-                fragment=self._fragments[node],
-                endpoint=endpoints[node],
-                peers=[n for n in ordered if n != node],
-                ring_next=ordered[(index + 1) % len(ordered)],
-                initiator=index == 0,
-                max_probes=self._max_probes,
-            )
+            self._nodes[node] = self._make_node(index, node, ordered)
         tasks = [
-            asyncio.ensure_future(cluster_node.run())
-            for cluster_node in self._nodes.values()
+            asyncio.ensure_future(self._supervise(index, node, ordered))
+            for index, node in enumerate(ordered)
         ]
         try:
             gathered = asyncio.gather(*tasks)
@@ -445,3 +686,5 @@ class ClusterRun:
         self.metrics.rounds = self.token_probes
         if self._fault_layer is not None:
             self.in_flight_high_water = self._fault_layer.held_high_water
+        if self._checkpoints is not None:
+            self.snapshot_bytes = self._checkpoints.snapshot_bytes

@@ -5,7 +5,9 @@ The report layout is shared with the synchronous simulator so sweep
 tooling can diff the two sides of the divergence gate directly; cluster
 runs additionally populate ``transport``, ``token_rounds`` (Safra probe
 circulations), ``in_flight_high_water`` (peak facts withheld by the fault
-layer) and per-node ``mailbox_high_water``.
+layer), per-node ``mailbox_high_water``, and — when a checkpoint store is
+attached — the crash-recovery counters ``crashes``/``recoveries``/
+``wal_replayed``/``snapshot_bytes``.
 """
 
 from __future__ import annotations
@@ -56,4 +58,8 @@ def build_cluster_report(run: ClusterRun, *, quiesced: bool = True) -> RunReport
         transport=run.transport_name,
         token_rounds=run.token_probes,
         in_flight_high_water=run.in_flight_high_water,
+        crashes=run.crashes,
+        recoveries=run.recoveries,
+        wal_replayed=run.wal_replayed,
+        snapshot_bytes=run.snapshot_bytes,
     )

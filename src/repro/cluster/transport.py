@@ -20,6 +20,13 @@ Two transports ship:
 Mailboxes are *bounded* (``mailbox_capacity``): a sender awaiting
 ``send()`` on a full mailbox experiences backpressure exactly like a
 blocking socket write.  High-water marks are tracked for telemetry.
+
+One exception to backpressure: **self-delivery bypasses the bound**
+(:meth:`Mailbox.force_put`).  A node that ``await``s a send into its own
+full mailbox can never return to ``recv()`` to drain it — a deadlock no
+other node can break.  Real stacks dodge this the same way (a loopback
+write lands in a kernel buffer the writer doesn't sleep on), which is why
+only :class:`InMemoryTransport` needs the explicit bypass.
 """
 
 from __future__ import annotations
@@ -52,28 +59,62 @@ class TransportError(RuntimeError):
 
 
 class Mailbox:
-    """A bounded frame queue with a high-water mark (telemetry)."""
+    """A bounded frame queue with a high-water mark (telemetry).
+
+    The bound is a semaphore over an unbounded queue rather than a bounded
+    ``asyncio.Queue``: :meth:`force_put` must be able to overshoot the
+    capacity (self-delivery; see the module docstring) without either
+    blocking or stealing a slot from metered senders.  Each queued frame
+    remembers whether it took a slot, so a slot is released exactly when a
+    *metered* frame departs — the semaphore always meters exactly the
+    metered frames in the queue, however they interleave with forced ones.
+    """
 
     def __init__(self, capacity: int = DEFAULT_MAILBOX_CAPACITY) -> None:
-        self._queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=capacity)
+        self._queue: asyncio.Queue[tuple[bytes, bool]] = asyncio.Queue()
+        self._slots = asyncio.Semaphore(capacity)
         self.high_water = 0
         self.enqueued = 0
+        self.forced = 0
 
-    async def put(self, frame: bytes) -> None:
-        await self._queue.put(frame)
+    def _note_enqueued(self) -> None:
         self.enqueued += 1
         depth = self._queue.qsize()
         if depth > self.high_water:
             self.high_water = depth
 
+    async def put(self, frame: bytes) -> None:
+        """Enqueue one frame, awaiting a free slot if at capacity."""
+        await self._slots.acquire()
+        self._queue.put_nowait((frame, True))
+        self._note_enqueued()
+
+    def force_put(self, frame: bytes) -> None:
+        """Enqueue one frame regardless of capacity (never blocks).
+
+        For deliveries where backpressure would deadlock the only task
+        able to relieve it — a node sending to itself.
+        """
+        self._queue.put_nowait((frame, False))
+        self.forced += 1
+        self._note_enqueued()
+
+    def _departed(self, metered: bool) -> None:
+        if metered:
+            self._slots.release()
+
     async def get(self) -> bytes:
-        return await self._queue.get()
+        frame, metered = await self._queue.get()
+        self._departed(metered)
+        return frame
 
     def get_nowait(self) -> bytes | None:
         try:
-            return self._queue.get_nowait()
+            frame, metered = self._queue.get_nowait()
         except asyncio.QueueEmpty:
             return None
+        self._departed(metered)
+        return frame
 
     def depth(self) -> int:
         return self._queue.qsize()
@@ -150,7 +191,12 @@ class InMemoryTransport(Transport):
     name = "memory"
 
     async def deliver(self, source: Hashable, target: Hashable, frame: bytes) -> None:
-        await self.mailbox(target).put(frame)
+        if source == target:
+            # Backpressure on a self-send would suspend the one task that
+            # can drain the mailbox (TCP avoids this via kernel buffers).
+            self.mailbox(target).force_put(frame)
+        else:
+            await self.mailbox(target).put(frame)
 
 
 class TcpTransport(Transport):

@@ -36,6 +36,7 @@ from ..datalog.terms import Fact
 from .runtime import Channel, Run, FairScheduler, Scheduler, TrickleScheduler
 
 __all__ = [
+    "FAULT_COUNTER_NAMES",
     "FaultPlan",
     "CHAOS_PLAN",
     "FaultyChannel",
@@ -53,6 +54,16 @@ __all__ = [
 # The channel fault model
 # ----------------------------------------------------------------------
 
+#: The shared fault-counter vocabulary, used verbatim by both the
+#: synchronous :class:`FaultyChannel` and the cluster fault layer
+#: (:class:`repro.cluster.faults.FaultLayer`) so sweep tooling can diff
+#: their telemetry directly.  Note that ``dropped`` counts
+#: *drop-with-redelivery* events in both runtimes: a "dropped" fact is
+#: withheld and re-injected later (every drop eventually increments
+#: ``redelivered``), never lost for good — that is what keeps every faulty
+#: run inside the paper's fair-run semantics.
+FAULT_COUNTER_NAMES = ("duplicated", "delayed", "dropped", "redelivered")
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -64,6 +75,15 @@ class FaultPlan:
     ``redelivery_delay`` are measured in global transitions, so they are
     bounded: a delayed fact becomes due after finitely many transitions and
     fairness is preserved.
+
+    ``crash_rate`` and ``max_crashes`` describe *node crash* faults: a
+    node's task is killed mid-round and must recover from its last durable
+    checkpoint.  Crashes only exist in the asynchronous cluster runtime
+    (the synchronous simulator has no process to kill); the channel model
+    here ignores both fields.  ``crash_rate`` is the per-transition
+    probability that a node crashes at that decision point (drawn from a
+    per-node seeded stream, so the schedule is deterministic per seed) and
+    ``max_crashes`` bounds the total number of crashes per run.
     """
 
     duplicate_rate: float = 0.0
@@ -72,9 +92,11 @@ class FaultPlan:
     max_delay: int = 8
     drop_rate: float = 0.0
     redelivery_delay: int = 12
+    crash_rate: float = 0.0
+    max_crashes: int = 2
 
     def __post_init__(self) -> None:
-        for name in ("duplicate_rate", "delay_rate", "drop_rate"):
+        for name in ("duplicate_rate", "delay_rate", "drop_rate", "crash_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {rate}")
@@ -84,13 +106,18 @@ class FaultPlan:
             raise ValueError("max_copies must be at least 2")
         if self.max_delay < 1 or self.redelivery_delay < 1:
             raise ValueError("delays must be at least one transition")
+        if self.max_crashes < 0:
+            raise ValueError("max_crashes must be non-negative")
 
     def describe(self) -> str:
-        return (
+        base = (
             f"dup={self.duplicate_rate:g}x{self.max_copies} "
             f"delay={self.delay_rate:g}<={self.max_delay} "
             f"drop={self.drop_rate:g}<={self.redelivery_delay}"
         )
+        if self.crash_rate > 0:
+            base += f" crash={self.crash_rate:g}<={self.max_crashes}"
+        return base
 
 
 #: The default adversarial mix used by ``repro run --chaos`` and the
@@ -107,6 +134,10 @@ class FaultyChannel(Channel):
     transition; :meth:`release` hands back the due ones when the target
     next transitions, and :meth:`flush` surrenders everything, which the
     runtime uses to guarantee eventual delivery.
+
+    Counter vocabulary (:data:`FAULT_COUNTER_NAMES`): ``dropped`` counts
+    drop-with-redelivery events — a dropped fact is withheld, not lost,
+    and later shows up in ``redelivered``.
     """
 
     name = "faulty"
@@ -116,12 +147,7 @@ class FaultyChannel(Channel):
         self.seed = seed
         self._rng = random.Random(seed)
         self._in_flight: dict[Hashable, list[tuple[int, Fact, str]]] = {}
-        self._counters = {
-            "duplicated": 0,
-            "delayed": 0,
-            "dropped": 0,
-            "redelivered": 0,
-        }
+        self._counters = {name: 0 for name in FAULT_COUNTER_NAMES}
 
     def transmit(
         self, source: Hashable, target: Hashable, facts: Iterable[Fact], clock: int

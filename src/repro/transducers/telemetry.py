@@ -101,6 +101,13 @@ class RunReport:
     transport: str | None = None
     token_rounds: int | None = None
     in_flight_high_water: int | None = None
+    #: Crash-recovery telemetry (cluster runs with a checkpoint store):
+    #: injected crashes, completed recoveries, WAL entries replayed across
+    #: all recoveries, and total snapshot bytes written.
+    crashes: int | None = None
+    recoveries: int | None = None
+    wal_replayed: int | None = None
+    snapshot_bytes: int | None = None
     version: int = field(default=REPORT_VERSION)
 
     @property
@@ -132,6 +139,14 @@ class RunReport:
             payload["token_rounds"] = self.token_rounds
         if self.in_flight_high_water is not None:
             payload["in_flight_high_water"] = self.in_flight_high_water
+        if self.crashes is not None:
+            payload["crashes"] = self.crashes
+        if self.recoveries is not None:
+            payload["recoveries"] = self.recoveries
+        if self.wal_replayed is not None:
+            payload["wal_replayed"] = self.wal_replayed
+        if self.snapshot_bytes is not None:
+            payload["snapshot_bytes"] = self.snapshot_bytes
         return payload
 
     def to_json(self, *, indent: int | None = 2) -> str:

@@ -1,0 +1,187 @@
+"""Fault-layer tests: wire-frame identity under redelivery, counter
+vocabulary parity with the synchronous simulator, recv passthrough, and
+the crash scheduling primitives."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.codec import (
+    KIND_DATA,
+    Envelope,
+    decode_envelope,
+    encode_envelope,
+)
+from repro.cluster.faults import (
+    CHAOS_PLAN,
+    CRASH_PLAN,
+    REDELIVERY_SEQUENCE_BASE,
+    FaultLayer,
+    NodeCrashed,
+)
+from repro.cluster.transport import InMemoryTransport
+from repro.datalog.terms import Fact
+from repro.transducers.faults import (
+    FAULT_COUNTER_NAMES,
+    FaultPlan,
+    FaultyChannel,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _data_frame(facts, *, sender="n1", sequence=1) -> bytes:
+    return encode_envelope(
+        Envelope(
+            kind=KIND_DATA,
+            sender=sender,
+            round=1,
+            sequence=sequence,
+            facts=tuple(facts),
+        )
+    )
+
+
+async def _faulted_exchange(plan, seed, *, sends=20, facts_per_send=4):
+    """Send a burst through a faulty endpoint and drain every frame the
+    receiver eventually sees (including redeliveries)."""
+    transport = InMemoryTransport()
+    endpoints = await transport.open(["n1", "n2"])
+    layer = FaultLayer(plan, seed, tick=0.0005)
+    sender = layer.wrap(endpoints["n1"])
+    expected_frames = 0
+    for burst in range(sends):
+        facts = [Fact("R", (burst, i)) for i in range(facts_per_send)]
+        expected_frames += await sender.send(
+            "n2", _data_frame(facts, sequence=burst + 1)
+        )
+    await layer.drain()
+    frames = []
+    while True:
+        frame = endpoints["n2"].recv_nowait()
+        if frame is None:
+            break
+        frames.append(frame)
+    assert len(frames) == expected_frames
+    await transport.close()
+    return frames, layer
+
+
+def test_redelivered_frames_get_unique_sequences():
+    """Regression: withheld single-fact redeliveries used to reuse the
+    original envelope's sequence, giving distinct wire frames a shared
+    (sender, sequence) identity."""
+
+    async def scenario():
+        frames, layer = await _faulted_exchange(CHAOS_PLAN, seed=7)
+        assert layer.counters["dropped"] + layer.counters["delayed"] > 0
+        seen: set[tuple] = set()
+        for frame in frames:
+            envelope = decode_envelope(frame)
+            identity = (envelope.sender, envelope.sequence)
+            assert identity not in seen, (
+                f"two wire frames share identity {identity}"
+            )
+            seen.add(identity)
+
+    run(scenario())
+
+
+def test_redelivery_sequences_come_from_reserved_range():
+    layer = FaultLayer(CHAOS_PLAN, 0)
+    first = layer.next_redelivery_sequence("n1")
+    second = layer.next_redelivery_sequence("n1")
+    other = layer.next_redelivery_sequence("n2")
+    assert first == REDELIVERY_SEQUENCE_BASE
+    assert second == first + 1
+    assert other == REDELIVERY_SEQUENCE_BASE  # per-sender allocation
+    # Node-side allocators count up from 1 and never reach the base.
+    assert REDELIVERY_SEQUENCE_BASE > 2**40
+
+
+def test_cluster_and_sync_fault_counters_share_vocabulary():
+    """Satellite consistency check: the cluster fault layer and the
+    simulator channel must expose the same counter names (and 'dropped'
+    means drop-with-redelivery on both sides)."""
+    plan = FaultPlan(duplicate_rate=0.3, delay_rate=0.3, drop_rate=0.2)
+    layer = FaultLayer(plan, seed=5)
+    channel = FaultyChannel(plan, seed=5)
+    assert tuple(layer.counters) == FAULT_COUNTER_NAMES
+    assert tuple(channel.fault_counters()) == FAULT_COUNTER_NAMES
+
+    async def exercise_layer():
+        frames, exercised = await _faulted_exchange(plan, seed=5)
+        return exercised
+
+    exercised = run(exercise_layer())
+    # Everything withheld was eventually redelivered: nothing is ever lost.
+    assert (
+        exercised.counters["redelivered"]
+        == exercised.counters["dropped"] + exercised.counters["delayed"]
+    )
+
+
+def test_recv_nowait_passes_through_fault_layer():
+    async def scenario():
+        transport = InMemoryTransport()
+        endpoints = await transport.open(["n1", "n2"])
+        layer = FaultLayer(FaultPlan(), 0)
+        wrapped = layer.wrap(endpoints["n2"])
+        assert wrapped.recv_nowait() is None
+        frame = _data_frame([Fact("R", (1,))])
+        await endpoints["n1"].send("n2", frame)
+        assert wrapped.recv_nowait() == frame
+        assert wrapped.recv_nowait() is None
+        assert wrapped.node == "n2"
+        await transport.close()
+
+    run(scenario())
+
+
+def test_maybe_crash_budget_and_determinism():
+    layer = FaultLayer(CRASH_PLAN, seed=3)
+    crashes = 0
+    for _ in range(10):
+        try:
+            layer.maybe_crash("n1")
+        except NodeCrashed as error:
+            assert error.node == "n1"
+            crashes += 1
+    assert crashes == CRASH_PLAN.max_crashes == layer.crashes
+    # Crashes stay out of the message-fault counter vocabulary.
+    assert "crashes" not in layer.counters
+    # Same seed, same plan → the same schedule.
+    replay = FaultLayer(CRASH_PLAN, seed=3)
+    replay_crashes = 0
+    for _ in range(10):
+        try:
+            replay.maybe_crash("n1")
+        except NodeCrashed:
+            replay_crashes += 1
+    assert replay_crashes == crashes
+
+
+def test_maybe_crash_disabled_without_rate():
+    layer = FaultLayer(FaultPlan(crash_rate=0.0), seed=0)
+    for _ in range(100):
+        layer.maybe_crash("n1")  # never raises
+    assert layer.crashes == 0
+
+
+def test_crash_stream_independent_of_message_faults():
+    """Enabling crashes must not perturb the duplicate/delay/drop draws
+    for the same seed (separate RNG streams)."""
+
+    async def frames_for(plan):
+        frames, _ = await _faulted_exchange(plan, seed=11)
+        return [decode_envelope(f).facts for f in frames]
+
+    without = run(frames_for(CHAOS_PLAN))
+    from dataclasses import replace
+
+    with_crash = run(
+        frames_for(replace(CHAOS_PLAN, crash_rate=1.0, max_crashes=2))
+    )
+    assert without == with_crash

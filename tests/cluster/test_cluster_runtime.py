@@ -63,10 +63,29 @@ def test_check_workload_verdict_shape():
         fault_modes=[False, True],
     )
     assert verdict.passed
-    assert verdict.runs == 4
+    # 2 seeds × {clean, chaos, chaos+crash} (crash-without-faults is skipped)
+    assert verdict.runs == 6
+    assert verdict.crash_runs == 2
+    assert verdict.min_recoveries is not None and verdict.min_recoveries >= 1
     payload = verdict.to_dict()
     assert payload["key"] == "zoo-tc"
     assert payload["divergences"] == []
+    assert payload["crash_runs"] == 2
+    assert payload["min_recoveries"] >= 1
+
+
+def test_check_workload_without_crash_modes():
+    verdict = check_workload(
+        workload_by_key("zoo-tc"),
+        seeds=range(2),
+        transports=["memory"],
+        fault_modes=[False, True],
+        crash_modes=[False],
+    )
+    assert verdict.passed
+    assert verdict.runs == 4
+    assert verdict.crash_runs == 0
+    assert verdict.min_recoveries is None
 
 
 def test_single_node_network():

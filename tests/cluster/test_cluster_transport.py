@@ -49,6 +49,29 @@ class TestMailbox:
 
         run(scenario())
 
+    def test_force_put_overshoots_capacity_without_blocking(self):
+        async def scenario():
+            box = Mailbox(capacity=1)
+            await box.put(b"metered")
+            box.force_put(b"forced")  # would deadlock if it awaited a slot
+            assert box.depth() == 2
+            assert box.forced == 1
+            # Draining a forced frame must NOT free a metered slot: the
+            # next metered put still blocks until the metered frame leaves.
+            assert await box.get() == b"metered"
+            # one metered slot free again now; the forced frame remains
+            await box.put(b"metered2")
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(box.put(b"over"), timeout=0.05)
+            assert await box.get() == b"forced"
+            with pytest.raises(asyncio.TimeoutError):
+                # forced departure burned unmetered credit, not a slot
+                await asyncio.wait_for(box.put(b"over"), timeout=0.05)
+            assert await box.get() == b"metered2"
+            await box.put(b"fits-now")
+
+        run(scenario())
+
 
 @pytest.mark.parametrize("transport_name", ["memory", "tcp"])
 class TestTransports:
@@ -77,6 +100,34 @@ class TestTransports:
                 endpoints = await transport.open(["solo"])
                 await endpoints["solo"].send("solo", b"ring")
                 assert await endpoints["solo"].recv() == b"ring"
+            finally:
+                await transport.close()
+
+        run(scenario())
+
+    def test_self_send_with_full_mailbox_does_not_deadlock(self, transport_name):
+        """Regression: a node awaiting a self-send into its own full
+        bounded mailbox could never return to recv() to drain it.  Memory
+        transport must bypass backpressure for self-delivery (TCP decouples
+        via kernel socket buffers)."""
+
+        async def scenario():
+            transport = make_transport(transport_name, mailbox_capacity=1)
+            try:
+                endpoints = await transport.open(["solo"])
+
+                async def node_body():
+                    # Fill the mailbox, then keep self-sending while also
+                    # draining — exactly a transducer's send-then-recv loop.
+                    for i in range(4):
+                        await endpoints["solo"].send("solo", b"m%d" % i)
+                    received = []
+                    for _ in range(4):
+                        received.append(await endpoints["solo"].recv())
+                    return received
+
+                received = await asyncio.wait_for(node_body(), timeout=2.0)
+                assert received == [b"m%d" % i for i in range(4)]
             finally:
                 await transport.close()
 

@@ -194,6 +194,38 @@ class TestCluster:
             node["buffered_at_end"] == 0 for node in payload["per_node"]
         )
 
+    def test_cluster_crash_recovery(self, files, tmp_path):
+        import json
+
+        program, facts, _ = files
+        report_path = tmp_path / "crash.json"
+        code, text = run_cli(
+            "cluster", str(program), str(facts),
+            "--chaos", "--crash", "--seed", "1",
+            "--report", str(report_path),
+        )
+        assert code == 0
+        assert "matches centralized evaluation: OK" in text
+        assert "crashes:" in text
+        assert "recoveries:" in text
+        assert "wal replayed:" in text
+        payload = json.loads(report_path.read_text())
+        assert payload["crashes"] >= 1
+        assert payload["recoveries"] == payload["crashes"]
+        assert payload["wal_replayed"] >= 1
+        assert payload["snapshot_bytes"] > 0
+        assert payload["quiesced"] is True
+
+    def test_cluster_crash_without_chaos(self, files):
+        # --crash alone: quiet wire, crashes + recovery only.
+        program, facts, _ = files
+        code, text = run_cli(
+            "cluster", str(program), str(facts), "--crash", "--max-crashes", "1"
+        )
+        assert code == 0
+        assert "matches centralized evaluation: OK" in text
+        assert "crash=1<=1" in text
+
 
 class TestSolveGame:
     def test_classification(self, files):

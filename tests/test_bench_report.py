@@ -1,0 +1,99 @@
+"""Unit tests for scripts/bench_report.py history handling: legacy
+migration, round-trips, and same-day upserts (no duplicate entries)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_report", REPO / "scripts" / "bench_report.py"
+)
+bench_report = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_report)
+
+
+def _entry(date: str, mode: str = "full") -> dict:
+    return {
+        "date": date,
+        "mode": mode,
+        "divergences": [],
+        "headline": {},
+        "benchmarks": {},
+    }
+
+
+class TestLoadHistory:
+    def test_missing_file(self, tmp_path):
+        report = bench_report.load_history(tmp_path / "nope.json")
+        assert report["history"] == []
+        assert report["suite"] == "bench_engine_microbench"
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        report = bench_report.load_history(path)
+        report["history"] = bench_report.upsert_history(
+            report["history"], _entry("2026-08-01")
+        )
+        path.write_text(json.dumps(report))
+        again = bench_report.load_history(path)
+        assert again["history"] == [_entry("2026-08-01")]
+
+    def test_migrates_legacy_layout(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"benchmarks": {"t": {}}, "headline": {}}))
+        report = bench_report.load_history(path)
+        assert len(report["history"]) == 1
+        assert report["history"][0]["date"] == bench_report.LEGACY_DATE
+        assert report["history"][0]["benchmarks"] == {"t": {}}
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        assert bench_report.load_history(path)["history"] == []
+
+
+class TestUpsertHistory:
+    def test_appends_new_dates(self):
+        history = [_entry("2026-08-01")]
+        updated = bench_report.upsert_history(history, _entry("2026-08-02"))
+        assert [e["date"] for e in updated] == ["2026-08-01", "2026-08-02"]
+
+    def test_same_day_replaces_in_place(self):
+        """Regression: two same-day runs used to leave duplicate entries."""
+        history = [_entry("2026-08-01"), _entry("2026-08-02", mode="smoke")]
+        updated = bench_report.upsert_history(
+            history, _entry("2026-08-02", mode="full")
+        )
+        assert [e["date"] for e in updated] == ["2026-08-01", "2026-08-02"]
+        assert updated[1]["mode"] == "full"  # replaced, position kept
+
+    def test_collapses_preexisting_duplicates(self):
+        history = [
+            _entry("2026-08-01", mode="a"),
+            _entry("2026-08-01", mode="b"),
+            _entry("2026-08-02"),
+        ]
+        updated = bench_report.upsert_history(
+            history, _entry("2026-08-01", mode="c")
+        )
+        assert [e["date"] for e in updated] == ["2026-08-01", "2026-08-02"]
+        assert updated[0]["mode"] == "c"
+
+    def test_repeated_upsert_is_idempotent(self):
+        history: list = []
+        for _ in range(3):
+            history = bench_report.upsert_history(history, _entry("2026-08-03"))
+        assert len(history) == 1
+
+    def test_round_trip_through_file_no_duplicates(self, tmp_path):
+        path = tmp_path / "bench.json"
+        for mode in ("smoke", "full", "smoke"):
+            report = bench_report.load_history(path)
+            report["history"] = bench_report.upsert_history(
+                report["history"], _entry("2026-08-06", mode=mode)
+            )
+            path.write_text(json.dumps(report))
+        final = bench_report.load_history(path)
+        assert len(final["history"]) == 1
+        assert final["history"][0]["mode"] == "smoke"
