@@ -36,6 +36,17 @@ Usage (also via ``python -m repro``):
         Solve the win-move game in FACTS.dl (Move facts) by retrograde
         analysis: won / drawn / lost positions and winning moves.
 
+    repro fuzz [--seed S] [--iterations N] [--time-budget SECONDS]
+               [--stacks a,b,...] [--corpus DIR] [--mutate STACK=NAME]
+               [--no-metamorphic] [--report OUT.json]
+        Differential + metamorphic conformance fuzzing: random programs
+        per paper fragment run through every evaluation stack (naive,
+        semi-naive legacy join, compiled plans, synchronous simulator,
+        async cluster on both transports with chaos and crash schedules),
+        asserting byte-identical outputs plus the fragment's guaranteed
+        monotonicity class.  Failures are minimized and, with --corpus,
+        persisted as permanent regression entries (see docs/TESTING.md).
+
 Program files use the conventional syntax (``O(x) :- E(x, y), not S(y).``);
 fact files are plain facts (``E(1, 2).``).
 """
@@ -226,6 +237,67 @@ def _cmd_cluster(args, out) -> int:
     return 0 if result == expected and quiesced else 1
 
 
+def _cmd_fuzz(args, out) -> int:
+    from .conformance import (
+        DEFAULT_STACK_NAMES,
+        FuzzConfig,
+        run_fuzz,
+        write_fuzz_report,
+    )
+    from .conformance.differential import MUTATIONS
+
+    stacks = (
+        tuple(name.strip() for name in args.stacks.split(",") if name.strip())
+        if args.stacks
+        else DEFAULT_STACK_NAMES
+    )
+    mutate: dict[str, str] = {}
+    for spec in args.mutate or []:
+        stack, sep, name = spec.partition("=")
+        if not sep or stack not in stacks or name not in MUTATIONS:
+            raise ValueError(
+                f"--mutate expects STACK=NAME with STACK in {stacks} and "
+                f"NAME in {sorted(MUTATIONS)}; got {spec!r}"
+            )
+        mutate[stack] = name
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        stacks=stacks,
+        corpus_dir=args.corpus,
+        mutate=mutate,
+        metamorphic=not args.no_metamorphic,
+    )
+    report = run_fuzz(config, log=lambda line: print(line, file=out))
+    print(f"seed:         {report['seed']}", file=out)
+    print(f"stacks:       {', '.join(report['stacks'])}", file=out)
+    if mutate:
+        planted = ", ".join(f"{k}={v}" for k, v in sorted(mutate.items()))
+        print(f"mutations:    {planted} (planted-bug mode)", file=out)
+    print(
+        f"iterations:   {report['iterations_run']}/{report['iterations_requested']}"
+        f" ({report['stop_reason']})",
+        file=out,
+    )
+    fragments = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(report["cases_by_fragment"].items())
+    )
+    print(f"fragments:    {fragments}", file=out)
+    print(f"divergences:  {len(report['divergences'])}", file=out)
+    print(f"metamorphic:  {len(report['metamorphic_violations'])} violation(s)", file=out)
+    if report["corpus_entries"]:
+        for path in report["corpus_entries"]:
+            print(f"corpus:       {path}", file=out)
+    print(f"elapsed:      {report['timing']['elapsed_seconds']}s", file=out)
+    if args.report:
+        write_fuzz_report(report, args.report)
+        print(f"report:       {args.report}", file=out)
+    print(f"verdict:      {'PASS' if report['passed'] else 'FAIL'}", file=out)
+    return 0 if report["passed"] else 1
+
+
 def _cmd_solve_game(args, out) -> int:
     instance = _load_facts(args.facts)
     solution = solve_game(instance)
@@ -322,6 +394,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", help="write the JSON run report to PATH"
     )
     cluster_cmd.set_defaults(handler=_cmd_cluster)
+
+    fuzz_cmd = commands.add_parser(
+        "fuzz", help="differential + metamorphic conformance fuzzing"
+    )
+    fuzz_cmd.add_argument("--seed", type=int, default=0)
+    fuzz_cmd.add_argument(
+        "--iterations", type=int, default=100, metavar="N",
+        help="iteration budget (default: 100)",
+    )
+    fuzz_cmd.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; stops early once exceeded",
+    )
+    fuzz_cmd.add_argument(
+        "--stacks", metavar="A,B,...", default=None,
+        help="comma-separated stack names (default: all five)",
+    )
+    fuzz_cmd.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="persist minimized failures as corpus entries under DIR",
+    )
+    fuzz_cmd.add_argument(
+        "--mutate", action="append", metavar="STACK=NAME", default=None,
+        help="plant a known bug into one stack (validates the fuzzer itself)",
+    )
+    fuzz_cmd.add_argument(
+        "--no-metamorphic", action="store_true",
+        help="skip the monotonicity-class metamorphic oracle",
+    )
+    fuzz_cmd.add_argument(
+        "--report", metavar="PATH", help="write the JSON fuzz report to PATH"
+    )
+    fuzz_cmd.set_defaults(handler=_cmd_fuzz)
 
     game_cmd = commands.add_parser("solve-game", help="solve a win-move game")
     game_cmd.add_argument("facts")

@@ -1,0 +1,135 @@
+"""The persistent divergence corpus under ``tests/corpus/``.
+
+Every minimized failing case the fuzzer ever found is stored as one JSON
+file and replayed by ``tests/conformance/test_corpus_replay.py`` on every
+run — past divergences become permanent regression tests.  Entries are
+self-contained (program text, output relations, edb arities, facts, runtime
+knobs, provenance) and named by a content hash, so re-finding the same
+minimized case is idempotent and no timestamps are involved.
+
+Triage workflow (see ``docs/TESTING.md``): a red corpus replay means the
+stored case diverges again — fix the engine, keep the entry.  Only delete
+an entry when the *expected* output legitimately changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..datalog.instance import Instance
+from ..datalog.parser import parse_facts, parse_program
+from ..datalog.program import Program
+from ..datalog.schema import Schema
+from .differential import CaseVerdict, DifferentialCase, run_case
+from .stacks import StackContext
+
+__all__ = [
+    "CORPUS_VERSION",
+    "default_corpus_dir",
+    "entry_from_verdict",
+    "write_entry",
+    "load_entry",
+    "corpus_entries",
+    "case_from_entry",
+    "replay_entry",
+]
+
+#: Bumped whenever the entry JSON layout changes incompatibly.
+CORPUS_VERSION = 1
+
+
+def default_corpus_dir() -> Path:
+    """``tests/corpus/`` relative to the repository root (best effort)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "tests" / "corpus"
+        if candidate.is_dir():
+            return candidate
+    return Path("tests") / "corpus"
+
+
+def _entry_name(entry: dict) -> str:
+    canonical = json.dumps(
+        {
+            "program": entry["program"],
+            "facts": entry["facts"],
+            "context": entry["context"],
+            "kind": entry["kind"],
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+    return f"{entry['kind']}-{digest}.json"
+
+
+def entry_from_verdict(verdict: CaseVerdict, *, kind: str = "differential") -> dict:
+    """A JSON-ready corpus entry for a (minimized) failing verdict."""
+    case = verdict.case
+    return {
+        "version": CORPUS_VERSION,
+        "kind": kind,
+        "program": case.program_text(),
+        "output_relations": sorted(case.program.output_relations),
+        "edb": {
+            name: case.program.edb().arity(name)
+            for name in sorted(case.program.edb())
+        },
+        "facts": case.facts_text(),
+        "context": case.context.to_dict(),
+        "provenance": verdict.provenance(),
+    }
+
+
+def write_entry(directory: str | Path, entry: dict) -> Path:
+    """Persist *entry* under its content-hash name; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / _entry_name(entry)
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: str | Path) -> dict:
+    with open(path) as handle:
+        entry = json.load(handle)
+    version = entry.get("version")
+    if version != CORPUS_VERSION:
+        raise ValueError(
+            f"corpus entry {path} has version {version!r}, "
+            f"expected {CORPUS_VERSION}"
+        )
+    return entry
+
+
+def corpus_entries(directory: str | Path | None = None) -> list[Path]:
+    """All entry paths in *directory* (default: ``tests/corpus/``), sorted."""
+    directory = Path(directory) if directory is not None else default_corpus_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path for path in directory.iterdir() if path.suffix == ".json"
+    )
+
+
+def case_from_entry(entry: dict) -> DifferentialCase:
+    """Rebuild the executable case from a stored entry."""
+    parsed = parse_program(entry["program"])
+    program = Program(
+        parsed.rules,
+        output_relations=entry["output_relations"],
+        extra_edb=Schema({name: arity for name, arity in entry["edb"].items()}),
+    )
+    instance = Instance(parse_facts(entry["facts"]))
+    context = StackContext.from_dict(entry["context"])
+    return DifferentialCase(program=program, instance=instance, context=context)
+
+
+def replay_entry(entry: dict, *, stacks=None) -> CaseVerdict:
+    """Re-run a stored case through the differential engine (no mutations —
+    replay checks that the *fixed* engines still agree)."""
+    return run_case(case_from_entry(entry), stacks=stacks)

@@ -1,0 +1,113 @@
+"""Greedy minimization of failing differential cases.
+
+A raw divergence from the fuzzer carries a generated program and instance
+with plenty of irrelevant structure.  The shrinker reduces it while the
+failure predicate keeps holding, in three passes repeated to fixpoint:
+
+1. **drop rules** — one at a time (candidates that leave the output
+   relations undefined or the program empty are skipped);
+2. **drop facts** — one at a time;
+3. **canonicalize the domain** — rename the active domain to ``c0..cn``
+   (sorted), which normalizes generator-specific value names away.
+
+The predicate re-runs the differential engine each step, so a shrunk case
+is failing *by construction* — exactly what gets persisted to the corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from ..datalog.instance import Instance
+from ..datalog.program import Program
+from .differential import DifferentialCase, run_case
+
+__all__ = ["shrink_case", "default_failure_predicate"]
+
+
+def default_failure_predicate(
+    stacks=None, mutate: dict[str, str] | None = None
+) -> Callable[[DifferentialCase], bool]:
+    """A predicate that re-runs the differential engine on a candidate."""
+
+    def failing(case: DifferentialCase) -> bool:
+        return not run_case(case, stacks=stacks, mutate=mutate).passed
+
+    return failing
+
+
+def _without_rule(program: Program, index: int) -> Program | None:
+    rules = [rule for i, rule in enumerate(program.rules) if i != index]
+    if not rules:
+        return None
+    defined = {rule.head.relation for rule in rules}
+    outputs = program.output_relations & defined
+    if not outputs:
+        return None
+    try:
+        return Program(rules, output_relations=outputs, extra_edb=program.edb())
+    except Exception:
+        return None
+
+
+def _without_fact(instance: Instance, fact) -> Instance:
+    return Instance(f for f in instance if f != fact)
+
+
+def _canonical_domain(case: DifferentialCase) -> DifferentialCase | None:
+    values = sorted(
+        case.instance.adom(), key=lambda v: (type(v).__name__, repr(v))
+    )
+    mapping = {value: f"c{i}" for i, value in enumerate(values)}
+    if all(old == new for old, new in mapping.items()):
+        return None
+    return replace(case, instance=case.instance.rename(mapping))
+
+
+def shrink_case(
+    case: DifferentialCase,
+    failing: Callable[[DifferentialCase], bool],
+    *,
+    max_passes: int = 5,
+) -> DifferentialCase:
+    """Minimize *case* while ``failing(case)`` stays true.
+
+    Greedy and deterministic; the result is 1-minimal with respect to
+    single rule/fact removals (dropping any one more element makes the
+    failure disappear or the case invalid).
+    """
+    current = case
+    for _ in range(max_passes):
+        progressed = False
+
+        # Pass 1: drop rules.
+        index = 0
+        while index < len(current.program.rules):
+            candidate_program = _without_rule(current.program, index)
+            if candidate_program is not None:
+                candidate = replace(current, program=candidate_program)
+                if failing(candidate):
+                    current = candidate
+                    progressed = True
+                    continue  # same index now names the next rule
+            index += 1
+
+        # Pass 2: drop facts.
+        for fact in current.instance.sorted_facts():
+            candidate = replace(
+                current, instance=_without_fact(current.instance, fact)
+            )
+            if failing(candidate):
+                current = candidate
+                progressed = True
+
+        # Pass 3: canonicalize the domain (once it sticks, it is stable).
+        renamed = _canonical_domain(current)
+        if renamed is not None and failing(renamed):
+            current = renamed
+            progressed = True
+
+        if not progressed:
+            break
+    return current

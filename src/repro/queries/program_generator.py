@@ -1,4 +1,4 @@
-"""Seeded random Datalog¬ program generation.
+"""Seeded random Datalog¬ (and wILOG¬) program generation.
 
 Programs are generated stratum by stratum, so they are syntactically
 stratifiable *by construction*: a rule's positive atoms may use edb
@@ -7,7 +7,11 @@ atoms only edb or strictly earlier idb relations.  Safety is guaranteed by
 drawing head and negated-atom variables from the positive body's variables.
 
 Used by the property-based tests to exercise the analyzer, the fragment
-checkers and the Lemma 5.2 component semantics on inputs nobody hand-picked.
+checkers and the Lemma 5.2 component semantics on inputs nobody hand-picked,
+and by :mod:`repro.conformance.generator` to sample per-fragment workloads
+for the differential fuzzer (``connect_last_stratum=False`` leaves only the
+top stratum disconnected, which lands in semicon-Datalog¬ by construction
+since top-stratum heads are never negated).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from ..datalog.rules import Rule
 from ..datalog.schema import Schema
 from ..datalog.terms import Atom, Inequality, Variable
 
-__all__ = ["GeneratorConfig", "random_program"]
+__all__ = ["GeneratorConfig", "random_program", "random_ilog_program"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +39,11 @@ class GeneratorConfig:
     negation_probability: float = 0.4
     inequality_probability: float = 0.2
     connect_rules: bool = False
+    #: With ``connect_rules`` on, also connect the rules of the *last*
+    #: stratum.  Turning this off while keeping ``connect_rules`` on yields
+    #: semicon-Datalog¬ samples: every potentially-disconnected rule sits in
+    #: the top stratum, whose heads no rule negates.
+    connect_last_stratum: bool = True
     variable_pool: tuple[str, ...] = ("x", "y", "z", "u", "v")
 
 
@@ -86,7 +95,9 @@ def random_program(seed: int = 0, config: GeneratorConfig | None = None) -> Prog
                     _random_atom(rng, *rng.choice(positive_pool), variables)
                     for _ in range(body_size)
                 ]
-                if config.connect_rules:
+                if config.connect_rules and (
+                    config.connect_last_stratum or stratum < config.strata
+                ):
                     pos = _connect_atoms(rng, pos, variables)
                 pos_vars = sorted(
                     {v for atom in pos for v in atom.variables()},
@@ -125,3 +136,48 @@ def random_program(seed: int = 0, config: GeneratorConfig | None = None) -> Prog
     outputs = [name for name in last_heads if name in defined] or sorted(defined)
     extra_edb = Schema(dict(config.edb_relations))
     return Program(rules, output_relations=outputs[:1], extra_edb=extra_edb)
+
+
+def random_ilog_program(
+    seed: int = 0,
+    config: GeneratorConfig | None = None,
+    *,
+    invention_rules: int = 2,
+):
+    """Generate a weakly-safe wILOG¬ program (value invention via ``*`` heads).
+
+    Reuses :func:`random_program` for the plain Datalog¬ backbone, then adds
+    *invention_rules* inventing rules over fresh relations whose bodies read
+    the edb.  The designated outputs stay on the backbone, so invented
+    values never reach an output position — weak safety by construction.
+    """
+    from ..ilog.program import ILOGProgram, ILOGRule
+
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    base = random_program(rng.randrange(1 << 30), config)
+    rules = [ILOGRule(rule, invents=False) for rule in base.rules]
+    variables = [Variable(name) for name in config.variable_pool]
+    for index in range(invention_rules):
+        body_size = rng.randint(1, max(1, config.max_body_atoms - 1))
+        pos = [
+            _random_atom(rng, *rng.choice(config.edb_relations), variables)
+            for _ in range(body_size)
+        ]
+        pos_vars = sorted(
+            {v for atom in pos for v in atom.variables()}, key=lambda v: v.name
+        )
+        if not pos_vars:
+            continue
+        # The stored head excludes the invention slot; evaluation prepends
+        # the Skolem term, so the declared arity is len(terms) + 1.
+        head = Atom(
+            f"N{index}",
+            tuple(rng.choice(pos_vars) for _ in range(rng.choice((1, 2)))),
+        )
+        rules.append(ILOGRule(Rule(head, pos), invents=True))
+    return ILOGProgram(
+        rules,
+        output_relations=base.output_relations,
+        extra_edb=Schema(dict(config.edb_relations)),
+    )

@@ -24,15 +24,116 @@ from .runtime import Run, Scheduler
 
 __all__ = [
     "REPORT_VERSION",
+    "REQUIRED_REPORT_KEYS",
+    "REQUIRED_CLUSTER_KEYS",
+    "REQUIRED_CRASH_KEYS",
+    "REQUIRED_NODE_KEYS",
     "NodeReport",
     "RunReport",
     "build_run_report",
     "output_fingerprint",
+    "validate_report_dict",
     "write_report",
 ]
 
 #: Bumped whenever the report JSON layout changes incompatibly.
 REPORT_VERSION = 1
+
+#: The versioned report schema, as required-key sets per report flavor.
+#: Consumers (sweeps, CI, the conformance tests) validate against these
+#: instead of hardcoding key lists — ``validate_report_dict`` is the one
+#: place the contract lives.
+REQUIRED_REPORT_KEYS = frozenset(
+    {
+        "version",
+        "protocol",
+        "nodes",
+        "policy",
+        "scheduler",
+        "channel",
+        "quiesced",
+        "rounds_to_quiescence",
+        "metrics",
+        "faults",
+        "per_node",
+        "output_facts",
+        "output_fingerprint",
+    }
+)
+
+#: Cluster runs additionally carry the transport and Safra-ring telemetry.
+REQUIRED_CLUSTER_KEYS = REQUIRED_REPORT_KEYS | {
+    "transport",
+    "token_rounds",
+    "in_flight_high_water",
+}
+
+#: Crash-recovery cluster runs additionally carry the recovery counters.
+REQUIRED_CRASH_KEYS = REQUIRED_CLUSTER_KEYS | {
+    "crashes",
+    "recoveries",
+    "wal_replayed",
+    "snapshot_bytes",
+}
+
+#: Every per-node record carries these, whatever the runtime.
+REQUIRED_NODE_KEYS = frozenset(
+    {
+        "node",
+        "transitions",
+        "heartbeats",
+        "deliveries",
+        "sent_facts",
+        "buffer_high_water",
+        "buffered_at_end",
+        "output_facts",
+        "memory_facts",
+    }
+)
+
+_REQUIRED_BY_KIND = {
+    "run": REQUIRED_REPORT_KEYS,
+    "cluster": REQUIRED_CLUSTER_KEYS,
+    "cluster-crash": REQUIRED_CRASH_KEYS,
+}
+
+
+def validate_report_dict(payload: dict, *, kind: str = "run") -> None:
+    """Validate a report JSON dict against the versioned schema.
+
+    ``kind`` is one of ``"run"`` (synchronous simulator), ``"cluster"``
+    (async runtime) or ``"cluster-crash"`` (async runtime with the
+    crash-recovery counters).  Raises :class:`ValueError` naming every
+    missing key, a version mismatch, or a malformed per-node record —
+    silence means the report honors the contract.
+    """
+    try:
+        required = _REQUIRED_BY_KIND[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown report kind {kind!r}; expected one of "
+            f"{sorted(_REQUIRED_BY_KIND)}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"report must be a JSON object, got {type(payload).__name__}")
+    version = payload.get("version")
+    if version != REPORT_VERSION:
+        raise ValueError(
+            f"report version {version!r} does not match {REPORT_VERSION}"
+        )
+    missing = sorted(required - payload.keys())
+    if missing:
+        raise ValueError(f"{kind} report is missing keys: {', '.join(missing)}")
+    per_node = payload["per_node"]
+    if not isinstance(per_node, list) or not per_node:
+        raise ValueError("per_node must be a non-empty list of node records")
+    for record in per_node:
+        node_missing = sorted(REQUIRED_NODE_KEYS - record.keys())
+        if node_missing:
+            raise ValueError(
+                f"per_node record {record.get('node', '?')} is missing keys: "
+                f"{', '.join(node_missing)}"
+            )
 
 
 def output_fingerprint(instance: Instance) -> str:

@@ -1,0 +1,33 @@
+"""Replay every persisted corpus entry (tests/corpus/) on every run.
+
+Each entry is a minimized case that once made the evaluation stacks
+diverge; replaying it green means the underlying bug stayed fixed.  With
+an empty corpus this file collects nothing and passes trivially — the
+parametrization below is the permanent home for whatever the fuzzer finds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.corpus import (
+    corpus_entries,
+    default_corpus_dir,
+    load_entry,
+    replay_entry,
+)
+
+ENTRIES = corpus_entries()
+
+
+def test_corpus_directory_is_tracked():
+    assert default_corpus_dir().is_dir()
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda path: path.name)
+def test_corpus_entry_replays_clean(path):
+    verdict = replay_entry(load_entry(path))
+    assert verdict.passed, (
+        f"corpus entry {path.name} diverges again:\n"
+        + "\n".join(str(outcome) for outcome in verdict.divergences)
+    )

@@ -1,11 +1,66 @@
-"""Shared fixtures: canonical instances, programs and networks."""
+"""Shared fixtures: canonical instances, programs and networks.
+
+Also the test-tier plumbing (see docs/TESTING.md):
+
+* every test not marked ``slow`` or ``fuzz`` is auto-marked ``tier1``;
+* ``--seed`` (default 0) feeds one session-scoped :class:`random.Random`
+  via the ``session_rng`` fixture, so randomized tests are reproducible
+  and re-runnable with ``pytest --seed N``;
+* Hypothesis settings profiles: ``ci`` (more examples, no deadline) and
+  ``dev`` (default), selected with ``--hypothesis-profile`` or the
+  ``HYPOTHESIS_PROFILE`` environment variable.
+"""
 
 from __future__ import annotations
+
+import hashlib
+import os
+import random
 
 import pytest
 
 from repro.datalog import Instance, parse_facts, parse_program
 from repro.transducers import Network
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis ships in the test extra
+    settings = None
+
+if settings is not None:
+    settings.register_profile("dev", deadline=None)
+    settings.register_profile("ci", deadline=None, max_examples=200)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=0,
+        help="session seed for the session_rng fixture (default: 0)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything not explicitly slow or fuzz is the tier-1 gate."""
+    for item in items:
+        if item.get_closest_marker("slow") is None and (
+            item.get_closest_marker("fuzz") is None
+        ):
+            item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture(scope="session")
+def session_seed(request) -> int:
+    return request.config.getoption("--seed")
+
+
+@pytest.fixture(scope="session")
+def session_rng(session_seed: int) -> random.Random:
+    """The one shared RNG; seeded via sha256 so PYTHONHASHSEED is irrelevant."""
+    digest = hashlib.sha256(f"repro-tests:{session_seed}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 @pytest.fixture

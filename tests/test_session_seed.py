@@ -1,0 +1,28 @@
+"""The session-seeded RNG fixture: one stream, reproducible per --seed."""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+_seen: list[random.Random] = []
+
+
+def test_session_rng_matches_the_documented_derivation(session_rng, session_seed):
+    digest = hashlib.sha256(f"repro-tests:{session_seed}".encode()).digest()
+    expected = random.Random(int.from_bytes(digest[:8], "big"))
+    # Same derivation => same stream prefix; probing the fixture would
+    # desync later consumers, so probe a fresh copy of its state instead.
+    probe = random.Random()
+    probe.setstate(session_rng.getstate())
+    assert [probe.random() for _ in range(4)] == [
+        expected.random() for _ in range(4)
+    ]
+
+
+def test_session_rng_is_one_shared_instance(session_rng):
+    _seen.append(session_rng)
+
+
+def test_session_rng_is_one_shared_instance_second_probe(session_rng):
+    assert _seen and session_rng is _seen[0]

@@ -1,0 +1,114 @@
+"""The versioned RunReport JSON contract, checked against real CLI runs.
+
+``validate_report_dict`` is the one place the schema lives; these tests
+feed it the actual reports written by ``repro run --report``,
+``repro cluster --report`` and ``repro cluster --crash --report`` so the
+contract can never drift from what the CLI emits.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.transducers.telemetry import (
+    REPORT_VERSION,
+    REQUIRED_CLUSTER_KEYS,
+    REQUIRED_CRASH_KEYS,
+    REQUIRED_NODE_KEYS,
+    REQUIRED_REPORT_KEYS,
+    validate_report_dict,
+)
+
+PROGRAM = """
+T(x, y) :- E(x, y).
+T(x, z) :- T(x, y), E(y, z).
+O(x, y) :- T(x, y).
+"""
+GRAPH = "E(1, 2). E(2, 3). E(3, 4)."
+
+
+@pytest.fixture
+def files(tmp_path):
+    program = tmp_path / "tc.dl"
+    program.write_text(PROGRAM)
+    facts = tmp_path / "graph.dl"
+    facts.write_text(GRAPH)
+    return program, facts
+
+
+def _report_from_cli(tmp_path, files, *argv) -> dict:
+    program, facts = files
+    path = tmp_path / "report.json"
+    code = main(
+        [argv[0], str(program), str(facts), *argv[1:], "--report", str(path)],
+        out=io.StringIO(),
+    )
+    assert code == 0
+    return json.loads(path.read_text())
+
+
+def test_run_report_honors_the_schema(tmp_path, files):
+    report = _report_from_cli(tmp_path, files, "run")
+    validate_report_dict(report, kind="run")
+    assert report["version"] == REPORT_VERSION
+
+
+def test_cluster_report_honors_the_schema(tmp_path, files):
+    report = _report_from_cli(tmp_path, files, "cluster")
+    validate_report_dict(report, kind="cluster")
+    assert report["transport"] == "memory"
+
+
+def test_crash_report_honors_the_schema(tmp_path, files):
+    report = _report_from_cli(tmp_path, files, "cluster", "--crash")
+    validate_report_dict(report, kind="cluster-crash")
+    assert report["crashes"] >= 1
+    assert report["recoveries"] >= 1
+    assert report["snapshot_bytes"] > 0
+
+
+def test_key_sets_nest_by_flavor():
+    assert REQUIRED_REPORT_KEYS < REQUIRED_CLUSTER_KEYS < REQUIRED_CRASH_KEYS
+    assert {"crashes", "recoveries", "wal_replayed", "snapshot_bytes"} <= (
+        REQUIRED_CRASH_KEYS - REQUIRED_CLUSTER_KEYS
+    )
+
+
+def test_missing_keys_are_named(tmp_path, files):
+    report = _report_from_cli(tmp_path, files, "run")
+    del report["output_fingerprint"]
+    del report["metrics"]
+    with pytest.raises(ValueError, match="metrics, output_fingerprint"):
+        validate_report_dict(report, kind="run")
+
+
+def test_version_mismatch_is_rejected(tmp_path, files):
+    report = _report_from_cli(tmp_path, files, "run")
+    report["version"] = REPORT_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        validate_report_dict(report, kind="run")
+
+
+def test_malformed_node_records_are_rejected(tmp_path, files):
+    report = _report_from_cli(tmp_path, files, "run")
+    del report["per_node"][0]["deliveries"]
+    with pytest.raises(ValueError, match="deliveries"):
+        validate_report_dict(report, kind="run")
+    report["per_node"] = []
+    with pytest.raises(ValueError, match="per_node"):
+        validate_report_dict(report, kind="run")
+
+
+def test_unknown_kind_is_rejected():
+    with pytest.raises(ValueError, match="unknown report kind"):
+        validate_report_dict({"version": REPORT_VERSION}, kind="nonesuch")
+
+
+def test_node_key_set_matches_node_report_fields(tmp_path, files):
+    report = _report_from_cli(tmp_path, files, "cluster")
+    for record in report["per_node"]:
+        assert REQUIRED_NODE_KEYS <= set(record)
