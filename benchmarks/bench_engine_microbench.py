@@ -11,7 +11,9 @@ Workloads:
 
 * transitive closure (the canonical two-rule recursive join) at three
   seeded random-graph sizes, the largest matching bench_scaling's 40-node /
-  120-edge shape;
+  120-edge shape; the default rows run the interned columnar kernel (the
+  default engine), and the ``_plans`` rows pin the kernel off so the
+  compiled tuple-plan engine stays separately visible in the A/B record;
 * win-move through the well-founded solver (negation + alternating
   fixpoint, so the doubled program exercises plans under Datalog¬);
 * one Section-4 protocol driven to quiescence (end-to-end transducer cost);
@@ -78,6 +80,19 @@ def tc_closure(instance: Instance) -> Instance:
     return SemiNaiveEvaluator(TC_PROGRAM, check_semipositive=False).run(instance)
 
 
+def tc_closure_plans(instance: Instance) -> Instance:
+    """Transitive closure with the kernel pinned off: measures the compiled
+    tuple-plan engine even though the kernel is the default dispatch."""
+    from repro.kernel import engine as kernel_engine
+
+    saved = kernel_engine.KERNEL_ENABLED
+    kernel_engine.KERNEL_ENABLED = False
+    try:
+        return tc_closure(instance)
+    finally:
+        kernel_engine.KERNEL_ENABLED = saved
+
+
 def _measure(benchmark, fn, *args, iters: int = 1):
     """Pedantic measurement; sub-50ms workloads pass iters > 1 so each round
     is long enough to rise above timer jitter (smoke mode stays at 1)."""
@@ -106,6 +121,21 @@ def test_tc_large(benchmark):
     instance = random_edges(nodes, edges)
     expected = len(tc_closure(instance))
     result = _measure(benchmark, tc_closure, instance, iters=3)
+    assert len(result) == expected
+
+
+def test_tc_medium_plans(benchmark):
+    instance = random_edges(*TC_SIZES[1])
+    expected = len(tc_closure(instance))
+    result = _measure(benchmark, tc_closure_plans, instance, iters=8)
+    assert len(result) == expected
+
+
+def test_tc_large_plans(benchmark):
+    nodes, edges = TC_SIZES[-1]
+    instance = random_edges(nodes, edges)
+    expected = len(tc_closure(instance))
+    result = _measure(benchmark, tc_closure_plans, instance, iters=3)
     assert len(result) == expected
 
 

@@ -41,8 +41,9 @@ Usage (also via ``python -m repro``):
                [--no-metamorphic] [--report OUT.json]
         Differential + metamorphic conformance fuzzing: random programs
         per paper fragment run through every evaluation stack (naive,
-        semi-naive legacy join, compiled plans, synchronous simulator,
-        async cluster on both transports with chaos and crash schedules),
+        semi-naive legacy join, compiled plans, columnar kernel,
+        synchronous simulator, async cluster on both transports with
+        chaos and crash schedules),
         asserting byte-identical outputs plus the fragment's guaranteed
         monotonicity class.  Failures are minimized and, with --corpus,
         persisted as permanent regression entries (see docs/TESTING.md).
@@ -138,6 +139,12 @@ def _cmd_eval(args, out) -> int:
 
 
 def _cmd_run(args, out) -> int:
+    if getattr(args, "kernel", None) is not None:
+        # Pin the columnar kernel for the whole command (evaluators are
+        # created lazily below, so setting the override up front is safe).
+        from .kernel import engine as kernel_engine
+
+        kernel_engine.KERNEL_ENABLED = args.kernel
     from .transducers.faults import CHAOS_PLAN, FaultyChannel, make_scheduler
     from .transducers.runtime import QuiescenceError
     from .transducers.telemetry import build_run_report, write_report
@@ -357,6 +364,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed the transition trace in the report",
     )
+    run_cmd.add_argument(
+        "--kernel",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force the interned columnar kernel on (--kernel) or off "
+        "(--no-kernel) for this run; default follows REPRO_KERNEL / "
+        "REPRO_DISABLE_KERNEL",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
 
     cluster_cmd = commands.add_parser(
@@ -409,7 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_cmd.add_argument(
         "--stacks", metavar="A,B,...", default=None,
-        help="comma-separated stack names (default: all five)",
+        help="comma-separated stack names (default: all six)",
     )
     fuzz_cmd.add_argument(
         "--corpus", metavar="DIR", default=None,

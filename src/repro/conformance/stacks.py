@@ -1,4 +1,4 @@
-"""The five evaluation stacks behind one interface.
+"""The six evaluation stacks behind one interface.
 
 Every stack computes the same query ``Q(I) = P(I)|_{sigma_out}`` (Section
 2), but through a different engine:
@@ -8,8 +8,11 @@ Every stack computes the same query ``Q(I) = P(I)|_{sigma_out}`` (Section
   most obviously correct engine);
 * ``seminaive-legacy`` — the semi-naive evaluator running the pre-plan
   recursive join (``PLANS_ENABLED`` off);
-* ``compiled`` — the semi-naive evaluator over compiled join plans (the
-  production path);
+* ``compiled`` — the semi-naive evaluator over compiled join plans, with
+  the columnar kernel pinned off (the tuple-engine production path of
+  PR 2–5);
+* ``kernel`` — the interned columnar kernel with per-rule codegen
+  (``repro.kernel``, the current production default);
 * ``sync-run`` — the synchronous transducer simulator with the analyzer's
   protocol, under any named scheduler and optional channel chaos (the
   incremental step-cache path);
@@ -44,6 +47,7 @@ DEFAULT_STACK_NAMES = (
     "naive",
     "seminaive-legacy",
     "compiled",
+    "kernel",
     "sync-run",
     "cluster",
 )
@@ -107,6 +111,19 @@ def _plans_enabled():
         evaluation.PLANS_ENABLED = previous
 
 
+@contextmanager
+def _kernel_override(enabled: bool):
+    """Pin the columnar kernel on or off for one stack evaluation."""
+    from ..kernel import engine as kernel_engine
+
+    previous = kernel_engine.KERNEL_ENABLED
+    kernel_engine.KERNEL_ENABLED = enabled
+    try:
+        yield
+    finally:
+        kernel_engine.KERNEL_ENABLED = previous
+
+
 class EvaluationStack:
     """One way of computing Q(I); subclasses implement :meth:`evaluate`."""
 
@@ -161,14 +178,28 @@ class LegacySemiNaiveStack(EvaluationStack):
 
 
 class CompiledStack(EvaluationStack):
-    """Semi-naive evaluation over compiled join plans (production path)."""
+    """Semi-naive evaluation over compiled join plans, kernel pinned off —
+    without the pin this stack would silently dispatch to the kernel and
+    stop exercising the tuple-plan engine."""
 
     name = "compiled"
 
     def evaluate(self, program, instance, context):
         from ..core.analyzer import query_for
 
-        with _plans_enabled():
+        with _plans_enabled(), _kernel_override(False):
+            return query_for(program)(instance)
+
+
+class KernelStack(EvaluationStack):
+    """The interned columnar kernel with per-rule codegen (production)."""
+
+    name = "kernel"
+
+    def evaluate(self, program, instance, context):
+        from ..core.analyzer import query_for
+
+        with _plans_enabled(), _kernel_override(True):
             return query_for(program)(instance)
 
 
@@ -227,6 +258,7 @@ _STACK_CLASSES: dict[str, type[EvaluationStack]] = {
         NaiveStack,
         LegacySemiNaiveStack,
         CompiledStack,
+        KernelStack,
         SyncRunStack,
         ClusterStack,
     )

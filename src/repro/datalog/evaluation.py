@@ -21,9 +21,9 @@ original recursive join, which the property tests use as an oracle.
 
 from __future__ import annotations
 
-import os
 from typing import Hashable, Iterable, Iterator, Mapping
 
+from ..flags import kernel_enabled, plans_enabled
 from .instance import Instance
 from .program import Program
 from .rules import Rule
@@ -33,6 +33,7 @@ __all__ = [
     "FactIndex",
     "RulePlan",
     "PlanCache",
+    "clear_default_plan_cache",
     "match_rule",
     "immediate_consequence",
     "evaluate_semipositive",
@@ -41,13 +42,12 @@ __all__ = [
 ]
 
 #: When False, :func:`match_rule` uses the legacy recursive join instead of
-#: compiled plans.  Initialized from ``REPRO_DISABLE_PLANS``; tests flip the
-#: module attribute directly to compare both engines.
-PLANS_ENABLED = os.environ.get("REPRO_DISABLE_PLANS", "").lower() not in (
-    "1",
-    "true",
-    "yes",
-)
+#: compiled plans.  Tests and the conformance stacks flip this module
+#: attribute directly; the ``REPRO_DISABLE_PLANS`` environment kill switch
+#: is consulted at *call time* through :func:`repro.flags.plans_enabled`
+#: (which also honors this attribute), so flipping the env mid-process
+#: takes effect immediately.
+PLANS_ENABLED = True
 
 
 class EvaluationError(RuntimeError):
@@ -57,16 +57,27 @@ class EvaluationError(RuntimeError):
 class FactIndex:
     """A mutable index of facts: relation name -> set of value tuples.
 
-    Provides the membership tests and scans the join engine needs, and an
-    inverted index from (relation, position, value) to tuples for bound-value
-    lookups.
+    Provides the membership tests and scans the join engine needs, plus
+    *lazy* per-column inverted indexes for bound-value lookups: the column
+    for ``(relation, position)`` is materialized on the first
+    :meth:`lookup` that probes it, and maintained incrementally by
+    :meth:`add` from then on.
+
+    An earlier version eagerly indexed every ``(relation, position,
+    value)`` triple on insert, so every fact paid for columns no plan
+    ever binds — and the semi-naive *delta* indexes, which are rebuilt
+    each iteration and only ever scanned, paid the full indexing cost for
+    nothing.  Columns a plan does probe cost the same as before after the
+    one-off build.
     """
 
-    __slots__ = ("_tuples", "_by_value", "_size")
+    __slots__ = ("_tuples", "_columns", "_size")
 
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._tuples: dict[str, set[tuple]] = {}
-        self._by_value: dict[tuple[str, int, Hashable], set[tuple]] = {}
+        # relation -> {position -> {value -> set of tuples}}; only columns
+        # some plan has probed exist here.
+        self._columns: dict[str, dict[int, dict[Hashable, set[tuple]]]] = {}
         # Running total of facts across all relation buckets.  ``__len__``
         # is the semi-naive loop condition (``while len(delta)``), so it
         # must not re-sum every bucket on each call.
@@ -80,10 +91,13 @@ class FactIndex:
             return False
         bucket.add(fact.values)
         self._size += 1
-        for position, value in enumerate(fact.values):
-            self._by_value.setdefault((fact.relation, position, value), set()).add(
-                fact.values
-            )
+        columns = self._columns.get(fact.relation)
+        if columns:
+            values = fact.values
+            arity = len(values)
+            for position, column in columns.items():
+                if position < arity:
+                    column.setdefault(values[position], set()).add(values)
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> list[Fact]:
@@ -98,8 +112,25 @@ class FactIndex:
         return self._tuples.get(relation, ())
 
     def lookup(self, relation: str, position: int, value: Hashable) -> Iterable[tuple]:
-        """Tuples of *relation* having *value* at *position*."""
-        return self._by_value.get((relation, position, value), ())
+        """Tuples of *relation* having *value* at *position*.
+
+        Builds the ``(relation, position)`` column on first probe — rows
+        too short for the column are skipped, so a lookup past a tuple's
+        arity never matches it (same contract as the eager index).
+        """
+        columns = self._columns.setdefault(relation, {})
+        column = columns.get(position)
+        if column is None:
+            column = {}
+            for values in self._tuples.get(relation, ()):
+                if position < len(values):
+                    column.setdefault(values[position], set()).add(values)
+            columns[position] = column
+        return column.get(value, ())
+
+    def indexed_columns(self, relation: str) -> tuple[int, ...]:
+        """The positions of *relation* with a built column (tests/observability)."""
+        return tuple(sorted(self._columns.get(relation, ())))
 
     def count(self, relation: str) -> int:
         return len(self._tuples.get(relation, ()))
@@ -676,13 +707,34 @@ class PlanCache:
             self._plans[key] = plan
         return plan
 
+    def clear(self) -> None:
+        """Drop every cached plan (the ``compiled`` counter is preserved)."""
+        self._plans.clear()
+
     def __len__(self) -> int:
         return len(self._plans)
 
 
 #: The shared cache behind bare :func:`match_rule` calls (evaluators pass
-#: their own).
-_DEFAULT_PLAN_CACHE = PlanCache()
+#: their own).  Bare calls come from generated-program workloads — the
+#: well-founded alternating fixpoint, ad-hoc analysis queries, fuzzing —
+#: where rules rarely repeat, so this cache is kept much smaller than the
+#: per-evaluator default and the fuzz loop additionally calls
+#: :func:`clear_default_plan_cache` between iterations.
+_DEFAULT_PLAN_CACHE = PlanCache(max_plans=256)
+
+
+def clear_default_plan_cache() -> int:
+    """Drop the module-level plan cache; returns the number of entries dropped.
+
+    Long-lived processes that churn through many distinct generated
+    programs (``repro fuzz`` above all) call this between iterations so
+    the shared cache cannot accumulate plans for rules that will never be
+    seen again.
+    """
+    dropped = len(_DEFAULT_PLAN_CACHE)
+    _DEFAULT_PLAN_CACHE.clear()
+    return dropped
 
 
 def match_rule(
@@ -715,7 +767,7 @@ def match_rule(
     if required_atom is not None and required_index is None:
         raise ValueError("required_atom needs required_index")
 
-    if not PLANS_ENABLED:
+    if not plans_enabled():
         yield from _match_rule_recursive(
             rule,
             positive_index,
@@ -809,6 +861,7 @@ class SemiNaiveEvaluator:
             )
         self._program = program
         self._plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._kernel = None
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -816,10 +869,32 @@ class SemiNaiveEvaluator:
 
     @property
     def plans_compiled(self) -> int:
-        return self._plan_cache.compiled
+        """Rule specializations compiled by this evaluator: tuple-engine
+        plans plus kernel codegen (the kernel compiles per rule occurrence
+        up front, so either engine reports > 0 once it has run)."""
+        return self._plan_cache.compiled + self.kernel_compiled
+
+    @property
+    def kernel_compiled(self) -> int:
+        """Kernel rule specializations generated by this evaluator (0 until
+        the kernel path has dispatched at least once)."""
+        return self._kernel.compiled if self._kernel is not None else 0
 
     def run(self, instance: Instance, *, max_iterations: int | None = None) -> Instance:
         """Compute the minimal fixpoint of T_P containing *instance*."""
+        if plans_enabled() and kernel_enabled():
+            # The interned columnar kernel (repro.kernel) — same fixpoint,
+            # same iteration counts, byte-identical results (fuzzed
+            # differentially as the "kernel" conformance stack).  Riding
+            # behind plans_enabled keeps REPRO_DISABLE_PLANS the master
+            # switch back to the legacy oracle engine.
+            if self._kernel is None:
+                from ..kernel.engine import KernelEvaluator
+
+                self._kernel = KernelEvaluator(
+                    self._program, check_semipositive=False
+                )
+            return self._kernel.run(instance, max_iterations=max_iterations)
         index = FactIndex(instance)
         delta = FactIndex(instance)
         # Rules with an empty positive body (ground rules, e.g.
@@ -831,7 +906,7 @@ class SemiNaiveEvaluator:
         for rule in self._program:
             if rule.pos:
                 continue
-            if PLANS_ENABLED:
+            if plans_enabled():
                 plan = self._plan_cache.get(rule, None, index)
                 for fact in plan.fire(index, index):
                     if index.add(fact):
@@ -874,7 +949,7 @@ class SemiNaiveEvaluator:
             if key in seen_relations:
                 continue
             seen_relations.add(key)
-            if PLANS_ENABLED:
+            if plans_enabled():
                 plan = self._plan_cache.get(rule, atom, index)
                 produced.update(plan.fire(index, index, delta))
             else:

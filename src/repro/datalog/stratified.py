@@ -43,8 +43,11 @@ class StratifiedEvaluator:
 
     @property
     def plans_compiled(self) -> int:
-        """Join plans compiled by this evaluator (shared across strata)."""
-        return self._plan_cache.compiled
+        """Rule specializations compiled by this evaluator: shared-cache
+        tuple plans (counted once — the cache is shared across strata)
+        plus any per-stage kernel codegen."""
+        kernel_compiled = sum(stage.kernel_compiled for stage in self._stages)
+        return self._plan_cache.compiled + kernel_compiled
 
     def run(self, instance: Instance, *, max_iterations: int | None = None) -> Instance:
         """The full fixpoint P(I) (input facts included, per the paper)."""

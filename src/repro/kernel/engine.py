@@ -1,0 +1,128 @@
+"""The kernel evaluator: semi-naive fixpoint over interned columnar data.
+
+:class:`KernelEvaluator` is a drop-in for
+:class:`repro.datalog.evaluation.SemiNaiveEvaluator` — same constructor
+shape, same ``run(instance, max_iterations=...)`` surface, same
+convergence error — but evaluates through the interned columnar pipeline:
+constants are interned to dense ints once (:mod:`.interning`), rows live
+in :class:`~repro.kernel.relation.ColumnarDatabase` sets with lazy column
+indexes, and each rule fires through its generated function
+(:mod:`.codegen`).  The result is decoded back to the exact original
+values, so fingerprints are byte-identical to the tuple engines.
+
+The fixpoint structure deliberately mirrors ``SemiNaiveEvaluator.run``
+step for step — ground-rule prepass (facts visible to later ground rules
+immediately), then delta iterations that collect all fresh heads before
+applying them — so the two engines agree not only on the fixpoint but on
+iteration counts, which keeps ``max_iterations`` behavior identical.
+
+Evaluators are long-lived: rules compile once in ``__init__`` and the
+symbol table persists across ``run`` calls (ids are append-only), so the
+steady-state cost of a transducer step is the generated loops only.
+
+``KERNEL_ENABLED`` is the tri-state module override consumed by
+:func:`repro.flags.kernel_enabled`: ``None`` defers to the environment
+(``REPRO_DISABLE_KERNEL`` / ``REPRO_KERNEL``), ``True``/``False`` force.
+"""
+
+from __future__ import annotations
+
+from ..datalog.evaluation import EvaluationError
+from ..datalog.instance import Instance
+from ..datalog.program import Program
+from .codegen import CompiledRule, compile_rule
+from .interning import SymbolTable, decode_database
+from .relation import ColumnarDatabase
+
+__all__ = ["KERNEL_ENABLED", "KernelEvaluator", "evaluate_semipositive"]
+
+#: Tri-state override: None = environment decides (see repro.flags),
+#: True/False = forced on/off (tests and conformance stacks flip this).
+KERNEL_ENABLED: bool | None = None
+
+
+class KernelEvaluator:
+    """Semi-naive evaluation of a (semi-)positive program, interned + codegen."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        check_semipositive: bool = True,
+        table: SymbolTable | None = None,
+    ) -> None:
+        if check_semipositive and not program.is_semi_positive():
+            raise EvaluationError(
+                "program negates idb relations; use the stratified evaluator"
+            )
+        self._program = program
+        self._table = table if table is not None else SymbolTable()
+        self._ground: list[CompiledRule] = []
+        self._seeded: list[CompiledRule] = []
+        self.compiled = 0
+        for rule in program:
+            if not rule.pos:
+                self._ground.append(compile_rule(rule, None, self._table))
+                self.compiled += 1
+            else:
+                # One specialization per delta-seed occurrence; rule.pos is a
+                # frozenset, so every atom is a distinct occurrence.
+                for atom in sorted(rule.pos, key=repr):
+                    self._seeded.append(compile_rule(rule, atom, self._table))
+                    self.compiled += 1
+
+    @property
+    def table(self) -> SymbolTable:
+        return self._table
+
+    def run(self, instance: Instance, *, max_iterations: int | None = None) -> Instance:
+        """Compute the minimal fixpoint of T_P containing *instance*."""
+        table = self._table
+        intern = table.intern
+        db = ColumnarDatabase()
+        delta: dict[str, list[tuple[int, ...]]] = {}
+        for fact in instance:
+            row = tuple(intern(value) for value in fact.values)
+            if db.add(fact.relation, row):
+                delta.setdefault(fact.relation, []).append(row)
+        # Ground rules fire once up front (their bodies read only fixed
+        # relations); each derivation is visible to subsequent ground rules,
+        # matching the tuple engine's prepass.
+        for compiled in self._ground:
+            out: list[tuple[int, ...]] = []
+            compiled.fire(db, (), out.append)
+            head = compiled.head_relation
+            for row in out:
+                if db.add(head, row):
+                    delta.setdefault(head, []).append(row)
+        iterations = 0
+        while delta:
+            iterations += 1
+            if max_iterations is not None and iterations > max_iterations:
+                raise EvaluationError(
+                    f"fixpoint did not converge within {max_iterations} iterations"
+                )
+            # Collect every fresh head against the iteration-start database
+            # before applying any of them (the semi-naive barrier).
+            fresh: dict[str, set[tuple[int, ...]]] = {}
+            for compiled in self._seeded:
+                rows = delta.get(compiled.seed_relation)
+                if not rows:
+                    continue
+                out = []
+                compiled.fire(db, rows, out.append)
+                if out:
+                    fresh.setdefault(compiled.head_relation, set()).update(out)
+            delta = {}
+            for head, candidates in fresh.items():
+                new_rows = [row for row in candidates if db.add(head, row)]
+                if new_rows:
+                    delta[head] = new_rows
+        return decode_database(db.rows(), table)
+
+
+def evaluate_semipositive(
+    program: Program, instance: Instance, *, max_iterations: int | None = None
+) -> Instance:
+    """Kernel twin of :func:`repro.datalog.evaluation.evaluate_semipositive`."""
+    return KernelEvaluator(program).run(instance, max_iterations=max_iterations)

@@ -1,0 +1,101 @@
+"""Constant interning: dense integer ids with exact round-trip decoding.
+
+The columnar kernel never computes on raw data values.  Every constant —
+instance values and the constants embedded in rule atoms — is interned to a
+dense ``int`` through a :class:`SymbolTable`, joins and guards compare
+ints, and the final database is decoded back through the same table.
+Decoding restores the *exact* objects that were interned (the table keeps
+a bidirectional mapping), so ``output_fingerprint`` over a decoded result
+is byte-identical to the fingerprint of an evaluation over raw values.
+
+Equality semantics match the set-based engines by construction: the id
+map is a plain dict keyed by the values themselves, so values that Python
+considers equal (and that a ``frozenset`` of facts would already collapse,
+e.g. ``1`` and ``True``) share one id, exactly as they share one fact in
+an :class:`~repro.datalog.instance.Instance`.
+
+Tables are append-only and shared across runs of a long-lived evaluator:
+ids stay stable, so per-rule generated code (which inlines interned
+constant ids as literals) never needs recompiling when new data arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..datalog.instance import Instance
+from ..datalog.terms import Fact
+
+__all__ = ["SymbolTable", "intern_instance", "decode_database"]
+
+
+class SymbolTable:
+    """A bidirectional constant table: value -> dense id -> value."""
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._values: list[Hashable] = []
+
+    def intern(self, value: Hashable) -> int:
+        """The id for *value*, allocating the next dense id when new."""
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self._values)
+            self._ids[value] = ident
+            self._values.append(value)
+        return ident
+
+    def intern_tuple(self, values: Iterable[Hashable]) -> tuple[int, ...]:
+        return tuple(self.intern(value) for value in values)
+
+    def lookup(self, value: Hashable) -> int | None:
+        """The id for *value* without allocating (None when never seen)."""
+        return self._ids.get(value)
+
+    def decode(self, ident: int) -> Hashable:
+        """The exact value interned under *ident*."""
+        return self._values[ident]
+
+    def decode_tuple(self, idents: Iterable[int]) -> tuple[Hashable, ...]:
+        values = self._values
+        return tuple(values[ident] for ident in idents)
+
+    @property
+    def values(self) -> list[Hashable]:
+        """The id -> value list (index == id).  Treat as read-only."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids
+
+
+def intern_instance(
+    instance: Iterable[Fact], table: SymbolTable
+) -> dict[str, set[tuple[int, ...]]]:
+    """Intern every fact of *instance*: relation name -> set of id rows."""
+    relations: dict[str, set[tuple[int, ...]]] = {}
+    intern = table.intern
+    for fact in instance:
+        row = tuple(intern(value) for value in fact.values)
+        relations.setdefault(fact.relation, set()).add(row)
+    return relations
+
+
+def decode_database(
+    relations: dict[str, Iterable[tuple[int, ...]]], table: SymbolTable
+) -> Instance:
+    """Decode id rows back into an :class:`Instance` of the original values."""
+    values = table.values
+    unchecked = Fact.unchecked
+    return Instance._wrap(
+        frozenset(
+            unchecked(relation, tuple(values[ident] for ident in row))
+            for relation, rows in relations.items()
+            for row in rows
+        )
+    )

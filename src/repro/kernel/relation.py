@@ -1,0 +1,117 @@
+"""Columnar storage for interned relations.
+
+A :class:`ColumnarRelation` is a hash-set of int rows plus *lazy*
+per-column inverted indexes: a column index is built the first time some
+generated rule body actually probes that column (the plan's bound
+positions), and from then on is maintained incrementally by :meth:`add`.
+Relations that are only ever scanned — or columns no plan binds — never
+pay for indexing, mirroring the lazy-column fix in
+:class:`repro.datalog.evaluation.FactIndex`.
+
+Semi-naive evaluation needs nothing more: the engine keeps the *delta* as
+plain per-relation row lists (seeds are scanned, never probed), and the
+full database is updated between iterations, so every already-built column
+index stays delta-aware — recursion touches only new rows on the seed side
+and index maintenance is O(built columns) per new row.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["ColumnarRelation", "ColumnarDatabase"]
+
+
+class ColumnarRelation:
+    """One relation: a set of int rows with lazily-built column indexes."""
+
+    __slots__ = ("name", "tuples", "_columns")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tuples: set[tuple[int, ...]] = set()
+        self._columns: dict[int, dict[int, list[tuple[int, ...]]]] = {}
+
+    def add(self, row: tuple[int, ...]) -> bool:
+        """Insert a row; returns True when it was new.
+
+        Only columns that some plan has already probed are maintained;
+        unbuilt columns are materialized on first :meth:`index` call.
+        """
+        tuples = self.tuples
+        if row in tuples:
+            return False
+        tuples.add(row)
+        for position, column in self._columns.items():
+            if position < len(row):
+                column.setdefault(row[position], []).append(row)
+        return True
+
+    def add_all(self, rows: Iterable[tuple[int, ...]]) -> None:
+        for row in rows:
+            self.add(row)
+
+    def index(self, position: int) -> dict[int, list[tuple[int, ...]]]:
+        """The inverted index for *position*: value id -> rows.
+
+        Built on first use from the current rows (skipping rows too short
+        for the column, mirroring the arity guard of the tuple engines),
+        then kept current by :meth:`add`.
+        """
+        column = self._columns.get(position)
+        if column is None:
+            column = {}
+            for row in self.tuples:
+                if position < len(row):
+                    column.setdefault(row[position], []).append(row)
+            self._columns[position] = column
+        return column
+
+    def indexed_positions(self) -> tuple[int, ...]:
+        """The columns built so far (observability / tests)."""
+        return tuple(sorted(self._columns))
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __contains__(self, row: tuple[int, ...]) -> bool:
+        return row in self.tuples
+
+
+class ColumnarDatabase:
+    """A mutable interned database: relation name -> :class:`ColumnarRelation`.
+
+    :meth:`relation` creates empty relations on demand so generated code
+    can bind negation sets and scan loops without existence checks; an
+    empty relation stays an empty set.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self) -> None:
+        self._relations: dict[str, ColumnarRelation] = {}
+
+    def relation(self, name: str) -> ColumnarRelation:
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = ColumnarRelation(name)
+            self._relations[name] = relation
+        return relation
+
+    def add(self, name: str, row: tuple[int, ...]) -> bool:
+        return self.relation(name).add(row)
+
+    def rows(self) -> dict[str, set[tuple[int, ...]]]:
+        """A relation -> row-set view of the non-empty relations."""
+        return {
+            name: relation.tuples
+            for name, relation in self._relations.items()
+            if relation.tuples
+        }
+
+    def total_rows(self) -> int:
+        return sum(len(relation) for relation in self._relations.values())
+
+    def __contains__(self, name: str) -> bool:
+        relation = self._relations.get(name)
+        return relation is not None and bool(relation.tuples)

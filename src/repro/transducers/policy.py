@@ -14,7 +14,6 @@ experiment touches with an explicit fallback for the rest.
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Hashable, Iterable, Mapping
 
 from ..datalog.instance import Instance
@@ -111,11 +110,9 @@ class DistributionPolicy:
         # holding the whole cross product.  Disabled together with the
         # transducer step cache so benchmark baselines reflect uncached
         # evaluation.
-        caching_off = os.environ.get("REPRO_DISABLE_QUERY_CACHE", "").lower() in (
-            "1",
-            "true",
-            "yes",
-        )
+        from ..flags import query_cache_enabled
+
+        caching_off = not query_cache_enabled()
         self._memo: dict[Fact, frozenset] | None = None if caching_off else {}
         #: Memo for LocalView.responsible_values, keyed by (node, known
         #: adom): ownership probes are a pure function of those plus this

@@ -155,13 +155,9 @@ def _sharing_enabled() -> bool:
     """Per-transition work sharing rides the same kill switch as the step
     cache, so an uncached benchmark baseline recomputes everything the way
     the pre-plan engine did."""
-    import os
+    from ..flags import query_cache_enabled
 
-    return os.environ.get("REPRO_DISABLE_QUERY_CACHE", "").lower() not in (
-        "1",
-        "true",
-        "yes",
-    )
+    return query_cache_enabled()
 
 
 def _shared_state(view: LocalView, inputs: Schema) -> _ProtocolState:

@@ -20,7 +20,6 @@ programmatic analogue of the relation simply not being in the schema.
 from __future__ import annotations
 
 import itertools
-import os
 from abc import ABC, abstractmethod
 from typing import Callable, Hashable, Iterable, Iterator
 
@@ -290,11 +289,9 @@ STEP_CACHE_SIZE = 4096
 
 
 def _cache_enabled_default() -> bool:
-    return os.environ.get("REPRO_DISABLE_QUERY_CACHE", "").lower() not in (
-        "1",
-        "true",
-        "yes",
-    )
+    from ..flags import query_cache_enabled
+
+    return query_cache_enabled()
 
 
 class Transducer(ABC):

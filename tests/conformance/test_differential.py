@@ -26,7 +26,7 @@ def _case(program, facts, **knobs) -> DifferentialCase:
 def test_all_stacks_agree_on_a_clean_case(tc_program, chain_graph):
     verdict = run_case(_case(tc_program, chain_graph))
     assert verdict.passed
-    assert len(verdict.outcomes) == 5
+    assert len(verdict.outcomes) == 6
     assert len({o.fingerprint for o in verdict.outcomes}) == 1
     assert all(o.error is None for o in verdict.outcomes)
 
@@ -87,7 +87,8 @@ def test_provenance_is_replayable(tc_program, chain_graph):
     assert len(reparsed.rules) == len(tc_program.rules)
     assert Instance(parse_facts(record["facts"])) == chain_graph
     assert {o["stack"] for o in record["outcomes"]} == {
-        "naive", "seminaive-legacy", "compiled", "sync-run", "cluster",
+        "naive", "seminaive-legacy", "compiled", "kernel", "sync-run",
+        "cluster",
     }
 
 

@@ -1,0 +1,79 @@
+"""Plan-cache growth regression (PR 6 satellite).
+
+Bare :func:`match_rule` callers share the module-level plan cache; before
+this PR it admitted 4096 entries and nothing ever cleared it, so a long
+``repro fuzz`` session — one fresh generated program per iteration —
+accumulated one plan per rule ever seen.  The fix is two-fold: the
+default cache is hard-bounded at 256 entries, and the fuzz loop clears
+it between iterations.  Evaluator-owned caches are unaffected.
+"""
+
+from repro.datalog import evaluation
+from repro.datalog.evaluation import (
+    FactIndex,
+    PlanCache,
+    clear_default_plan_cache,
+    match_rule,
+)
+from repro.datalog.instance import Instance
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Atom, Fact, Variable
+
+X, Y = Variable("x"), Variable("y")
+
+
+def _distinct_rule(i: int) -> Rule:
+    # A distinct relation name per rule means a distinct cache key.
+    return Rule(Atom(f"H{i}", (X, Y)), [Atom(f"B{i}", (X, Y))])
+
+
+def test_default_cache_stays_bounded_over_500_distinct_rules():
+    clear_default_plan_cache()
+    index = FactIndex(Instance({Fact("B0", (1, 2))}))
+    sizes = []
+    for i in range(500):
+        list(match_rule(_distinct_rule(i), index))
+        sizes.append(len(evaluation._DEFAULT_PLAN_CACHE))
+    # Flat after the bound is reached — never one-entry-per-rule growth.
+    bound = evaluation._DEFAULT_PLAN_CACHE.max_plans
+    assert bound <= 256
+    assert max(sizes) <= bound
+    assert sizes[-1] == sizes[bound] == bound
+    clear_default_plan_cache()
+
+
+def test_clear_default_plan_cache_reports_and_empties():
+    clear_default_plan_cache()
+    index = FactIndex(Instance({Fact("B0", (1, 2))}))
+    for i in range(5):
+        list(match_rule(_distinct_rule(i), index))
+    assert len(evaluation._DEFAULT_PLAN_CACHE) == 5
+    assert clear_default_plan_cache() == 5
+    assert len(evaluation._DEFAULT_PLAN_CACHE) == 0
+    assert clear_default_plan_cache() == 0
+
+
+def test_clear_preserves_compiled_counter():
+    cache = PlanCache()
+    index = FactIndex(Instance({Fact("B0", (1, 2))}))
+    list(match_rule(_distinct_rule(0), index, plan_cache=cache))
+    compiled = cache.compiled
+    assert compiled >= 1 and len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.compiled == compiled  # telemetry survives eviction
+
+
+def test_fuzz_loop_clears_the_default_cache(tmp_path):
+    from repro.conformance.fuzz import FuzzConfig, run_fuzz
+
+    index = FactIndex(Instance({Fact("B0", (1, 2))}))
+    for i in range(7):
+        list(match_rule(_distinct_rule(i), index))
+    assert len(evaluation._DEFAULT_PLAN_CACHE) >= 7
+    report = run_fuzz(
+        FuzzConfig(seed=0, iterations=1, stacks=("naive",), metamorphic=False)
+    )
+    assert report["iterations_run"] == 1
+    # The pre-seeded junk was dropped by the between-iteration clear.
+    assert len(evaluation._DEFAULT_PLAN_CACHE) < 7

@@ -1,5 +1,6 @@
-"""Unit tests for scripts/bench_report.py history handling: legacy
-migration, round-trips, and same-day upserts (no duplicate entries)."""
+"""Unit tests for scripts/bench_report.py history handling (legacy
+migration, round-trips, same-day upserts — no duplicate entries) and the
+--compare-baseline regression gate."""
 
 import importlib.util
 import json
@@ -97,3 +98,43 @@ class TestUpsertHistory:
         final = bench_report.load_history(path)
         assert len(final["history"]) == 1
         assert final["history"][0]["mode"] == "smoke"
+
+
+def _baseline_file(tmp_path, headline: dict) -> Path:
+    entry = _entry("2026-08-07")
+    entry["headline"] = headline
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps({"suite": "bench_engine_microbench", "history": [entry]})
+    )
+    return path
+
+
+class TestCompareBaseline:
+    HEADLINE = {"tc_kernel_70x210": {"speedup": 7.3, "target": 5.0, "ok": True}}
+
+    def test_holding_the_target_passes(self, tmp_path):
+        path = _baseline_file(tmp_path, self.HEADLINE)
+        failures = bench_report.compare_baseline(
+            path, {"tc_kernel_70x210": {"speedup": 6.1}}
+        )
+        assert failures == []
+
+    def test_regression_below_committed_target_is_flagged(self, tmp_path):
+        path = _baseline_file(tmp_path, self.HEADLINE)
+        failures = bench_report.compare_baseline(
+            path, {"tc_kernel_70x210": {"speedup": 4.2}}
+        )
+        assert len(failures) == 1
+        assert "regressed below" in failures[0]
+
+    def test_missing_metric_in_new_run_is_flagged(self, tmp_path):
+        path = _baseline_file(tmp_path, self.HEADLINE)
+        failures = bench_report.compare_baseline(path, {})
+        assert len(failures) == 1
+        assert "missing from this run" in failures[0]
+
+    def test_empty_history_is_flagged(self, tmp_path):
+        path = tmp_path / "empty.json"
+        failures = bench_report.compare_baseline(path, {"x": {"speedup": 1.0}})
+        assert failures and "no history" in failures[0]
