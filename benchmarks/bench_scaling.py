@@ -1,4 +1,4 @@
-"""SCALE — substrate scaling sweeps.
+"""SCALE — substrate scaling sweeps and the multi-process scaling curve.
 
 Not a paper figure: these measure the reproduction's own substrates so the
 protocol measurements elsewhere can be put in perspective — how much of a
@@ -6,8 +6,16 @@ distributed run's cost is the Datalog engine vs the network simulation.
 
 (a) semi-naive TC across growing random graphs;
 (b) well-founded win-move across growing random games;
-(c) the disjoint protocol across growing inputs on a fixed 3-node network.
+(c) the disjoint protocol across growing inputs and node counts (the
+    single-process baseline for the process-runtime curve);
+(d) the process-runtime scaling curve: one OS process per node, a fixed
+    partitionable workload sharded by the block domain assignment, wall
+    clock at 1→N workers plus one real-SIGKILL recovery run.
+    :func:`scaling_sweep` is the measurement ``scripts/bench_report.py
+    --scaling`` commits as ``BENCH_scaling.json``.
 """
+
+import time
 
 import pytest
 from conftest import run_once
@@ -51,11 +59,12 @@ def test_scaling_winmove(benchmark, positions, moves):
     )
 
 
+@pytest.mark.parametrize("nodes", [2, 3, 5])
 @pytest.mark.parametrize("edges", [4, 8, 12])
-def test_scaling_disjoint_protocol(benchmark, edges):
+def test_scaling_disjoint_protocol(benchmark, nodes, edges):
     cotc = complement_tc_query()
     instance = random_graph(6, edges, seed=edges)
-    network = Network(["a", "b", "c"])
+    network = Network([f"n{i + 1}" for i in range(nodes)])
     policy = domain_guided_policy(
         cotc.input_schema, network, hash_domain_assignment(network)
     )
@@ -70,6 +79,121 @@ def test_scaling_disjoint_protocol(benchmark, edges):
     (output, metrics) = run_once(benchmark, distributed)
     assert output == cotc(instance)
     print(
-        f"\nSCALE(c) disjoint protocol: {edges} edges -> "
+        f"\nSCALE(c) disjoint protocol: {edges} edges / {nodes} nodes -> "
         f"{metrics.transitions} transitions, {metrics.message_facts_sent} msg-facts"
+    )
+
+
+# ----------------------------------------------------------------------
+# (d) the multi-process scaling curve
+# ----------------------------------------------------------------------
+
+#: The committed curve's worker counts (BENCH_scaling.json).
+SCALING_WORKERS = (1, 2, 4)
+
+
+def scaling_sweep(
+    workers=SCALING_WORKERS,
+    *,
+    components: int = 24,
+    size: int = 120,
+    kill: bool = True,
+    # The block-sharded workload is fully partitioned: a non-initiator
+    # worker quiesces in ONE transition, so the SIGKILL probe must fire on
+    # the first one or the kill run would silently test nothing.
+    kill_after: int = 1,
+    timeout: float = 240.0,
+) -> dict:
+    """Measure the process runtime's wall clock at each worker count on the
+    fixed partitionable workload, asserting every run byte-identical to the
+    centralized Q(I), plus (``kill``) one run with a real worker SIGKILL +
+    WAL-replay recovery at the largest worker count.
+
+    Returns the ``BENCH_scaling.json`` sweep payload.
+    """
+    from repro.cluster.procs import (
+        ProcessCluster,
+        scaling_workload,
+        workload_spec_for,
+    )
+    from repro.transducers.telemetry import output_fingerprint
+
+    workload = scaling_workload(components=components, size=size)
+    expected = output_fingerprint(workload.expected())
+    spec = workload_spec_for(workload)
+    points = []
+    for count in workers:
+        cluster = ProcessCluster(
+            spec, workload.instance, processes=count, timeout=timeout
+        )
+        started = time.perf_counter()
+        output = cluster.run_to_quiescence()
+        wall = time.perf_counter() - started
+        fingerprint = output_fingerprint(output)
+        points.append(
+            {
+                "workers": count,
+                "wall_s": round(wall, 3),
+                "fingerprint_ok": fingerprint == expected,
+                "output_facts": len(output),
+                "transitions": cluster.metrics.transitions,
+                "token_probes": cluster.token_probes,
+            }
+        )
+    baseline = points[0]["wall_s"]
+    speedups = {
+        str(point["workers"]): round(baseline / point["wall_s"], 2)
+        for point in points
+    }
+    recovery = None
+    if kill:
+        count = max(workers)
+        nodes = tuple(f"n{i + 1}" for i in range(count))
+        cluster = ProcessCluster(
+            spec,
+            workload.instance,
+            processes=count,
+            kill_node=nodes[1 % len(nodes)],
+            kill_after=kill_after,
+            timeout=timeout,
+        )
+        started = time.perf_counter()
+        output = cluster.run_to_quiescence()
+        recovery = {
+            "workers": count,
+            "wall_s": round(time.perf_counter() - started, 3),
+            "fingerprint_ok": output_fingerprint(output) == expected,
+            "crashes": cluster.crashes,
+            "recoveries": cluster.recoveries,
+            "wal_replayed": cluster.wal_replayed,
+        }
+    return {
+        "workload": workload.key,
+        "input_facts": len(workload.instance),
+        "expected_fingerprint": expected,
+        "workers": list(workers),
+        "points": points,
+        "speedups": speedups,
+        "recovery": recovery,
+    }
+
+
+def test_scaling_process_sweep(benchmark):
+    """Smoke-sized process sweep: fingerprints identical at every worker
+    count and the real-kill run recovers.  (The committed full-size curve
+    is produced by ``scripts/bench_report.py --scaling``.)"""
+    data = run_once(
+        benchmark,
+        lambda: scaling_sweep(
+            workers=(1, 2), components=6, size=30, kill=True, timeout=120.0
+        ),
+    )
+    assert all(point["fingerprint_ok"] for point in data["points"])
+    assert data["recovery"]["fingerprint_ok"]
+    assert data["recovery"]["crashes"] >= 1
+    assert data["recovery"]["recoveries"] >= 1
+    assert data["recovery"]["wal_replayed"] >= 1
+    print(
+        f"\nSCALE(d) process sweep: {data['workload']} -> "
+        + ", ".join(f"{p['workers']}w={p['wall_s']}s" for p in data["points"])
     )

@@ -21,6 +21,16 @@ Usage::
     PYTHONPATH=src python scripts/bench_report.py            # full suite
     PYTHONPATH=src BENCH_ENGINE_SMOKE=1 python scripts/bench_report.py --smoke
     PYTHONPATH=src python scripts/bench_report.py --compare-baseline  # + regression gate
+    PYTHONPATH=src python scripts/bench_report.py --scaling  # BENCH_scaling.json
+    PYTHONPATH=src python scripts/bench_report.py --scaling --smoke --compare-baseline
+
+``--scaling`` switches to the multi-process scaling sweep
+(``benchmarks/bench_scaling.py::scaling_sweep``): wall clock at 1→4 worker
+processes on the fixed partitionable workload, one real-SIGKILL recovery
+run, committed as ``BENCH_scaling.json`` with the same dated-history
+upsert and baseline gate.  In ``--smoke`` mode (CI, low-core runners) the
+speedup target is reported but not enforced; output consistency and the
+recovery run always are.
 
 ``--output`` overrides the destination (default: repo-root BENCH_engine.json).
 The output file keeps a dated **history**: each invocation upserts one
@@ -167,14 +177,12 @@ def divergence_check(smoke: bool) -> list[str]:
 LEGACY_DATE = "2026-08-06"
 
 
-def load_history(path: Path) -> dict:
+def load_history(path: Path, *, suite: str = "bench_engine_microbench") -> dict:
     """Read the existing report, migrating the legacy single-entry layout
     (top-level ``benchmarks``) into ``history`` form."""
-    base = {
-        "suite": "bench_engine_microbench",
-        "baseline_env": KILL_SWITCHES,
-        "history": [],
-    }
+    base: dict = {"suite": suite, "history": []}
+    if suite == "bench_engine_microbench":
+        base["baseline_env"] = KILL_SWITCHES
     if not path.exists():
         return base
     try:
@@ -216,11 +224,13 @@ def upsert_history(history: list[dict], entry: dict) -> list[dict]:
     return updated
 
 
-def compare_baseline(baseline_path: Path, headline: dict) -> list[str]:
+def compare_baseline(
+    baseline_path: Path, headline: dict, *, suite: str = "bench_engine_microbench"
+) -> list[str]:
     """Compare this run's headline speedups against the committed baseline
     file: any metric regressing below its committed target is flagged.
     Returns failure descriptions (empty when everything holds)."""
-    report = load_history(baseline_path)
+    report = load_history(baseline_path, suite=suite)
     if not report["history"]:
         return [f"compare-baseline: no history in {baseline_path}"]
     committed = report["history"][-1].get("headline", {})
@@ -249,21 +259,118 @@ def compare_baseline(baseline_path: Path, headline: dict) -> list[str]:
     return failures
 
 
+#: The scaling curve's committed commitment: wall-clock speedup at 4
+#: workers vs 1 on the fixed partitionable workload.
+SCALING_TARGETS = {"scaling_speedup_4w": 2.0}
+
+
+def scaling_main(args) -> int:
+    """``--scaling`` mode: run the multi-process sweep from
+    ``benchmarks/bench_scaling.py`` and distill it into BENCH_scaling.json
+    (same dated-history upsert + --compare-baseline gate as the engine
+    report)."""
+    sys.path.insert(0, str(REPO / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    from bench_scaling import scaling_sweep
+
+    if args.smoke:
+        # CI runners are low-core boxes: assert consistency + recovery,
+        # never the speedup (that is the committed full run's job).
+        data = scaling_sweep(
+            workers=(1, 2, 4), components=8, size=40, kill=True, timeout=180.0
+        )
+    else:
+        data = scaling_sweep(workers=(1, 2, 4), kill=True, timeout=300.0)
+
+    failures = []
+    for point in data["points"]:
+        marker = "ok" if point["fingerprint_ok"] else "DIVERGED"
+        print(
+            f"  {point['workers']} worker(s): {point['wall_s']:.2f}s "
+            f"(speedup {data['speedups'][str(point['workers'])]:.2f}x) {marker}"
+        )
+        if not point["fingerprint_ok"]:
+            failures.append(
+                f"scaling: {point['workers']}-worker output diverged from Q(I)"
+            )
+    recovery = data["recovery"]
+    print(
+        f"  recovery run: {recovery['wall_s']:.2f}s, crashes={recovery['crashes']}, "
+        f"recoveries={recovery['recoveries']}, wal_replayed={recovery['wal_replayed']}"
+    )
+    if not recovery["fingerprint_ok"]:
+        failures.append("scaling: kill-recovery run output diverged from Q(I)")
+    if recovery["recoveries"] < 1 or recovery["wal_replayed"] < 1:
+        failures.append("scaling: kill-recovery run exercised no WAL replay")
+
+    headline = {}
+    for metric, minimum in SCALING_TARGETS.items():
+        speedup = data["speedups"].get("4")
+        if speedup is None:
+            failures.append(f"{metric}: no 4-worker point in the sweep")
+            continue
+        ok = speedup >= minimum
+        headline[metric] = {"speedup": speedup, "target": minimum, "ok": ok}
+        verdict = "ok" if ok else "BELOW TARGET"
+        print(f"  headline {metric}: {speedup:.2f}x (target >= {minimum}x) {verdict}")
+        if not args.smoke and not ok:
+            failures.append(f"{metric}: {speedup:.2f}x below target {minimum}x")
+
+    if args.compare_baseline is not None:
+        print(f"== compare-baseline: {args.compare_baseline} ==")
+        failures.extend(
+            compare_baseline(
+                Path(args.compare_baseline), headline, suite="bench_scaling"
+            )
+        )
+
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "mode": "smoke" if args.smoke else "full",
+        "headline": headline,
+        "sweep": data,
+    }
+    output = Path(args.output or str(REPO / "BENCH_scaling.json"))
+    report = load_history(output, suite="bench_scaling")
+    report["history"] = upsert_history(report["history"], entry)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output} ({len(report['history'])} history entr"
+          f"{'y' if len(report['history']) == 1 else 'ies'})")
+    if failures:
+        print("FAILURES:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI smoke mode: smallest sizes, 1 round")
-    parser.add_argument("--output", default=str(REPO / "BENCH_engine.json"))
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="run the multi-process scaling sweep instead of the engine A/B "
+        "and write BENCH_scaling.json",
+    )
+    parser.add_argument("--output", default=None)
     parser.add_argument(
         "--compare-baseline",
         nargs="?",
-        const=str(REPO / "BENCH_engine.json"),
+        const="",
         default=None,
         metavar="BASELINE_JSON",
         help="also compare headline speedups against the committed baseline "
-        "file (default: repo-root BENCH_engine.json) and fail on any metric "
-        "regressing below its committed target",
+        "file (default: the mode's repo-root artifact) and fail on any "
+        "metric regressing below its committed target",
     )
     args = parser.parse_args()
+    if args.compare_baseline == "":
+        args.compare_baseline = str(
+            REPO / ("BENCH_scaling.json" if args.scaling else "BENCH_engine.json")
+        )
+    if args.scaling:
+        print("== multi-process scaling sweep (bench_scaling.scaling_sweep) ==")
+        return scaling_main(args)
+    args.output = args.output or str(REPO / "BENCH_engine.json")
 
     print("== divergence check: cached vs uncached transducer runs ==")
     divergences = divergence_check(args.smoke)

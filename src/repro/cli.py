@@ -32,6 +32,16 @@ Usage (also via ``python -m repro``):
         additionally kills and checkpoint-recovers node tasks mid-round
         (crash-recovery protocol in docs/CLUSTER.md).
 
+    repro cluster PROGRAM.dl FACTS.dl --processes N [--seed S]
+               [--run-dir DIR] [--kill-node NODE --kill-after K]
+               [--report OUT.json]
+        The same evaluation, but with each node in its *own OS process*
+        (true parallelism: per-process GIL, interner, plan cache) talking
+        worker-to-worker over real TCP, inputs sharded by the planner's
+        distribution policy.  ``--kill-node``/``--kill-after`` SIGKILL a
+        worker mid-run; the coordinator respawns it over its on-disk
+        checkpoint directory and it recovers by snapshot + WAL replay.
+
     repro solve-game FACTS.dl
         Solve the win-move game in FACTS.dl (Move facts) by retrograde
         analysis: won / drawn / lost positions and winning moves.
@@ -192,6 +202,10 @@ def _cmd_cluster(args, out) -> int:
     from .transducers.runtime import QuiescenceError
     from .transducers.telemetry import write_report
 
+    if args.processes:
+        return _cmd_cluster_processes(args, out)
+    if args.kill_node or args.kill_after:
+        raise ValueError("--kill-node/--kill-after require --processes")
     program = _load_program(args.program)
     instance = _load_facts(args.facts)
     plan = plan_distribution(program)
@@ -239,6 +253,60 @@ def _cmd_cluster(args, out) -> int:
     print(f"matches centralized evaluation: {status}", file=out)
     if args.report:
         report = build_cluster_report(run, quiesced=quiesced)
+        write_report(report, args.report)
+        print(f"report:       {args.report}", file=out)
+    return 0 if result == expected and quiesced else 1
+
+
+def _cmd_cluster_processes(args, out) -> int:
+    from .cluster import ProcessCluster, build_cluster_report
+    from .transducers.runtime import QuiescenceError
+    from .transducers.telemetry import write_report
+
+    if args.chaos or args.crash:
+        # The injected fault layer is an in-process construct; the process
+        # runtime's fault story is real kills (--kill-node/--kill-after).
+        raise ValueError(
+            "--chaos/--crash do not combine with --processes; "
+            "use --kill-node NODE --kill-after K for a real SIGKILL"
+        )
+    if args.kill_node and not args.kill_after:
+        raise ValueError("--kill-node requires --kill-after K (transitions)")
+    program_text = _read(args.program)
+    program = parse_program(program_text)
+    instance = _load_facts(args.facts)
+    plan = plan_distribution(program)
+    cluster = ProcessCluster(
+        {"kind": "program", "text": program_text},
+        instance,
+        processes=args.processes,
+        seed=args.seed,
+        run_dir=args.run_dir,
+        kill_node=args.kill_node,
+        kill_after=args.kill_after,
+    )
+    quiesced = True
+    try:
+        result = cluster.run_to_quiescence()
+    except QuiescenceError as error:
+        quiesced = False
+        result = cluster.global_output()
+        print(f"warning:      {error}", file=out)
+    expected = plan.query(instance)
+    print(f"strategy:     {plan.transducer.name}", file=out)
+    print(f"network:      {', '.join(map(str, cluster.nodes()))}", file=out)
+    print(f"transport:    {cluster.transport_name} (one OS process per node)", file=out)
+    print(f"token rounds: {cluster.token_probes}", file=out)
+    if args.kill_node:
+        print(f"crashes:      {cluster.crashes}", file=out)
+        print(f"recoveries:   {cluster.recoveries}", file=out)
+        print(f"wal replayed: {cluster.wal_replayed}", file=out)
+    print(f"{len(result)} output fact(s):", file=out)
+    _print_instance(result, out)
+    status = "OK" if result == expected else "MISMATCH"
+    print(f"matches centralized evaluation: {status}", file=out)
+    if args.report:
+        report = build_cluster_report(cluster, quiesced=quiesced)
         write_report(report, args.report)
         print(f"report:       {args.report}", file=out)
     return 0 if result == expected and quiesced else 1
@@ -404,6 +472,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="crash budget for --crash (default: 2)",
+    )
+    cluster_cmd.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run each node as its own OS process over real TCP "
+        "(true parallelism; excludes --chaos/--crash/--nodes/--transport)",
+    )
+    cluster_cmd.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="with --processes: directory for worker specs, stderr logs "
+        "and per-node checkpoints (default: a fresh temp dir)",
+    )
+    cluster_cmd.add_argument(
+        "--kill-node",
+        metavar="NODE",
+        default=None,
+        help="with --processes: SIGKILL this worker mid-run and recover it "
+        "from its on-disk snapshot + WAL",
+    )
+    cluster_cmd.add_argument(
+        "--kill-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with --kill-node: deliver the SIGKILL after K transitions",
     )
     cluster_cmd.add_argument(
         "--report", metavar="PATH", help="write the JSON run report to PATH"

@@ -29,7 +29,14 @@ from .codec import (
     encode_value,
 )
 from .faults import CRASH_PLAN, FaultLayer, FaultyEndpoint, NodeCrashed
-from .gate import check_workload, gate_workloads
+from .gate import check_process_workload, check_workload, gate_workloads
+from .procs import (
+    SCALING_BLOCK,
+    ProcessCluster,
+    scaling_workload,
+    scaling_workload_by_key,
+    workload_spec_for,
+)
 from .runtime import ClusterNode, ClusterRun
 from .telemetry import build_cluster_report
 from .transport import (
@@ -67,6 +74,12 @@ __all__ = [
     "NodeCrashed",
     "ClusterNode",
     "ClusterRun",
+    "ProcessCluster",
+    "SCALING_BLOCK",
+    "scaling_workload",
+    "scaling_workload_by_key",
+    "workload_spec_for",
+    "check_process_workload",
     "check_workload",
     "gate_workloads",
     "build_cluster_report",

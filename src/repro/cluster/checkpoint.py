@@ -191,6 +191,11 @@ class ReplayOp:
     sends: tuple = ()  # of (target, sequence, count)
     token: TokenState | None = None
     sequence: int = 0
+    #: (sender, sequence) of each accepted frame this op covers — the
+    #: durable identity a deduplicating receiver rebuilds after a real
+    #: process kill, so retransmitted copies of already-accepted frames
+    #: are dropped instead of double-counted.
+    frame_ids: tuple = ()
 
 
 def group_replay_ops(entries, *, decode_data_frame) -> list[ReplayOp]:
@@ -209,13 +214,17 @@ def group_replay_ops(entries, *, decode_data_frame) -> list[ReplayOp]:
             else:
                 frames = entry[1]
                 facts: list = []
+                ids: list = []
                 for frame in frames:
-                    facts.extend(decode_data_frame(frame).facts)
+                    envelope = decode_data_frame(frame)
+                    facts.extend(envelope.facts)
+                    ids.append((envelope.sender, envelope.sequence))
                 ops.append(
                     ReplayOp(
                         kind="closure",
                         envelopes=len(frames),
                         facts=tuple(facts),
+                        frame_ids=tuple(ids),
                     )
                 )
         elif kind == "send":
@@ -228,7 +237,13 @@ def group_replay_ops(entries, *, decode_data_frame) -> list[ReplayOp]:
             envelope = decode_data_frame(entry[1])
             if envelope.token is None:
                 raise CheckpointError("token WAL entry without a TokenState")
-            ops.append(ReplayOp(kind="token", token=envelope.token))
+            ops.append(
+                ReplayOp(
+                    kind="token",
+                    token=envelope.token,
+                    frame_ids=((envelope.sender, envelope.sequence),),
+                )
+            )
         elif kind == "token-sent":
             ops.append(ReplayOp(kind="token-sent", sequence=entry[2]))
     return ops
@@ -345,12 +360,20 @@ class DiskCheckpointStore(CheckpointStore):
         entries = []
         position = 0
         while position < len(data):
+            # A SIGKILL can land mid-append and tear the final entry.  The
+            # write-ahead contract makes dropping the torn tail safe: a
+            # torn ``batch``/``token`` never had its effects run (logging
+            # precedes effects) and the sender will retransmit the frame;
+            # a torn ``send``/``token-sent`` is regenerated by the
+            # deterministic replay with the same wire identity, which the
+            # receiver's dedup absorbs.  Only the *last* entry can be torn
+            # (appends are sequential), so any short read here is a tail.
             if position + _LEN.size > len(data):
-                raise CheckpointError("truncated WAL entry header")
+                break  # torn tail: header cut short
             (length,) = _LEN.unpack(data[position:position + _LEN.size])
             position += _LEN.size
             if position + length > len(data):
-                raise CheckpointError("truncated WAL entry body")
+                break  # torn tail: body cut short
             entries.append(data[position:position + length])
             position += length
         return entries

@@ -40,7 +40,10 @@ __all__ = [
     "workload_by_key",
     "sync_fingerprint",
     "cluster_fingerprint",
+    "process_fingerprint",
     "check_workload",
+    "ProcessGateVerdict",
+    "check_process_workload",
 ]
 
 #: The canonical gate network (matches the chaos-confluence benchmark).
@@ -164,6 +167,138 @@ def cluster_fingerprint(
     )
     run.run_to_quiescence()
     return output_fingerprint(run.global_output()), run
+
+
+def process_fingerprint(
+    workload: Section4Protocol,
+    *,
+    processes: int = len(GATE_NETWORK_NODES),
+    seed: int = 0,
+    kill_node: str | None = None,
+    kill_after: int | None = None,
+    run_dir=None,
+    timeout: float | None = 120.0,
+):
+    """One multi-process execution; returns (fingerprint, finished cluster).
+
+    The process runtime rebuilds the workload *by key* inside each worker
+    (only input fragments cross the process boundary), so the workload must
+    come from :func:`gate_workloads` or be a scaling workload.  ``kill_node``
+    / ``kill_after`` schedule one real ``SIGKILL`` + WAL-replay recovery.
+    """
+    from .procs import ProcessCluster, workload_spec_for
+
+    cluster = ProcessCluster(
+        workload_spec_for(workload),
+        workload.instance,
+        processes=processes,
+        seed=seed,
+        kill_node=kill_node,
+        kill_after=kill_after,
+        run_dir=run_dir,
+        timeout=timeout,
+    )
+    cluster.run_to_quiescence()
+    return output_fingerprint(cluster.global_output()), cluster
+
+
+@dataclass(frozen=True)
+class ProcessGateVerdict:
+    """Asyncio runtime vs. process runtime, held byte-identical.
+
+    ``kill_fingerprint`` covers the run with a real ``SIGKILL`` + recovery;
+    ``crashes``/``recoveries``/``wal_replayed`` are that run's counters and
+    must show the kill actually happened (a kill schedule that never fires
+    would gate nothing).
+    """
+
+    key: str
+    expected_fingerprint: str
+    async_fingerprint: str
+    process_fingerprint: str
+    kill_fingerprint: str | None
+    processes: int
+    crashes: int
+    recoveries: int
+    wal_replayed: int
+
+    @property
+    def passed(self) -> bool:
+        fingerprints = {self.async_fingerprint, self.process_fingerprint}
+        if self.kill_fingerprint is not None:
+            fingerprints.add(self.kill_fingerprint)
+            if self.crashes < 1 or self.recoveries < 1 or self.wal_replayed < 1:
+                return False
+        return fingerprints == {self.expected_fingerprint}
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "expected_fingerprint": self.expected_fingerprint,
+            "async_fingerprint": self.async_fingerprint,
+            "process_fingerprint": self.process_fingerprint,
+            "kill_fingerprint": self.kill_fingerprint,
+            "processes": self.processes,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "wal_replayed": self.wal_replayed,
+            "passed": self.passed,
+        }
+
+
+def check_process_workload(
+    workload: Section4Protocol,
+    *,
+    processes: int = len(GATE_NETWORK_NODES),
+    seed: int = 0,
+    kill: bool = True,
+    kill_node: str | None = None,
+    kill_after: int = 2,
+    timeout: float | None = 120.0,
+) -> ProcessGateVerdict:
+    """Gate the process runtime against the asyncio runtime and Q(I).
+
+    Three fingerprints must agree with the synchronous expectation: the
+    asyncio cluster (memory transport), a clean process run, and — when
+    ``kill`` is set — a process run in which ``kill_node`` (default: the
+    second ring position) is ``SIGKILL``ed after ``kill_after`` transitions
+    and recovered from its on-disk snapshot + WAL.
+    """
+    nodes = tuple(f"n{i + 1}" for i in range(processes))
+    expected = sync_fingerprint(workload, nodes=nodes)
+    async_fp, _ = cluster_fingerprint(
+        workload, nodes=nodes, transport="memory", seed=seed
+    )
+    clean_fp, _ = process_fingerprint(
+        workload, processes=processes, seed=seed, timeout=timeout
+    )
+    kill_fp = None
+    crashes = recoveries = wal_replayed = 0
+    if kill:
+        if kill_node is None:
+            kill_node = nodes[1 % len(nodes)]
+        kill_fp, cluster = process_fingerprint(
+            workload,
+            processes=processes,
+            seed=seed,
+            kill_node=kill_node,
+            kill_after=kill_after,
+            timeout=timeout,
+        )
+        crashes = cluster.crashes
+        recoveries = cluster.recoveries
+        wal_replayed = cluster.wal_replayed
+    return ProcessGateVerdict(
+        key=workload.key,
+        expected_fingerprint=expected,
+        async_fingerprint=async_fp,
+        process_fingerprint=clean_fp,
+        kill_fingerprint=kill_fp,
+        processes=processes,
+        crashes=crashes,
+        recoveries=recoveries,
+        wal_replayed=wal_replayed,
+    )
 
 
 @dataclass(frozen=True)

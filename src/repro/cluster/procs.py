@@ -1,0 +1,968 @@
+"""True multi-process scale-out: one OS process per transducer node.
+
+The asyncio runtime (:mod:`repro.cluster.runtime`) made the cluster
+*concurrent*; this module makes it *parallel*.  Each node runs in its own
+spawned Python process — its own GIL, its own interner, its own plan cache
+— hosting an unmodified :class:`~repro.cluster.runtime.ClusterNode` over a
+real TCP data plane.  A parent :class:`ProcessCluster` coordinates:
+
+* **sharding** — the parent distributes the input database horizontally
+  with the workload's own distribution policy (the paper's domain-guided
+  policies *are* a sharding scheme, Thm 4.4) and ships each worker only
+  its fragment, wire-codec-encoded;
+* **handshake** — workers bind a data-plane server on an ephemeral port,
+  dial the parent's control socket, say HELLO with their port, and block
+  until the parent broadcasts the full PEERS address map; the Safra token
+  ring then runs worker-to-worker with no parent involvement;
+* **monitoring / recovery** — the parent watches every child; a worker
+  that dies without delivering a result (e.g. a real ``SIGKILL``) is
+  respawned over the same on-disk checkpoint directory and recovers
+  through the ordinary snapshot + WAL-replay path, while the parent
+  announces the new address (PEER-UPDATE) so live peers reconnect and
+  retransmit;
+* **result collection** — each worker sends its final node state over the
+  control plane; the parent folds them into the same telemetry surface
+  :class:`~repro.cluster.runtime.ClusterRun` exposes, so reports and the
+  divergence gate treat both runtimes identically.
+
+At-least-once delivery, exactly-once effects
+--------------------------------------------
+
+A kill can strand frames three ways, and each has a dedicated repair:
+
+1. *Receiver died before accepting a delivered frame* — the frame was
+   never WAL-logged, so the sender's volatile per-peer outbox (every
+   frame it ever sent) is retransmitted wholesale when the parent
+   announces the peer's restart.
+2. *Receiver accepted (WAL-logged) a frame the sender retransmits anyway*
+   — receivers deduplicate by durable ``(sender, sequence)`` identity
+   (``ClusterNode(dedup=True)``), rebuilt from the WAL on recovery, and
+   drop the copy without touching the Safra counter.
+3. *Sender died after logging a send that never left user space* — the
+   recovering sender re-dispatches the byte-identical regenerated frame
+   (uncounted); case 2 absorbs it at peers that already had it.
+
+The Safra counting invariant survives all three because acceptance and
+dispatch are counted exactly once, durably, and duplicates are dropped
+silently.  Termination is decided by the unmodified token ring; the
+parent only relays a synthetic STOP ("finish") to workers that were down
+when the real one was broadcast.
+
+The scaling workload
+--------------------
+
+The committed scaling curve measures a fixed *partitionable* workload:
+disjoint win-move games whose positions are block-encoded (component ``c``
+owns values ``c*SCALING_BLOCK ..``) so
+:func:`~repro.transducers.policy.block_domain_assignment` co-locates every
+game on one node.  Win-move distributes over disconnected games, so each
+worker solves its fragment locally
+(:func:`~repro.transducers.protocols.local_shard_transducer`) and the
+union equals the centralized Q(I) — asserted on every run.  Unlike the
+Section-4 protocol transducers (which flood their inputs so every node
+sees everything), sharding here genuinely shrinks the work: one deep game
+no longer drags every co-located shallow game through its alternating
+fixpoint rounds (see :func:`scaling_workload` for the cost argument).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import struct
+import sys
+import tempfile
+import time
+from typing import Hashable, Iterable, Sequence
+
+from ..datalog.instance import Instance
+from ..datalog.terms import Fact
+from ..transducers.policy import (
+    Network,
+    block_domain_assignment,
+    domain_guided_policy,
+)
+from ..transducers.protocols import Section4Protocol, local_shard_transducer
+from ..transducers.runtime import (
+    NodeState,
+    NodeStats,
+    QuiescenceError,
+    RunMetrics,
+    TransducerNetwork,
+)
+from .checkpoint import DiskCheckpointStore, NodeJournal
+from .codec import (
+    KIND_STOP,
+    Envelope,
+    decode_value,
+    encode_envelope,
+    encode_value,
+)
+from .runtime import ClusterNode
+from .transport import (
+    DEFAULT_MAILBOX_CAPACITY,
+    Mailbox,
+    TransportError,
+    dial_with_retry,
+)
+
+__all__ = [
+    "ProcessCluster",
+    "SCALING_BLOCK",
+    "scaling_workload",
+    "scaling_workload_by_key",
+    "workload_spec_for",
+    "build_proc_network",
+    "encode_facts_hex",
+    "decode_facts_hex",
+]
+
+_U32 = struct.Struct("<I")
+
+#: Vertex-value stride per component of the scaling workload; also the
+#: block size of its co-locating domain assignment.
+SCALING_BLOCK = 1_000_000
+
+#: Respawn budget per node — a worker that cannot stay alive this many
+#: times is a bug (or a hostile host), not a fault to be healed.
+MAX_RESTARTS = 3
+
+
+# ----------------------------------------------------------------------
+# Wire helpers: control-plane JSON frames and codec-hex fact lists
+# ----------------------------------------------------------------------
+
+
+def encode_facts_hex(facts: Iterable[Fact]) -> str:
+    """A sorted fact list as hex of its wire-codec encoding (the same
+    tagged-value format the data plane and the WAL speak)."""
+    return encode_value(
+        tuple((fact.relation, fact.values) for fact in sorted(facts))
+    ).hex()
+
+
+def decode_facts_hex(text: str) -> tuple[Fact, ...]:
+    value = decode_value(bytes.fromhex(text))
+    return tuple(Fact(relation, values) for relation, values in value)
+
+
+def _send_msg(writer: asyncio.StreamWriter, message: dict) -> None:
+    blob = json.dumps(message, sort_keys=True).encode("utf-8")
+    writer.write(_U32.pack(len(blob)) + blob)
+
+
+async def _read_msg(reader: asyncio.StreamReader) -> dict | None:
+    try:
+        header = await reader.readexactly(_U32.size)
+        (length,) = _U32.unpack(header)
+        blob = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return json.loads(blob)
+
+
+# ----------------------------------------------------------------------
+# The scaling workload (fixed, partitionable, reconstructible by key)
+# ----------------------------------------------------------------------
+
+
+class _ScalingWorkload(Section4Protocol):
+    """A Section4Protocol bundle whose policy is the co-locating block
+    assignment instead of the value-hash assignment."""
+
+    def policy(self, network):
+        return domain_guided_policy(
+            self.query.input_schema,
+            network,
+            block_domain_assignment(network, SCALING_BLOCK),
+            name="block-domain-guided",
+        )
+
+
+def scaling_workload(*, components: int = 24, size: int = 120) -> Section4Protocol:
+    """The fixed partitionable workload behind ``BENCH_scaling.json``.
+
+    ``components`` disjoint win-move games of ``size`` positions each,
+    positions of component ``c`` encoded as ``c * SCALING_BLOCK + p``:
+    component 0 is a *deep* chain game (alternating win/lose down a path
+    of ``size`` moves), every other component is a *shallow* dense game
+    (out-degree 3, mostly drawn).  The query is win-move under the
+    well-founded semantics, evaluated shard-locally.
+
+    Why this shape scales: the alternating fixpoint re-evaluates its whole
+    local instance once per round, and the number of rounds is set by the
+    deepest local game.  Run centrally, the single deep chain drags all
+    ``components`` games through ~``size`` rounds — cost ≈ rounds × total
+    size.  Block-sharded, only the shard holding component 0 pays the deep
+    rounds over its (small) fragment while every other shard converges in
+    a handful of rounds, so the *total* work shrinks with the worker count
+    — the BSP-superstep argument for sharding datalog with stratified
+    convergence depths, measurable even on a single core, before any
+    multi-core parallelism is added on top.  Everything is generated by
+    closed-form arithmetic (no RNG, no builtin ``hash``), so every process
+    rebuilds the identical workload from the key alone.
+    """
+    from ..queries import win_move_query
+
+    facts: set[Fact] = set()
+    base = 0 * SCALING_BLOCK
+    for position in range(size - 1):
+        facts.add(Fact("Move", (base + position, base + position + 1)))
+    for component in range(1, components):
+        base = component * SCALING_BLOCK
+        for position in range(size):
+            for spoke in range(1, 4):
+                facts.add(
+                    Fact(
+                        "Move",
+                        (base + position, base + (position * 7 + spoke) % size),
+                    )
+                )
+    query = win_move_query()
+    return _ScalingWorkload(
+        key=f"scaling-wm-c{components}-s{size}",
+        theorem="partitionable (component-local win-move, block-co-located)",
+        transducer=local_shard_transducer(query),
+        query=query,
+        instance=Instance(facts),
+        domain_guided=True,
+    )
+
+
+_SCALING_KEY = re.compile(r"^scaling-wm-c(\d+)-s(\d+)$")
+
+
+def scaling_workload_by_key(key: str) -> Section4Protocol:
+    match = _SCALING_KEY.match(key)
+    if match is None:
+        raise KeyError(f"not a scaling workload key: {key!r}")
+    components, size = map(int, match.groups())
+    return scaling_workload(components=components, size=size)
+
+
+def workload_spec_for(workload: Section4Protocol) -> dict:
+    """The JSON-able recipe a worker process uses to rebuild *workload*'s
+    transducer + policy (never the instance: workers only see fragments)."""
+    if isinstance(workload, _ScalingWorkload):
+        return {"kind": "scaling", "key": workload.key}
+    return {"kind": "gate", "key": workload.key}
+
+
+def build_proc_network(
+    workload_spec: dict, nodes: Sequence[str]
+) -> TransducerNetwork:
+    """Rebuild the transducer network from a worker-spec recipe.
+
+    Deterministic in any process: gate workloads reconstruct by key,
+    scaling workloads by their parameter-carrying key, and raw programs
+    re-plan through the (deterministic) distribution analyzer.
+    """
+    kind = workload_spec["kind"]
+    if kind == "program":
+        from ..core.analyzer import planned_network
+        from ..datalog.parser import parse_program
+
+        return planned_network(parse_program(workload_spec["text"]), tuple(nodes))
+    if kind == "scaling":
+        workload = scaling_workload_by_key(workload_spec["key"])
+    elif kind == "gate":
+        from .gate import workload_by_key
+
+        workload = workload_by_key(workload_spec["key"])
+    else:
+        raise ValueError(f"unknown workload spec kind {kind!r}")
+    network = Network(nodes)
+    return TransducerNetwork(
+        network, workload.transducer, workload.policy(network)
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side: the data-plane endpoint and the process entry point
+# ----------------------------------------------------------------------
+
+
+class ProcessEndpoint:
+    """A worker's window on the data plane: one listening server, lazy
+    persistent connections to peers, and a volatile per-peer outbox of
+    every frame ever sent (the retransmission source when a peer
+    restarts).  Satisfies the same send/recv interface as
+    :class:`~repro.cluster.transport.Endpoint`."""
+
+    def __init__(
+        self,
+        node: str,
+        host: str,
+        *,
+        mailbox_capacity: int = DEFAULT_MAILBOX_CAPACITY,
+        dial_timeout: float = 5.0,
+        dial_attempts: int = 8,
+        dial_backoff: float = 0.05,
+    ) -> None:
+        self._node = node
+        self._host = host
+        self._mailbox = Mailbox(mailbox_capacity)
+        self._dial_timeout = dial_timeout
+        self._dial_attempts = dial_attempts
+        self._dial_backoff = dial_backoff
+        self._server: asyncio.base_events.Server | None = None
+        self.port: int | None = None
+        self._peer_addrs: dict[str, tuple[str, int]] = {}
+        self._writers: dict[str, asyncio.StreamWriter] = {}
+        self._locks: dict[str, asyncio.Lock] = {}
+        self._outbox: dict[str, list[bytes]] = {}
+        self._reader_tasks: list[asyncio.Task] = []
+
+    @property
+    def node(self) -> str:
+        return self._node
+
+    @property
+    def high_water(self) -> int:
+        return self._mailbox.high_water
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._accept, self._host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def _accept(self, reader, writer) -> None:
+        self._reader_tasks.append(
+            asyncio.ensure_future(self._pump(reader, writer))
+        )
+
+    async def _pump(self, reader, writer) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(_U32.size)
+                (length,) = _U32.unpack(header)
+                frame = await reader.readexactly(length)
+                await self._mailbox.put(frame)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed (exit or kill); retransmission heals losses
+        finally:
+            writer.close()
+
+    def set_peers(self, addrs: dict[str, tuple[str, int]]) -> None:
+        self._peer_addrs.update(addrs)
+
+    def _lock(self, target: str) -> asyncio.Lock:
+        return self._locks.setdefault(target, asyncio.Lock())
+
+    async def _write(self, target: str, frame: bytes) -> bool:
+        """Best-effort write to *target*'s live connection.
+
+        Returns ``False`` when the peer is down (connect refused / reset):
+        the frame stays in the outbox and is retransmitted when the
+        coordinator announces the peer's new address.  Fails fast — long
+        retries against a dead peer's *old* port can never succeed.
+        """
+        async with self._lock(target):
+            writer = self._writers.get(target)
+            try:
+                if writer is None:
+                    host, port = self._peer_addrs[target]
+                    _, writer = await dial_with_retry(
+                        host,
+                        port,
+                        timeout=self._dial_timeout,
+                        attempts=min(self._dial_attempts, 3),
+                        backoff=self._dial_backoff,
+                    )
+                    self._writers[target] = writer
+                writer.write(_U32.pack(len(frame)) + frame)
+                await writer.drain()
+                return True
+            except (TransportError, OSError, asyncio.TimeoutError):
+                self._writers.pop(target, None)
+                return False
+
+    async def send(self, target: str, frame: bytes) -> int:
+        """Dispatch one frame; always counts as one wire copy.
+
+        A frame bound for a dead peer is *still in flight* from the Safra
+        ring's point of view: it sits in the outbox and is delivered on
+        retransmit, so counting it exactly once keeps the global sum
+        truthful in every interleaving.
+        """
+        if target == self._node:
+            self._mailbox.force_put(frame)
+            return 1
+        self._outbox.setdefault(target, []).append(frame)
+        await self._write(target, frame)
+        return 1
+
+    async def recv(self) -> bytes:
+        return await self._mailbox.get()
+
+    def recv_nowait(self) -> bytes | None:
+        return self._mailbox.get_nowait()
+
+    def inject(self, frame: bytes) -> None:
+        """Control-plane delivery into the own mailbox (synthetic STOP)."""
+        self._mailbox.force_put(frame)
+
+    async def update_peer(self, target: str, host: str, port: int) -> None:
+        """The coordinator announced *target* restarted at a new address:
+        drop the dead connection and retransmit every frame ever sent to
+        it (the receiver deduplicates by durable frame identity)."""
+        async with self._lock(target):
+            self._peer_addrs[target] = (host, port)
+            old = self._writers.pop(target, None)
+            if old is not None:
+                old.close()
+        for frame in list(self._outbox.get(target, ())):
+            if not await self._write(target, frame):
+                return  # peer died again; the next announcement retries
+
+    async def close(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._reader_tasks:
+            task.cancel()
+        for task in self._reader_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._reader_tasks.clear()
+
+
+def _make_kill_probe(kill_after: int):
+    """A crash probe delivering a *real* SIGKILL after ``kill_after``
+    transitions — uncatchable, no cleanup, no flush beyond what already
+    reached the kernel.  The genuine article, unlike
+    :exc:`~repro.cluster.faults.NodeCrashed`."""
+    remaining = [int(kill_after)]
+
+    def probe() -> None:
+        remaining[0] -= 1
+        if remaining[0] <= 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return probe
+
+
+async def _control_loop(
+    reader: asyncio.StreamReader, endpoint: ProcessEndpoint, node: str
+) -> None:
+    while True:
+        message = await _read_msg(reader)
+        if message is None:
+            # The coordinator is gone; an orphaned worker must not linger.
+            os._exit(2)
+        kind = message.get("type")
+        if kind == "peer-update":
+            await endpoint.update_peer(
+                message["node"], message["host"], int(message["port"])
+            )
+        elif kind == "finish":
+            # Global termination was detected while this worker was down
+            # (the real STOP died with its connection); synthesize one.
+            endpoint.inject(
+                encode_envelope(
+                    Envelope(
+                        kind=KIND_STOP,
+                        sender="__coordinator__",
+                        round=0,
+                        sequence=0,
+                    )
+                )
+            )
+
+
+def _cache_report(transducer) -> dict:
+    """Process-local cache telemetry, reported by each worker so tests can
+    assert per-process isolation: the module-level default plan cache (a
+    spawned worker reports it *cold* even when the parent's is warm) and
+    this process's transducer evaluation counters."""
+    from ..datalog.evaluation import _DEFAULT_PLAN_CACHE
+
+    report = {"plan_cache": len(_DEFAULT_PLAN_CACHE)}
+    report.update(transducer.evaluation_stats())
+    return report
+
+
+async def _worker_async(spec: dict) -> None:
+    node: str = spec["node"]
+    nodes: list[str] = list(spec["nodes"])
+    net = build_proc_network(spec["workload"], nodes)
+    ordered = net.network.sorted_nodes()
+    index = ordered.index(node)
+    fragment = Instance(set(decode_facts_hex(spec["fragment"])))
+
+    endpoint = ProcessEndpoint(
+        node,
+        spec["host"],
+        mailbox_capacity=int(spec.get("mailbox_capacity", DEFAULT_MAILBOX_CAPACITY)),
+        dial_timeout=float(spec.get("dial_timeout", 5.0)),
+        dial_attempts=int(spec.get("dial_attempts", 8)),
+        dial_backoff=float(spec.get("dial_backoff", 0.05)),
+    )
+    await endpoint.start()
+    creader, cwriter = await dial_with_retry(
+        spec["host"], int(spec["control_port"])
+    )
+    _send_msg(
+        cwriter,
+        {"type": "hello", "node": node, "port": endpoint.port, "pid": os.getpid()},
+    )
+    await cwriter.drain()
+    peers_msg = await _read_msg(creader)
+    if peers_msg is None or peers_msg.get("type") != "peers":
+        raise RuntimeError(f"worker {node}: expected PEERS, got {peers_msg!r}")
+    endpoint.set_peers(
+        {name: (host, int(port)) for name, (host, port) in peers_msg["peers"].items()}
+    )
+
+    journal = NodeJournal(DiskCheckpointStore(spec["checkpoint_dir"]), node)
+    recovered = journal.has_history()
+    replayed = [0]
+    crash_probe = None
+    if spec.get("kill_after"):
+        crash_probe = _make_kill_probe(spec["kill_after"])
+
+    cluster_node = ClusterNode(
+        node=node,
+        network=net,
+        fragment=fragment,
+        endpoint=endpoint,
+        peers=[n for n in ordered if n != node],
+        ring_next=ordered[(index + 1) % len(ordered)],
+        initiator=index == 0,
+        max_probes=int(spec.get("max_probes", 10_000)),
+        journal=journal,
+        crash_probe=crash_probe,
+        snapshot_every=int(spec.get("snapshot_every", 1)),
+        replay_sink=lambda entries: replayed.__setitem__(0, entries),
+        dedup=True,
+    )
+    control_task = asyncio.ensure_future(
+        _control_loop(creader, endpoint, node)
+    )
+    try:
+        await cluster_node.run()
+    finally:
+        control_task.cancel()
+    stats = cluster_node.stats
+    _send_msg(
+        cwriter,
+        {
+            "type": "result",
+            "node": node,
+            "pid": os.getpid(),
+            "output": encode_facts_hex(cluster_node.state.output),
+            "memory": encode_facts_hex(cluster_node.state.memory),
+            "stats": {
+                "transitions": stats.transitions,
+                "heartbeats": stats.heartbeats,
+                "deliveries": stats.deliveries,
+                "sent_facts": stats.sent_facts,
+            },
+            "mailbox_high_water": endpoint.high_water,
+            "token_probes": cluster_node.token_probes,
+            "wal_replayed": replayed[0],
+            "recovered": bool(recovered),
+            "snapshot_bytes": journal._store.snapshot_bytes,
+            "caches": _cache_report(net.transducer),
+        },
+    )
+    await cwriter.drain()
+    cwriter.close()
+    await endpoint.close()
+
+
+def worker_main(argv: Sequence[str]) -> int:
+    """``python -m repro.cluster.procs SPEC.json`` — one cluster node."""
+    if len(argv) != 1:
+        print("usage: python -m repro.cluster.procs SPEC.json", file=sys.stderr)
+        return 2
+    with open(argv[0], "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    asyncio.run(_worker_async(spec))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parent side: the coordinator
+# ----------------------------------------------------------------------
+
+
+class ProcessCluster:
+    """A one-shot multi-process execution of a transducer network.
+
+    Mirrors :class:`~repro.cluster.runtime.ClusterRun`'s telemetry surface
+    (``global_output``, ``node_stats``, ``metrics``, ``token_probes``,
+    ``crashes``/``recoveries``/``wal_replayed``/``snapshot_bytes``) so
+    :func:`~repro.cluster.telemetry.build_cluster_report` and the
+    divergence gate treat both runtimes identically.
+
+    ``kill_node``/``kill_after`` schedule one *real* ``SIGKILL``: the
+    named worker shoots itself after that many transitions, the parent
+    observes the death, respawns it over the same checkpoint directory,
+    and the worker recovers via snapshot + WAL replay.
+    """
+
+    def __init__(
+        self,
+        workload_spec: dict,
+        instance: Instance,
+        *,
+        processes: int | None = None,
+        nodes: Sequence[str] | None = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        run_dir: str | os.PathLike | None = None,
+        kill_node: str | None = None,
+        kill_after: int | None = None,
+        timeout: float | None = 120.0,
+        snapshot_every: int = 1,
+        max_probes: int = 10_000,
+        mailbox_capacity: int = DEFAULT_MAILBOX_CAPACITY,
+        python: str = sys.executable,
+    ) -> None:
+        if nodes is None:
+            if processes is None:
+                raise ValueError("pass either processes=N or nodes=[...]")
+            nodes = tuple(f"n{i + 1}" for i in range(processes))
+        nodes = tuple(nodes)
+        if not nodes:
+            raise ValueError("a process cluster needs at least one node")
+        if not all(isinstance(node, str) for node in nodes):
+            raise ValueError("process-cluster node names must be strings")
+        if kill_node is not None and kill_node not in nodes:
+            raise ValueError(f"kill_node {kill_node!r} is not in {nodes}")
+        self._workload_spec = dict(workload_spec)
+        self._node_names = nodes
+        self._network = build_proc_network(self._workload_spec, nodes)
+        self._instance = instance.restrict(
+            self._network.transducer.schema.inputs
+        )
+        self._fragments = self._network.policy.distribute(self._instance)
+        self._seed = seed
+        self._host = host
+        self._run_dir = run_dir
+        self._kill_node = kill_node
+        self._kill_after = kill_after
+        self._timeout = timeout
+        self._snapshot_every = snapshot_every
+        self._max_probes = max_probes
+        self._mailbox_capacity = mailbox_capacity
+        self._python = python
+        self._completed = False
+
+        self._states: dict[str, NodeState] = {}
+        self._results: dict[str, dict] = {}
+        self.node_stats: dict[Hashable, NodeStats] = {}
+        self.metrics = RunMetrics()
+        self.token_probes = 0
+        self.in_flight_high_water = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.wal_replayed = 0
+        self.snapshot_bytes = 0
+
+    # -- the ClusterRun-compatible surface ---------------------------------
+
+    @property
+    def network(self) -> TransducerNetwork:
+        return self._network
+
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    @property
+    def transport_name(self) -> str:
+        return "proc"
+
+    def nodes(self) -> list[Hashable]:
+        return self._network.network.sorted_nodes()
+
+    def state(self, node: Hashable) -> NodeState:
+        return self._states[node]
+
+    def local_input(self, node: Hashable) -> Instance:
+        return self._fragments[node]
+
+    def global_output(self) -> Instance:
+        result = Instance()
+        for state in self._states.values():
+            result = result | state.output
+        return result
+
+    def fault_counters(self) -> dict[str, int]:
+        return {}
+
+    # -- execution ---------------------------------------------------------
+
+    def run_to_quiescence(self) -> Instance:
+        """Spawn the workers, run to detected quiescence, collect results.
+        Synchronous wrapper over :meth:`arun`."""
+        return asyncio.run(self.arun())
+
+    async def arun(self) -> Instance:
+        if self._completed:
+            raise RuntimeError("a ProcessCluster is one-shot; build a new one")
+        self._completed = True
+        if self._run_dir is not None:
+            run_dir = os.fspath(self._run_dir)
+            os.makedirs(run_dir, exist_ok=True)
+        else:
+            run_dir = tempfile.mkdtemp(prefix="repro-procs-")
+        ordered = self.nodes()
+        events: asyncio.Queue = asyncio.Queue()
+        conns: dict[str, asyncio.StreamWriter] = {}
+        addrs: dict[str, tuple[str, int]] = {}
+        procs: dict[str, asyncio.subprocess.Process] = {}
+        monitor_tasks: list[asyncio.Task] = []
+        spawn_counts: dict[str, int] = {node: 0 for node in ordered}
+        terminated = False
+        deadline = (
+            time.monotonic() + self._timeout if self._timeout is not None else None
+        )
+
+        async def accept_control(reader, writer) -> None:
+            hello = await _read_msg(reader)
+            if hello is None or hello.get("type") != "hello":
+                writer.close()
+                return
+            node = hello["node"]
+            conns[node] = writer
+            await events.put(("hello", node, hello))
+            while True:
+                message = await _read_msg(reader)
+                if message is None:
+                    return
+                await events.put((message["type"], node, message))
+
+        server = await asyncio.start_server(accept_control, self._host, 0)
+        control_port = server.sockets[0].getsockname()[1]
+
+        def child_env() -> dict:
+            import repro
+
+            src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+            env = dict(os.environ)
+            existing = env.get("PYTHONPATH", "")
+            env["PYTHONPATH"] = (
+                src_root + (os.pathsep + existing if existing else "")
+            )
+            return env
+
+        async def spawn(node: str, *, kill: bool) -> None:
+            attempt = spawn_counts[node]
+            spawn_counts[node] = attempt + 1
+            spec = {
+                "node": node,
+                "nodes": list(self._node_names),
+                "workload": self._workload_spec,
+                "fragment": encode_facts_hex(self._fragments[node]),
+                "host": self._host,
+                "control_port": control_port,
+                "checkpoint_dir": os.path.join(run_dir, f"ckpt-{node}"),
+                "snapshot_every": self._snapshot_every,
+                "max_probes": self._max_probes,
+                "mailbox_capacity": self._mailbox_capacity,
+                "seed": self._seed,
+            }
+            if kill and self._kill_after is not None:
+                spec["kill_after"] = self._kill_after
+            spec_path = os.path.join(run_dir, f"spec-{node}-{attempt}.json")
+            with open(spec_path, "w", encoding="utf-8") as handle:
+                json.dump(spec, handle, sort_keys=True)
+            stderr_path = os.path.join(run_dir, f"{node}-{attempt}.stderr")
+            stderr_file = open(stderr_path, "wb")
+            proc = await asyncio.create_subprocess_exec(
+                self._python,
+                "-m",
+                "repro.cluster.procs",
+                spec_path,
+                stdout=stderr_file,
+                stderr=stderr_file,
+                env=child_env(),
+            )
+            stderr_file.close()
+            procs[node] = proc
+
+            async def monitor() -> None:
+                returncode = await proc.wait()
+                await events.put(("exit", node, {"returncode": returncode}))
+
+            monitor_tasks.append(asyncio.ensure_future(monitor()))
+
+        def worker_stderr(node: str) -> str:
+            chunks = []
+            for attempt in range(spawn_counts[node]):
+                path = os.path.join(run_dir, f"{node}-{attempt}.stderr")
+                try:
+                    with open(path, "r", encoding="utf-8", errors="replace") as f:
+                        text = f.read().strip()
+                except FileNotFoundError:
+                    continue
+                if text:
+                    chunks.append(f"--- {node} attempt {attempt} ---\n{text}")
+            return "\n".join(chunks)
+
+        try:
+            for node in ordered:
+                await spawn(node, kill=node == self._kill_node)
+
+            handshook = 0
+            while len(self._results) < len(ordered):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise QuiescenceError(
+                            f"process cluster did not quiesce within "
+                            f"{self._timeout}s wall clock"
+                        )
+                try:
+                    kind, node, message = await asyncio.wait_for(
+                        events.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    raise QuiescenceError(
+                        f"process cluster did not quiesce within "
+                        f"{self._timeout}s wall clock"
+                    ) from None
+                if kind == "hello":
+                    addrs[node] = (self._host, int(message["port"]))
+                    handshook += 1
+                    if handshook == len(ordered):
+                        # Every data-plane server is bound: release all
+                        # workers with the full address map at once.
+                        peers = {n: list(a) for n, a in addrs.items()}
+                        for name, writer in conns.items():
+                            _send_msg(writer, {"type": "peers", "peers": peers})
+                            await writer.drain()
+                    elif handshook > len(ordered):
+                        # A respawned worker: it gets the current map, the
+                        # live peers get its new address and retransmit.
+                        writer = conns[node]
+                        _send_msg(
+                            writer,
+                            {
+                                "type": "peers",
+                                "peers": {n: list(a) for n, a in addrs.items()},
+                            },
+                        )
+                        await writer.drain()
+                        for name, other in conns.items():
+                            if name == node or name in self._results:
+                                continue
+                            try:
+                                _send_msg(
+                                    other,
+                                    {
+                                        "type": "peer-update",
+                                        "node": node,
+                                        "host": self._host,
+                                        "port": addrs[node][1],
+                                    },
+                                )
+                                await other.drain()
+                            except (ConnectionError, OSError):
+                                pass
+                        if terminated:
+                            _send_msg(writer, {"type": "finish"})
+                            await writer.drain()
+                elif kind == "result":
+                    self._results[node] = message
+                    if not terminated:
+                        # Any result implies STOP was broadcast, i.e. the
+                        # ring detected global termination.  Relay it to
+                        # workers whose data-plane STOP may have died with
+                        # a killed connection.
+                        terminated = True
+                        for name, writer in conns.items():
+                            if name in self._results:
+                                continue
+                            try:
+                                _send_msg(writer, {"type": "finish"})
+                                await writer.drain()
+                            except (ConnectionError, OSError):
+                                pass
+                elif kind == "exit":
+                    if node in self._results:
+                        continue  # clean exit after delivering its result
+                    returncode = message["returncode"]
+                    self.crashes += 1
+                    if spawn_counts[node] > MAX_RESTARTS:
+                        raise RuntimeError(
+                            f"worker {node} died {spawn_counts[node]} times "
+                            f"(last returncode {returncode}); giving up.\n"
+                            f"{worker_stderr(node)}"
+                        )
+                    # Respawn over the same checkpoint directory — the
+                    # deliberate kill is never re-armed, so each recovery
+                    # makes real progress.
+                    await spawn(node, kill=False)
+                    self.recoveries += 1
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in monitor_tasks:
+                task.cancel()
+            for task in monitor_tasks:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            for proc in procs.values():
+                if proc.returncode is None:
+                    try:
+                        proc.kill()
+                    except ProcessLookupError:
+                        pass
+                    try:
+                        await proc.wait()
+                    except Exception:
+                        pass
+            for writer in conns.values():
+                writer.close()
+
+        self._harvest()
+        return self.global_output()
+
+    def _harvest(self) -> None:
+        fanout = max(len(self._node_names) - 1, 0)
+        for node in self.nodes():
+            result = self._results[node]
+            state = NodeState()
+            state.output = Instance(set(decode_facts_hex(result["output"])))
+            state.memory = Instance(set(decode_facts_hex(result["memory"])))
+            self._states[node] = state
+            raw = result["stats"]
+            stats = NodeStats(
+                transitions=raw["transitions"],
+                heartbeats=raw["heartbeats"],
+                deliveries=raw["deliveries"],
+                sent_facts=raw["sent_facts"],
+                buffer_high_water=result.get("mailbox_high_water", 0),
+            )
+            self.node_stats[node] = stats
+            self.metrics.transitions += stats.transitions
+            self.metrics.heartbeats += stats.heartbeats
+            self.metrics.message_deliveries += stats.deliveries
+            self.metrics.message_facts_sent += stats.sent_facts * fanout
+            if result.get("token_probes"):
+                self.token_probes = result["token_probes"]
+            self.wal_replayed += result.get("wal_replayed", 0)
+            self.snapshot_bytes += result.get("snapshot_bytes", 0)
+        self.metrics.rounds = self.token_probes
+
+    def worker_result(self, node: str) -> dict:
+        """The raw control-plane result payload for *node* (tests)."""
+        return dict(self._results[node])
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main(sys.argv[1:]))

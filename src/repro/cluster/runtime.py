@@ -143,6 +143,7 @@ class ClusterNode:
         crash_probe: Callable[[], None] | None = None,
         snapshot_every: int = 1,
         replay_sink: Callable[[int], None] | None = None,
+        dedup: bool = False,
     ) -> None:
         self.node = node
         self._network = network
@@ -156,6 +157,13 @@ class ClusterNode:
         self._crash_probe = crash_probe  # raises NodeCrashed when scheduled
         self._snapshot_every = max(1, snapshot_every)
         self._replay_sink = replay_sink
+        # At-least-once transports (the process runtime retransmits every
+        # frame a restarted peer might have missed) need receiver-side
+        # dedup by durable (sender, sequence) identity.  The in-process
+        # runtimes deliver exactly once, so this stays off by default and
+        # their wire behaviour is bit-for-bit unchanged.
+        self._dedup = dedup
+        self._seen_frames: set[tuple] = set()
 
         self.state = NodeState()
         self.stats = NodeStats()
@@ -236,6 +244,13 @@ class ClusterNode:
         for target in self._peers:
             sequence = self._next_sequence()
             target_wire = _wire_sender(target)
+            envelope = Envelope(
+                kind=KIND_DATA,
+                sender=_wire_sender(self.node),
+                round=self._transitions,
+                sequence=sequence,
+                facts=facts,
+            )
             if self._replay_sends:
                 # Recovery replay: this send already happened before the
                 # crash (it is on the wire); verify the regeneration
@@ -251,14 +266,16 @@ class ClusterNode:
                         f"{logged_sequence})"
                     )
                 self.counter += logged_count
+                if self._dedup:
+                    # A real process kill cannot prove the logged dispatch
+                    # ever left user space (the log records the intent,
+                    # the kernel buffer records the truth).  Re-dispatch
+                    # the byte-identical regeneration, uncounted: peers
+                    # that already accepted it drop the duplicate by its
+                    # durable (sender, sequence) identity, and a peer that
+                    # never saw it finally gets it.
+                    await self._endpoint.send(target, encode_envelope(envelope))
                 continue
-            envelope = Envelope(
-                kind=KIND_DATA,
-                sender=_wire_sender(self.node),
-                round=self._transitions,
-                sequence=sequence,
-                facts=facts,
-            )
             dispatched = await self._endpoint.send(target, encode_envelope(envelope))
             if self._journal is not None:
                 self._journal.append_send(target_wire, sequence, dispatched)
@@ -329,6 +346,15 @@ class ClusterNode:
                 ) = snapshot.stats
                 start = snapshot.wal_position
             entries = self._journal.entries()[start:]
+            if self._dedup:
+                # Rebuild accepted-frame identities from the *entire* WAL
+                # (not just the replayed suffix): frames folded into the
+                # snapshot are just as accepted, and a restarted peer will
+                # retransmit them too.
+                for op in group_replay_ops(
+                    self._journal.entries(), decode_data_frame=decode_envelope
+                ):
+                    self._seen_frames.update(op.frame_ids)
             for op in group_replay_ops(entries, decode_data_frame=decode_envelope):
                 if op.kind == "closure":
                     if not op.boot:
@@ -452,6 +478,15 @@ class ClusterNode:
             data_frames: list[bytes] = []
             for frame in frames:
                 envelope = decode_envelope(frame)
+                if self._dedup and envelope.kind != KIND_STOP:
+                    # Retransmitted copy of a frame this node already
+                    # accepted (durably, via the WAL): drop it without
+                    # touching the Safra counter or colour — the original
+                    # acceptance already accounted for it.
+                    ident = (envelope.sender, envelope.sequence)
+                    if ident in self._seen_frames:
+                        continue
+                    self._seen_frames.add(ident)
                 if envelope.kind == KIND_STOP:
                     self._stopped = True
                 elif envelope.kind == KIND_TOKEN:

@@ -43,7 +43,11 @@ __all__ = [
     "InMemoryTransport",
     "TcpTransport",
     "make_transport",
+    "dial_with_retry",
     "TRANSPORT_NAMES",
+    "DEFAULT_DIAL_TIMEOUT",
+    "DEFAULT_DIAL_ATTEMPTS",
+    "DEFAULT_DIAL_BACKOFF",
 ]
 
 _LEN = struct.Struct("<I")
@@ -53,9 +57,53 @@ _LEN = struct.Struct("<I")
 #: instead of exhausting memory.
 DEFAULT_MAILBOX_CAPACITY = 1024
 
+#: Per-attempt connect timeout, seconds.
+DEFAULT_DIAL_TIMEOUT = 5.0
+#: Bounded connect attempts before a dial is declared failed.
+DEFAULT_DIAL_ATTEMPTS = 8
+#: First retry delay, seconds; doubles per attempt (capped at 1s).
+DEFAULT_DIAL_BACKOFF = 0.05
+
 
 class TransportError(RuntimeError):
     """Raised when a transport cannot be started or a peer is unknown."""
+
+
+async def dial_with_retry(
+    host: str,
+    port: int,
+    *,
+    timeout: float = DEFAULT_DIAL_TIMEOUT,
+    attempts: int = DEFAULT_DIAL_ATTEMPTS,
+    backoff: float = DEFAULT_DIAL_BACKOFF,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a TCP connection with a per-attempt timeout and bounded,
+    exponentially backed-off retries.
+
+    A peer that comes up a beat late — or is restarting after a kill —
+    refuses the first connect; retrying briefly is the difference between
+    a self-healing deployment and one that fails a whole run on a single
+    ECONNREFUSED.  The budget is bounded so a genuinely dead peer still
+    surfaces as a :class:`TransportError` instead of a hang.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delay = backoff
+    last_error: Exception | None = None
+    for attempt in range(attempts):
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+        except (OSError, asyncio.TimeoutError) as error:
+            last_error = error
+            if attempt + 1 < attempts:
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 1.0)
+    raise TransportError(
+        f"could not connect to {host}:{port} after {attempts} "
+        f"attempt(s): {last_error!r}"
+    )
 
 
 class Mailbox:
@@ -210,9 +258,15 @@ class TcpTransport(Transport):
         *,
         host: str = "127.0.0.1",
         mailbox_capacity: int = DEFAULT_MAILBOX_CAPACITY,
+        dial_timeout: float = DEFAULT_DIAL_TIMEOUT,
+        dial_attempts: int = DEFAULT_DIAL_ATTEMPTS,
+        dial_backoff: float = DEFAULT_DIAL_BACKOFF,
     ) -> None:
         super().__init__(mailbox_capacity=mailbox_capacity)
         self._host = host
+        self._dial_timeout = dial_timeout
+        self._dial_attempts = dial_attempts
+        self._dial_backoff = dial_backoff
         self._servers: dict[Hashable, asyncio.base_events.Server] = {}
         self._ports: dict[Hashable, int] = {}
         self._writers: dict[tuple[Hashable, Hashable], asyncio.StreamWriter] = {}
@@ -251,7 +305,13 @@ class TcpTransport(Transport):
         if writer is None:
             if target not in self._ports:
                 raise TransportError(f"unknown node {target!r}")
-            _, writer = await asyncio.open_connection(self._host, self._ports[target])
+            _, writer = await dial_with_retry(
+                self._host,
+                self._ports[target],
+                timeout=self._dial_timeout,
+                attempts=self._dial_attempts,
+                backoff=self._dial_backoff,
+            )
             self._writers[key] = writer
         writer.write(_LEN.pack(len(frame)) + frame)
         await writer.drain()

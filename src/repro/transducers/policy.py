@@ -31,6 +31,7 @@ __all__ = [
     "single_node_policy",
     "override_policy",
     "hash_domain_assignment",
+    "block_domain_assignment",
     "range_policy",
     "replicated_hash_assignment",
     "single_node_assignment",
@@ -319,6 +320,29 @@ def hash_domain_assignment(network: Network) -> DomainAssignment:
         network,
         lambda value: frozenset({nodes[_stable_hash(value) % len(nodes)]}),
     )
+
+
+def block_domain_assignment(network: Network, block: int) -> DomainAssignment:
+    """alpha mapping integer values to nodes by contiguous *block*:
+    ``value // block`` picks the bucket, round-robin over the sorted nodes.
+
+    This is the co-locating assignment for partitionable workloads: encode
+    each shard's values inside one block (e.g. ``shard * block + local``)
+    and every fact of a shard lands on exactly one node, so the induced
+    domain-guided policy shards the database horizontally with no
+    cross-node value sharing.  Non-integer values fall back to the stable
+    hash so the assignment stays total.
+    """
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    nodes = network.sorted_nodes()
+
+    def assign(value: Hashable) -> frozenset:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return frozenset({nodes[_stable_hash(value) % len(nodes)]})
+        return frozenset({nodes[(value // block) % len(nodes)]})
+
+    return DomainAssignment(network, assign)
 
 
 def single_node_assignment(network: Network, node: Hashable) -> DomainAssignment:

@@ -54,6 +54,7 @@ __all__ = [
     "broadcast_transducer",
     "distinct_protocol_transducer",
     "disjoint_protocol_transducer",
+    "local_shard_transducer",
     "protocol_for_class",
     "Section4Protocol",
     "section4_protocols",
@@ -446,6 +447,36 @@ def disjoint_protocol_transducer(
     return PythonTransducer(
         schema, out=out, insert=insert, send=send, name=f"disjoint[{query.name}]"
     )
+
+
+def local_shard_transducer(
+    query: Query, *, variant: ModelVariant = POLICY_AWARE
+) -> PythonTransducer:
+    """Shard-local evaluation: each node outputs Q over its own fragment
+    and never sends a message.
+
+    Sound exactly when the distribution policy makes Q *distributive over
+    the fragments*: Q(I) = ∪_n Q(frag_n).  A co-locating domain-guided
+    policy (one that keeps every connected component of the input on one
+    node, e.g. :func:`~repro.transducers.policy.block_domain_assignment`)
+    provides that for component-local queries like transitive closure.
+    This is the embarrassingly-parallel end of the protocol spectrum — the
+    fixed partitionable workload the process runtime's scaling curve
+    measures — and the caller is responsible for the policy precondition
+    (the scaling benchmark asserts union-of-fragments == Q(I) every run).
+    """
+    schema = TransducerSchema(
+        inputs=query.input_schema,
+        outputs=query.output_schema,
+        messages=Schema({}, allow_nullary=True),
+        memory=Schema({}, allow_nullary=True),
+        variant=variant,
+    )
+
+    def out(view: LocalView) -> Iterable[Fact]:
+        return query(view.local_input)
+
+    return PythonTransducer(schema, out=out, name=f"local-shard[{query.name}]")
 
 
 def protocol_for_class(

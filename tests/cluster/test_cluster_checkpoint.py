@@ -163,13 +163,28 @@ def test_disk_store_survives_reopen(tmp_path):
     assert reopened.load_snapshot() == _sample_snapshot()
 
 
-def test_disk_store_rejects_truncated_wal(tmp_path):
+def test_disk_store_drops_torn_tail_entry(tmp_path):
+    """A SIGKILL mid-append can tear the final WAL entry; recovery must
+    keep the intact prefix and silently drop the torn tail (the entry's
+    effects never ran, or its send is regenerated and deduplicated)."""
     store = DiskCheckpointStore(tmp_path)
-    NodeJournal(store, "n1").append_boot()
+    journal = NodeJournal(store, "n1")
+    journal.append_boot()
+    journal.append_send("n2", 1, 1)
     wal_file = next(tmp_path.glob("*.wal"))
-    wal_file.write_bytes(wal_file.read_bytes()[:-1])
-    with pytest.raises(CheckpointError, match="truncated"):
-        DiskCheckpointStore(tmp_path).wal("n1")
+    wal_file.write_bytes(wal_file.read_bytes()[:-1])  # tear the send entry
+    reopened = NodeJournal(DiskCheckpointStore(tmp_path), "n1")
+    assert reopened.entries() == [("boot",)]
+    assert reopened.position == 1
+
+
+def test_disk_store_drops_torn_tail_header(tmp_path):
+    store = DiskCheckpointStore(tmp_path)
+    journal = NodeJournal(store, "n1")
+    journal.append_boot()
+    wal_file = next(tmp_path.glob("*.wal"))
+    wal_file.write_bytes(wal_file.read_bytes() + b"\x07\x00")  # half a header
+    assert NodeJournal(DiskCheckpointStore(tmp_path), "n1").entries() == [("boot",)]
 
 
 def test_make_checkpoint_store():

@@ -1,0 +1,267 @@
+"""Multi-process runtime tests: the process cluster must be
+byte-identical to the synchronous simulator and the asyncio runtime —
+including across real process boundaries (fresh interpreters, separate
+interners/plan caches, differing hash seeds) and across one real
+``SIGKILL`` + WAL-replay recovery."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+from repro.cluster.gate import check_process_workload
+from repro.cluster.procs import (
+    ProcessCluster,
+    build_proc_network,
+    decode_facts_hex,
+    encode_facts_hex,
+    scaling_workload,
+    scaling_workload_by_key,
+    workload_spec_for,
+)
+from repro.datalog.terms import Fact
+from repro.transducers.telemetry import output_fingerprint
+
+#: Small enough to keep each spawned interpreter's work trivial; still
+#: three disjoint games, so a 2-node block shard is a genuine partition.
+SMALL = dict(components=3, size=10)
+
+
+def _small_workload():
+    return scaling_workload(**SMALL)
+
+
+def _run(workload, **kwargs) -> ProcessCluster:
+    cluster = ProcessCluster(
+        workload_spec_for(workload), workload.instance, **kwargs
+    )
+    cluster.run_to_quiescence()
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# Wire helpers and workload reconstruction (no subprocesses)
+# ----------------------------------------------------------------------
+
+
+class TestFactsHex:
+    FACTS = (
+        Fact("Move", (1, 2)),
+        Fact("Move", (2, 1)),
+        Fact("Win", ("p", 3)),
+    )
+
+    def test_round_trip(self):
+        assert decode_facts_hex(encode_facts_hex(self.FACTS)) == tuple(
+            sorted(self.FACTS)
+        )
+
+    def test_canonical_in_input_order(self):
+        """The encoding sorts, so any enumeration order of the same set
+        yields identical bytes — fragments hash stably across processes."""
+        assert encode_facts_hex(self.FACTS) == encode_facts_hex(
+            reversed(self.FACTS)
+        )
+
+    def test_empty(self):
+        assert decode_facts_hex(encode_facts_hex(())) == ()
+
+
+class TestWorkloadReconstruction:
+    def test_scaling_key_round_trip(self):
+        workload = _small_workload()
+        rebuilt = scaling_workload_by_key(workload.key)
+        assert rebuilt.key == workload.key
+        assert rebuilt.instance == workload.instance
+
+    def test_bad_scaling_key_rejected(self):
+        with pytest.raises(KeyError):
+            scaling_workload_by_key("scaling-tc-oops")
+
+    def test_spec_kind_scaling(self):
+        assert workload_spec_for(_small_workload()) == {
+            "kind": "scaling",
+            "key": f"scaling-wm-c{SMALL['components']}-s{SMALL['size']}",
+        }
+
+    def test_spec_kind_gate(self):
+        from repro.cluster.gate import workload_by_key
+
+        spec = workload_spec_for(workload_by_key("thm43-distinct"))
+        assert spec == {"kind": "gate", "key": "thm43-distinct"}
+
+    def test_build_network_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown workload spec"):
+            build_proc_network({"kind": "nope"}, ("n1",))
+
+    def test_build_network_is_deterministic(self):
+        spec = workload_spec_for(_small_workload())
+        one = build_proc_network(spec, ("n1", "n2"))
+        two = build_proc_network(spec, ("n1", "n2"))
+        instance = _small_workload().instance
+        assert one.policy.distribute(instance) == two.policy.distribute(
+            instance
+        )
+
+
+class TestValidation:
+    def test_needs_processes_or_nodes(self):
+        workload = _small_workload()
+        with pytest.raises(ValueError, match="processes=N or nodes"):
+            ProcessCluster(workload_spec_for(workload), workload.instance)
+
+    def test_rejects_empty_nodes(self):
+        workload = _small_workload()
+        with pytest.raises(ValueError, match="at least one node"):
+            ProcessCluster(
+                workload_spec_for(workload), workload.instance, nodes=()
+            )
+
+    def test_rejects_non_string_node_names(self):
+        workload = _small_workload()
+        with pytest.raises(ValueError, match="must be strings"):
+            ProcessCluster(
+                workload_spec_for(workload), workload.instance, nodes=(1, 2)
+            )
+
+    def test_rejects_unknown_kill_node(self):
+        workload = _small_workload()
+        with pytest.raises(ValueError, match="kill_node"):
+            ProcessCluster(
+                workload_spec_for(workload),
+                workload.instance,
+                processes=2,
+                kill_node="n9",
+            )
+
+    def test_one_shot(self):
+        cluster = _run(_small_workload(), processes=1)
+        with pytest.raises(RuntimeError, match="one-shot"):
+            cluster.run_to_quiescence()
+
+
+# ----------------------------------------------------------------------
+# Cross-process determinism (real subprocesses)
+# ----------------------------------------------------------------------
+
+
+def test_codec_round_trips_through_a_real_subprocess():
+    """Encode here, decode + re-encode in a fresh interpreter: the bytes
+    must come back identical (the wire format owes nothing to this
+    process's interner or hash seed)."""
+    facts = _small_workload().instance
+    blob = encode_facts_hex(facts)
+    script = (
+        "import sys\n"
+        "from repro.cluster.procs import decode_facts_hex, encode_facts_hex\n"
+        "blob = sys.stdin.read().strip()\n"
+        "print(encode_facts_hex(decode_facts_hex(blob)))\n"
+    )
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        input=blob,
+        capture_output=True,
+        text=True,
+        timeout=60,
+        check=True,
+        env=env,
+    )
+    assert result.stdout.strip() == blob
+
+
+def test_process_run_matches_sync(tmp_path):
+    """The tentpole gate, small: a 2-process run is byte-identical to the
+    centralized Q(I), and each worker evaluated with its own process-local
+    plan cache."""
+    from repro.datalog.evaluation import (
+        _DEFAULT_PLAN_CACHE,
+        FactIndex,
+        match_rule,
+    )
+    from repro.datalog.parser import parse_program
+
+    # Warm the *parent's* module-level plan cache: with fork- or
+    # thread-based workers this warmth would be visible to them.
+    rule = parse_program("T(x, y) :- E(x, y).").rules[0]
+    list(match_rule(rule, FactIndex([Fact("E", (1, 2))])))
+    warmed = len(_DEFAULT_PLAN_CACHE)
+    assert warmed >= 1
+
+    workload = _small_workload()
+    expected = output_fingerprint(workload.expected())
+    cluster = _run(workload, processes=2, run_dir=tmp_path / "run")
+    assert output_fingerprint(cluster.global_output()) == expected
+    assert cluster.transport_name == "proc"
+    assert cluster.crashes == 0 and cluster.recoveries == 0
+    assert cluster.metrics.transitions > 0
+    assert cluster.token_probes > 0
+    pids = set()
+    for node in cluster.nodes():
+        result = cluster.worker_result(node)
+        assert result["recovered"] is False
+        assert result["stats"]["transitions"] >= 1
+        pids.add(result["pid"])
+        # Every worker is a spawned fresh interpreter: the parent's warm
+        # plan cache did not leak into it (it reports a cold one), so
+        # interner/plan-cache state is strictly per-process.
+        assert result["caches"]["plan_cache"] == 0
+    assert os.getpid() not in pids
+    assert len(pids) == len(cluster.nodes())
+    # ... and worker evaluation did not touch the parent's cache either.
+    assert len(_DEFAULT_PLAN_CACHE) == warmed
+
+
+def test_real_sigkill_recovery(tmp_path):
+    """A worker SIGKILLed mid-run is respawned over its checkpoint
+    directory, replays its WAL, and the global output stays byte-identical
+    to Q(I)."""
+    workload = _small_workload()
+    expected = output_fingerprint(workload.expected())
+    cluster = _run(
+        workload,
+        processes=3,
+        kill_node="n2",
+        # The tiny fully-partitioned shard quiesces in one transition, so
+        # the probe must fire on the first one for the kill to happen at
+        # all (the parent asserts it did, below).
+        kill_after=1,
+        run_dir=tmp_path / "run",
+    )
+    assert output_fingerprint(cluster.global_output()) == expected
+    assert cluster.crashes >= 1
+    assert cluster.recoveries >= 1
+    assert cluster.wal_replayed >= 1
+    result = cluster.worker_result("n2")
+    assert result["recovered"] is True
+
+
+def test_byte_identical_across_hash_seeds(monkeypatch):
+    """Two clusters whose workers run under different PYTHONHASHSEED
+    values produce identical fingerprints — nothing in the pipeline leans
+    on builtin ``hash`` iteration order."""
+    workload = _small_workload()
+    fingerprints = []
+    for seed in ("1", "2"):
+        monkeypatch.setenv("PYTHONHASHSEED", seed)
+        cluster = _run(workload, processes=2)
+        fingerprints.append(output_fingerprint(cluster.global_output()))
+    assert fingerprints[0] == fingerprints[1]
+
+
+def test_process_gate_verdict():
+    """The full divergence gate on a small workload: sync == asyncio ==
+    process == process-with-real-kill, and the kill run's counters prove
+    the kill happened."""
+    verdict = check_process_workload(
+        _small_workload(), processes=2, kill=True, kill_after=1
+    )
+    assert verdict.passed, verdict.to_dict()
+    assert verdict.crashes >= 1
+    assert verdict.recoveries >= 1
+    assert verdict.wal_replayed >= 1

@@ -154,3 +154,78 @@ class TestFactory:
     def test_unknown_name(self):
         with pytest.raises(TransportError, match="unknown transport"):
             make_transport("carrier-pigeon")
+
+
+class TestDialWithRetry:
+    def test_rejects_non_positive_attempts(self):
+        from repro.cluster.transport import dial_with_retry
+
+        with pytest.raises(ValueError, match="attempts"):
+            run(dial_with_retry("127.0.0.1", 1, attempts=0))
+
+    def test_connects_first_try(self):
+        from repro.cluster.transport import dial_with_retry
+
+        async def scenario():
+            server = await asyncio.start_server(
+                lambda r, w: w.close(), "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await dial_with_retry("127.0.0.1", port)
+                writer.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_retries_until_late_server_binds(self):
+        """The self-healing case: the peer binds only after the first
+        connect attempts have been refused."""
+        from repro.cluster.transport import dial_with_retry
+
+        async def scenario():
+            probe = await asyncio.start_server(
+                lambda r, w: w.close(), "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            holder = {}
+
+            async def bind_late():
+                await asyncio.sleep(0.15)
+                holder["server"] = await asyncio.start_server(
+                    lambda r, w: w.close(), "127.0.0.1", port
+                )
+
+            binder = asyncio.ensure_future(bind_late())
+            try:
+                reader, writer = await dial_with_retry(
+                    "127.0.0.1", port, attempts=20, backoff=0.05
+                )
+                writer.close()
+            finally:
+                await binder
+                holder["server"].close()
+                await holder["server"].wait_closed()
+
+        run(scenario())
+
+    def test_bounded_budget_surfaces_transport_error(self):
+        from repro.cluster.transport import dial_with_retry
+
+        async def scenario():
+            probe = await asyncio.start_server(
+                lambda r, w: w.close(), "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            with pytest.raises(TransportError, match="after 2 attempt"):
+                await dial_with_retry(
+                    "127.0.0.1", port, attempts=2, backoff=0.01
+                )
+
+        run(scenario())

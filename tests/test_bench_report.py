@@ -138,3 +138,58 @@ class TestCompareBaseline:
         path = tmp_path / "empty.json"
         failures = bench_report.compare_baseline(path, {"x": {"speedup": 1.0}})
         assert failures and "no history" in failures[0]
+
+
+class TestScalingSuite:
+    """The BENCH_scaling.json variant of the history machinery."""
+
+    HEADLINE = {"scaling_speedup_4w": {"speedup": 4.1, "target": 2.0, "ok": True}}
+
+    def test_load_history_scaling_suite(self, tmp_path):
+        report = bench_report.load_history(
+            tmp_path / "nope.json", suite="bench_scaling"
+        )
+        assert report["suite"] == "bench_scaling"
+        assert report["history"] == []
+        # The engine suite's kill-switch env is irrelevant here.
+        assert "baseline_env" not in report
+
+    def test_scaling_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_scaling.json"
+        entry = {"date": "2026-08-08", "mode": "full", "headline": self.HEADLINE}
+        report = bench_report.load_history(path, suite="bench_scaling")
+        report["history"] = bench_report.upsert_history(report["history"], entry)
+        path.write_text(json.dumps(report))
+        again = bench_report.load_history(path, suite="bench_scaling")
+        assert again["history"] == [entry]
+
+    def _scaling_baseline(self, tmp_path) -> Path:
+        path = tmp_path / "BENCH_scaling.json"
+        entry = {"date": "2026-08-07", "mode": "full", "headline": self.HEADLINE}
+        path.write_text(
+            json.dumps({"suite": "bench_scaling", "history": [entry]})
+        )
+        return path
+
+    def test_compare_baseline_holding(self, tmp_path):
+        path = self._scaling_baseline(tmp_path)
+        failures = bench_report.compare_baseline(
+            path,
+            {"scaling_speedup_4w": {"speedup": 3.0}},
+            suite="bench_scaling",
+        )
+        assert failures == []
+
+    def test_compare_baseline_regression(self, tmp_path):
+        path = self._scaling_baseline(tmp_path)
+        failures = bench_report.compare_baseline(
+            path,
+            {"scaling_speedup_4w": {"speedup": 1.4}},
+            suite="bench_scaling",
+        )
+        assert len(failures) == 1
+        assert "regressed below" in failures[0]
+
+    def test_scaling_target_floor(self):
+        """The committed acceptance floor: >=2x at four workers."""
+        assert bench_report.SCALING_TARGETS["scaling_speedup_4w"] == 2.0
