@@ -1,0 +1,319 @@
+"""SERVICE — load test of the multi-tenant query/analysis service.
+
+Boots a real :class:`~repro.service.ReproService` (HTTP over a loopback
+socket, bounded worker pool, per-tenant rate limiting, sqlite store) and
+drives a concurrent multi-tenant workload through it:
+
+* >= 3 tenants, each hammering from its own client threads;
+* >= 200 POST /v1/runs total (the issue's floor; ``--requests`` scales);
+* a program mix spanning the paper's routing table — monotone (M ->
+  broadcast), semi-positive (Mdistinct -> policy-aware absence protocol,
+  Thm 4.3), connected stratified (Mdisjoint -> domain-guided handshake,
+  Thm 4.4) and a no-guarantee program (-> global All-barrier);
+* for every coordination-free program, a **forced-barrier arm** of the
+  same program + instance, so the store ends up holding both sides of
+  the cost comparison.
+
+429 responses are flow control, not failures: the client honors
+``Retry-After`` and retries.  A request is **dropped** only if it never
+reaches a 200 — the acceptance gate requires zero drops.
+
+After the load, the gate checks come straight from the *store* (the
+service's own records, not the client's view):
+
+1. every stored fingerprint is byte-identical to a direct in-process
+   ``repro eval`` of the same program + instance;
+2. per program, the chosen coordination-free protocol finished in
+   strictly less coordination — fewer (rounds, transitions) — than the
+   forced All-barrier arm, which cannot end a round before explicit word
+   from every node (message-fact volume is reported alongside: the
+   Section-4 protocols pay in data-plane announcements instead);
+3. per-tenant counts add up and no tenant sees another's runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                # full: 240 POSTs
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke        # CI: 60 POSTs
+    PYTHONPATH=src python benchmarks/bench_service.py --requests 400
+
+The committed ``BENCH_service.json`` is produced by
+``scripts/bench_report.py --service``, which runs this load and then
+*queries the store* for every reported number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.analyzer import query_for  # noqa: E402
+from repro.datalog import Instance, parse_facts, parse_program  # noqa: E402
+from repro.service import ReproService, RunStore, ServiceConfig  # noqa: E402
+from repro.transducers.telemetry import output_fingerprint  # noqa: E402
+
+#: The tenant -> (program, facts, has_cf_protocol) workload mix.  Facts are
+#: sized so a request is meaningful work but the full load stays fast.
+WORKLOAD = {
+    "graph-team": (
+        # M: transitive closure -> broadcast (F0)
+        "T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).",
+        "E(1,2). E(2,3). E(3,4). E(4,5). E(5,6). E(2,7). E(7,8).",
+        True,
+    ),
+    "absence-team": (
+        # Mdistinct: semi-positive -> policy-aware absence protocol (Thm 4.3)
+        "O(x, y) :- E(x, y), not Mark(y).",
+        "E(1,2). E(2,3). E(3,4). E(4,1). Mark(3). Mark(9).",
+        True,
+    ),
+    "strata-team": (
+        # Mdisjoint: win-move under WFS -> domain-guided handshake (Thm 4.4)
+        "Win(x) :- Move(x, y), not Win(y).\nO(x) :- Win(x).",
+        "Move(1,2). Move(2,3). Move(3,4). Move(4,5). Move(5,6).",
+        True,
+    ),
+    "cotc-team": (
+        # Mdisjoint: complement-of-TC, connected stratified (con-Datalog)
+        """
+        T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).
+        O(x,y) :- Adom(x), Adom(y), not T(x,y).
+        """,
+        "E(1,2). E(2,1). E(3,4). Adom(1). Adom(2). Adom(3). Adom(4).",
+        True,
+    ),
+    "barrier-team": (
+        # no guarantee -> global All-barrier (coordinating baseline)
+        """
+        T(x, y, z) :- E(x, y), E(y, z), E(z, x), y != x, y != z, x != z.
+        D(x1) :- T(x1, x2, x3), T(y1, y2, y3),
+                 x1 != y1, x1 != y2, x1 != y3,
+                 x2 != y1, x2 != y2, x2 != y3,
+                 x3 != y1, x3 != y2, x3 != y3.
+        O(x) :- Adom(x), not D(x).
+        """,
+        "E(1,2). E(2,3). E(3,1). Adom(1). Adom(2). Adom(3). Adom(4).",
+        False,
+    ),
+}
+
+
+def _post(base: str, payload: dict, *, timeout: float = 120.0):
+    request = urllib.request.Request(
+        f"{base}/v1/runs",
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def service_load_test(
+    *,
+    requests: int = 240,
+    threads_per_tenant: int = 3,
+    store_path: str | None = None,
+    rate_limit: int = 200,
+    rate_window: float = 1.0,
+    workers: int = 4,
+) -> dict:
+    """Run the load; returns the result dict (see module docstring).
+
+    The returned dict carries ``store_path`` — every gate number in it was
+    read back from that store, and callers (``bench_report.py --service``)
+    re-query it rather than trusting this summary.
+    """
+    if store_path is None:
+        store_path = tempfile.mktemp(prefix="repro-bench-service-", suffix=".db")
+    tenants = list(WORKLOAD)
+    per_tenant = max(1, requests // len(tenants))
+    total_planned = per_tenant * len(tenants)
+
+    config = ServiceConfig(
+        port=0,
+        store_path=store_path,
+        workers=workers,
+        queue_capacity=128,
+        rate_limit=rate_limit,
+        rate_window=rate_window,
+    )
+    service = ReproService(config).start_in_thread()
+    base = f"http://127.0.0.1:{service.port}"
+
+    lock = threading.Lock()
+    outcomes = {
+        "ok": 0,
+        "dropped": 0,
+        "retries_429": 0,
+        "retries_503": 0,
+        "latencies": [],
+        "failures": [],
+    }
+
+    def client(tenant: str, count: int) -> None:
+        program, facts, has_cf = WORKLOAD[tenant]
+        for index in range(count):
+            # Interleave the barrier arm so both sides of the comparison
+            # accumulate under identical load conditions, and pair the
+            # scheduler seeds (index // 2) so both arms run the identical
+            # seed multiset — the cost comparison is then paired, not
+            # noise across different schedules.
+            force = has_cf and index % 2 == 1
+            payload = {
+                "tenant": tenant,
+                "program": program,
+                "facts": facts,
+                "force_barrier": force,
+                "seed": index // 2,
+            }
+            started = time.perf_counter()
+            for _attempt in range(60):
+                status, body = _post(base, payload)
+                if status == 429:
+                    with lock:
+                        outcomes["retries_429"] += 1
+                    time.sleep(min(float(body.get("retry_after", 0.2)), 2.0))
+                    continue
+                if status == 503:
+                    with lock:
+                        outcomes["retries_503"] += 1
+                    time.sleep(0.2)
+                    continue
+                break
+            with lock:
+                if status == 200 and body.get("status") == "ok":
+                    outcomes["ok"] += 1
+                    outcomes["latencies"].append(time.perf_counter() - started)
+                else:
+                    outcomes["dropped"] += 1
+                    outcomes["failures"].append((tenant, status, body.get("error")))
+
+    started = time.time()
+    workers_list = []
+    for tenant in tenants:
+        share = per_tenant // threads_per_tenant
+        extra = per_tenant - share * threads_per_tenant
+        for index in range(threads_per_tenant):
+            count = share + (extra if index == 0 else 0)
+            thread = threading.Thread(target=client, args=(tenant, count))
+            thread.start()
+            workers_list.append(thread)
+    for thread in workers_list:
+        thread.join()
+    wall_s = time.time() - started
+    service.shutdown()
+
+    # -- the gates: every number below is read back from the store --------
+    store = RunStore(store_path)
+    try:
+        parity_failures = []
+        direct = {}
+        for tenant in tenants:
+            program, facts, _ = WORKLOAD[tenant]
+            query = query_for(parse_program(program))
+            direct[tenant] = output_fingerprint(query(Instance(parse_facts(facts))))
+            for summary in store.list_runs(tenant, limit=total_planned):
+                if summary["output_fingerprint"] != direct[tenant]:
+                    parity_failures.append((tenant, summary["run_id"]))
+
+        per_tenant_counts = {
+            row["tenant"]: row["runs"] for row in store.tenant_summary()
+        }
+        # Coordination cost = (rounds, transitions): the barrier pays in
+        # global waiting rounds; the Section-4 protocols pay in data-plane
+        # announcement facts (reported, not gated — see store docstring).
+        comparison = store.coordination_comparison()
+        cheaper = {}
+        for row in comparison:
+            if row["barrier"] is None or row["chosen"] is None:
+                continue
+            chosen, barrier = row["chosen"], row["barrier"]
+            cheaper[row["fragment"]] = (
+                chosen["mean_rounds"],
+                chosen["mean_transitions"],
+            ) < (barrier["mean_rounds"], barrier["mean_transitions"])
+        stored_total = store.run_count()
+        routing = store.routing_table()
+    finally:
+        store.close()
+
+    latencies = outcomes["latencies"]
+    return {
+        "requests_planned": total_planned,
+        "requests_ok": outcomes["ok"],
+        "dropped": outcomes["dropped"],
+        "retries_429": outcomes["retries_429"],
+        "retries_503": outcomes["retries_503"],
+        "failures": outcomes["failures"][:10],
+        "tenants": len(tenants),
+        "threads": len(workers_list),
+        "wall_s": round(wall_s, 2),
+        "throughput_rps": round(outcomes["ok"] / wall_s, 1) if wall_s else None,
+        "latency_mean_s": round(statistics.mean(latencies), 4) if latencies else None,
+        "latency_p95_s": round(
+            sorted(latencies)[int(len(latencies) * 0.95) - 1], 4
+        )
+        if latencies
+        else None,
+        "stored_runs": stored_total,
+        "per_tenant_runs": per_tenant_counts,
+        "fingerprint_parity": not parity_failures,
+        "parity_failures": parity_failures[:10],
+        "coordination_comparison": comparison,
+        "cf_cheaper_than_barrier": cheaper,
+        "routing_table": routing,
+        "store_path": store_path,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=240)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI preset: 60 POSTs (overrides --requests)"
+    )
+    parser.add_argument("--store", default=None, help="sqlite store path to keep")
+    args = parser.parse_args(argv)
+    requests = 60 if args.smoke else args.requests
+
+    data = service_load_test(requests=requests, store_path=args.store)
+    print(
+        f"{data['requests_ok']}/{data['requests_planned']} ok across "
+        f"{data['tenants']} tenants / {data['threads']} threads in "
+        f"{data['wall_s']}s ({data['throughput_rps']} req/s, "
+        f"p95 {data['latency_p95_s']}s, {data['retries_429']} rate-limited retries)"
+    )
+    failures = []
+    if data["dropped"]:
+        failures.append(f"{data['dropped']} dropped requests: {data['failures']}")
+    if not data["fingerprint_parity"]:
+        failures.append(f"fingerprint mismatches: {data['parity_failures']}")
+    for fragment, ok in sorted(data["cf_cheaper_than_barrier"].items()):
+        marker = "ok" if ok else "NOT CHEAPER"
+        print(f"  {fragment}: coordination-free vs barrier {marker}")
+        if not ok:
+            failures.append(f"{fragment}: chosen protocol not cheaper than barrier")
+    if not data["cf_cheaper_than_barrier"]:
+        failures.append("no coordination comparison rows recorded")
+    if failures:
+        print("FAILURES:\n  " + "\n  ".join(failures))
+        return 1
+    print(f"store: {data['store_path']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,17 @@ Usage::
     PYTHONPATH=src python scripts/bench_report.py --compare-baseline  # + regression gate
     PYTHONPATH=src python scripts/bench_report.py --scaling  # BENCH_scaling.json
     PYTHONPATH=src python scripts/bench_report.py --scaling --smoke --compare-baseline
+    PYTHONPATH=src python scripts/bench_report.py --service  # BENCH_service.json
+    PYTHONPATH=src python scripts/bench_report.py --service --smoke
+
+``--service`` switches to the multi-tenant service load test
+(``benchmarks/bench_service.py``): >= 200 concurrent POSTs across >= 3
+tenants against a live server, then the committed report is distilled by
+*querying the sqlite run store* the service wrote — routing table,
+coordination-cost comparison (chosen protocol vs forced All-barrier),
+per-tenant counts and report-schema validation are all store aggregates,
+never client-side tallies — and written as ``BENCH_service.json`` with
+the same dated-history upsert.
 
 ``--scaling`` switches to the multi-process scaling sweep
 (``benchmarks/bench_scaling.py::scaling_sweep``): wall clock at 1→4 worker
@@ -342,6 +353,131 @@ def scaling_main(args) -> int:
     return 0
 
 
+#: Service-mode gates, expressed as ratios so the shared baseline
+#: comparison applies: 1.0 means the property held on every sample.
+SERVICE_TARGETS = {
+    "service_zero_drops": 1.0,
+    "service_fingerprint_parity": 1.0,
+    "service_cf_cheaper_than_barrier": 1.0,
+}
+
+
+def service_main(args) -> int:
+    """``--service`` mode: run the multi-tenant load test from
+    ``benchmarks/bench_service.py``, then build the committed report by
+    *querying the run store* the service wrote — routing table, the
+    coordination-cost comparison, per-tenant counts, and report-schema
+    validation all come from :class:`repro.service.RunStore` aggregates
+    (the DataProvider pattern), never from numbers the client kept."""
+    sys.path.insert(0, str(REPO / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    from bench_service import service_load_test
+
+    from repro.service import RunStore
+    from repro.transducers.telemetry import validate_report_dict  # noqa: F401
+
+    requests = 60 if args.smoke else 240
+    print(f"== service load test: {requests} POSTs ==")
+    data = service_load_test(requests=requests)
+    print(
+        f"  {data['requests_ok']}/{data['requests_planned']} ok, "
+        f"{data['dropped']} dropped, {data['retries_429']} rate-limited "
+        f"retries, {data['throughput_rps']} req/s, "
+        f"p95 {data['latency_p95_s']}s"
+    )
+
+    # Everything reported below is re-read from the store.
+    store = RunStore(data["store_path"])
+    try:
+        stored_runs = store.run_count()
+        tenants = store.tenant_summary()
+        routing = store.routing_table()
+        comparison = store.coordination_comparison()
+        # all_reports() re-validates every stored report against the
+        # telemetry schema on the way out — a raise here is a gate failure.
+        validated_reports = sum(1 for _ in store.all_reports())
+    finally:
+        store.close()
+        try:
+            os.unlink(data["store_path"])
+        except OSError:
+            pass
+
+    failures = []
+    cheaper = data["cf_cheaper_than_barrier"]
+    ratios = {
+        "service_zero_drops": 1.0 if data["dropped"] == 0 else 0.0,
+        "service_fingerprint_parity": 1.0 if data["fingerprint_parity"] else 0.0,
+        "service_cf_cheaper_than_barrier": (
+            sum(cheaper.values()) / len(cheaper) if cheaper else 0.0
+        ),
+    }
+    headline = {}
+    for metric, minimum in SERVICE_TARGETS.items():
+        value = ratios[metric]
+        ok = value >= minimum
+        headline[metric] = {"speedup": round(value, 3), "target": minimum, "ok": ok}
+        print(f"  headline {metric}: {value:.2f} (target >= {minimum}) "
+              f"{'ok' if ok else 'FAILED'}")
+        if not ok:
+            failures.append(f"{metric}: {value:.2f} below target {minimum}")
+    for fragment, ok in sorted(cheaper.items()):
+        print(f"    {fragment}: coordination-free vs barrier "
+              f"{'cheaper' if ok else 'NOT CHEAPER'}")
+    if validated_reports != stored_runs:
+        failures.append(
+            f"only {validated_reports}/{stored_runs} stored reports "
+            "passed schema validation"
+        )
+
+    if args.compare_baseline is not None:
+        print(f"== compare-baseline: {args.compare_baseline} ==")
+        failures.extend(
+            compare_baseline(
+                Path(args.compare_baseline), headline, suite="bench_service"
+            )
+        )
+
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "mode": "smoke" if args.smoke else "full",
+        "headline": headline,
+        "load": {
+            key: data[key]
+            for key in (
+                "requests_planned",
+                "requests_ok",
+                "dropped",
+                "retries_429",
+                "retries_503",
+                "tenants",
+                "threads",
+                "wall_s",
+                "throughput_rps",
+                "latency_mean_s",
+                "latency_p95_s",
+            )
+        },
+        "store": {
+            "stored_runs": stored_runs,
+            "validated_reports": validated_reports,
+            "per_tenant": tenants,
+        },
+        "routing_table": routing,
+        "coordination_comparison": comparison,
+    }
+    output = Path(args.output or str(REPO / "BENCH_service.json"))
+    report = load_history(output, suite="bench_service")
+    report["history"] = upsert_history(report["history"], entry)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output} ({len(report['history'])} history entr"
+          f"{'y' if len(report['history']) == 1 else 'ies'})")
+    if failures:
+        print("FAILURES:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI smoke mode: smallest sizes, 1 round")
@@ -350,6 +486,12 @@ def main() -> int:
         action="store_true",
         help="run the multi-process scaling sweep instead of the engine A/B "
         "and write BENCH_scaling.json",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="run the multi-tenant service load test and distill the run "
+        "store's aggregates into BENCH_service.json",
     )
     parser.add_argument("--output", default=None)
     parser.add_argument(
@@ -364,9 +506,15 @@ def main() -> int:
     )
     args = parser.parse_args()
     if args.compare_baseline == "":
-        args.compare_baseline = str(
-            REPO / ("BENCH_scaling.json" if args.scaling else "BENCH_engine.json")
-        )
+        if args.service:
+            args.compare_baseline = str(REPO / "BENCH_service.json")
+        else:
+            args.compare_baseline = str(
+                REPO / ("BENCH_scaling.json" if args.scaling else "BENCH_engine.json")
+            )
+    if args.service:
+        print("== service load test (bench_service.service_load_test) ==")
+        return service_main(args)
     if args.scaling:
         print("== multi-process scaling sweep (bench_scaling.scaling_sweep) ==")
         return scaling_main(args)

@@ -3,9 +3,19 @@ programs from files.
 
 Usage (also via ``python -m repro``):
 
-    repro analyze PROGRAM.dl
+    repro analyze PROGRAM.dl [--json] [--check-pairs N]
         Classify the program: fragment, monotonicity class, transducer
-        model, coordination-free class, chosen protocol.
+        model, coordination-free class, chosen protocol.  ``--json``
+        prints the machine-readable classification certificate instead
+        (docs/SERVICE.md); ``--check-pairs N`` adds an empirical
+        cross-check of the guarantee on seeded random (I, J) pairs.
+
+    repro serve [--port P] [--store DB] [--workers N]
+        Run the multi-tenant query/analysis HTTP service: POST programs
+        + instances to /v1/runs, the service classifies, routes to the
+        cheapest applicable protocol, executes, and persists certificate
+        + decision + fingerprint + run report per tenant in a sqlite
+        store (see docs/SERVICE.md).
 
     repro eval PROGRAM.dl FACTS.dl
         Centralized evaluation under the program's natural semantics
@@ -97,6 +107,8 @@ def _print_instance(instance: Instance, out) -> None:
 
 
 def _cmd_analyze(args, out) -> int:
+    if args.json:
+        return _cmd_analyze_json(args, out)
     if args.ilog:
         return _cmd_analyze_ilog(args, out)
     program = _load_program(args.program)
@@ -122,6 +134,36 @@ def _cmd_analyze(args, out) -> int:
     return 0
 
 
+def _cmd_analyze_json(args, out) -> int:
+    """``repro analyze --json``: the machine-readable certificate.
+
+    Prints exactly one JSON document (the classification certificate of
+    :mod:`repro.core.certificate`) so scripts and the service smoke tests
+    can consume the analysis without screen-scraping; ``--check-pairs N``
+    adds the empirical cross-check over N seeded random (I, J) pairs.
+    """
+    from .core.certificate import (
+        certificate,
+        certificate_to_json,
+        ilog_certificate_for_plan,
+    )
+
+    if args.ilog:
+        from .core.analyzer import plan_ilog_distribution
+        from .ilog.program import parse_ilog_program
+
+        program = parse_ilog_program(_read(args.program))
+        payload = ilog_certificate_for_plan(program, plan_ilog_distribution(program))
+    else:
+        payload = certificate(
+            _load_program(args.program),
+            check_pairs=args.check_pairs,
+            seed=args.seed,
+        )
+    print(certificate_to_json(payload), file=out)
+    return 0
+
+
 def _cmd_analyze_ilog(args, out) -> int:
     from .core.analyzer import plan_ilog_distribution
     from .ilog.program import parse_ilog_program
@@ -137,6 +179,56 @@ def _cmd_analyze_ilog(args, out) -> int:
     print(f"cf-class:     {analysis.coordination_class or '-'}", file=out)
     print(f"strategy:     {plan.transducer.name}", file=out)
     return 0
+
+
+def _cmd_serve(args, out) -> int:
+    """``repro serve``: run the multi-tenant query/analysis service.
+
+    Blocks on the main thread until SIGINT/SIGTERM, then drains the
+    worker pool and closes the store (docs/SERVICE.md).
+    """
+    import signal
+    import threading
+
+    from .service import ReproService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store_path=args.store,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        rate_limit=args.rate_limit,
+        rate_window=args.rate_window,
+        quiet=not args.verbose,
+    )
+    service = ReproService(config).start_in_thread()
+    print(
+        f"repro-service v{_service_version()} listening on "
+        f"http://{config.host}:{service.port} (store: {config.store_path}, "
+        f"{config.workers} workers)",
+        file=out,
+        flush=True,
+    )
+
+    # The serve loop runs on a thread; the main thread just waits for a
+    # signal.  Setting an event is async-signal-safe, and the shutdown
+    # path itself can no longer be interrupted by the handler.
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        service.shutdown()
+        print("repro-service stopped", file=out, flush=True)
+    return 0
+
+
+def _service_version() -> int:
+    from .service import SERVICE_VERSION
+
+    return SERVICE_VERSION
 
 
 def _cmd_eval(args, out) -> int:
@@ -401,12 +493,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--ilog", action="store_true",
         help="treat the program as ILOG¬ (value invention via '*' heads)",
     )
+    analyze_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable classification certificate",
+    )
+    analyze_cmd.add_argument(
+        "--check-pairs", type=int, default=0, metavar="N",
+        help="with --json: empirically cross-check the guarantee on N "
+        "seeded random (I, J) pairs per addition kind",
+    )
+    analyze_cmd.add_argument(
+        "--seed", type=int, default=0, help="seed for --check-pairs sampling"
+    )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
     eval_cmd = commands.add_parser("eval", help="evaluate centrally")
     eval_cmd.add_argument("program")
     eval_cmd.add_argument("facts")
     eval_cmd.set_defaults(handler=_cmd_eval)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the multi-tenant query/analysis HTTP service"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8765, help="0 picks an ephemeral port"
+    )
+    serve_cmd.add_argument(
+        "--store", default="repro-service.db",
+        help="sqlite run-store path (':memory:' for ephemeral)",
+    )
+    serve_cmd.add_argument("--workers", type=int, default=4)
+    serve_cmd.add_argument("--queue-capacity", type=int, default=64)
+    serve_cmd.add_argument(
+        "--rate-limit", type=int, default=120,
+        help="max requests per tenant per window",
+    )
+    serve_cmd.add_argument(
+        "--rate-window", type=float, default=10.0, help="rate window seconds"
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
 
     run_cmd = commands.add_parser("run", help="evaluate on a simulated network")
     run_cmd.add_argument("program")

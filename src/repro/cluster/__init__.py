@@ -32,6 +32,7 @@ from .faults import CRASH_PLAN, FaultLayer, FaultyEndpoint, NodeCrashed
 from .gate import check_process_workload, check_workload, gate_workloads
 from .procs import (
     SCALING_BLOCK,
+    ClusterShutdown,
     ProcessCluster,
     scaling_workload,
     scaling_workload_by_key,
@@ -74,6 +75,7 @@ __all__ = [
     "NodeCrashed",
     "ClusterNode",
     "ClusterRun",
+    "ClusterShutdown",
     "ProcessCluster",
     "SCALING_BLOCK",
     "scaling_workload",

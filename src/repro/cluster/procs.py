@@ -594,6 +594,14 @@ def worker_main(argv: Sequence[str]) -> int:
 # ----------------------------------------------------------------------
 
 
+class ClusterShutdown(RuntimeError):
+    """The coordinator was asked to stop (SIGTERM/SIGINT) mid-run.
+
+    Raised out of :meth:`ProcessCluster.arun` *after* its cleanup ran —
+    by the time a caller sees this, every worker process has been reaped
+    and the control-plane socket is closed (no orphans)."""
+
+
 class ProcessCluster:
     """A one-shot multi-process execution of a transducer network.
 
@@ -745,6 +753,42 @@ class ProcessCluster:
         server = await asyncio.start_server(accept_control, self._host, 0)
         control_port = server.sockets[0].getsockname()[1]
 
+        # Graceful shutdown: SIGTERM/SIGINT inject an event that unwinds
+        # arun through its cleanup (reap workers, close sockets) before
+        # raising ClusterShutdown.  Registration fails off the main
+        # thread (the service runs clusters from worker threads) — then
+        # the parent process's own handler owns signal policy instead.
+        loop = asyncio.get_running_loop()
+        handled_signals: list[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda s=signum: events.put_nowait(
+                        ("shutdown", None, {"signum": s})
+                    ),
+                )
+                handled_signals.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+
+        def write_pids() -> None:
+            # Audit file for supervisors and the no-orphans regression
+            # test: the parent pid plus every live worker pid, rewritten
+            # atomically at each (re)spawn.
+            payload = {
+                "parent": os.getpid(),
+                "workers": {
+                    node: proc.pid
+                    for node, proc in procs.items()
+                    if proc.returncode is None
+                },
+            }
+            tmp_path = os.path.join(run_dir, "pids.json.tmp")
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, os.path.join(run_dir, "pids.json"))
+
         def child_env() -> dict:
             import repro
 
@@ -796,6 +840,7 @@ class ProcessCluster:
                 await events.put(("exit", node, {"returncode": returncode}))
 
             monitor_tasks.append(asyncio.ensure_future(monitor()))
+            write_pids()
 
         def worker_stderr(node: str) -> str:
             chunks = []
@@ -890,6 +935,11 @@ class ProcessCluster:
                                 await writer.drain()
                             except (ConnectionError, OSError):
                                 pass
+                elif kind == "shutdown":
+                    raise ClusterShutdown(
+                        f"coordinator received signal {message['signum']}; "
+                        "workers reaped"
+                    )
                 elif kind == "exit":
                     if node in self._results:
                         continue  # clean exit after delivering its result
@@ -907,6 +957,11 @@ class ProcessCluster:
                     await spawn(node, kill=False)
                     self.recoveries += 1
         finally:
+            for signum in handled_signals:
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
             server.close()
             await server.wait_closed()
             for task in monitor_tasks:
@@ -928,6 +983,10 @@ class ProcessCluster:
                         pass
             for writer in conns.values():
                 writer.close()
+            try:
+                write_pids()  # now records zero live workers
+            except OSError:
+                pass
 
         self._harvest()
         return self.global_output()

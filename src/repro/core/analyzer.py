@@ -49,6 +49,8 @@ __all__ = [
     "query_for",
     "DistributedPlan",
     "plan_distribution",
+    "network_for_plan",
+    "planned_network",
     "plan_ilog_distribution",
     "distributed_run",
     "run_distributed",
@@ -193,38 +195,47 @@ class DistributedPlan:
         return f"{self.query.name}: {self.analysis.describe()}; protocol {self.transducer.name}"
 
 
-def plan_distribution(program: Program) -> DistributedPlan:
-    """Choose the cheapest sound distributed execution strategy."""
+def plan_distribution(
+    program: Program, *, force_barrier: bool = False
+) -> DistributedPlan:
+    """Choose the cheapest sound distributed execution strategy.
+
+    ``force_barrier`` overrides the routing and executes via the global
+    All-barrier even when a coordination-free protocol applies — the
+    coordinating baseline the service's cost comparisons run against.
+    """
     from ..transducers.barrier import global_barrier_transducer
 
     analysis = analyze(program)
     query = query_for(program)
     requires_barrier = False
-    if analysis.monotonicity == "M":
-        transducer: Transducer = broadcast_transducer(query)
+    if force_barrier or analysis.monotonicity is None:
+        transducer: Transducer = global_barrier_transducer(query)
+        requires_barrier = True
+    elif analysis.monotonicity == "M":
+        transducer = broadcast_transducer(query)
     elif analysis.monotonicity == "Mdistinct":
         transducer = distinct_protocol_transducer(query)
-    elif analysis.monotonicity == "Mdisjoint":
+    else:  # Mdisjoint
         transducer = disjoint_protocol_transducer(query)
-    else:
-        transducer = global_barrier_transducer(query)
-        requires_barrier = True
     return DistributedPlan(
         analysis=analysis,
         query=query,
         transducer=transducer,
-        requires_domain_guided=analysis.monotonicity == "Mdisjoint",
+        requires_domain_guided=(
+            not requires_barrier and analysis.monotonicity == "Mdisjoint"
+        ),
         requires_barrier=requires_barrier,
     )
 
 
-def planned_network(
-    program: Program, nodes: Iterable[Hashable] = ("n1", "n2", "n3")
+def network_for_plan(
+    plan: DistributedPlan, nodes: Iterable[Hashable] = ("n1", "n2", "n3")
 ) -> TransducerNetwork:
-    """The analyzer's chosen transducer network for *program* on *nodes*,
-    ready for either runtime (synchronous ``Run`` or ``repro.cluster``)."""
+    """The transducer network executing an already-computed *plan* on
+    *nodes* — shared by the Datalog¬ and ILOG¬ planners, and by the
+    service (which plans once, then builds networks per request mode)."""
     network = Network(nodes)
-    plan = plan_distribution(program)
     if plan.requires_domain_guided:
         policy = domain_guided_policy(
             plan.query.input_schema, network, hash_domain_assignment(network)
@@ -232,6 +243,19 @@ def planned_network(
     else:
         policy = hash_policy(plan.query.input_schema, network)
     return TransducerNetwork(network, plan.transducer, policy)
+
+
+def planned_network(
+    program: Program,
+    nodes: Iterable[Hashable] = ("n1", "n2", "n3"),
+    *,
+    force_barrier: bool = False,
+) -> TransducerNetwork:
+    """The analyzer's chosen transducer network for *program* on *nodes*,
+    ready for either runtime (synchronous ``Run`` or ``repro.cluster``)."""
+    return network_for_plan(
+        plan_distribution(program, force_barrier=force_barrier), nodes
+    )
 
 
 def distributed_run(

@@ -1,0 +1,42 @@
+"""repro.service — the multi-tenant query/analysis service.
+
+The paper's central claim (weaker monotonicity classes admit cheaper
+coordination-free protocols, Thms 4.3/4.4/4.5) becomes a *per-request
+routing decision*: clients POST a Datalog¬/wILOG program plus an input
+instance, the service classifies it, picks the cheapest applicable
+protocol (or the coordinating All-barrier when nothing weaker is sound),
+executes it on one of the existing runtimes, and persists the
+classification certificate, the routing decision, the output fingerprint
+and the full :class:`~repro.transducers.telemetry.RunReport` in a
+sqlite-backed store with per-tenant isolation.
+
+* :mod:`repro.service.store` — the persistent run store;
+* :mod:`repro.service.app`   — the HTTP surface (stdlib
+  ``ThreadingHTTPServer``), worker pool, rate limiting, and the CLI
+  backend for ``repro serve``.
+
+See ``docs/SERVICE.md`` for the API reference and store schema.
+"""
+
+from .app import (
+    DEFAULT_RATE_LIMIT,
+    DEFAULT_RATE_WINDOW,
+    SERVICE_VERSION,
+    RateLimiter,
+    ReproService,
+    ServiceConfig,
+    execute_request,
+)
+from .store import STORE_SCHEMA_VERSION, RunStore
+
+__all__ = [
+    "DEFAULT_RATE_LIMIT",
+    "DEFAULT_RATE_WINDOW",
+    "SERVICE_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "RateLimiter",
+    "ReproService",
+    "RunStore",
+    "ServiceConfig",
+    "execute_request",
+]

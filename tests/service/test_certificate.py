@@ -1,0 +1,132 @@
+"""Certificate tests: memberships, protocol reasons, the empirical
+cross-check, and the ``repro analyze --json`` CLI surface."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.core.analyzer import plan_distribution, plan_ilog_distribution
+from repro.core.certificate import (
+    CERTIFICATE_VERSION,
+    certificate,
+    fragment_memberships,
+    ilog_certificate_for_plan,
+)
+from repro.datalog import parse_program
+from repro.ilog import parse_ilog_program
+from repro.queries import zoo_entries
+
+
+class TestMemberships:
+    def test_memberships_are_downward_consistent(self):
+        # A membership table must respect Figure 2's containments:
+        # datalog => datalog-neq => sp-datalog => semicon => stratified => wfs.
+        chain = [
+            "datalog",
+            "datalog-neq",
+            "sp-datalog",
+            "semicon-datalog",
+            "stratified",
+            "wfs",
+        ]
+        for entry in zoo_entries():
+            members = fragment_memberships(parse_program(entry.source))
+            for tighter, looser in zip(chain, chain[1:]):
+                assert not (members[tighter] and not members[looser]), (
+                    entry.name,
+                    tighter,
+                    looser,
+                )
+
+    def test_tightest_fragment_is_a_membership(self):
+        for entry in zoo_entries():
+            program = parse_program(entry.source)
+            members = fragment_memberships(program)
+            assert members[entry.fragment] is True, entry.name
+
+
+class TestCertificate:
+    def test_zoo_certificates_match_expectations(self):
+        for entry in zoo_entries():
+            cert = certificate(parse_program(entry.source))
+            assert cert["version"] == CERTIFICATE_VERSION
+            assert cert["fragment"] == entry.fragment, entry.name
+            expected = None if entry.monotonicity == "none" else entry.monotonicity
+            assert cert["monotonicity"] == expected, entry.name
+            assert cert["protocol"]["requires_barrier"] is (expected is None)
+
+    def test_empirical_section_never_refutes_a_guarantee(self):
+        for entry in zoo_entries():
+            if entry.monotonicity == "none":
+                continue
+            cert = certificate(parse_program(entry.source), check_pairs=4)
+            assert cert["empirical"]["holds"] is True, entry.name
+
+    def test_empirical_classify_mode_without_guarantee(self):
+        source = next(
+            e.source for e in zoo_entries() if e.monotonicity == "none"
+        )
+        cert = certificate(parse_program(source), check_pairs=4)
+        assert cert["empirical"]["mode"] == "classify"
+        assert "weakest_consistent_class" in cert["empirical"]
+
+    def test_reason_names_the_paper_protocol(self):
+        plan = plan_distribution(
+            parse_program("O(x, y) :- E(x, y), not Mark(y).")
+        )
+        cert = certificate(parse_program("O(x, y) :- E(x, y), not Mark(y)."))
+        assert plan.requires_barrier is False
+        assert "Thm 4.3" in cert["protocol"]["reason"]
+
+    def test_ilog_certificate(self):
+        program = parse_ilog_program(
+            "P(*, x) :- V(x). Q(p) :- P(p, x). O(x) :- P(p, x), Q(p)."
+        )
+        cert = ilog_certificate_for_plan(program, plan_ilog_distribution(program))
+        assert cert["invention"] == ["P"]
+        assert cert["memberships"] is None
+        assert cert["monotonicity"] == "Mdistinct"
+
+
+class TestAnalyzeJsonCLI:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_analyze_json_prints_one_document(self, tmp_path):
+        path = tmp_path / "tc.dl"
+        path.write_text("T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).")
+        code, text = self._run(["analyze", str(path), "--json"])
+        assert code == 0
+        cert = json.loads(text)
+        assert cert["fragment"] == "datalog"
+        assert cert["monotonicity"] == "M"
+        assert "empirical" not in cert
+
+    def test_analyze_json_check_pairs(self, tmp_path):
+        path = tmp_path / "sp.dl"
+        path.write_text("O(x, y) :- E(x, y), not Mark(y).")
+        code, text = self._run(
+            ["analyze", str(path), "--json", "--check-pairs", "3"]
+        )
+        assert code == 0
+        cert = json.loads(text)
+        assert cert["monotonicity"] == "Mdistinct"
+        assert cert["empirical"]["holds"] is True
+
+    def test_analyze_json_ilog(self, tmp_path):
+        path = tmp_path / "inv.ilog"
+        path.write_text("P(*, x) :- V(x). Q(p) :- P(p, x). O(x) :- P(p, x), Q(p).")
+        code, text = self._run(["analyze", str(path), "--json", "--ilog"])
+        assert code == 0
+        cert = json.loads(text)
+        assert cert["fragment"] == "sp-wilog"
+        assert cert["invention"] == ["P"]
+
+    def test_plain_analyze_unchanged(self, tmp_path):
+        path = tmp_path / "tc.dl"
+        path.write_text("T(x,y) :- E(x,y).")
+        code, text = self._run(["analyze", str(path)])
+        assert code == 0
+        assert "fragment:" in text and "{" not in text
