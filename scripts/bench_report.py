@@ -25,6 +25,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_report.py --scaling --smoke --compare-baseline
     PYTHONPATH=src python scripts/bench_report.py --service  # BENCH_service.json
     PYTHONPATH=src python scripts/bench_report.py --service --smoke
+    PYTHONPATH=src python scripts/bench_report.py --scenarios  # BENCH_scenarios.json
+    PYTHONPATH=src python scripts/bench_report.py --scenarios --smoke
 
 ``--service`` switches to the multi-tenant service load test
 (``benchmarks/bench_service.py``): >= 200 concurrent POSTs across >= 3
@@ -42,6 +44,16 @@ run, committed as ``BENCH_scaling.json`` with the same dated-history
 upsert and baseline gate.  In ``--smoke`` mode (CI, low-core runners) the
 speedup target is reported but not enforced; output consistency and the
 recovery run always are.
+
+``--scenarios`` switches to the committed streaming-scenario gate: every
+YAML scenario under ``scenarios/`` is replayed through the synchronous
+simulator, the asyncio cluster and the process cluster (clean *and*
+kill-and-recover), demanding identical per-epoch fingerprints everywhere
+plus the live delta-preservation oracle on classified scenarios
+(docs/SCENARIOS.md).  The verdicts land in ``BENCH_scenarios.json`` with
+the same dated-history upsert; ``--smoke`` only tags the history entry
+(the scenarios are tiny, so every arm always runs — the gate properties
+are never relaxed).
 
 ``--output`` overrides the destination (default: repo-root BENCH_engine.json).
 The output file keeps a dated **history**: each invocation upserts one
@@ -61,6 +73,7 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -353,6 +366,91 @@ def scaling_main(args) -> int:
     return 0
 
 
+#: The scenario gate's commitment: every committed streaming scenario
+#: passes cross-runtime confluence + the delta-preservation oracle.
+SCENARIO_TARGETS = {"scenario_gate_pass": 1.0}
+
+
+def scenarios_main(args) -> int:
+    """``--scenarios`` mode: replay the committed streaming-scenario
+    library across all runtimes (including one real-SIGKILL recovery per
+    scenario) and distill the verdicts into BENCH_scenarios.json."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.streaming import check_stream_scenario, scenario_library
+
+    scenarios = scenario_library()
+    if not scenarios:
+        print("FAILURES:\n  no scenarios found under scenarios/")
+        return 1
+
+    failures = []
+    records = []
+    for scenario in scenarios:
+        start = time.perf_counter()
+        verdict = check_stream_scenario(scenario)
+        wall = time.perf_counter() - start
+        record = verdict.to_dict()
+        record["wall_s"] = round(wall, 3)
+        records.append(record)
+        oracle_note = (
+            f"oracle={scenario.oracle}"
+            if verdict.oracle_checked
+            else f"oracle={scenario.oracle} (confluence only)"
+        )
+        print(
+            f"  {scenario.name:<26} {oracle_note:<32} "
+            f"epochs={verdict.epochs} runtimes={len(verdict.runtimes)} "
+            f"recoveries={verdict.recoveries} {wall:.1f}s "
+            f"{'ok' if verdict.passed else 'FAILED'}"
+        )
+        if not verdict.passed:
+            details = "; ".join(verdict.preservation_failures) or (
+                "per-epoch fingerprints diverged across runtimes"
+                if not verdict.fingerprints_ok
+                else "kill run exercised no recovery"
+            )
+            failures.append(f"{scenario.name}: {details}")
+
+    passed = sum(1 for record in records if record["passed"])
+    ratio = passed / len(records)
+    headline = {
+        "scenario_gate_pass": {
+            "speedup": round(ratio, 3),
+            "target": SCENARIO_TARGETS["scenario_gate_pass"],
+            "ok": ratio >= SCENARIO_TARGETS["scenario_gate_pass"],
+        }
+    }
+    print(
+        f"  headline scenario_gate_pass: {passed}/{len(records)} "
+        f"(target: all) {'ok' if ratio >= 1.0 else 'FAILED'}"
+    )
+
+    if args.compare_baseline is not None:
+        print(f"== compare-baseline: {args.compare_baseline} ==")
+        failures.extend(
+            compare_baseline(
+                Path(args.compare_baseline), headline, suite="bench_scenarios"
+            )
+        )
+
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "mode": "smoke" if args.smoke else "full",
+        "headline": headline,
+        "scenarios": records,
+    }
+    output = Path(args.output or str(REPO / "BENCH_scenarios.json"))
+    report = load_history(output, suite="bench_scenarios")
+    report["history"] = upsert_history(report["history"], entry)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output} ({len(report['history'])} history entr"
+          f"{'y' if len(report['history']) == 1 else 'ies'})")
+    if failures:
+        print("FAILURES:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
 #: Service-mode gates, expressed as ratios so the shared baseline
 #: comparison applies: 1.0 means the property held on every sample.
 SERVICE_TARGETS = {
@@ -493,6 +591,12 @@ def main() -> int:
         help="run the multi-tenant service load test and distill the run "
         "store's aggregates into BENCH_service.json",
     )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="replay the committed streaming-scenario library across all "
+        "runtimes (incl. kill-and-recover) into BENCH_scenarios.json",
+    )
     parser.add_argument("--output", default=None)
     parser.add_argument(
         "--compare-baseline",
@@ -508,10 +612,15 @@ def main() -> int:
     if args.compare_baseline == "":
         if args.service:
             args.compare_baseline = str(REPO / "BENCH_service.json")
+        elif args.scenarios:
+            args.compare_baseline = str(REPO / "BENCH_scenarios.json")
         else:
             args.compare_baseline = str(
                 REPO / ("BENCH_scaling.json" if args.scaling else "BENCH_engine.json")
             )
+    if args.scenarios:
+        print("== streaming-scenario gate (repro.streaming.check_stream_scenario) ==")
+        return scenarios_main(args)
     if args.service:
         print("== service load test (bench_service.service_load_test) ==")
         return service_main(args)

@@ -22,25 +22,32 @@ Usage (also via ``python -m repro``):
         (stratified, or well-founded when unstratifiable).
 
     repro run PROGRAM.dl FACTS.dl [--nodes N] [--seed S]
-               [--chaos] [--scheduler NAME] [--report OUT.json] [--trace]
+               [--chaos] [--scheduler NAME] [--stream FEED.yaml]
+               [--report OUT.json] [--trace]
         Distributed evaluation on a simulated N-node network using the
         analyzer's strategy; prints the output and the run metrics.
         ``--chaos`` injects channel faults (duplication, delay,
         drop-with-eventual-redelivery) and defaults to the chaos
         scheduler; ``--scheduler`` picks any of fair / trickle /
-        singleton / storm / starve / chaos; ``--report`` writes the
-        structured JSON run report (see docs/CHAOS.md).
+        singleton / storm / starve / chaos; ``--stream`` trickles in a
+        delta feed (``batches: [...]`` YAML or a full scenario file,
+        docs/SCENARIOS.md), injecting each batch at quiescence and
+        checking live delta preservation for classified programs;
+        ``--report`` writes the structured JSON run report (see
+        docs/CHAOS.md).
 
     repro cluster PROGRAM.dl FACTS.dl [--nodes N] [--seed S]
                [--transport memory|tcp] [--chaos] [--crash]
-               [--max-crashes N] [--report OUT.json]
+               [--max-crashes N] [--stream FEED.yaml] [--report OUT.json]
         Distributed evaluation on the *asynchronous* cluster runtime:
         one asyncio task per node, wire-encoded envelopes over the chosen
         transport, quiescence detected decentrally by Safra's token ring
         (see docs/CLUSTER.md).  ``--chaos`` wraps every endpoint in the
         fault layer (duplication, delay, drop-with-redelivery); ``--crash``
         additionally kills and checkpoint-recovers node tasks mid-round
-        (crash-recovery protocol in docs/CLUSTER.md).
+        (crash-recovery protocol in docs/CLUSTER.md); ``--stream`` feeds
+        delta batches as wire envelopes injected at detected quiescence
+        (the token ring re-arms per epoch, docs/SCENARIOS.md).
 
     repro cluster PROGRAM.dl FACTS.dl --processes N [--seed S]
                [--run-dir DIR] [--kill-node NODE --kill-after K]
@@ -58,15 +65,19 @@ Usage (also via ``python -m repro``):
 
     repro fuzz [--seed S] [--iterations N] [--time-budget SECONDS]
                [--stacks a,b,...] [--corpus DIR] [--mutate STACK=NAME]
-               [--no-metamorphic] [--report OUT.json]
-        Differential + metamorphic conformance fuzzing: random programs
-        per paper fragment run through every evaluation stack (naive,
-        semi-naive legacy join, compiled plans, columnar kernel,
-        synchronous simulator, async cluster on both transports with
-        chaos and crash schedules),
+               [--no-metamorphic] [--no-streaming] [--report OUT.json]
+        Differential + metamorphic + streaming conformance fuzzing:
+        random programs per paper fragment run through every evaluation
+        stack (naive, semi-naive legacy join, compiled plans, columnar
+        kernel, synchronous simulator, async cluster on both transports
+        with chaos and crash schedules),
         asserting byte-identical outputs plus the fragment's guaranteed
-        monotonicity class.  Failures are minimized and, with --corpus,
-        persisted as permanent regression entries (see docs/TESTING.md).
+        monotonicity class — both statically on random deltas and live
+        mid-stream (a kind-admissible delta feed trickled through a
+        rotating runtime; ``--mutate streaming=retract-on-delta`` plants
+        the streaming self-check bug).  Failures are minimized and, with
+        --corpus, persisted as permanent regression entries (see
+        docs/TESTING.md).
 
 Program files use the conventional syntax (``O(x) :- E(x, y), not S(y).``);
 fact files are plain facts (``E(1, 2).``).
@@ -231,6 +242,57 @@ def _service_version() -> int:
     return SERVICE_VERSION
 
 
+def _load_stream(args):
+    if not getattr(args, "stream", None):
+        return None
+    from .streaming import load_feed
+
+    return load_feed(args.stream)
+
+
+def _stream_instance(instance: Instance, feed) -> Instance:
+    """The full input: base facts plus every fact the feed will deliver."""
+    return instance | [
+        fact for batch in feed.batches for fact in batch.facts
+    ]
+
+
+def _print_stream(program, feed, epoch_outputs, out) -> bool:
+    """Print the epoch trajectory and the live delta-preservation verdict.
+
+    Returns ``False`` when the program carries a monotonicity guarantee
+    and some epoch's output is not a subset of the final output.
+    """
+    sizes = ", ".join(str(len(output)) for output in epoch_outputs)
+    print(
+        f"stream:       {len(feed)} batch(es), {feed.total_facts} fact(s)",
+        file=out,
+    )
+    print(f"epoch sizes:  {sizes}", file=out)
+    analysis = analyze(program)
+    if analysis.monotonicity is None:
+        print("delta check:  skipped (no monotonicity guarantee)", file=out)
+        return True
+    final = epoch_outputs[-1]
+    violated = [
+        epoch
+        for epoch, output in enumerate(epoch_outputs)
+        if not output <= final
+    ]
+    if violated:
+        print(
+            f"delta check:  VIOLATED at epoch(s) {violated} "
+            f"(output was retracted)",
+            file=out,
+        )
+        return False
+    print(
+        f"delta check:  OK ({analysis.monotonicity}: every epoch ⊆ final)",
+        file=out,
+    )
+    return True
+
+
 def _cmd_eval(args, out) -> int:
     program = _load_program(args.program)
     instance = _load_facts(args.facts)
@@ -253,6 +315,7 @@ def _cmd_run(args, out) -> int:
 
     program = _load_program(args.program)
     instance = _load_facts(args.facts)
+    feed = _load_stream(args)
     plan = plan_distribution(program)
     nodes = tuple(f"n{i + 1}" for i in range(args.nodes))
     channel = FaultyChannel(CHAOS_PLAN, args.seed) if args.chaos else None
@@ -261,17 +324,25 @@ def _cmd_run(args, out) -> int:
     run = distributed_run(program, instance, nodes=nodes, channel=channel)
     quiesced = True
     try:
-        result = run.run_to_quiescence(scheduler=scheduler)
+        if feed is not None:
+            result = run.stream_to_quiescence(feed, scheduler=scheduler)
+        else:
+            result = run.run_to_quiescence(scheduler=scheduler)
     except QuiescenceError as error:
         quiesced = False
         result = run.global_output()
         print(f"warning:      {error}", file=out)
-    expected = plan.query(instance)
+    expected = plan.query(
+        instance if feed is None else _stream_instance(instance, feed)
+    )
     print(f"strategy:     {plan.transducer.name}", file=out)
     print(f"network:      {', '.join(nodes)}", file=out)
     print(f"scheduler:    {scheduler_name}", file=out)
     if args.chaos:
         print(f"channel:      faulty ({CHAOS_PLAN.describe()})", file=out)
+    preserved = True
+    if feed is not None and quiesced:
+        preserved = _print_stream(program, feed, run.epoch_outputs, out)
     print(f"{len(result)} output fact(s):", file=out)
     _print_instance(result, out)
     status = "OK" if result == expected else "MISMATCH"
@@ -282,7 +353,7 @@ def _cmd_run(args, out) -> int:
         )
         write_report(report, args.report)
         print(f"report:       {args.report}", file=out)
-    return 0 if result == expected and quiesced else 1
+    return 0 if result == expected and quiesced and preserved else 1
 
 
 def _cmd_cluster(args, out) -> int:
@@ -300,6 +371,7 @@ def _cmd_cluster(args, out) -> int:
         raise ValueError("--kill-node/--kill-after require --processes")
     program = _load_program(args.program)
     instance = _load_facts(args.facts)
+    feed = _load_stream(args)
     plan = plan_distribution(program)
     nodes = tuple(f"n{i + 1}" for i in range(args.nodes))
     fault_plan = None
@@ -320,6 +392,7 @@ def _cmd_cluster(args, out) -> int:
         transport=args.transport,
         fault_plan=fault_plan,
         seed=args.seed,
+        delta_feed=feed,
     )
     quiesced = True
     try:
@@ -328,7 +401,9 @@ def _cmd_cluster(args, out) -> int:
         quiesced = False
         result = run.global_output()
         print(f"warning:      {error}", file=out)
-    expected = plan.query(instance)
+    expected = plan.query(
+        instance if feed is None else _stream_instance(instance, feed)
+    )
     print(f"strategy:     {plan.transducer.name}", file=out)
     print(f"network:      {', '.join(nodes)}", file=out)
     print(f"transport:    {run.transport_name}", file=out)
@@ -339,6 +414,9 @@ def _cmd_cluster(args, out) -> int:
         print(f"crashes:      {run.crashes}", file=out)
         print(f"recoveries:   {run.recoveries}", file=out)
         print(f"wal replayed: {run.wal_replayed}", file=out)
+    preserved = True
+    if feed is not None and quiesced:
+        preserved = _print_stream(program, feed, run.epoch_outputs, out)
     print(f"{len(result)} output fact(s):", file=out)
     _print_instance(result, out)
     status = "OK" if result == expected else "MISMATCH"
@@ -347,7 +425,7 @@ def _cmd_cluster(args, out) -> int:
         report = build_cluster_report(run, quiesced=quiesced)
         write_report(report, args.report)
         print(f"report:       {args.report}", file=out)
-    return 0 if result == expected and quiesced else 1
+    return 0 if result == expected and quiesced and preserved else 1
 
 
 def _cmd_cluster_processes(args, out) -> int:
@@ -367,6 +445,7 @@ def _cmd_cluster_processes(args, out) -> int:
     program_text = _read(args.program)
     program = parse_program(program_text)
     instance = _load_facts(args.facts)
+    feed = _load_stream(args)
     plan = plan_distribution(program)
     cluster = ProcessCluster(
         {"kind": "program", "text": program_text},
@@ -376,6 +455,7 @@ def _cmd_cluster_processes(args, out) -> int:
         run_dir=args.run_dir,
         kill_node=args.kill_node,
         kill_after=args.kill_after,
+        delta_feed=feed,
     )
     quiesced = True
     try:
@@ -384,7 +464,9 @@ def _cmd_cluster_processes(args, out) -> int:
         quiesced = False
         result = cluster.global_output()
         print(f"warning:      {error}", file=out)
-    expected = plan.query(instance)
+    expected = plan.query(
+        instance if feed is None else _stream_instance(instance, feed)
+    )
     print(f"strategy:     {plan.transducer.name}", file=out)
     print(f"network:      {', '.join(map(str, cluster.nodes()))}", file=out)
     print(f"transport:    {cluster.transport_name} (one OS process per node)", file=out)
@@ -393,6 +475,9 @@ def _cmd_cluster_processes(args, out) -> int:
         print(f"crashes:      {cluster.crashes}", file=out)
         print(f"recoveries:   {cluster.recoveries}", file=out)
         print(f"wal replayed: {cluster.wal_replayed}", file=out)
+    preserved = True
+    if feed is not None and quiesced:
+        preserved = _print_stream(program, feed, cluster.epoch_outputs, out)
     print(f"{len(result)} output fact(s):", file=out)
     _print_instance(result, out)
     status = "OK" if result == expected else "MISMATCH"
@@ -401,7 +486,7 @@ def _cmd_cluster_processes(args, out) -> int:
         report = build_cluster_report(cluster, quiesced=quiesced)
         write_report(report, args.report)
         print(f"report:       {args.report}", file=out)
-    return 0 if result == expected and quiesced else 1
+    return 0 if result == expected and quiesced and preserved else 1
 
 
 def _cmd_fuzz(args, out) -> int:
@@ -412,6 +497,7 @@ def _cmd_fuzz(args, out) -> int:
         write_fuzz_report,
     )
     from .conformance.differential import MUTATIONS
+    from .conformance.streaming import STREAM_MUTATIONS
 
     stacks = (
         tuple(name.strip() for name in args.stacks.split(",") if name.strip())
@@ -421,10 +507,17 @@ def _cmd_fuzz(args, out) -> int:
     mutate: dict[str, str] = {}
     for spec in args.mutate or []:
         stack, sep, name = spec.partition("=")
-        if not sep or stack not in stacks or name not in MUTATIONS:
+        # "streaming" is a pseudo-stack: the mutation plants a bug into
+        # the streaming oracle's runtime rather than an evaluation stack.
+        valid = bool(sep) and (
+            (stack in stacks and name in MUTATIONS)
+            or (stack == "streaming" and name in STREAM_MUTATIONS)
+        )
+        if not valid:
             raise ValueError(
                 f"--mutate expects STACK=NAME with STACK in {stacks} and "
-                f"NAME in {sorted(MUTATIONS)}; got {spec!r}"
+                f"NAME in {sorted(MUTATIONS)}, or streaming=NAME with NAME "
+                f"in {sorted(STREAM_MUTATIONS)}; got {spec!r}"
             )
         mutate[stack] = name
     config = FuzzConfig(
@@ -435,6 +528,7 @@ def _cmd_fuzz(args, out) -> int:
         corpus_dir=args.corpus,
         mutate=mutate,
         metamorphic=not args.no_metamorphic,
+        streaming=not args.no_streaming,
     )
     report = run_fuzz(config, log=lambda line: print(line, file=out))
     print(f"seed:         {report['seed']}", file=out)
@@ -454,6 +548,15 @@ def _cmd_fuzz(args, out) -> int:
     print(f"fragments:    {fragments}", file=out)
     print(f"divergences:  {len(report['divergences'])}", file=out)
     print(f"metamorphic:  {len(report['metamorphic_violations'])} violation(s)", file=out)
+    streamed = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(report["streaming_runtimes"].items())
+    )
+    print(
+        f"streaming:    {len(report['streaming_violations'])} violation(s)"
+        + (f" ({streamed})" if streamed else ""),
+        file=out,
+    )
     if report["corpus_entries"]:
         for path in report["corpus_entries"]:
             print(f"corpus:       {path}", file=out)
@@ -554,6 +657,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="activation schedule (default: fair; chaos when --chaos is given)",
     )
     run_cmd.add_argument(
+        "--stream", metavar="FEED",
+        help="YAML delta feed (or scenario file) to trickle in: each batch "
+        "is injected once the network quiesces, then evaluation resumes "
+        "(docs/SCENARIOS.md)",
+    )
+    run_cmd.add_argument(
         "--report", metavar="PATH", help="write the JSON run report to PATH"
     )
     run_cmd.add_argument(
@@ -632,6 +741,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --kill-node: deliver the SIGKILL after K transitions",
     )
     cluster_cmd.add_argument(
+        "--stream", metavar="FEED",
+        help="YAML delta feed (or scenario file) to inject as delta "
+        "envelopes at detected quiescence (works with --processes too; "
+        "docs/SCENARIOS.md)",
+    )
+    cluster_cmd.add_argument(
         "--report", metavar="PATH", help="write the JSON run report to PATH"
     )
     cluster_cmd.set_defaults(handler=_cmd_cluster)
@@ -663,6 +778,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument(
         "--no-metamorphic", action="store_true",
         help="skip the monotonicity-class metamorphic oracle",
+    )
+    fuzz_cmd.add_argument(
+        "--no-streaming", action="store_true",
+        help="skip the live streaming delta-preservation oracle",
     )
     fuzz_cmd.add_argument(
         "--report", metavar="PATH", help="write the JSON fuzz report to PATH"

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from ..datalog.terms import Fact
-from .codec import CodecError, TokenState, decode_value, encode_value
+from .codec import KIND_DELTA, CodecError, TokenState, decode_value, encode_value
 
 __all__ = [
     "SNAPSHOT_VERSION",
@@ -55,7 +55,9 @@ __all__ = [
 ]
 
 #: Bumped whenever the snapshot layout changes; decoders reject the rest.
-SNAPSHOT_VERSION = 1
+#: v2 added the streaming-ingestion fields (``extra_input``, ``epochs``,
+#: ``epoch_outputs``).
+SNAPSHOT_VERSION = 2
 
 _SNAPSHOT_MAGIC = "repro-snapshot"
 _LEN = struct.Struct("<I")
@@ -97,6 +99,18 @@ class NodeSnapshot:
     stats: tuple[int, int, int, int]  # transitions, heartbeats, deliveries, sent
     output: tuple[Fact, ...]
     memory: tuple[Fact, ...]
+    #: Late-arriving input accepted from a delta feed (the fragment a
+    #: recovering node must add on top of its configured base fragment).
+    extra_input: tuple[Fact, ...] = ()
+    #: Feed epochs already injected (nonzero only on the initiator).
+    epochs: int = 0
+    #: Per-epoch output snapshots: ((epoch, facts), ...) — the trajectory
+    #: the delta-preservation oracle reads after the run.
+    epoch_outputs: tuple = ()
+    #: The epoch this node currently works in (stamped onto outgoing data
+    #: frames so receivers can close epoch boundaries even when a peer's
+    #: post-injection data races ahead of the initiator's delta envelope).
+    current_epoch: int = 0
 
     def encode(self) -> bytes:
         return encode_value(
@@ -112,6 +126,13 @@ class NodeSnapshot:
                 tuple(self.stats),
                 _facts_to_value(self.output),
                 _facts_to_value(self.memory),
+                _facts_to_value(self.extra_input),
+                self.epochs,
+                tuple(
+                    (epoch, _facts_to_value(facts))
+                    for epoch, facts in self.epoch_outputs
+                ),
+                self.current_epoch,
             )
         )
 
@@ -123,7 +144,7 @@ class NodeSnapshot:
             raise CheckpointError(f"undecodable snapshot: {error}") from None
         if (
             not isinstance(value, tuple)
-            or len(value) != 11
+            or len(value) != 15
             or value[0] != _SNAPSHOT_MAGIC
         ):
             raise CheckpointError("not a node snapshot")
@@ -145,6 +166,12 @@ class NodeSnapshot:
             stats=stats,  # type: ignore[arg-type]
             output=_facts_from_value(value[9]),
             memory=_facts_from_value(value[10]),
+            extra_input=_facts_from_value(value[11]),
+            epochs=value[12],
+            epoch_outputs=tuple(
+                (epoch, _facts_from_value(facts)) for epoch, facts in value[13]
+            ),
+            current_epoch=value[14],
         )
 
 
@@ -152,7 +179,7 @@ class NodeSnapshot:
 # WAL entries and replay grouping
 # ----------------------------------------------------------------------
 
-_ENTRY_KINDS = {"boot", "batch", "token", "send", "token-sent"}
+_ENTRY_KINDS = {"boot", "batch", "token", "send", "token-sent", "delta"}
 
 
 def encode_entry(entry: tuple) -> bytes:
@@ -184,13 +211,26 @@ class ReplayOp:
     sequence allocator to its post-forward value.
     """
 
-    kind: str  # "closure" | "token" | "token-sent"
+    kind: str  # "closure" | "token" | "token-sent" | "delta"
     boot: bool = False
     envelopes: int = 0
     facts: tuple = ()
     sends: tuple = ()  # of (target, sequence, count)
     token: TokenState | None = None
     sequence: int = 0
+    #: Input facts accepted from delta envelopes within this closure —
+    #: applied to the local fragment *before* the closure re-runs.
+    delta_facts: tuple = ()
+    #: The highest epoch boundary this closure's frames imply (delta
+    #: envelopes name their boundary directly; a data frame stamped with
+    #: sender epoch e implies boundary e-1).  Replay re-records every
+    #: still-missing boundary up to it from the pre-closure output, just
+    #: like live acceptance; -1 means no boundary information.
+    epoch_boundary: int = -1
+    #: For ``delta`` ops: the feed epoch the initiator injected.  Replay
+    #: recomputes the per-node assignment from the (deterministic) feed
+    #: and consumes the logged sends, exactly like a closure.
+    epoch: int = 0
     #: (sender, sequence) of each accepted frame this op covers — the
     #: durable identity a deduplicating receiver rebuilds after a real
     #: process kill, so retransmitted copies of already-accepted frames
@@ -214,25 +254,36 @@ def group_replay_ops(entries, *, decode_data_frame) -> list[ReplayOp]:
             else:
                 frames = entry[1]
                 facts: list = []
+                delta_facts: list = []
+                boundary = -1
                 ids: list = []
                 for frame in frames:
                     envelope = decode_data_frame(frame)
-                    facts.extend(envelope.facts)
+                    if envelope.kind == KIND_DELTA:
+                        delta_facts.extend(envelope.facts)
+                        boundary = max(boundary, envelope.round)
+                    else:
+                        facts.extend(envelope.facts)
+                        boundary = max(boundary, envelope.round - 1)
                     ids.append((envelope.sender, envelope.sequence))
                 ops.append(
                     ReplayOp(
                         kind="closure",
                         envelopes=len(frames),
                         facts=tuple(facts),
+                        delta_facts=tuple(delta_facts),
+                        epoch_boundary=boundary,
                         frame_ids=tuple(ids),
                     )
                 )
         elif kind == "send":
-            if not ops or ops[-1].kind != "closure":
+            if not ops or ops[-1].kind not in ("closure", "delta"):
                 raise CheckpointError(
                     "WAL send entry outside any closure — corrupt log"
                 )
             ops[-1].sends = ops[-1].sends + ((entry[1], entry[2], entry[3]),)
+        elif kind == "delta":
+            ops.append(ReplayOp(kind="delta", epoch=entry[1]))
         elif kind == "token":
             envelope = decode_data_frame(entry[1])
             if envelope.token is None:
@@ -417,6 +468,11 @@ class NodeJournal:
 
     def append_token_sent(self, probe: int, sequence: int) -> None:
         self._append(("token-sent", probe, sequence))
+
+    def append_delta(self, epoch: int) -> None:
+        """Log that the feed's *epoch* is about to be injected (initiator
+        only; written before any of the epoch's delta envelopes ship)."""
+        self._append(("delta", epoch))
 
     # -- the recovery side -------------------------------------------------
 

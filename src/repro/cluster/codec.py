@@ -42,6 +42,7 @@ __all__ = [
     "KIND_DATA",
     "KIND_TOKEN",
     "KIND_STOP",
+    "KIND_DELTA",
     "KIND_NAMES",
     "CodecError",
     "TokenState",
@@ -64,8 +65,18 @@ CODEC_VERSION = 1
 KIND_DATA = 1
 KIND_TOKEN = 2
 KIND_STOP = 3
+#: Streaming input injection: like a data envelope on the wire (it carries
+#: facts and is counted by the Safra ring), but the facts *extend the
+#: receiver's local input fragment* instead of being delivered as messages.
+#: The ``round`` field carries the feed epoch index.
+KIND_DELTA = 4
 
-KIND_NAMES = {KIND_DATA: "data", KIND_TOKEN: "token", KIND_STOP: "stop"}
+KIND_NAMES = {
+    KIND_DATA: "data",
+    KIND_TOKEN: "token",
+    KIND_STOP: "stop",
+    KIND_DELTA: "delta",
+}
 
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
@@ -291,8 +302,8 @@ class Envelope:
             raise CodecError(f"unknown envelope kind {self.kind!r}")
         if self.kind == KIND_TOKEN and self.token is None:
             raise CodecError("token envelopes need a TokenState")
-        if self.kind != KIND_DATA and self.facts:
-            raise CodecError("only data envelopes carry facts")
+        if self.kind not in (KIND_DATA, KIND_DELTA) and self.facts:
+            raise CodecError("only data and delta envelopes carry facts")
 
 
 def encode_envelope(envelope: Envelope) -> bytes:
@@ -304,7 +315,7 @@ def encode_envelope(envelope: Envelope) -> bytes:
     _encode_value(envelope.sender, out)
     out += _U32.pack(envelope.round)
     out += _U64.pack(envelope.sequence)
-    if envelope.kind == KIND_DATA:
+    if envelope.kind in (KIND_DATA, KIND_DELTA):
         out += _U32.pack(len(envelope.facts))
         for fact in envelope.facts:
             _encode_fact(fact, out)
@@ -337,7 +348,7 @@ def decode_envelope(data: bytes) -> Envelope:
     sequence = reader.u64()
     facts: tuple[Fact, ...] = ()
     token: TokenState | None = None
-    if kind == KIND_DATA:
+    if kind in (KIND_DATA, KIND_DELTA):
         count = reader.u32()
         if count > len(reader.data):
             raise CodecError(f"fact count {count} exceeds frame size")

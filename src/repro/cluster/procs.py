@@ -149,6 +149,27 @@ def decode_facts_hex(text: str) -> tuple[Fact, ...]:
     return tuple(Fact(relation, values) for relation, values in value)
 
 
+async def _close_writers(writers) -> None:
+    """Close stream writers *cleanly*: close them all, then await each
+    ``wait_closed`` so buffered frames (PEER-UPDATE, finish, results) are
+    flushed to the kernel before the event loop dies — dropping the waits
+    loses frames and fires ResourceWarnings under ``-W error``.  Errors
+    are suppressed per writer: a peer that already died must not keep the
+    rest from closing.
+    """
+    writers = list(writers)
+    for writer in writers:
+        try:
+            writer.close()
+        except Exception:
+            pass
+    for writer in writers:
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
 def _send_msg(writer: asyncio.StreamWriter, message: dict) -> None:
     blob = json.dumps(message, sort_keys=True).encode("utf-8")
     writer.write(_U32.pack(len(blob)) + blob)
@@ -265,7 +286,14 @@ def build_proc_network(
         from ..core.analyzer import planned_network
         from ..datalog.parser import parse_program
 
-        return planned_network(parse_program(workload_spec["text"]), tuple(nodes))
+        program = parse_program(workload_spec["text"])
+        outputs = workload_spec.get("outputs")
+        if outputs is not None:
+            # Rule text alone cannot carry a designated-output restriction;
+            # rebuild with it so workers agree with the coordinator's
+            # program object on what the output schema is.
+            program = type(program)(program.rules, output_relations=outputs)
+        return planned_network(program, tuple(nodes))
     if kind == "scaling":
         workload = scaling_workload_by_key(workload_spec["key"])
     elif kind == "gate":
@@ -418,8 +446,7 @@ class ProcessEndpoint:
                 return  # peer died again; the next announcement retries
 
     async def close(self) -> None:
-        for writer in self._writers.values():
-            writer.close()
+        await _close_writers(self._writers.values())
         self._writers.clear()
         if self._server is not None:
             self._server.close()
@@ -521,6 +548,24 @@ async def _worker_async(spec: dict) -> None:
         {name: (host, int(port)) for name, (host, port) in peers_msg["peers"].items()}
     )
 
+    feed_assignment = None
+    if spec.get("feed") and index == 0:
+        # The whole deterministic feed ships in every worker spec; only
+        # the initiator consumes it.  The assignment is a pure function of
+        # the epoch index (per-fact memoized policies), so WAL replay of
+        # an injection after a real SIGKILL regenerates it identically.
+        feed_batches = [decode_facts_hex(text) for text in spec["feed"]]
+        inputs = net.transducer.schema.inputs
+
+        def feed_assignment(epoch: int, _batches=feed_batches, _inputs=inputs):
+            if epoch >= len(_batches):
+                return None
+            delta = Instance(set(_batches[epoch])).restrict(_inputs)
+            fragments = net.policy.distribute(delta)
+            return {
+                name: tuple(sorted(fragments[name])) for name in ordered
+            }
+
     journal = NodeJournal(DiskCheckpointStore(spec["checkpoint_dir"]), node)
     recovered = journal.has_history()
     replayed = [0]
@@ -542,6 +587,7 @@ async def _worker_async(spec: dict) -> None:
         snapshot_every=int(spec.get("snapshot_every", 1)),
         replay_sink=lambda entries: replayed.__setitem__(0, entries),
         dedup=True,
+        feed=feed_assignment,
     )
     control_task = asyncio.ensure_future(
         _control_loop(creader, endpoint, node)
@@ -571,10 +617,15 @@ async def _worker_async(spec: dict) -> None:
             "recovered": bool(recovered),
             "snapshot_bytes": journal._store.snapshot_bytes,
             "caches": _cache_report(net.transducer),
+            "epochs": cluster_node._epochs_injected,
+            "epoch_outputs": {
+                str(epoch): encode_facts_hex(facts)
+                for epoch, facts in cluster_node.epoch_outputs.items()
+            },
         },
     )
     await cwriter.drain()
-    cwriter.close()
+    await _close_writers([cwriter])
     await endpoint.close()
 
 
@@ -634,6 +685,7 @@ class ProcessCluster:
         max_probes: int = 10_000,
         mailbox_capacity: int = DEFAULT_MAILBOX_CAPACITY,
         python: str = sys.executable,
+        delta_feed=None,
     ) -> None:
         if nodes is None:
             if processes is None:
@@ -663,6 +715,7 @@ class ProcessCluster:
         self._max_probes = max_probes
         self._mailbox_capacity = mailbox_capacity
         self._python = python
+        self._delta_feed = delta_feed
         self._completed = False
 
         self._states: dict[str, NodeState] = {}
@@ -675,6 +728,8 @@ class ProcessCluster:
         self.recoveries = 0
         self.wal_replayed = 0
         self.snapshot_bytes = 0
+        self.epoch_outputs: list[Instance] = []
+        self.epochs = 0
 
     # -- the ClusterRun-compatible surface ---------------------------------
 
@@ -816,6 +871,11 @@ class ProcessCluster:
                 "mailbox_capacity": self._mailbox_capacity,
                 "seed": self._seed,
             }
+            if self._delta_feed is not None:
+                spec["feed"] = [
+                    encode_facts_hex(batch.facts)
+                    for batch in self._delta_feed.batches
+                ]
             if kill and self._kill_after is not None:
                 spec["kill_after"] = self._kill_after
             spec_path = os.path.join(run_dir, f"spec-{node}-{attempt}.json")
@@ -981,8 +1041,7 @@ class ProcessCluster:
                         await proc.wait()
                     except Exception:
                         pass
-            for writer in conns.values():
-                writer.close()
+            await _close_writers(conns.values())
             try:
                 write_pids()  # now records zero live workers
             except OSError:
@@ -1017,6 +1076,19 @@ class ProcessCluster:
             self.wal_replayed += result.get("wal_replayed", 0)
             self.snapshot_bytes += result.get("snapshot_bytes", 0)
         self.metrics.rounds = self.token_probes
+        self.epochs = max(
+            (result.get("epochs", 0) for result in self._results.values()),
+            default=0,
+        )
+        if self._delta_feed is not None:
+            for epoch in range(self.epochs):
+                output = Instance()
+                for result in self._results.values():
+                    text = result.get("epoch_outputs", {}).get(str(epoch))
+                    if text:
+                        output = output | decode_facts_hex(text)
+                self.epoch_outputs.append(output)
+            self.epoch_outputs.append(self.global_output())
 
     def worker_result(self, node: str) -> dict:
         """The raw control-plane result payload for *node* (tests)."""

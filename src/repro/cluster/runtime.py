@@ -100,6 +100,7 @@ from .checkpoint import (
 )
 from .codec import (
     KIND_DATA,
+    KIND_DELTA,
     KIND_STOP,
     KIND_TOKEN,
     Envelope,
@@ -144,6 +145,7 @@ class ClusterNode:
         snapshot_every: int = 1,
         replay_sink: Callable[[int], None] | None = None,
         dedup: bool = False,
+        feed: Callable[[int], dict | None] | None = None,
     ) -> None:
         self.node = node
         self._network = network
@@ -164,6 +166,21 @@ class ClusterNode:
         # their wire behaviour is bit-for-bit unchanged.
         self._dedup = dedup
         self._seen_frames: set[tuple] = set()
+        # Streaming ingestion: the initiator holds the feed callback (a
+        # pure function epoch -> per-node fragment assignment, or None when
+        # the feed is exhausted — purity is what makes crash replay of an
+        # injection deterministic).  Every node tracks the late input it
+        # accepted and its output trajectory at each epoch boundary.
+        self._feed = feed
+        self._epochs_injected = 0
+        self._extra_input: set[Fact] = set()
+        self.epoch_outputs: dict[int, tuple[Fact, ...]] = {}
+        # The epoch this node currently works in.  Stamped onto outgoing
+        # data envelopes so receivers can close epoch boundaries even when
+        # a peer's post-injection data races ahead of the initiator's
+        # delta envelope on a different connection (transport ordering is
+        # per-pair only).
+        self._epoch = 0
 
         self.state = NodeState()
         self.stats = NodeStats()
@@ -242,48 +259,126 @@ class ClusterNode:
     async def _broadcast(self, messages: Instance) -> None:
         facts = tuple(sorted(messages))
         for target in self._peers:
-            sequence = self._next_sequence()
-            target_wire = _wire_sender(target)
-            envelope = Envelope(
-                kind=KIND_DATA,
-                sender=_wire_sender(self.node),
-                round=self._transitions,
-                sequence=sequence,
-                facts=facts,
+            await self._dispatch(
+                target,
+                Envelope(
+                    kind=KIND_DATA,
+                    sender=_wire_sender(self.node),
+                    round=self._epoch,
+                    sequence=self._next_sequence(),
+                    facts=facts,
+                ),
             )
-            if self._replay_sends:
-                # Recovery replay: this send already happened before the
-                # crash (it is on the wire); verify the regeneration
-                # matches the log and restore the counter, nothing else.
-                logged_target, logged_sequence, logged_count = (
-                    self._replay_sends.popleft()
+
+    async def _dispatch(self, target: Hashable, envelope: Envelope) -> None:
+        """Send one counted envelope (data or delta) to *target*, honouring
+        the write-ahead contract and recovery's logged-send consumption."""
+        sequence = envelope.sequence
+        target_wire = _wire_sender(target)
+        if self._replay_sends:
+            # Recovery replay: this send already happened before the
+            # crash (it is on the wire); verify the regeneration
+            # matches the log and restore the counter, nothing else.
+            logged_target, logged_sequence, logged_count = (
+                self._replay_sends.popleft()
+            )
+            if (logged_target, logged_sequence) != (target_wire, sequence):
+                raise CheckpointError(
+                    f"replay divergence at node {self.node!r}: "
+                    f"regenerated send ({target_wire!r}, seq {sequence}) "
+                    f"but the WAL recorded ({logged_target!r}, seq "
+                    f"{logged_sequence})"
                 )
-                if (logged_target, logged_sequence) != (target_wire, sequence):
-                    raise CheckpointError(
-                        f"replay divergence at node {self.node!r}: "
-                        f"regenerated send ({target_wire!r}, seq {sequence}) "
-                        f"but the WAL recorded ({logged_target!r}, seq "
-                        f"{logged_sequence})"
-                    )
-                self.counter += logged_count
-                if self._dedup:
-                    # A real process kill cannot prove the logged dispatch
-                    # ever left user space (the log records the intent,
-                    # the kernel buffer records the truth).  Re-dispatch
-                    # the byte-identical regeneration, uncounted: peers
-                    # that already accepted it drop the duplicate by its
-                    # durable (sender, sequence) identity, and a peer that
-                    # never saw it finally gets it.
-                    await self._endpoint.send(target, encode_envelope(envelope))
-                continue
-            dispatched = await self._endpoint.send(target, encode_envelope(envelope))
-            if self._journal is not None:
-                self._journal.append_send(target_wire, sequence, dispatched)
-            self.counter += dispatched
+            self.counter += logged_count
+            if self._dedup:
+                # A real process kill cannot prove the logged dispatch
+                # ever left user space (the log records the intent,
+                # the kernel buffer records the truth).  Re-dispatch
+                # the byte-identical regeneration, uncounted: peers
+                # that already accepted it drop the duplicate by its
+                # durable (sender, sequence) identity, and a peer that
+                # never saw it finally gets it.
+                await self._endpoint.send(target, encode_envelope(envelope))
+            return
+        dispatched = await self._endpoint.send(target, encode_envelope(envelope))
+        if self._journal is not None:
+            self._journal.append_send(target_wire, sequence, dispatched)
+        self.counter += dispatched
 
     def _next_sequence(self) -> int:
         self._sequence += 1
         return self._sequence
+
+    # -- streaming ingestion -----------------------------------------------
+
+    def _record_epoch(self, epoch: int) -> None:
+        """Snapshot the output trajectory at an epoch boundary, once.
+        Record-once matters: the *first* frame carrying evidence of a
+        boundary finds the local output exactly at that boundary (global
+        quiescence preceded the injection), while later frames for the
+        same boundary may arrive after post-injection work has landed."""
+        if epoch not in self.epoch_outputs:
+            self.epoch_outputs[epoch] = tuple(sorted(self.state.output))
+
+    def _note_epoch_boundary(self, boundary: int) -> None:
+        """Close every epoch boundary up to *boundary* from the current
+        output.  Called before anything from the triggering drain takes
+        effect: a delta envelope names its boundary directly, and a data
+        frame stamped with sender epoch ``e`` proves boundary ``e - 1``
+        passed — either way, this node's output is still its share of
+        each unrecorded boundary's global output (epochs only advance
+        through global quiescence, so the boundaries collapse together
+        for a node that saw no traffic in between)."""
+        for epoch in range(boundary + 1):
+            self._record_epoch(epoch)
+        self._epoch = max(self._epoch, boundary + 1)
+
+    def _apply_delta(self, facts: Iterable[Fact]) -> None:
+        added = [fact for fact in facts if fact not in self._fragment]
+        if not added:
+            return
+        self._fragment = self._fragment | added
+        self._extra_input.update(added)
+
+    async def _inject_epoch(self) -> bool:
+        """Initiator only: inject the next feed epoch, if any.
+
+        Runs at the success point of a termination probe — a true global
+        synchronisation point (all nodes passive, nothing in flight), so
+        the injected envelopes are the only traffic and every receiver can
+        snapshot its pre-delta output consistently.  Each peer gets one
+        delta envelope (possibly empty — the uniform wake-up is also the
+        uniform epoch marker); they are counted and journaled exactly like
+        data, so the Safra accounting stays truthful and the ring re-arms.
+        """
+        if self._feed is None:
+            return False
+        epoch = self._epochs_injected
+        assignment = self._feed(epoch)
+        if assignment is None:
+            return False
+        if self._journal is not None and not self._recovering:
+            # Write-ahead: the injection decision is durable before any of
+            # its envelopes ship; replay recomputes the assignment from
+            # the (pure) feed and consumes the logged sends.
+            self._journal.append_delta(epoch)
+        self._record_epoch(epoch)
+        for target in self._peers:
+            await self._dispatch(
+                target,
+                Envelope(
+                    kind=KIND_DELTA,
+                    sender=_wire_sender(self.node),
+                    round=epoch,
+                    sequence=self._next_sequence(),
+                    facts=tuple(sorted(assignment.get(target, ()))),
+                ),
+            )
+        self._epochs_injected = epoch + 1
+        self._epoch = epoch + 1
+        self._apply_delta(assignment.get(self.node, ()))
+        await self._deliver_and_close([])
+        return True
 
     # -- durability ---------------------------------------------------------
 
@@ -316,6 +411,10 @@ class ClusterNode:
                 ),
                 output=tuple(sorted(self.state.output)),
                 memory=tuple(sorted(self.state.memory)),
+                extra_input=tuple(sorted(self._extra_input)),
+                epochs=self._epochs_injected,
+                epoch_outputs=tuple(sorted(self.epoch_outputs.items())),
+                current_epoch=self._epoch,
             )
         )
         self._closures_since_snapshot = 0
@@ -344,6 +443,13 @@ class ClusterNode:
                     self.stats.deliveries,
                     self.stats.sent_facts,
                 ) = snapshot.stats
+                self._extra_input = set(snapshot.extra_input)
+                self._fragment = self._fragment | snapshot.extra_input
+                self._epochs_injected = snapshot.epochs
+                self.epoch_outputs = {
+                    epoch: facts for epoch, facts in snapshot.epoch_outputs
+                }
+                self._epoch = snapshot.current_epoch
                 start = snapshot.wal_position
             entries = self._journal.entries()[start:]
             if self._dedup:
@@ -361,6 +467,9 @@ class ClusterNode:
                         self.counter -= op.envelopes
                         self.black = True
                         self.stats.deliveries += len(op.facts)
+                    if op.epoch_boundary >= 0:
+                        self._note_epoch_boundary(op.epoch_boundary)
+                    self._apply_delta(op.delta_facts)
                     self._replay_sends = deque(op.sends)
                     await self._deliver_and_close(list(op.facts))
                     if self._replay_sends:
@@ -368,6 +477,25 @@ class ClusterNode:
                             f"replay divergence at node {self.node!r}: "
                             f"{len(self._replay_sends)} logged sends were "
                             f"never regenerated"
+                        )
+                elif op.kind == "delta":
+                    # Re-run the logged injection: the feed is pure, so the
+                    # assignment regenerates identically; logged sends are
+                    # consumed (and, under dedup, re-dispatched uncounted)
+                    # exactly like a closure's.
+                    self._epochs_injected = op.epoch
+                    self._replay_sends = deque(op.sends)
+                    if not await self._inject_epoch():
+                        raise CheckpointError(
+                            f"replay divergence at node {self.node!r}: the "
+                            f"WAL records injecting epoch {op.epoch} but "
+                            f"the feed has no such epoch"
+                        )
+                    if self._replay_sends:
+                        raise CheckpointError(
+                            f"replay divergence at node {self.node!r}: "
+                            f"{len(self._replay_sends)} logged delta sends "
+                            f"were never regenerated"
                         )
                 elif op.kind == "token":
                     self.token = op.token
@@ -431,6 +559,18 @@ class ClusterNode:
         # The probe came home.  Termination iff everything is white and the
         # global envelope count balances out.
         if not token.black and not self.black and token.count + self.counter == 0:
+            if await self._inject_epoch():
+                # Global quiescence held, but the feed had another epoch:
+                # the injection re-armed the ring (counted envelopes are in
+                # flight), so circulate a fresh white probe instead of
+                # STOP.  The probe budget resets — each epoch is entitled
+                # to its own detection rounds.
+                self._failed_probes = 0
+                self.black = False
+                await self._send_token(
+                    TokenState(count=0, black=False, probe=token.probe + 1)
+                )
+                return
             self.token_probes = token.probe
             await self._announce_stop()
             self._stopped = True
@@ -476,6 +616,8 @@ class ClusterNode:
                 frames.append(extra)
             batch: list[Fact] = []
             data_frames: list[bytes] = []
+            delta_facts: list[Fact] = []
+            boundary = -1
             for frame in frames:
                 envelope = decode_envelope(frame)
                 if self._dedup and envelope.kind != KIND_STOP:
@@ -494,9 +636,20 @@ class ClusterNode:
                     if self._journal is not None:
                         self._journal.append_token(frame)
                     self.token = envelope.token
+                elif envelope.kind == KIND_DELTA:
+                    # A streamed input extension: counted and journaled
+                    # like data (same batch entry), but the facts grow the
+                    # local input fragment instead of being delivered.
+                    data_frames.append(frame)
+                    delta_facts.extend(envelope.facts)
+                    boundary = max(boundary, envelope.round)
                 else:
                     data_frames.append(frame)
                     batch.extend(envelope.facts)
+                    # Data stamped with sender epoch e proves boundary e-1
+                    # passed, even if our delta envelope is still in flight
+                    # on another connection.
+                    boundary = max(boundary, envelope.round - 1)
             if self._stopped:
                 # STOP implies global quiescence was detected, so no data
                 # frame can share this drain — nothing is lost by exiting.
@@ -508,6 +661,12 @@ class ClusterNode:
                     self._journal.append_batch(data_frames)
                 self.counter -= len(data_frames)
                 self.black = True
+                if boundary >= 0:
+                    # Close the boundary first: output so far is still the
+                    # previous epoch's final share (nothing in this drain
+                    # has been delivered yet).
+                    self._note_epoch_boundary(boundary)
+                self._apply_delta(delta_facts)
                 self.stats.deliveries += len(batch)
                 await self._deliver_and_close(batch)
 
@@ -536,10 +695,12 @@ class ClusterRun:
         timeout: float | None = 120.0,
         checkpoints: CheckpointStore | str | None = None,
         snapshot_every: int = 1,
+        delta_feed=None,
     ) -> None:
         self._network = network
         self._instance = instance.restrict(network.transducer.schema.inputs)
         self._fragments = network.policy.distribute(self._instance)
+        self._delta_feed = delta_feed
         if isinstance(transport, Transport):
             self._transport = transport
         else:
@@ -578,6 +739,10 @@ class ClusterRun:
         self.recoveries = 0
         self.wal_replayed = 0
         self.snapshot_bytes = 0
+        # Streaming telemetry (populated by _harvest when a feed ran):
+        # the global output at each epoch boundary, final output last.
+        self.epoch_outputs: list[Instance] = []
+        self.epochs = 0
 
     # -- accessors ---------------------------------------------------------
 
@@ -622,6 +787,18 @@ class ClusterRun:
         from inside a running event loop."""
         return asyncio.run(self.arun())
 
+    def _feed_assignment(self, epoch: int) -> dict | None:
+        """The per-node fragment assignment of feed epoch *epoch* (None
+        past the end).  Pure in *epoch* — distribution policies are
+        per-fact and memoized, so replaying an epoch after a crash yields
+        the same assignment the pre-crash injection shipped."""
+        batch = self._delta_feed.batch(epoch)
+        if batch is None:
+            return None
+        delta = Instance(batch).restrict(self._network.transducer.schema.inputs)
+        fragments = self._network.policy.distribute(delta)
+        return {node: tuple(sorted(fragments[node])) for node in self.nodes()}
+
     def _make_node(self, index: int, node: Hashable, ordered: list) -> ClusterNode:
         crash_probe = None
         if self._fault_layer is not None and self._fault_layer.plan.crash_rate > 0.0:
@@ -640,6 +817,11 @@ class ClusterRun:
             crash_probe=crash_probe,
             snapshot_every=self._snapshot_every,
             replay_sink=self._note_replay,
+            feed=(
+                self._feed_assignment
+                if index == 0 and self._delta_feed is not None
+                else None
+            ),
         )
 
     def _note_replay(self, entries: int) -> None:
@@ -719,6 +901,17 @@ class ClusterRun:
             if cluster_node.token_probes:
                 self.token_probes = cluster_node.token_probes
         self.metrics.rounds = self.token_probes
+        self.epochs = max(
+            (cluster_node._epochs_injected for cluster_node in self._nodes.values()),
+            default=0,
+        )
+        if self._delta_feed is not None:
+            for epoch in range(self.epochs):
+                output = Instance()
+                for cluster_node in self._nodes.values():
+                    output = output | cluster_node.epoch_outputs.get(epoch, ())
+                self.epoch_outputs.append(output)
+            self.epoch_outputs.append(self.global_output())
         if self._fault_layer is not None:
             self.in_flight_high_water = self._fault_layer.held_high_water
         if self._checkpoints is not None:

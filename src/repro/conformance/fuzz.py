@@ -5,9 +5,12 @@ a fragment-targeted program and a random instance, picks runtime knobs
 (scheduler, transport, chaos / crash schedules) round-robin so the whole
 matrix is exercised at every budget, then
 
-1. runs the case through all six stacks (differential oracle), and
+1. runs the case through all six stacks (differential oracle),
 2. checks the fragment's guaranteed monotonicity class on random deltas
-   (metamorphic oracle).
+   (metamorphic oracle), and
+3. streams a kind-admissible delta feed through a live runtime and checks
+   delta preservation mid-run (streaming oracle; the runtime rotates
+   sync → asyncio cluster → process cluster on a deterministic cadence).
 
 Failures are shrunk and persisted to the corpus (when a corpus directory
 is given) and always surface in the JSON telemetry report.  Everything is
@@ -30,11 +33,12 @@ from .generator import FRAGMENT_TARGETS, sample_instance, sample_program
 from .metamorphic import check_metamorphic
 from .shrinker import default_failure_predicate, shrink_case
 from .stacks import DEFAULT_STACK_NAMES, StackContext, build_stacks
+from .streaming import check_streaming, shrink_streaming
 
 __all__ = ["FUZZ_REPORT_VERSION", "FuzzConfig", "run_fuzz", "write_fuzz_report"]
 
 #: Bumped whenever the fuzz report JSON layout changes incompatibly.
-FUZZ_REPORT_VERSION = 1
+FUZZ_REPORT_VERSION = 2
 
 _SCHEDULERS = tuple(sorted(SCHEDULER_NAMES))
 
@@ -53,11 +57,18 @@ class FuzzConfig:
     mutate: dict[str, str] = field(default_factory=dict)
     nodes: tuple[str, ...] = ("n1", "n2", "n3")
     metamorphic: bool = True
+    streaming: bool = True
     shrink: bool = True
     #: Run the slower cluster knobs (tcp transport / crash schedule) every
     #: Nth iteration; 0 disables them entirely.
     tcp_every: int = 5
     crash_every: int = 7
+    #: Streaming-oracle runtime rotation: stream through the asyncio
+    #: cluster every Nth iteration and the process cluster every Mth
+    #: (procs wins ties); other iterations use the sync simulator.
+    #: 0 disables that runtime.
+    stream_cluster_every: int = 6
+    stream_procs_every: int = 25
 
 
 def _iteration_context(config: FuzzConfig, iteration: int) -> StackContext:
@@ -82,6 +93,20 @@ def _iteration_context(config: FuzzConfig, iteration: int) -> StackContext:
     )
 
 
+def _stream_runtime(config: FuzzConfig, iteration: int) -> str:
+    if (
+        config.stream_procs_every
+        and iteration % config.stream_procs_every == config.stream_procs_every - 1
+    ):
+        return "procs"
+    if (
+        config.stream_cluster_every
+        and iteration % config.stream_cluster_every == config.stream_cluster_every - 1
+    ):
+        return "cluster"
+    return "sync"
+
+
 def _derived_rng(seed: int, iteration: int) -> random.Random:
     # Hash-derived integer seed: stable across processes and PYTHONHASHSEED
     # (tuple seeds would go through hash() and break byte-reproducibility).
@@ -97,6 +122,8 @@ def run_fuzz(config: FuzzConfig, *, log=None) -> dict:
     started = time.monotonic()
     divergences: list[dict] = []
     metamorphic_violations: list[dict] = []
+    streaming_violations: list[dict] = []
+    streaming_runtimes: dict[str, int] = {}
     corpus_paths: list[str] = []
     cases_by_fragment: dict[str, int] = {}
     iterations_run = 0
@@ -159,6 +186,30 @@ def run_fuzz(config: FuzzConfig, *, log=None) -> dict:
                 if log is not None:
                     log(f"iteration {iteration}: METAMORPHIC {violation.describe()}")
 
+        if config.streaming:
+            runtime = _stream_runtime(config, iteration)
+            stream_mutate = config.mutate.get("streaming")
+            violation = check_streaming(
+                program,
+                instance,
+                rng,
+                context,
+                runtime=runtime,
+                mutate=stream_mutate,
+            )
+            streaming_runtimes[runtime] = streaming_runtimes.get(runtime, 0) + 1
+            if violation is not None:
+                if config.shrink:
+                    violation = shrink_streaming(
+                        violation, context, mutate=stream_mutate
+                    )
+                record = violation.to_dict()
+                record["iteration"] = iteration
+                record["fragment_target"] = target.name
+                streaming_violations.append(record)
+                if log is not None:
+                    log(f"iteration {iteration}: STREAMING {violation.describe()}")
+
     elapsed = time.monotonic() - started
     report = {
         "version": FUZZ_REPORT_VERSION,
@@ -171,8 +222,12 @@ def run_fuzz(config: FuzzConfig, *, log=None) -> dict:
         "cases_by_fragment": cases_by_fragment,
         "divergences": divergences,
         "metamorphic_violations": metamorphic_violations,
+        "streaming_violations": streaming_violations,
+        "streaming_runtimes": streaming_runtimes,
         "corpus_entries": corpus_paths,
-        "passed": not divergences and not metamorphic_violations,
+        "passed": not divergences
+        and not metamorphic_violations
+        and not streaming_violations,
         "timing": {
             "elapsed_seconds": round(elapsed, 3),
             "seconds_per_iteration": round(elapsed / max(1, iterations_run), 4),

@@ -1,0 +1,374 @@
+"""The live delta-preservation oracle — the streaming conformance dimension.
+
+The metamorphic layer (:mod:`repro.conformance.metamorphic`) checks the
+paper's class guarantees *statically*: evaluate on ``I``, evaluate on
+``I ∪ J``, compare.  This module checks them **live**: actually run a
+runtime with facts trickling in over a :class:`~repro.streaming.DeltaFeed`
+and interrogate the recorded epoch trajectory.  For a program whose
+fragment carries a monotonicity guarantee, and a feed whose batches are
+admissible for that class's addition kind, two properties must hold of
+the streamed run:
+
+* **delta preservation** — every epoch's output is a subset of the final
+  output (``Q(I_k) ⊆ Q(I_B)``, Section 3.1, observed operationally: the
+  runtime never has to retract);
+* **prefix conformance** — every epoch's output *equals* the centralized
+  answer on the corresponding input prefix (the streamed run is not just
+  monotone but right).
+
+Programs without a guarantee are skipped: for them the paper's point is
+precisely that streamed accumulation and ``Q(I_final)`` come apart
+without coordination, so neither property is promised.
+
+The planted-bug mutation (``retract-on-delta``) models the failure the
+oracle exists to catch: a runtime that, on delta arrival, "invalidates"
+previously derived facts.  A naive in-place retraction would heal (the
+facts re-derive from the grown input), so the mutant *suppresses* the
+victim facts from every subsequently observed output, including the
+final one — making an earlier epoch not a subset of the final output,
+which the subset check flags.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from ..core.analyzer import analyze, distributed_run, query_for
+from ..datalog.instance import Instance
+from ..datalog.program import Program
+from ..streaming.feed import DeltaFeed
+from .metamorphic import KIND_FOR_CLASS, _facts_text
+from .stacks import StackContext
+
+__all__ = [
+    "STREAM_MUTATIONS",
+    "STREAM_RUNTIMES",
+    "StreamingViolation",
+    "check_streaming",
+    "shrink_streaming",
+]
+
+#: Runtimes the streaming check can drive (fuzzing rotates through them).
+STREAM_RUNTIMES = ("sync", "cluster", "procs")
+
+#: Planted streaming bugs, by name (CLI: ``--mutate streaming=NAME``).
+STREAM_MUTATIONS = ("retract-on-delta",)
+
+
+@dataclass(frozen=True)
+class StreamingViolation:
+    """A broken live delta-preservation property, reproducibly."""
+
+    program_text: str
+    output_relations: tuple[str, ...]
+    fragment: str
+    monotonicity: str
+    kind: str
+    runtime: str
+    base_text: str
+    batch_texts: tuple[str, ...]
+    epoch: int
+    reason: str  # "retraction" | "prefix-mismatch"
+    lost_text: str
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program_text,
+            "output_relations": list(self.output_relations),
+            "fragment": self.fragment,
+            "monotonicity": self.monotonicity,
+            "kind": self.kind,
+            "runtime": self.runtime,
+            "base": self.base_text,
+            "batches": list(self.batch_texts),
+            "epoch": self.epoch,
+            "reason": self.reason,
+            "lost": self.lost_text,
+        }
+
+    def describe(self) -> str:
+        if self.reason == "retraction":
+            return (
+                f"streamed {self.runtime} run of a {self.fragment} program "
+                f"({self.monotonicity} guaranteed) retracted {self.lost_text} "
+                f"after epoch {self.epoch}"
+            )
+        return (
+            f"streamed {self.runtime} run of a {self.fragment} program "
+            f"diverged from the centralized prefix answer at epoch "
+            f"{self.epoch} (difference: {self.lost_text})"
+        )
+
+
+@dataclass(frozen=True)
+class _StreamCase:
+    """The shrinkable unit: program + base + the feed's batches."""
+
+    program: Program
+    base: Instance
+    batches: tuple[tuple, ...]
+
+    def feed(self) -> DeltaFeed:
+        return DeltaFeed(self.batches)
+
+
+def _run_sync(
+    case: _StreamCase, context: StackContext, mutate: str | None
+) -> list[Instance]:
+    from ..transducers.faults import make_scheduler
+
+    run = distributed_run(case.program, case.base, nodes=context.nodes)
+    scheduler = make_scheduler(context.scheduler, context.seed)
+    run.run_to_quiescence(scheduler=scheduler)
+    epochs = [run.global_output()]
+    suppressed: set = set()
+    for batch in case.feed().batches:
+        if mutate == "retract-on-delta":
+            # The planted bug: delta arrival "invalidates" a previously
+            # derived fact.  The suppression is sticky — the fact stays
+            # missing from every output observed from here on — which is
+            # what distinguishes a real retraction bug from a transient
+            # one that heals by re-derivation.
+            visible = sorted(epochs[-1] - suppressed)
+            if visible:
+                suppressed.add(visible[0])
+        run.ingest(batch.facts)
+        run.run_to_quiescence(scheduler=scheduler)
+        epochs.append(run.global_output() - suppressed)
+    return epochs
+
+
+def _run_cluster(case: _StreamCase, context: StackContext) -> list[Instance]:
+    import asyncio
+
+    from ..cluster.runtime import ClusterRun
+    from ..core.analyzer import planned_network
+
+    run = ClusterRun(
+        planned_network(case.program, context.nodes),
+        case.base,
+        transport=context.transport,
+        seed=context.seed,
+        delta_feed=case.feed(),
+    )
+    asyncio.run(run.arun())
+    return run.epoch_outputs
+
+
+def _run_procs(case: _StreamCase, context: StackContext) -> list[Instance]:
+    from ..cluster.procs import ProcessCluster
+
+    program_text = "\n".join(repr(rule) for rule in case.program.rules)
+    cluster = ProcessCluster(
+        {
+            "kind": "program",
+            "text": program_text,
+            # Rule text drops the designated-output restriction; carry it
+            # explicitly so workers compute the same output schema the
+            # centralized oracle queries.
+            "outputs": sorted(case.program.output_relations),
+        },
+        case.base,
+        nodes=tuple(context.nodes),
+        seed=context.seed,
+        delta_feed=case.feed(),
+    )
+    cluster.run_to_quiescence()
+    return cluster.epoch_outputs
+
+
+def _violation_for(
+    case: _StreamCase,
+    epochs: list[Instance],
+    *,
+    runtime: str,
+    fragment: str,
+    monotonicity: str,
+    kind_name: str,
+) -> StreamingViolation | None:
+    query = query_for(case.program)
+    prefixes = case.feed().prefixes(case.base.restrict(case.program.edb()))
+    final = epochs[-1]
+    make = lambda epoch, reason, lost: StreamingViolation(
+        program_text="\n".join(repr(rule) for rule in case.program.rules),
+        output_relations=tuple(sorted(case.program.output_relations)),
+        fragment=fragment,
+        monotonicity=monotonicity,
+        kind=kind_name,
+        runtime=runtime,
+        base_text=_facts_text(case.base),
+        batch_texts=tuple(
+            _facts_text(Instance(batch)) for batch in case.batches
+        ),
+        epoch=epoch,
+        reason=reason,
+        lost_text=_facts_text(lost),
+    )
+    # Delta preservation first: a retraction is the property the paper
+    # names, and the planted mutation's signature.
+    for epoch, output in enumerate(epochs):
+        if not output <= final:
+            return make(epoch, "retraction", output - final)
+    for epoch, output in enumerate(epochs):
+        expected = query(prefixes[epoch])
+        if output != expected:
+            return make(
+                epoch, "prefix-mismatch", (output - expected) | (expected - output)
+            )
+    return None
+
+
+def check_streaming(
+    program: Program,
+    instance: Instance,
+    rng: random.Random,
+    context: StackContext,
+    *,
+    runtime: str = "sync",
+    batches: int = 2,
+    max_facts: int = 3,
+    mutate: str | None = None,
+) -> StreamingViolation | None:
+    """Run *program* with a generated kind-admissible feed on *runtime* and
+    check the live delta-preservation properties.
+
+    Programs without a monotonicity guarantee pass trivially (no property
+    is promised for them); so do draws where the delta sampler produces an
+    empty feed.  ``mutate`` plants a streaming bug (sync runtime only) for
+    the fuzzer's self-check.
+    """
+    if runtime not in STREAM_RUNTIMES:
+        raise ValueError(f"unknown streaming runtime {runtime!r}")
+    if mutate is not None and mutate not in STREAM_MUTATIONS:
+        raise ValueError(f"unknown streaming mutation {mutate!r}")
+    analysis = analyze(program)
+    if analysis.monotonicity is None:
+        return None
+    kind = KIND_FOR_CLASS[analysis.monotonicity]
+    base = instance.restrict(program.edb())
+    feed = DeltaFeed.generate(
+        rng, base, program.edb(), kind, batches=batches, max_facts=max_facts
+    )
+    if not feed:
+        return None
+    case = _StreamCase(
+        program=program,
+        base=base,
+        batches=tuple(batch.facts for batch in feed.batches),
+    )
+    return _check_case(
+        case,
+        context,
+        runtime=runtime,
+        fragment=analysis.fragment,
+        monotonicity=analysis.monotonicity,
+        kind_name=kind.value,
+        mutate=mutate,
+    )
+
+
+def _check_case(
+    case: _StreamCase,
+    context: StackContext,
+    *,
+    runtime: str,
+    fragment: str,
+    monotonicity: str,
+    kind_name: str,
+    mutate: str | None,
+) -> StreamingViolation | None:
+    if runtime == "sync" or mutate is not None:
+        epochs = _run_sync(case, context, mutate)
+    elif runtime == "cluster":
+        epochs = _run_cluster(case, context)
+    else:
+        epochs = _run_procs(case, context)
+    return _violation_for(
+        case,
+        epochs,
+        runtime=runtime if mutate is None else "sync",
+        fragment=fragment,
+        monotonicity=monotonicity,
+        kind_name=kind_name,
+    )
+
+
+def shrink_streaming(
+    violation: StreamingViolation,
+    context: StackContext,
+    *,
+    mutate: str | None = None,
+    max_passes: int = 5,
+) -> StreamingViolation:
+    """Greedy minimization of a streaming violation, mirroring
+    :func:`repro.conformance.shrinker.shrink_case`: drop rules, drop base
+    facts, drop delta facts (dropping a whole batch when it empties),
+    while the violation keeps reproducing on the sync runtime.
+    """
+    from ..datalog.parser import parse_facts, parse_program
+    from .shrinker import _without_rule
+
+    case = _StreamCase(
+        program=parse_program(violation.program_text),
+        base=Instance(parse_facts(violation.base_text)),
+        batches=tuple(
+            tuple(parse_facts(text)) for text in violation.batch_texts
+        ),
+    )
+
+    def failing(candidate: _StreamCase) -> StreamingViolation | None:
+        if not any(candidate.batches):
+            return None
+        try:
+            return _check_case(
+                candidate,
+                context,
+                runtime="sync",
+                fragment=violation.fragment,
+                monotonicity=violation.monotonicity,
+                kind_name=violation.kind,
+                mutate=mutate,
+            )
+        except Exception:
+            return None
+
+    best = violation
+    for _ in range(max_passes):
+        progressed = False
+
+        index = 0
+        while index < len(case.program.rules):
+            program = _without_rule(case.program, index)
+            if program is not None:
+                candidate = replace(case, program=program)
+                found = failing(candidate)
+                if found is not None:
+                    case, best, progressed = candidate, found, True
+                    continue
+            index += 1
+
+        for fact in case.base.sorted_facts():
+            candidate = replace(
+                case, base=Instance(f for f in case.base if f != fact)
+            )
+            found = failing(candidate)
+            if found is not None:
+                case, best, progressed = candidate, found, True
+
+        for batch_index, batch in enumerate(case.batches):
+            for fact in batch:
+                shrunk_batch = tuple(f for f in batch if f != fact)
+                batches = tuple(
+                    shrunk_batch if i == batch_index else other
+                    for i, other in enumerate(case.batches)
+                    if i != batch_index or shrunk_batch
+                )
+                candidate = replace(case, batches=batches)
+                found = failing(candidate)
+                if found is not None:
+                    case, best, progressed = candidate, found, True
+                    break
+
+        if not progressed:
+            break
+    return best

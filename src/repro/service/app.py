@@ -35,6 +35,7 @@ persist certificate, decision, fingerprint and the validated
 from __future__ import annotations
 
 import json
+import math
 import queue
 import threading
 import time
@@ -555,10 +556,14 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             job = _Job(payload=body)
             if not service.submit(job):
+                retry_after = service.backpressure_retry_after()
                 self._send(
                     503,
-                    {"error": "run queue is full; retry later"},
-                    {"Retry-After": "1"},
+                    {
+                        "error": "run queue is full; retry later",
+                        "retry_after": round(retry_after, 3),
+                    },
+                    {"Retry-After": str(max(1, math.ceil(retry_after)))},
                 )
                 return
             if not job.done.wait(service.config.request_timeout):
@@ -589,7 +594,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(
             429,
             {"error": "rate limit exceeded", "retry_after": round(retry_after, 3)},
-            {"Retry-After": str(max(1, int(retry_after + 0.999)))},
+            {"Retry-After": str(max(1, math.ceil(retry_after)))},
         )
 
 
@@ -620,6 +625,10 @@ class ReproService:
             maxsize=self.config.queue_capacity
         )
         self._workers: list[threading.Thread] = []
+        # Recent per-job wall times, appended by the worker pool — the
+        # drain-rate estimate behind 503 Retry-After hints.
+        self._recent_elapsed: deque[float] = deque(maxlen=32)
+        self._elapsed_lock = threading.Lock()
         self._httpd: _Server | None = None
         self._serve_thread: threading.Thread | None = None
         self._started = False
@@ -687,11 +696,26 @@ class ReproService:
     def queue_depth(self) -> int:
         return self._queue.qsize()
 
+    def backpressure_retry_after(self) -> float:
+        """Seconds until the full queue plausibly has room again: the
+        backlog ahead of a would-be entrant divided across the worker
+        pool, at the observed per-job wall time (the limiter's per-slot
+        window when no job has finished yet)."""
+        with self._elapsed_lock:
+            if self._recent_elapsed:
+                per_job = sum(self._recent_elapsed) / len(self._recent_elapsed)
+            else:
+                per_job = self.config.rate_window / max(1, self.config.rate_limit)
+        workers = max(1, len(self._workers) or self.config.workers)
+        backlog = max(1, self.queue_depth())
+        return max(0.001, backlog * per_job / workers)
+
     def _worker_loop(self) -> None:
         while True:
             job = self._queue.get()
             if job is None:
                 return
+            started = time.monotonic()
             try:
                 job.status, job.body = execute_request(
                     self.store, job.payload, config=self.config
@@ -700,3 +724,5 @@ class ReproService:
                 job.status, job.body = 500, {"error": f"internal error: {error}"}
             finally:
                 job.done.set()
+                with self._elapsed_lock:
+                    self._recent_elapsed.append(time.monotonic() - started)

@@ -1,0 +1,27 @@
+"""Streaming fact ingestion: delta feeds, scenario library, gate checks.
+
+See ``docs/SCENARIOS.md`` for the feed format and oracle semantics.
+"""
+
+from .feed import DeltaBatch, DeltaFeed
+from .scenario import (
+    StreamScenario,
+    StreamGateVerdict,
+    check_stream_scenario,
+    load_feed,
+    load_scenario,
+    scenario_dir,
+    scenario_library,
+)
+
+__all__ = [
+    "DeltaBatch",
+    "DeltaFeed",
+    "StreamScenario",
+    "StreamGateVerdict",
+    "check_stream_scenario",
+    "load_feed",
+    "load_scenario",
+    "scenario_dir",
+    "scenario_library",
+]

@@ -1,0 +1,308 @@
+"""The YAML streaming-scenario library and its cross-runtime gate.
+
+A scenario is one committed YAML file under ``scenarios/`` at the repo
+top: a Datalog¬ program, a base instance, an epoch-ordered list of delta
+batches, and an ``oracle`` declaration naming which addition kind the
+feed respects (``any`` / ``distinct`` / ``disjoint`` / ``none``).  The
+gate (:func:`check_stream_scenario`) replays the same feed through the
+synchronous simulator, the asyncio cluster, and the process cluster
+(clean and kill-and-recover), and demands:
+
+* **byte-identical final fingerprints** across all runtimes, and
+  identical per-epoch fingerprints — streamed evaluation is confluent;
+* when ``oracle`` names a kind, the **live delta-preservation property**:
+  every epoch's output is a subset of the final output *and* equals the
+  centralized query answer on the corresponding input prefix (the
+  operational reading of ``Q(I_k) ⊆ Q(I_B)`` from Section 3.1).
+
+``oracle: none`` marks scenarios whose query carries no guarantee for the
+feed's shape — they still gate cross-runtime confluence, and exist to
+document *why* delta-preservation matters (a non-monotone query under
+streaming accumulates derivations that the final instance refutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..datalog.instance import Instance
+from ..datalog.parser import parse_facts, parse_program
+from ..datalog.program import Program
+from ..monotonicity.classes import AdditionKind
+from .feed import DeltaFeed
+
+__all__ = [
+    "StreamScenario",
+    "StreamGateVerdict",
+    "check_stream_scenario",
+    "load_feed",
+    "load_scenario",
+    "scenario_dir",
+    "scenario_library",
+]
+
+#: YAML ``oracle:`` values → the addition kind the feed claims to respect.
+ORACLE_KINDS: dict[str, AdditionKind | None] = {
+    "any": AdditionKind.ANY,
+    "distinct": AdditionKind.DOMAIN_DISTINCT,
+    "disjoint": AdditionKind.DOMAIN_DISJOINT,
+    "none": None,
+}
+
+
+def scenario_dir() -> Path:
+    """The committed scenario library (``scenarios/`` at the repo top)."""
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+@dataclass(frozen=True)
+class StreamScenario:
+    """One streaming workload: program + base + epoch-ordered deltas."""
+
+    name: str
+    description: str
+    program_text: str
+    base_text: str
+    batch_texts: tuple[str, ...]
+    oracle: str = "none"
+    nodes: tuple[str, ...] = ("n1", "n2", "n3")
+    seed: int = 0
+
+    def program(self) -> Program:
+        return parse_program(self.program_text)
+
+    def base(self) -> Instance:
+        return Instance(parse_facts(self.base_text))
+
+    def feed(self) -> DeltaFeed:
+        return DeltaFeed.from_texts(self.batch_texts)
+
+    def oracle_kind(self) -> AdditionKind | None:
+        return ORACLE_KINDS[self.oracle]
+
+
+def _load_yaml(path: Path) -> dict:
+    import yaml
+
+    payload = yaml.safe_load(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a YAML mapping at top level")
+    return payload
+
+
+def load_feed(path: str | Path) -> DeltaFeed:
+    """Load just the delta feed from a scenario or bare-feed YAML file.
+
+    A bare feed file needs only ``batches: [fact-string, ...]`` — the form
+    ``repro run --stream FILE`` accepts alongside full scenario files.
+    """
+    payload = _load_yaml(Path(path))
+    batches = payload.get("batches")
+    if not isinstance(batches, list) or not all(
+        isinstance(text, str) for text in batches
+    ):
+        raise ValueError(f"{path}: 'batches' must be a list of fact strings")
+    return DeltaFeed.from_texts(batches)
+
+
+def load_scenario(path: str | Path) -> StreamScenario:
+    path = Path(path)
+    payload = _load_yaml(path)
+    missing = {"name", "program", "base", "batches"} - payload.keys()
+    if missing:
+        raise ValueError(f"{path}: missing scenario keys {sorted(missing)}")
+    oracle = payload.get("oracle", "none")
+    if oracle not in ORACLE_KINDS:
+        raise ValueError(
+            f"{path}: oracle must be one of {sorted(ORACLE_KINDS)}, got {oracle!r}"
+        )
+    batches = payload["batches"]
+    if not isinstance(batches, list) or not batches:
+        raise ValueError(f"{path}: 'batches' must be a nonempty list")
+    scenario = StreamScenario(
+        name=str(payload["name"]),
+        description=str(payload.get("description", "")).strip(),
+        program_text=str(payload["program"]),
+        base_text=str(payload["base"]),
+        batch_texts=tuple(str(text) for text in batches),
+        oracle=oracle,
+        nodes=tuple(str(node) for node in payload.get("nodes", ("n1", "n2", "n3"))),
+        seed=int(payload.get("seed", 0)),
+    )
+    # Fail fast on unparseable programs/facts and inadmissible feeds: a
+    # committed scenario that breaks its own declaration is a bug.
+    scenario.program()
+    kind = scenario.oracle_kind()
+    if kind is not None and not scenario.feed().admissible_for(kind, scenario.base()):
+        raise ValueError(
+            f"{path}: feed is not {oracle}-admissible against its own base"
+        )
+    return scenario
+
+
+def scenario_library(directory: str | Path | None = None) -> list[StreamScenario]:
+    root = Path(directory) if directory is not None else scenario_dir()
+    return [
+        load_scenario(path)
+        for path in sorted(root.glob("*.yaml")) + sorted(root.glob("*.yml"))
+    ]
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StreamGateVerdict:
+    """The cross-runtime verdict for one scenario."""
+
+    scenario: str
+    oracle: str
+    epochs: int
+    runtimes: dict[str, list[str]] = field(default_factory=dict)
+    fingerprints_ok: bool = False
+    oracle_ok: bool = True
+    oracle_checked: bool = False
+    preservation_failures: list[str] = field(default_factory=list)
+    crashes: int = 0
+    recoveries: int = 0
+    wal_replayed: int = 0
+    passed: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "oracle": self.oracle,
+            "epochs": self.epochs,
+            "runtimes": self.runtimes,
+            "fingerprints_ok": self.fingerprints_ok,
+            "oracle_checked": self.oracle_checked,
+            "oracle_ok": self.oracle_ok,
+            "preservation_failures": self.preservation_failures,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "wal_replayed": self.wal_replayed,
+            "passed": self.passed,
+        }
+
+
+def _epoch_fingerprints(outputs: Sequence[Instance]) -> list[str]:
+    from ..transducers.telemetry import output_fingerprint
+
+    return [output_fingerprint(output) for output in outputs]
+
+
+def _sync_stream(scenario: StreamScenario) -> list[Instance]:
+    from ..core.analyzer import distributed_run
+    from ..transducers.runtime import FairScheduler
+
+    run = distributed_run(
+        scenario.program(), scenario.base(), nodes=scenario.nodes
+    )
+    run.stream_to_quiescence(
+        scenario.feed(), scheduler=FairScheduler(scenario.seed)
+    )
+    return run.epoch_outputs
+
+
+def _cluster_stream(scenario: StreamScenario) -> list[Instance]:
+    import asyncio
+
+    from ..cluster.runtime import ClusterRun
+    from ..core.analyzer import planned_network
+
+    run = ClusterRun(
+        planned_network(scenario.program(), scenario.nodes),
+        scenario.base(),
+        seed=scenario.seed,
+        delta_feed=scenario.feed(),
+    )
+    asyncio.run(run.arun())
+    return run.epoch_outputs
+
+
+def _process_stream(
+    scenario: StreamScenario, *, kill: bool, run_dir: str | None = None
+) -> tuple[list[Instance], "object"]:
+    from ..cluster.procs import ProcessCluster
+
+    cluster = ProcessCluster(
+        {"kind": "program", "text": scenario.program_text},
+        scenario.base(),
+        nodes=scenario.nodes,
+        seed=scenario.seed,
+        run_dir=run_dir,
+        delta_feed=scenario.feed(),
+        kill_node=scenario.nodes[1 % len(scenario.nodes)] if kill else None,
+        kill_after=2 if kill else None,
+    )
+    cluster.run_to_quiescence()
+    return cluster.epoch_outputs, cluster
+
+
+def check_stream_scenario(
+    scenario: StreamScenario,
+    *,
+    processes: bool = True,
+    kill: bool = True,
+) -> StreamGateVerdict:
+    """Replay *scenario* across the runtimes and check the gate properties.
+
+    ``processes=False`` restricts to sync + asyncio (the CI smoke shape);
+    ``kill=False`` skips the kill-and-recover arm.
+    """
+    from ..core.analyzer import query_for
+
+    verdict = StreamGateVerdict(
+        scenario=scenario.name,
+        oracle=scenario.oracle,
+        epochs=len(scenario.feed()) + 1,
+    )
+    trajectories: dict[str, list[Instance]] = {"sync": _sync_stream(scenario)}
+    trajectories["cluster"] = _cluster_stream(scenario)
+    if processes:
+        outputs, _ = _process_stream(scenario, kill=False)
+        trajectories["process"] = outputs
+        if kill:
+            outputs, cluster = _process_stream(scenario, kill=True)
+            trajectories["process-kill"] = outputs
+            verdict.crashes = cluster.crashes
+            verdict.recoveries = cluster.recoveries
+            verdict.wal_replayed = cluster.wal_replayed
+
+    verdict.runtimes = {
+        name: _epoch_fingerprints(outputs) for name, outputs in trajectories.items()
+    }
+    reference = verdict.runtimes["sync"]
+    verdict.fingerprints_ok = all(
+        prints == reference for prints in verdict.runtimes.values()
+    )
+
+    kind = scenario.oracle_kind()
+    if kind is not None:
+        verdict.oracle_checked = True
+        query = query_for(scenario.program())
+        base = scenario.base().restrict(scenario.program().edb())
+        prefixes = scenario.feed().prefixes(base)
+        epochs = trajectories["sync"]
+        final = epochs[-1]
+        for k, output in enumerate(epochs):
+            if not output <= final:
+                verdict.preservation_failures.append(
+                    f"epoch {k}: output is not a subset of the final output"
+                )
+            expected = query(prefixes[k]) if k < len(prefixes) else None
+            if expected is not None and output != expected:
+                verdict.preservation_failures.append(
+                    f"epoch {k}: streamed output differs from centralized "
+                    f"answer on prefix {k}"
+                )
+        verdict.oracle_ok = not verdict.preservation_failures
+
+    verdict.passed = verdict.fingerprints_ok and verdict.oracle_ok
+    if processes and kill and verdict.recoveries < 1:
+        verdict.passed = False
+    return verdict

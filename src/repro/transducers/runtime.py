@@ -303,6 +303,11 @@ class Run:
         }
         self._transition_count = 0
         self.history: list[TransitionRecord] = []
+        # Streaming telemetry: one entry per quiescent epoch (the output
+        # observed just before each delta batch was ingested, plus the
+        # final output), and the count of late-arriving facts accepted.
+        self.epoch_outputs: list[Instance] = []
+        self.deltas_ingested = 0
 
     # -- accessors -------------------------------------------------------
 
@@ -559,6 +564,61 @@ class Run:
             f"({self.buffered_messages()} messages pending, "
             f"{self._channel.pending()} in flight)"
         )
+
+    # -- streaming ingestion ---------------------------------------------
+
+    def ingest(self, facts: Iterable[Fact]) -> int:
+        """Extend the input instance with late-arriving *facts*.
+
+        The paper's transducers are well-behaved and inflationary, so a
+        fact added to a node's local input is simply reacted to at that
+        node's next transition — no new machinery, only bookkeeping: the
+        global instance grows, the owning nodes' fragments grow, and each
+        touched node's input fingerprint is updated incrementally (the
+        step-cache token changes, so memoized transitions cannot leak
+        across the ingestion boundary).  Returns the number of facts that
+        were genuinely new to the run.
+        """
+        delta = Instance(facts).restrict(
+            self._network.transducer.schema.inputs
+        ) - self._instance
+        if not delta:
+            return 0
+        self._instance = self._instance | delta
+        for node, fragment in self._network.policy.distribute(delta).items():
+            added = fragment - self._fragments[node]
+            if not added:
+                continue
+            self._fragments[node] = self._fragments[node] | added
+            self._input_hash[node] = (
+                self._input_hash[node] + _section_hash("in", added)
+            ) % _HASH_MOD
+        self.deltas_ingested += len(delta)
+        return len(delta)
+
+    def stream_to_quiescence(
+        self,
+        feed,
+        *,
+        max_rounds: int = 10_000,
+        scheduler: "Scheduler | None" = None,
+    ) -> Instance:
+        """Run epoch-by-epoch under a :class:`~repro.streaming.DeltaFeed`.
+
+        Each epoch runs to quiescence, its output is recorded in
+        ``epoch_outputs``, and the next batch is ingested; the final
+        output is also the last entry of ``epoch_outputs``.  The recorded
+        trajectory is what the live delta-preservation oracle checks
+        (``repro.conformance.streaming``).
+        """
+        scheduler = scheduler or FairScheduler()
+        self.run_to_quiescence(max_rounds=max_rounds, scheduler=scheduler)
+        self.epoch_outputs = [self.global_output()]
+        for batch in feed.batches:
+            self.ingest(batch.facts)
+            self.run_to_quiescence(max_rounds=max_rounds, scheduler=scheduler)
+            self.epoch_outputs.append(self.global_output())
+        return self.global_output()
 
     def _flush_channel(self) -> bool:
         """Force every in-flight fact into its target buffer; True when any

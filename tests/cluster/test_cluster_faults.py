@@ -175,8 +175,12 @@ def test_crash_stream_independent_of_message_faults():
     for the same seed (separate RNG streams)."""
 
     async def frames_for(plan):
-        frames, _ = await _faulted_exchange(plan, seed=11)
-        return [decode_envelope(f).facts for f in frames]
+        frames, layer = await _faulted_exchange(plan, seed=11)
+        # Delayed frames land on a real-time tick, so the *order* the
+        # receiver drains them in is load-dependent; the draws being
+        # identical means the delivered multiset and counters match.
+        counters = {name: layer.counters[name] for name in FAULT_COUNTER_NAMES}
+        return sorted(decode_envelope(f).facts for f in frames), counters
 
     without = run(frames_for(CHAOS_PLAN))
     from dataclasses import replace

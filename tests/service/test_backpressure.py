@@ -1,0 +1,166 @@
+"""Back-pressure regressions: 503 Retry-After derived from queue drain,
+429 Retry-After ceiling, and the 504 timeout path's persistence promise
+(the run completes, is fetchable, and releases its worker slot)."""
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.service.app as app_module
+from repro.service import ReproService, ServiceConfig
+
+TC = "T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z)."
+TC_FACTS = "E(1,2). E(2,3)."
+
+
+def _call(service, method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{service.port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
+class TestRetryAfterDerivation:
+    def test_rate_limited_header_is_ceiling_of_body(self, tmp_path):
+        config = ServiceConfig(
+            port=0, store_path=":memory:", workers=1, rate_limit=1, rate_window=7.5
+        )
+        svc = ReproService(config).start_in_thread()
+        try:
+            assert _call(svc, "POST", "/v1/analyze", {"program": TC})[0] == 200
+            status, body, headers = _call(svc, "POST", "/v1/analyze", {"program": TC})
+            assert status == 429
+            retry_after = body["retry_after"]
+            assert 0 < retry_after <= 7.5
+            assert headers["Retry-After"] == str(max(1, math.ceil(retry_after)))
+        finally:
+            svc.shutdown()
+
+    def test_backpressure_hint_uses_observed_drain_rate(self):
+        service = ReproService(
+            ServiceConfig(port=0, store_path=":memory:", workers=2)
+        )
+        # No jobs observed yet: fall back to the limiter's per-slot window.
+        fallback = service.config.rate_window / service.config.rate_limit
+        assert service.backpressure_retry_after() == pytest.approx(
+            max(0.001, fallback / 2), rel=0.01
+        )
+        service._recent_elapsed.extend([2.0, 4.0])  # avg 3s per job
+        for _ in range(4):
+            service._queue.put_nowait(None)
+        # 4 queued / 2 workers * 3s = 6s until room plausibly opens up.
+        assert service.backpressure_retry_after() == pytest.approx(6.0, rel=0.01)
+        service.store.close()
+
+    def test_queue_full_returns_derived_retry_after(self, monkeypatch):
+        release = threading.Event()
+        real = app_module.execute_request
+
+        def blocking(store, payload, *, config=None):
+            release.wait(30)
+            return real(store, payload, config=config)
+
+        monkeypatch.setattr(app_module, "execute_request", blocking)
+        config = ServiceConfig(
+            port=0,
+            store_path=":memory:",
+            workers=1,
+            queue_capacity=1,
+            rate_limit=1000,
+            request_timeout=60.0,
+        )
+        svc = ReproService(config).start_in_thread()
+        payload = {"tenant": "t", "program": TC, "facts": TC_FACTS}
+        results = []
+
+        def post():
+            results.append(_call(svc, "POST", "/v1/runs", payload))
+
+        threads = [threading.Thread(target=post) for _ in range(2)]
+        try:
+            # First fills the worker, second fills the queue (capacity 1).
+            for thread in threads:
+                thread.start()
+                time.sleep(0.3)
+            status, body, headers = _call(svc, "POST", "/v1/runs", payload)
+            assert status == 503
+            assert body["retry_after"] > 0
+            assert headers["Retry-After"] == str(
+                max(1, math.ceil(body["retry_after"]))
+            )
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            release.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            svc.shutdown()
+        assert [entry[0] for entry in results] == [200, 200]
+
+
+class TestTimeoutPersistence:
+    def test_504_run_is_persisted_and_slot_released(self, monkeypatch, tmp_path):
+        real = app_module.execute_request
+        delay_once = threading.Event()
+
+        def slow_once(store, payload, *, config=None):
+            if not delay_once.is_set():
+                delay_once.set()
+                time.sleep(1.0)
+            return real(store, payload, config=config)
+
+        monkeypatch.setattr(app_module, "execute_request", slow_once)
+        config = ServiceConfig(
+            port=0,
+            store_path=str(tmp_path / "runs.db"),
+            workers=1,
+            rate_limit=1000,
+            request_timeout=0.2,
+        )
+        svc = ReproService(config).start_in_thread()
+        try:
+            status, body, _ = _call(
+                svc,
+                "POST",
+                "/v1/runs",
+                {"tenant": "t", "program": TC, "facts": TC_FACTS},
+            )
+            assert status == 504
+            assert "persisted" in body["error"]
+            # The worker finishes in the background and persists the run.
+            deadline = time.monotonic() + 15
+            runs = []
+            while time.monotonic() < deadline:
+                status, listed, _ = _call(svc, "GET", "/v1/runs?tenant=t")
+                runs = listed.get("runs", []) if status == 200 else []
+                if runs:
+                    break
+                time.sleep(0.1)
+            assert runs, "timed-out run was never persisted"
+            assert runs[0]["status"] == "ok"
+            run_id = runs[0]["run_id"]
+            status, fetched, _ = _call(svc, "GET", f"/v1/runs/{run_id}?tenant=t")
+            assert status == 200
+            # The slot is free again: a fresh (fast) request completes
+            # synchronously on the same single worker.
+            status, body, _ = _call(
+                svc,
+                "POST",
+                "/v1/runs",
+                {"tenant": "t", "program": TC, "facts": TC_FACTS},
+            )
+            assert status == 200 and body["status"] == "ok"
+        finally:
+            svc.shutdown()

@@ -1,0 +1,70 @@
+"""DeltaFeed tests: construction, prefixes, admissibility, generation."""
+
+import random
+
+import pytest
+
+from repro.datalog import Instance, parse_facts, parse_program
+from repro.monotonicity.classes import AdditionKind
+from repro.streaming import DeltaFeed
+
+
+class TestConstruction:
+    def test_from_texts_round_trips(self):
+        feed = DeltaFeed.from_texts(["E(1, 2). E(2, 3).", "E(3, 4)."])
+        assert len(feed) == 2
+        assert feed.total_facts == 3
+        assert DeltaFeed.from_texts(feed.to_texts()).to_texts() == feed.to_texts()
+
+    def test_batches_are_epoch_indexed_and_sorted(self):
+        feed = DeltaFeed.from_texts(["E(2, 3). E(1, 2).", "E(3, 4)."])
+        assert [batch.epoch for batch in feed] == [0, 1]
+        assert feed.batch(0) == tuple(sorted(parse_facts("E(1,2). E(2,3).")))
+        assert feed.batch(2) is None
+        assert feed.batch(-1) is None
+
+    def test_rejects_non_facts(self):
+        with pytest.raises(TypeError):
+            DeltaFeed([["E(1,2)."]])
+
+    def test_empty_feed_is_falsy(self):
+        assert not DeltaFeed()
+        assert bool(DeltaFeed.from_texts(["E(1, 2)."]))
+
+
+class TestPrefixes:
+    def test_prefixes_telescope(self):
+        base = Instance(parse_facts("E(1, 2)."))
+        feed = DeltaFeed.from_texts(["E(2, 3).", "E(3, 4)."])
+        prefixes = feed.prefixes(base)
+        assert len(prefixes) == 3
+        assert prefixes[0] == base
+        assert prefixes[1] == base | parse_facts("E(2,3).")
+        assert prefixes[2] == base | parse_facts("E(2,3). E(3,4).")
+
+
+class TestAdmissibility:
+    def test_any_admits_everything(self):
+        base = Instance(parse_facts("E(1, 2)."))
+        feed = DeltaFeed.from_texts(["E(1, 3).", "E(2, 1)."])
+        assert feed.admissible_for(AdditionKind.ANY, base)
+
+    def test_disjoint_rejects_shared_domain(self):
+        base = Instance(parse_facts("E(1, 2)."))
+        sharing = DeltaFeed.from_texts(["E(2, 3)."])
+        fresh = DeltaFeed.from_texts(["E(7, 8)."])
+        assert not sharing.admissible_for(AdditionKind.DOMAIN_DISJOINT, base)
+        assert fresh.admissible_for(AdditionKind.DOMAIN_DISJOINT, base)
+
+    def test_generate_is_kind_admissible_and_deterministic(self):
+        program = parse_program("T(x, y) :- E(x, y).")
+        base = Instance(parse_facts("E(1, 2). E(2, 3)."))
+        for kind in AdditionKind:
+            feed = DeltaFeed.generate(
+                random.Random(5), base, program.edb(), kind, batches=3
+            )
+            assert feed.admissible_for(kind, base)
+            again = DeltaFeed.generate(
+                random.Random(5), base, program.edb(), kind, batches=3
+            )
+            assert feed.to_texts() == again.to_texts()

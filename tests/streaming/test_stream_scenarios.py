@@ -1,0 +1,102 @@
+"""Scenario library tests: loader validation and the cross-runtime gate.
+
+The committed YAML library under ``scenarios/`` is itself under test: every
+file must load, declare an oracle its own feed satisfies, and pass the
+sync+cluster gate.  The full four-runtime arm (process cluster clean and
+kill-and-recover) runs on one scenario in tier 1 and on the whole library
+under ``-m slow``.
+"""
+
+import pytest
+
+from repro.streaming import (
+    check_stream_scenario,
+    load_feed,
+    load_scenario,
+    scenario_dir,
+    scenario_library,
+)
+
+LIBRARY = scenario_library()
+NAMES = [scenario.name for scenario in LIBRARY]
+
+
+class TestLoader:
+    def test_library_is_nonempty_and_named_after_files(self):
+        assert len(LIBRARY) >= 3
+        assert sorted(NAMES) == NAMES  # sorted glob order, stable
+        assert len(set(NAMES)) == len(NAMES)
+
+    def test_oracle_mix(self):
+        oracles = {scenario.oracle for scenario in LIBRARY}
+        # The library spans the guarantee spectrum: a plain-monotone feed,
+        # the weaker-class kinds, and a documented counterexample.
+        assert {"any", "distinct", "disjoint", "none"} <= oracles
+
+    def test_load_feed_accepts_bare_batches(self, tmp_path):
+        path = tmp_path / "feed.yaml"
+        path.write_text('batches: ["E(1, 2).", "E(2, 3)."]\n')
+        feed = load_feed(path)
+        assert len(feed) == 2
+
+    def test_load_feed_rejects_non_list(self, tmp_path):
+        path = tmp_path / "feed.yaml"
+        path.write_text("batches: 12\n")
+        with pytest.raises(ValueError, match="batches"):
+            load_feed(path)
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text('name: x\nprogram: "T(x) :- E(x)."\n')
+        with pytest.raises(ValueError, match="missing scenario keys"):
+            load_scenario(path)
+
+    def test_unknown_oracle_rejected(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text(
+            'name: x\nprogram: "T(x) :- E(x)."\nbase: "E(1)."\n'
+            'batches: ["E(2)."]\noracle: sometimes\n'
+        )
+        with pytest.raises(ValueError, match="oracle"):
+            load_scenario(path)
+
+    def test_inadmissible_feed_rejected(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        # Claims disjoint-admissibility but the batch reuses domain value 1.
+        path.write_text(
+            'name: x\nprogram: "T(x) :- E(x, y)."\nbase: "E(1, 2)."\n'
+            'batches: ["E(1, 3)."]\noracle: disjoint\n'
+        )
+        with pytest.raises(ValueError, match="not disjoint-admissible"):
+            load_scenario(path)
+
+    def test_scenario_dir_is_committed(self):
+        assert scenario_dir().is_dir()
+        assert any(scenario_dir().glob("*.yaml"))
+
+
+class TestGate:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_sync_and_cluster_confluent(self, name):
+        scenario = next(s for s in LIBRARY if s.name == name)
+        verdict = check_stream_scenario(scenario, processes=False)
+        assert verdict.passed, verdict.to_dict()
+        assert verdict.epochs == len(scenario.feed()) + 1
+        assert set(verdict.runtimes) == {"sync", "cluster"}
+        assert verdict.oracle_checked == (scenario.oracle != "none")
+
+    def test_process_arm_with_kill_and_recovery(self):
+        scenario = next(s for s in LIBRARY if s.name == "tc-trickled-edges")
+        verdict = check_stream_scenario(scenario, processes=True, kill=True)
+        assert verdict.passed, verdict.to_dict()
+        assert set(verdict.runtimes) == {"sync", "cluster", "process", "process-kill"}
+        assert verdict.crashes >= 1 and verdict.recoveries >= 1
+        # All four trajectories byte-identical, epoch by epoch.
+        assert len({tuple(prints) for prints in verdict.runtimes.values()}) == 1
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", NAMES)
+    def test_full_gate_whole_library(self, name):
+        scenario = next(s for s in LIBRARY if s.name == name)
+        verdict = check_stream_scenario(scenario, processes=True, kill=True)
+        assert verdict.passed, verdict.to_dict()
