@@ -1,0 +1,129 @@
+"""Optimizer benchmark: paired optimized-vs-barrier runs over the zoo.
+
+For every zoo program with a committed gate instance, run the per-stratum
+optimizer's chosen protocol bundle and the All-barrier baseline on the
+same input and seeded scheduler, and record:
+
+* byte-identity of the two outputs (the soundness gate);
+* measured (rounds, messages, transitions) for both arms;
+* the fitted cost model's predictions and whether the predicted
+  (rounds, transitions) ordering agrees with the measured one;
+* which programs the optimizer *upgraded* past the analyzer's Figure-2
+  routing (the showcase being ``tagged-edges``: fragment=stratified, no
+  whole-program guarantee, yet distinct-safe and so coordination-free).
+
+``scripts/bench_report.py --optimizer`` distills the sweep into
+``BENCH_optimizer.json`` and gates on: all arms byte-identical, at least
+one upgraded mixed-stratification program strictly cheaper on measured
+(rounds, transitions), and predicted/measured ordering agreement.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.gate import _ZOO_INSTANCES
+from repro.datalog.instance import Instance
+from repro.datalog.parser import parse_facts
+from repro.optimizer import (
+    DEFAULT_COST_MODEL,
+    calibration_observations,
+    fit_cost_model,
+    plan_optimized,
+    run_comparison,
+)
+from repro.queries.zoo import zoo_entries
+
+
+def optimizer_sweep(*, nodes: int = 3, seeds: tuple[int, ...] = (0, 1)) -> dict:
+    """Run the paired comparison for every zoo program with a gate
+    instance, at every seed; returns the JSON-ready sweep record."""
+    comparisons = []
+    for entry in zoo_entries():
+        facts_text = _ZOO_INSTANCES.get(entry.name)
+        if facts_text is None:
+            continue
+        program = entry.program()
+        optimized = plan_optimized(program)
+        instance = Instance(parse_facts(facts_text))
+        for seed in seeds:
+            comparison = run_comparison(
+                program, instance, nodes=nodes, seed=seed
+            )
+            comparisons.append(
+                {
+                    "program": entry.name,
+                    "fragment": entry.fragment,
+                    "baseline_monotonicity": (
+                        optimized.baseline.analysis.monotonicity
+                    ),
+                    "effective_monotonicity": (
+                        optimized.effective_monotonicity
+                    ),
+                    "seed": seed,
+                    **comparison.to_dict(),
+                }
+            )
+    return {
+        "nodes": nodes,
+        "seeds": list(seeds),
+        "programs": len({c["program"] for c in comparisons}),
+        "comparisons": comparisons,
+        "default_cost_model": DEFAULT_COST_MODEL.to_dict(),
+    }
+
+
+def refit_agreement(*, smoke: bool = False) -> dict:
+    """Refit the cost model from fresh calibration sweeps and check that
+    it induces the same (rounds, transitions) protocol ordering at the
+    benchmark's network size as the committed coefficients."""
+    kwargs = (
+        {"node_counts": (1, 3), "edge_counts": (4, 8)} if smoke else {}
+    )
+    fitted = fit_cost_model(calibration_observations(**kwargs))
+
+    def ordering(model):
+        kinds = ("broadcast", "distinct", "disjoint", "barrier")
+        return sorted(
+            kinds,
+            key=lambda kind: model.predict(
+                kind, nodes=3, facts=8
+            ).ordering_key(),
+        )
+
+    committed_order = ordering(DEFAULT_COST_MODEL)
+    fitted_order = ordering(fitted)
+    return {
+        "committed_order": committed_order,
+        "fitted_order": fitted_order,
+        "agrees": committed_order == fitted_order,
+        "fitted": fitted.to_dict(),
+    }
+
+
+def main() -> int:
+    sweep = optimizer_sweep()
+    bad = [c for c in sweep["comparisons"] if not c["byte_identical"]]
+    showcase = [
+        c
+        for c in sweep["comparisons"]
+        if c["upgraded"] and c["measured_cheaper"]
+    ]
+    agree = sum(1 for c in sweep["comparisons"] if c["prediction_agrees"])
+    total = len(sweep["comparisons"])
+    print(f"comparisons:        {total} over {sweep['programs']} programs")
+    print(f"byte-identical:     {total - len(bad)}/{total}")
+    print(f"upgraded & cheaper: {len(showcase)}")
+    print(f"prediction agrees:  {agree}/{total}")
+    refit = refit_agreement()
+    print(
+        "refit ordering:     "
+        + (" == " if refit["agrees"] else " != ").join(
+            ["/".join(refit["committed_order"]), "/".join(refit["fitted_order"])]
+        )
+    )
+    ok = not bad and showcase and refit["agrees"]
+    print("verdict:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

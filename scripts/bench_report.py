@@ -27,6 +27,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_report.py --service --smoke
     PYTHONPATH=src python scripts/bench_report.py --scenarios  # BENCH_scenarios.json
     PYTHONPATH=src python scripts/bench_report.py --scenarios --smoke
+    PYTHONPATH=src python scripts/bench_report.py --optimizer  # BENCH_optimizer.json
+    PYTHONPATH=src python scripts/bench_report.py --optimizer --smoke
 
 ``--service`` switches to the multi-tenant service load test
 (``benchmarks/bench_service.py``): >= 200 concurrent POSTs across >= 3
@@ -366,6 +368,114 @@ def scaling_main(args) -> int:
     return 0
 
 
+#: The optimizer gate's commitments: sound routing (byte-identity
+#: everywhere), at least one genuine upgrade that is measured-cheaper, and
+#: cost-model ordering agreement (near-ties may honestly disagree).
+OPTIMIZER_TARGETS = {
+    "optimizer_byte_identical": 1.0,
+    "optimizer_upgraded_cheaper": 1.0,
+    "optimizer_prediction_agreement": 0.85,
+}
+
+
+def optimizer_main(args) -> int:
+    """``--optimizer`` mode: run the paired optimized-vs-barrier sweep
+    from ``benchmarks/bench_optimizer.py`` over the query zoo, check the
+    refit cost model still orders the protocols like the committed
+    coefficients, and distill it all into BENCH_optimizer.json."""
+    sys.path.insert(0, str(REPO / "src"))
+    sys.path.insert(0, str(BENCH_DIR))
+    from bench_optimizer import optimizer_sweep, refit_agreement
+
+    print("== optimizer sweep: optimized vs All-barrier over the zoo ==")
+    sweep = optimizer_sweep(seeds=(0,) if args.smoke else (0, 1))
+    comparisons = sweep["comparisons"]
+    total = len(comparisons)
+    identical = sum(1 for c in comparisons if c["byte_identical"])
+    upgraded = [c for c in comparisons if c["upgraded"]]
+    upgraded_cheaper = [c for c in upgraded if c["measured_cheaper"]]
+    agree = sum(1 for c in comparisons if c["prediction_agrees"])
+    print(
+        f"  {total} comparisons over {sweep['programs']} programs: "
+        f"{identical} byte-identical, {len(upgraded)} upgraded "
+        f"({len(upgraded_cheaper)} measured-cheaper), "
+        f"{agree} prediction-agreeing"
+    )
+    for c in upgraded:
+        opt, bar = c["optimized"]["measured"], c["barrier"]["measured"]
+        print(
+            f"    {c['program']} seed={c['seed']}: "
+            f"{c['baseline_monotonicity'] or 'barrier'} -> "
+            f"{c['effective_monotonicity']} via {c['optimized']['protocol']}"
+            f" rounds {opt['rounds']:g} vs {bar['rounds']:g}, transitions "
+            f"{opt['transitions']:g} vs {bar['transitions']:g}"
+            f" {'CHEAPER' if c['measured_cheaper'] else 'not cheaper'}"
+        )
+
+    print("== cost-model refit agreement ==")
+    refit = refit_agreement(smoke=args.smoke)
+    print(
+        f"  committed {'/'.join(refit['committed_order'])} vs refit "
+        f"{'/'.join(refit['fitted_order'])} "
+        f"({'ok' if refit['agrees'] else 'DISAGREE'})"
+    )
+
+    failures = []
+    ratios = {
+        "optimizer_byte_identical": identical / total if total else 0.0,
+        "optimizer_upgraded_cheaper": (
+            len(upgraded_cheaper) / len(upgraded) if upgraded else 0.0
+        ),
+        "optimizer_prediction_agreement": agree / total if total else 0.0,
+    }
+    headline = {}
+    for metric, minimum in OPTIMIZER_TARGETS.items():
+        value = ratios[metric]
+        ok = value >= minimum
+        headline[metric] = {
+            "speedup": round(value, 3),
+            "target": minimum,
+            "ok": ok,
+        }
+        print(
+            f"  headline {metric}: {value:.2f} (target >= {minimum}) "
+            f"{'ok' if ok else 'FAILED'}"
+        )
+        if not ok:
+            failures.append(f"{metric}: {value:.2f} below target {minimum}")
+    if not refit["agrees"]:
+        failures.append(
+            "cost-model refit no longer orders the protocols like the "
+            "committed coefficients"
+        )
+
+    if args.compare_baseline is not None:
+        print(f"== compare-baseline: {args.compare_baseline} ==")
+        failures.extend(
+            compare_baseline(
+                Path(args.compare_baseline), headline, suite="bench_optimizer"
+            )
+        )
+
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "mode": "smoke" if args.smoke else "full",
+        "headline": headline,
+        "sweep": sweep,
+        "refit": refit,
+    }
+    output = Path(args.output or str(REPO / "BENCH_optimizer.json"))
+    report = load_history(output, suite="bench_optimizer")
+    report["history"] = upsert_history(report["history"], entry)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output} ({len(report['history'])} history entr"
+          f"{'y' if len(report['history']) == 1 else 'ies'})")
+    if failures:
+        print("FAILURES:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
 #: The scenario gate's commitment: every committed streaming scenario
 #: passes cross-runtime confluence + the delta-preservation oracle.
 SCENARIO_TARGETS = {"scenario_gate_pass": 1.0}
@@ -597,6 +707,12 @@ def main() -> int:
         help="replay the committed streaming-scenario library across all "
         "runtimes (incl. kill-and-recover) into BENCH_scenarios.json",
     )
+    parser.add_argument(
+        "--optimizer",
+        action="store_true",
+        help="run the paired optimized-vs-barrier zoo sweep and write "
+        "BENCH_optimizer.json",
+    )
     parser.add_argument("--output", default=None)
     parser.add_argument(
         "--compare-baseline",
@@ -610,7 +726,9 @@ def main() -> int:
     )
     args = parser.parse_args()
     if args.compare_baseline == "":
-        if args.service:
+        if args.optimizer:
+            args.compare_baseline = str(REPO / "BENCH_optimizer.json")
+        elif args.service:
             args.compare_baseline = str(REPO / "BENCH_service.json")
         elif args.scenarios:
             args.compare_baseline = str(REPO / "BENCH_scenarios.json")
@@ -618,6 +736,9 @@ def main() -> int:
             args.compare_baseline = str(
                 REPO / ("BENCH_scaling.json" if args.scaling else "BENCH_engine.json")
             )
+    if args.optimizer:
+        print("== per-stratum optimizer gate (bench_optimizer.optimizer_sweep) ==")
+        return optimizer_main(args)
     if args.scenarios:
         print("== streaming-scenario gate (repro.streaming.check_stream_scenario) ==")
         return scenarios_main(args)

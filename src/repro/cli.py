@@ -63,10 +63,24 @@ Usage (also via ``python -m repro``):
         Solve the win-move game in FACTS.dl (Move facts) by retrograde
         analysis: won / drawn / lost positions and winning moves.
 
+    repro optimize PROGRAM.dl [FACTS.dl] [--json] [--nodes N]
+                   [--seed S] [--check-pairs N] [--calibrate]
+        Per-stratum coordination-cost optimizer: classify each stratum,
+        choose the cheapest sound Section-4 protocol bundle (monotone
+        strata run coordination-free; only the non-monotone residue pays
+        the All-barrier), and emit the PlanCertificate with predicted
+        (rounds, messages, transitions) from the fitted cost model.
+        With FACTS, executes the optimized plan *and* the All-barrier
+        baseline on the same seeded scheduler and reports byte-identity
+        plus measured costs.  ``--calibrate`` refits the cost model from
+        fresh protocol sweeps instead of the committed coefficients.
+
     repro fuzz [--seed S] [--iterations N] [--time-budget SECONDS]
                [--stacks a,b,...] [--corpus DIR] [--mutate STACK=NAME]
-               [--no-metamorphic] [--no-streaming] [--report OUT.json]
-        Differential + metamorphic + streaming conformance fuzzing:
+               [--no-metamorphic] [--no-streaming] [--no-optimizer]
+               [--report OUT.json]
+        Differential + metamorphic + streaming + optimizer conformance
+        fuzzing:
         random programs per paper fragment run through every evaluation
         stack (naive, semi-naive legacy join, compiled plans, columnar
         kernel, synchronous simulator, async cluster on both transports
@@ -75,7 +89,10 @@ Usage (also via ``python -m repro``):
         monotonicity class — both statically on random deltas and live
         mid-stream (a kind-admissible delta feed trickled through a
         rotating runtime; ``--mutate streaming=retract-on-delta`` plants
-        the streaming self-check bug).  Failures are minimized and, with
+        the streaming self-check bug).  The optimizer oracle additionally
+        holds every routing decision of ``repro optimize`` to its
+        soundness obligations (``--mutate optimizer=misclassify-stratum``
+        plants its self-check bug).  Failures are minimized and, with
         --corpus, persisted as permanent regression entries (see
         docs/TESTING.md).
 
@@ -489,6 +506,136 @@ def _cmd_cluster_processes(args, out) -> int:
     return 0 if result == expected and quiesced and preserved else 1
 
 
+
+def _cmd_optimize(args, out) -> int:
+    import json as _json
+
+    from .optimizer import (
+        DEFAULT_COST_MODEL,
+        calibration_observations,
+        fit_cost_model,
+        plan_certificate,
+        plan_optimized,
+        run_comparison,
+    )
+
+    program = parse_program(_read(args.program))
+    model = DEFAULT_COST_MODEL
+    if args.calibrate:
+        model = fit_cost_model(calibration_observations())
+    instance = _load_facts(args.facts) if args.facts else None
+    facts = (
+        len(instance.restrict(program.edb())) if instance is not None else 8
+    )
+    certificate = plan_certificate(
+        program,
+        nodes=args.nodes,
+        facts=facts,
+        model=model,
+        check_pairs=args.check_pairs,
+        seed=args.seed,
+    )
+    comparison = None
+    if instance is not None:
+        comparison = run_comparison(
+            program, instance, nodes=args.nodes, seed=args.seed, model=model
+        )
+
+    if args.json:
+        payload = dict(certificate)
+        if args.calibrate:
+            payload["cost_model"] = model.to_dict()
+        if comparison is not None:
+            payload["comparison"] = comparison.to_dict()
+        print(_json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0 if comparison is None or comparison.byte_identical else 1
+
+    optimized = plan_optimized(program)
+    baseline = certificate["baseline"]
+    effective = certificate["effective"]
+    cost = certificate["cost"]
+    print(f"rules:        {certificate['rules']}", file=out)
+    print(f"fragment:     {certificate['fragment']}", file=out)
+    print(
+        f"baseline:     {baseline['monotonicity'] or 'no guarantee'}"
+        f" ({baseline['protocol']})",
+        file=out,
+    )
+    print(
+        f"effective:    {effective['monotonicity'] or 'no guarantee'}"
+        + (" [upgraded]" if effective["upgraded"] else ""),
+        file=out,
+    )
+    print(f"  reason:     {effective['reason']}", file=out)
+    for stratum in certificate["strata"]:
+        marks = []
+        if stratum["in_negation_cone"]:
+            marks.append("in-cone")
+        if stratum["head_dominant"]:
+            marks.append("head-dominant")
+        if stratum["negates"]:
+            marks.append("negates " + ", ".join(stratum["negates"]))
+        extra = f" ({'; '.join(marks)})" if marks else ""
+        print(
+            f"  stratum {stratum['index']}:  {stratum['role']:<8} "
+            f"{', '.join(stratum['heads'])} [{stratum['fragment']}]{extra}",
+            file=out,
+        )
+    print(f"protocol:     {certificate['protocol']['name']}", file=out)
+    predicted, barrier = cost["predicted"], cost["barrier"]
+    print(
+        f"predicted:    rounds {predicted['rounds']}, transitions "
+        f"{predicted['transitions']}, messages {predicted['messages']} "
+        f"(nodes={cost['nodes']}, facts={cost['facts']})",
+        file=out,
+    )
+    print(
+        f"barrier:      rounds {barrier['rounds']}, transitions "
+        f"{barrier['transitions']}, messages {barrier['messages']}"
+        + (
+            " -> optimized is cheaper"
+            if cost["cheaper_than_barrier"]
+            else ""
+        ),
+        file=out,
+    )
+    if "empirical" in certificate:
+        empirical = certificate["empirical"]
+        print(
+            f"empirical:    {empirical['mode']}: "
+            + (
+                f"holds={empirical['holds']} over "
+                f"{empirical['pairs_checked']} pair(s)"
+                if "holds" in empirical
+                else f"weakest consistent class "
+                f"{empirical['weakest_consistent_class']}"
+            ),
+            file=out,
+        )
+    if comparison is not None:
+        arm, base_arm = comparison.optimized, comparison.barrier
+        print(
+            f"execution:    byte-identical={comparison.byte_identical} "
+            f"measured-cheaper={comparison.measured_cheaper} "
+            f"prediction-agrees={comparison.prediction_agrees}",
+            file=out,
+        )
+        print(
+            f"  optimized:  rounds {arm.measured.rounds:g}, transitions "
+            f"{arm.measured.transitions:g}, messages {arm.measured.messages:g}"
+            f" ({arm.protocol})",
+            file=out,
+        )
+        print(
+            f"  barrier:    rounds {base_arm.measured.rounds:g}, transitions "
+            f"{base_arm.measured.transitions:g}, messages "
+            f"{base_arm.measured.messages:g} ({base_arm.protocol})",
+            file=out,
+        )
+        return 0 if comparison.byte_identical else 1
+    return 0
+
+
 def _cmd_fuzz(args, out) -> int:
     from .conformance import (
         DEFAULT_STACK_NAMES,
@@ -497,6 +644,7 @@ def _cmd_fuzz(args, out) -> int:
         write_fuzz_report,
     )
     from .conformance.differential import MUTATIONS
+    from .conformance.optimizer import OPTIMIZER_MUTATIONS
     from .conformance.streaming import STREAM_MUTATIONS
 
     stacks = (
@@ -507,17 +655,19 @@ def _cmd_fuzz(args, out) -> int:
     mutate: dict[str, str] = {}
     for spec in args.mutate or []:
         stack, sep, name = spec.partition("=")
-        # "streaming" is a pseudo-stack: the mutation plants a bug into
-        # the streaming oracle's runtime rather than an evaluation stack.
+        # "streaming" and "optimizer" are pseudo-stacks: the mutation
+        # plants a bug into that oracle rather than an evaluation stack.
         valid = bool(sep) and (
             (stack in stacks and name in MUTATIONS)
             or (stack == "streaming" and name in STREAM_MUTATIONS)
+            or (stack == "optimizer" and name in OPTIMIZER_MUTATIONS)
         )
         if not valid:
             raise ValueError(
                 f"--mutate expects STACK=NAME with STACK in {stacks} and "
-                f"NAME in {sorted(MUTATIONS)}, or streaming=NAME with NAME "
-                f"in {sorted(STREAM_MUTATIONS)}; got {spec!r}"
+                f"NAME in {sorted(MUTATIONS)}, streaming=NAME with NAME "
+                f"in {sorted(STREAM_MUTATIONS)}, or optimizer=NAME with "
+                f"NAME in {sorted(OPTIMIZER_MUTATIONS)}; got {spec!r}"
             )
         mutate[stack] = name
     config = FuzzConfig(
@@ -529,6 +679,7 @@ def _cmd_fuzz(args, out) -> int:
         mutate=mutate,
         metamorphic=not args.no_metamorphic,
         streaming=not args.no_streaming,
+        optimizer=not args.no_optimizer,
     )
     report = run_fuzz(config, log=lambda line: print(line, file=out))
     print(f"seed:         {report['seed']}", file=out)
@@ -555,6 +706,10 @@ def _cmd_fuzz(args, out) -> int:
     print(
         f"streaming:    {len(report['streaming_violations'])} violation(s)"
         + (f" ({streamed})" if streamed else ""),
+        file=out,
+    )
+    print(
+        f"optimizer:    {len(report['optimizer_violations'])} violation(s)",
         file=out,
     )
     if report["corpus_entries"]:
@@ -784,9 +939,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the live streaming delta-preservation oracle",
     )
     fuzz_cmd.add_argument(
+        "--no-optimizer", action="store_true",
+        help="skip the per-stratum optimizer soundness oracle",
+    )
+    fuzz_cmd.add_argument(
         "--report", metavar="PATH", help="write the JSON fuzz report to PATH"
     )
     fuzz_cmd.set_defaults(handler=_cmd_fuzz)
+
+    optimize_cmd = commands.add_parser(
+        "optimize", help="per-stratum coordination-cost optimizer"
+    )
+    optimize_cmd.add_argument("program", help="path to a .dl program file")
+    optimize_cmd.add_argument(
+        "facts", nargs="?", default=None,
+        help="optional fact file: execute optimized vs All-barrier arms",
+    )
+    optimize_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable PlanCertificate",
+    )
+    optimize_cmd.add_argument("--nodes", type=int, default=3)
+    optimize_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="scheduler / empirical-check seed",
+    )
+    optimize_cmd.add_argument(
+        "--check-pairs", type=int, default=0, metavar="N",
+        help="empirically cross-check the effective class on N seeded "
+        "random (I, J) pairs",
+    )
+    optimize_cmd.add_argument(
+        "--calibrate", action="store_true",
+        help="refit the cost model from fresh protocol sweeps instead of "
+        "the committed coefficients",
+    )
+    optimize_cmd.set_defaults(handler=_cmd_optimize)
 
     game_cmd = commands.add_parser("solve-game", help="solve a win-move game")
     game_cmd.add_argument("facts")

@@ -63,6 +63,7 @@ _ZOO_INSTANCES: dict[str, str] = {
     "isolated-vertices": "V(1). V(2). V(3). E(1,2).",
     "two-relation-join": "R(1,2). R(2,2). S(2,3). S(3,1).",
     "win-move": "Move(1,2). Move(2,1). Move(2,3).",
+    "tagged-edges": "E(1,2). E(2,3). E(3,1). S(1). S(3). L(2).",
     "disconnected-product": "S(1). S(2). T(3).",
 }
 

@@ -10,7 +10,12 @@ matrix is exercised at every budget, then
    (metamorphic oracle), and
 3. streams a kind-admissible delta feed through a live runtime and checks
    delta preservation mid-run (streaming oracle; the runtime rotates
-   sync → asyncio cluster → process cluster on a deterministic cadence).
+   sync → asyncio cluster → process cluster on a deterministic cadence),
+   and
+4. holds the per-stratum optimizer's routing decision to its soundness
+   obligations — evidence-audited certificate, downward-consistent
+   strata, empirical non-refutation, and byte-identity of the optimized
+   execution against the All-barrier baseline (optimizer oracle).
 
 Failures are shrunk and persisted to the corpus (when a corpus directory
 is given) and always surface in the JSON telemetry report.  Everything is
@@ -33,12 +38,13 @@ from .generator import FRAGMENT_TARGETS, sample_instance, sample_program
 from .metamorphic import check_metamorphic
 from .shrinker import default_failure_predicate, shrink_case
 from .stacks import DEFAULT_STACK_NAMES, StackContext, build_stacks
+from .optimizer import check_optimizer, shrink_optimizer
 from .streaming import check_streaming, shrink_streaming
 
 __all__ = ["FUZZ_REPORT_VERSION", "FuzzConfig", "run_fuzz", "write_fuzz_report"]
 
 #: Bumped whenever the fuzz report JSON layout changes incompatibly.
-FUZZ_REPORT_VERSION = 2
+FUZZ_REPORT_VERSION = 3
 
 _SCHEDULERS = tuple(sorted(SCHEDULER_NAMES))
 
@@ -58,6 +64,7 @@ class FuzzConfig:
     nodes: tuple[str, ...] = ("n1", "n2", "n3")
     metamorphic: bool = True
     streaming: bool = True
+    optimizer: bool = True
     shrink: bool = True
     #: Run the slower cluster knobs (tcp transport / crash schedule) every
     #: Nth iteration; 0 disables them entirely.
@@ -123,6 +130,7 @@ def run_fuzz(config: FuzzConfig, *, log=None) -> dict:
     divergences: list[dict] = []
     metamorphic_violations: list[dict] = []
     streaming_violations: list[dict] = []
+    optimizer_violations: list[dict] = []
     streaming_runtimes: dict[str, int] = {}
     corpus_paths: list[str] = []
     cases_by_fragment: dict[str, int] = {}
@@ -210,6 +218,27 @@ def run_fuzz(config: FuzzConfig, *, log=None) -> dict:
                 if log is not None:
                     log(f"iteration {iteration}: STREAMING {violation.describe()}")
 
+        if config.optimizer:
+            optimizer_mutate = config.mutate.get("optimizer")
+            violation = check_optimizer(
+                program,
+                instance,
+                rng,
+                context,
+                mutate=optimizer_mutate,
+            )
+            if violation is not None:
+                if config.shrink:
+                    violation = shrink_optimizer(
+                        violation, context, mutate=optimizer_mutate
+                    )
+                record = violation.to_dict()
+                record["iteration"] = iteration
+                record["fragment_target"] = target.name
+                optimizer_violations.append(record)
+                if log is not None:
+                    log(f"iteration {iteration}: OPTIMIZER {violation.describe()}")
+
     elapsed = time.monotonic() - started
     report = {
         "version": FUZZ_REPORT_VERSION,
@@ -223,11 +252,13 @@ def run_fuzz(config: FuzzConfig, *, log=None) -> dict:
         "divergences": divergences,
         "metamorphic_violations": metamorphic_violations,
         "streaming_violations": streaming_violations,
+        "optimizer_violations": optimizer_violations,
         "streaming_runtimes": streaming_runtimes,
         "corpus_entries": corpus_paths,
         "passed": not divergences
         and not metamorphic_violations
-        and not streaming_violations,
+        and not streaming_violations
+        and not optimizer_violations,
         "timing": {
             "elapsed_seconds": round(elapsed, 3),
             "seconds_per_iteration": round(elapsed / max(1, iterations_run), 4),

@@ -18,7 +18,12 @@ A certificate has three parts:
   coordination-free class (Figure 2's middle and right columns);
 * **the protocol decision** — which transducer the planner chose, whether
   it coordinates (global All-barrier) or not, and a human-auditable
-  ``reason`` string tying the choice back to the paper's theorems.
+  ``reason`` string tying the choice back to the paper's theorems;
+* **the per-stratum breakdown** — each stratum classified standalone
+  (fragment, memberships, guarantee) plus its role in the composed plan
+  (``monotone`` / ``guarded`` / ``residue``) and the head-dominance
+  evidence the per-stratum optimizer audits
+  (:mod:`repro.optimizer.strata`); empty for unstratifiable programs.
 
 Optionally an **empirical** section cross-checks the guarantee with the
 counterexample search of :mod:`repro.monotonicity.checker` over seeded
@@ -194,6 +199,13 @@ def certificate_for_plan(
             "reason": protocol_reason(plan, forced_barrier=forced_barrier),
         },
     }
+    # Imported lazily: the optimizer package consumes this module's
+    # membership/empirical helpers, so a top-level import would cycle.
+    from ..optimizer.strata import stratum_breakdown
+
+    payload["strata"] = [
+        stratum.to_dict() for stratum in stratum_breakdown(program)
+    ]
     if check_pairs > 0:
         payload["empirical"] = empirical_section(
             plan.query, analysis.monotonicity, pairs=check_pairs, seed=seed

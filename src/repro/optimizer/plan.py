@@ -1,0 +1,242 @@
+"""Optimized plans and their PlanCertificates.
+
+:func:`plan_optimized` is the optimizer's counterpart to
+:func:`repro.core.analyzer.plan_distribution`: it computes the analyzer's
+baseline routing, then re-routes through :func:`effective_class` — the
+per-stratum ladder with the distinct-safe refinement — so a program whose
+only obstacle is a disconnected-but-head-dominant negation cone runs the
+Thm 4.3 policy-aware protocol instead of the All-barrier.  The baseline
+planner is deliberately untouched: the optimizer is an opt-in layer
+(``repro optimize``, the service's ``"optimize"`` flag, the fuzz
+harness's eighth dimension) whose every upgrade is fuzz-gated against the
+All-barrier execution.
+
+:func:`plan_certificate` emits the versioned JSON *PlanCertificate*:
+whole-program and per-stratum classifications, the chosen protocol
+bundle, and predicted (rounds, messages, transitions) from the fitted
+cost model for both the chosen bundle and the All-barrier baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.analyzer import DistributedPlan, plan_distribution
+from ..core.certificate import (
+    empirical_section,
+    fragment_memberships,
+    protocol_reason,
+)
+from ..datalog.program import Program
+from ..transducers.protocols import (
+    broadcast_transducer,
+    disjoint_protocol_transducer,
+    distinct_protocol_transducer,
+)
+from .costmodel import (
+    DEFAULT_COST_MODEL,
+    KIND_FOR_CLASS,
+    CostModel,
+    protocol_kind,
+)
+from .strata import (
+    CLASS_STRENGTH,
+    StratumCertificate,
+    effective_class,
+    stratum_breakdown,
+)
+
+__all__ = [
+    "OPTIMIZER_MUTATIONS",
+    "PLAN_CERTIFICATE_VERSION",
+    "OptimizedPlan",
+    "downward_consistent",
+    "plan_certificate",
+    "plan_optimized",
+]
+
+#: Bumped whenever the PlanCertificate JSON layout changes incompatibly.
+PLAN_CERTIFICATE_VERSION = 1
+
+#: Planted bugs the fuzz harness must catch (``--mutate optimizer=NAME``).
+OPTIMIZER_MUTATIONS = ("misclassify-stratum",)
+
+
+@dataclass(frozen=True)
+class OptimizedPlan:
+    """The optimizer's routing decision for one program.
+
+    ``baseline`` is the analyzer's whole-program plan; ``plan`` is the
+    (possibly re-routed) plan the optimizer executes.  When the
+    effective class matches the analyzer's, the two share the same
+    protocol; ``upgraded`` marks the interesting case where the
+    per-stratum evidence bought a strictly cheaper bundle.
+    """
+
+    program: Program
+    baseline: DistributedPlan
+    plan: DistributedPlan
+    effective_monotonicity: str | None
+    reason: str
+    strata: tuple[StratumCertificate, ...]
+    upgraded: bool
+    mutate: str | None
+
+    @property
+    def protocol_name(self) -> str:
+        return self.plan.transducer.name
+
+    @property
+    def kind(self) -> str:
+        return protocol_kind(self.plan.transducer.name)
+
+    def describe(self) -> str:
+        if self.upgraded:
+            return (
+                f"{self.plan.query.name}: optimizer upgraded "
+                f"{self.baseline.analysis.monotonicity or 'barrier'} -> "
+                f"{self.effective_monotonicity} ({self.reason}); protocol "
+                f"{self.protocol_name}"
+            )
+        return self.plan.describe()
+
+
+def plan_optimized(
+    program: Program,
+    *,
+    force_barrier: bool = False,
+    mutate: str | None = None,
+) -> OptimizedPlan:
+    """Route *program* through the per-stratum optimizer.
+
+    ``force_barrier`` keeps the All-barrier arm available for paired
+    comparisons; ``mutate`` plants one of :data:`OPTIMIZER_MUTATIONS`
+    into the classification (never into the baseline arm), for the fuzz
+    harness's self-check.
+    """
+    if mutate is not None and mutate not in OPTIMIZER_MUTATIONS:
+        raise ValueError(
+            f"unknown optimizer mutation {mutate!r}; "
+            f"expected one of {', '.join(OPTIMIZER_MUTATIONS)}"
+        )
+    baseline = plan_distribution(program)
+    effective, reason = effective_class(program, mutate=mutate)
+    strata = stratum_breakdown(program, mutate=mutate)
+    if force_barrier:
+        plan = plan_distribution(program, force_barrier=True)
+    elif effective == baseline.analysis.monotonicity:
+        plan = baseline
+    else:
+        query = baseline.query
+        if effective == "M":
+            transducer = broadcast_transducer(query)
+        elif effective == "Mdistinct":
+            transducer = distinct_protocol_transducer(query)
+        elif effective == "Mdisjoint":
+            transducer = disjoint_protocol_transducer(query)
+        else:  # pragma: no cover - ladder never downgrades to None
+            raise AssertionError(
+                "effective_class weakened the analyzer's guarantee"
+            )
+        plan = DistributedPlan(
+            analysis=baseline.analysis,
+            query=query,
+            transducer=transducer,
+            requires_domain_guided=effective == "Mdisjoint",
+            requires_barrier=False,
+        )
+    upgraded = (
+        not force_barrier
+        and CLASS_STRENGTH[effective]
+        > CLASS_STRENGTH[baseline.analysis.monotonicity]
+    )
+    return OptimizedPlan(
+        program=program,
+        baseline=baseline,
+        plan=plan,
+        effective_monotonicity=effective,
+        reason=reason,
+        strata=strata,
+        upgraded=upgraded,
+        mutate=mutate,
+    )
+
+
+def downward_consistent(optimized: OptimizedPlan) -> bool:
+    """Per-stratum certificates must be *downward-consistent* with the
+    whole-program certificate: a stratum, run standalone (lower strata as
+    its edb), can only carry an equal-or-stronger guarantee than the
+    composed program.  Structural for stratifiable programs — every
+    stratum is at least semi-positive on its own — and vacuous for
+    unstratifiable ones (no stratum sequence exists)."""
+    whole = CLASS_STRENGTH[optimized.effective_monotonicity]
+    return all(
+        CLASS_STRENGTH[stratum.monotonicity] >= whole
+        for stratum in optimized.strata
+    )
+
+
+def plan_certificate(
+    program: Program,
+    *,
+    nodes: int = 3,
+    facts: int = 8,
+    model: CostModel = DEFAULT_COST_MODEL,
+    mutate: str | None = None,
+    check_pairs: int = 0,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """The versioned PlanCertificate for *program*.
+
+    Extends the core certificate with the optimizer's three additions:
+    the effective class and its criterion, the per-stratum breakdown, and
+    the predicted cost of the chosen bundle vs the All-barrier under the
+    fitted model (at the given network/input size).
+    """
+    optimized = plan_optimized(program, mutate=mutate)
+    analysis = optimized.baseline.analysis
+    predicted = model.predict(optimized.kind, nodes=nodes, facts=facts)
+    barrier = model.predict("barrier", nodes=nodes, facts=facts)
+    payload: dict[str, Any] = {
+        "version": PLAN_CERTIFICATE_VERSION,
+        "rules": len(program),
+        "edb": sorted(program.edb()),
+        "output": sorted(program.output_relations),
+        "fragment": analysis.fragment,
+        "memberships": fragment_memberships(program),
+        "baseline": {
+            "monotonicity": analysis.monotonicity,
+            "protocol": optimized.baseline.transducer.name,
+            "reason": protocol_reason(optimized.baseline),
+        },
+        "effective": {
+            "monotonicity": optimized.effective_monotonicity,
+            "reason": optimized.reason,
+            "upgraded": optimized.upgraded,
+            "mutation": optimized.mutate,
+        },
+        "protocol": {
+            "name": optimized.protocol_name,
+            "kind": optimized.kind,
+            "requires_barrier": optimized.plan.requires_barrier,
+            "requires_domain_guided": optimized.plan.requires_domain_guided,
+        },
+        "strata": [stratum.to_dict() for stratum in optimized.strata],
+        "downward_consistent": downward_consistent(optimized),
+        "cost": {
+            "nodes": nodes,
+            "facts": facts,
+            "predicted": predicted.to_dict(),
+            "barrier": barrier.to_dict(),
+            "cheaper_than_barrier": predicted.cheaper_than(barrier),
+        },
+    }
+    if check_pairs > 0:
+        payload["empirical"] = empirical_section(
+            optimized.plan.query,
+            optimized.effective_monotonicity,
+            pairs=check_pairs,
+            seed=seed,
+        )
+    return payload

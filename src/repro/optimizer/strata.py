@@ -1,0 +1,315 @@
+"""Per-stratum classification and the distinct-safe refinement.
+
+The whole-program fragments of Figure 2 are per-*program*: a single
+disconnected rule feeding a negated relation pushes a program out of
+semicon-Datalog¬ and onto the All-barrier, no matter how harmless the
+rest of its strata are.  This module looks at the strata individually
+and at the *dependency cone of negation* specifically:
+
+* :func:`negation_feeders` — the idb relations from which some negated
+  idb relation is reachable in the precedence graph.  Only facts of
+  these relations can ever flip a negated atom; everything outside the
+  cone is ordinary monotone growth.
+* :func:`is_head_dominant` — a rule whose head carries *every* variable
+  of its body (and whose body atoms are constant-free).  Under a
+  domain-distinct addition every added fact carries a value outside
+  ``adom(I)``; a head-dominant rule propagates that fresh value into its
+  head, so the derived relation gains only fresh-valued facts.
+* :func:`is_distinct_safe` — every rule deriving a relation in the
+  negation cone is head-dominant.  By induction over the strata the
+  whole cone then gains only fresh-valued facts and loses nothing, so
+  negated atoms over old values never flip: the query is in
+  **Mdistinct** even when the feeder rules are disconnected (where the
+  paper's semicon criterion gives up).  This is the optimizer's
+  "Complete CALM"-style step past the three syntactic classes.
+
+The induction is airtight because the feeder set is transitively closed:
+every body relation (positive or negated) of a feeder rule is itself a
+feeder (its precedence edge points into the cone), so the invariant
+"gains only fresh-valued facts, loses nothing" propagates stratum by
+stratum from the edb (where domain-distinctness holds by definition).
+Soundness is additionally fuzz-gated by the eighth conformance dimension
+(:mod:`repro.conformance.optimizer`), which tries to refute every
+upgraded certificate with counterexample pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.analyzer import analyze, classify_fragment, guaranteed_class
+from ..core.certificate import fragment_memberships
+from ..datalog.connectivity import is_connected_rule, is_semicon_datalog
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.stratification import precedence_graph, stratify
+from ..datalog.terms import Variable
+
+__all__ = [
+    "CLASS_STRENGTH",
+    "StratumCertificate",
+    "effective_class",
+    "is_distinct_safe",
+    "is_head_dominant",
+    "negation_feeders",
+    "stratum_breakdown",
+]
+
+#: Monotonicity class -> guarantee strength (higher = stronger guarantee;
+#: ``None`` marks the absence of any guarantee).  Downward consistency of a
+#: per-stratum certificate is phrased over this order.
+CLASS_STRENGTH: dict[str | None, int] = {
+    None: 0,
+    "Mdisjoint": 1,
+    "Mdistinct": 2,
+    "M": 3,
+}
+
+
+def negated_idb_relations(program: Program) -> frozenset[str]:
+    """The idb relations that occur negated in some rule of *program*."""
+    idb = set(program.idb())
+    return frozenset(
+        atom.relation
+        for rule in program
+        for atom in rule.neg
+        if atom.relation in idb
+    )
+
+
+def negation_feeders(program: Program) -> frozenset[str]:
+    """The dependency cone of negation: every idb relation from which a
+    negated idb relation is reachable in the precedence graph (through
+    edges of either polarity), including the negated relations themselves.
+
+    Only facts of these relations can ever flip a negated atom; rules
+    with heads outside the cone are plain monotone growth no matter what
+    shape they have.
+    """
+    negated = set(negated_idb_relations(program))
+    if not negated:
+        return frozenset()
+    graph = precedence_graph(program)
+    # Walk the precedence edges backwards from the negated relations.
+    predecessors: dict[str, set[str]] = {}
+    for source, target, _negative in graph.edges():
+        predecessors.setdefault(target, set()).add(source)
+    cone = set(negated)
+    frontier = list(negated)
+    while frontier:
+        relation = frontier.pop()
+        for source in predecessors.get(relation, ()):
+            if source not in cone:
+                cone.add(source)
+                frontier.append(source)
+    return frozenset(cone)
+
+
+def is_head_dominant(rule: Rule) -> bool:
+    """True when the head carries every body variable and the body atoms
+    are constant-free.
+
+    Any new derivation of a head-dominant rule under a domain-distinct
+    addition must bind some body variable to a fresh value (every added
+    fact carries one, and constant-free bodies cannot absorb it into a
+    constant position), and head-dominance forces that fresh value into
+    the derived fact.  Conversely every value of an *old* head fact's
+    derivation is old, so negated atoms inside the rule are evaluated
+    over old values only.
+    """
+    body_variables: set[Variable] = set()
+    for atom in rule.pos | rule.neg:
+        if atom.constants():
+            return False
+        body_variables |= atom.variables()
+    return body_variables <= rule.head.variables()
+
+
+def is_distinct_safe(program: Program) -> bool:
+    """The optimizer's refinement: membership in Mdistinct by way of a
+    head-dominant negation cone.
+
+    Requires syntactic stratifiability; semi-positive programs qualify
+    vacuously (their negation cone is empty), so this strictly extends
+    the SP-Datalog -> Mdistinct arrow of Figure 2.
+    """
+    try:
+        stratify(program)
+    except Exception:
+        return False
+    feeders = negation_feeders(program)
+    if not feeders:
+        return True
+    return all(
+        is_head_dominant(rule)
+        for rule in program
+        if rule.head.relation in feeders
+    )
+
+
+def effective_class(
+    program: Program, *, mutate: str | None = None
+) -> tuple[str | None, str]:
+    """The optimizer's monotonicity class for *program* plus the criterion
+    that justified it.
+
+    The ladder is checked strongest-first, and every step subsumes the
+    corresponding Figure-2 arrow, so the result is never weaker than
+    :func:`repro.core.analyzer.analyze` reports:
+
+    1. positive programs are in **M** (Figure 2);
+    2. programs with a head-dominant negation cone are in **Mdistinct**
+       (:func:`is_distinct_safe`; includes all of SP-Datalog);
+    3. semicon-Datalog¬ programs are in **Mdisjoint** (Thm 4.4 routing,
+       includes con-Datalog¬);
+    4. unstratifiable connected programs are in **Mdisjoint** (the
+       Section-7 well-founded remark);
+    5. everything else carries no guarantee — the barrier residue.
+
+    ``mutate="misclassify-stratum"`` plants the bug the fuzz harness must
+    catch: the head-dominance test is skipped, so every stratified
+    negation cone — including ones that genuinely mix old and new domain
+    values — is certified distinct-safe and routed coordination-free.
+    """
+    baseline = analyze(program)
+    if program.is_positive():
+        return "M", "positive program: monotone (Figure 2)"
+    if mutate == "misclassify-stratum":
+        try:
+            stratify(program)
+        except Exception:
+            pass
+        else:
+            return (
+                "Mdistinct",
+                "PLANTED BUG: negation cone assumed head-dominant without "
+                "checking — unsound coordination-free routing",
+            )
+    if is_distinct_safe(program):
+        if program.is_semi_positive():
+            return (
+                "Mdistinct",
+                "semi-positive: negation on edb relations only (Figure 2)",
+            )
+        return (
+            "Mdistinct",
+            "distinct-safe: every rule in the negation cone is "
+            "head-dominant, so the cone gains only fresh-valued facts "
+            "under domain-distinct additions and negated atoms over old "
+            "values never flip (finer than the Figure-2 fragments)",
+        )
+    if baseline.monotonicity is not None:
+        return baseline.monotonicity, (
+            f"fragment {baseline.fragment} guarantee (Figure 2)"
+        )
+    return None, (
+        f"fragment {baseline.fragment}: the negation cone is neither "
+        "head-dominant nor semicon-connected — the residue pays the "
+        "All-barrier"
+    )
+
+
+@dataclass(frozen=True)
+class StratumCertificate:
+    """The classification of one stratum, standalone and in context.
+
+    ``fragment`` / ``memberships`` / ``monotonicity`` classify the
+    stratum *as its own program* (lower-strata relations count as its
+    edb, so a stratum is always at least semi-positive).  ``role``
+    records what the stratum does inside the composed plan:
+
+    * ``"monotone"`` — negation-free, derives eagerly, never waits;
+    * ``"guarded"`` — carries negation but the chosen coordination-free
+      protocol decides its absences (the policy-aware or domain-guided
+      gate);
+    * ``"residue"`` — carries negation the criteria cannot discharge;
+      the stratum is why the plan pays the All-barrier.
+    """
+
+    index: int
+    heads: tuple[str, ...]
+    rules: int
+    fragment: str
+    memberships: dict[str, bool]
+    monotonicity: str | None
+    connected: bool
+    head_dominant: bool
+    in_negation_cone: bool
+    negates: tuple[str, ...]
+    role: str
+    pays_coordination: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "heads": list(self.heads),
+            "rules": self.rules,
+            "fragment": self.fragment,
+            "memberships": dict(self.memberships),
+            "monotonicity": self.monotonicity,
+            "connected": self.connected,
+            "head_dominant": self.head_dominant,
+            "in_negation_cone": self.in_negation_cone,
+            "negates": list(self.negates),
+            "role": self.role,
+            "pays_coordination": self.pays_coordination,
+        }
+
+
+def stratum_breakdown(
+    program: Program, *, mutate: str | None = None
+) -> tuple[StratumCertificate, ...]:
+    """Classify every stratum of *program* individually.
+
+    Returns ``()`` for unstratifiable programs (there is no stratum
+    sequence to speak of; the whole-program analysis applies unchanged).
+    """
+    try:
+        stratification = stratify(program)
+    except Exception:
+        return ()
+    overall, _reason = effective_class(program, mutate=mutate)
+    feeders = negation_feeders(program)
+    certificates: list[StratumCertificate] = []
+    for index, stratum in enumerate(stratification.strata, start=1):
+        fragment = classify_fragment(stratum)
+        heads = tuple(sorted({rule.head.relation for rule in stratum}))
+        negates = tuple(
+            sorted(
+                {
+                    atom.relation
+                    for rule in stratum
+                    for atom in rule.neg
+                }
+            )
+        )
+        has_negation = any(rule.neg for rule in stratum)
+        in_cone = any(head in feeders for head in heads)
+        if not has_negation:
+            role = "monotone"
+        elif overall is not None:
+            role = "guarded"
+        else:
+            role = "residue"
+        certificates.append(
+            StratumCertificate(
+                index=index,
+                heads=heads,
+                rules=len(stratum),
+                fragment=fragment,
+                memberships=fragment_memberships(stratum),
+                monotonicity=guaranteed_class(fragment),
+                connected=all(is_connected_rule(rule) for rule in stratum),
+                head_dominant=all(
+                    is_head_dominant(rule)
+                    for rule in stratum
+                    if rule.head.relation in feeders
+                ),
+                in_negation_cone=in_cone,
+                negates=negates,
+                role=role,
+                pays_coordination=role == "residue",
+            )
+        )
+    return tuple(certificates)

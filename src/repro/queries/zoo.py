@@ -159,6 +159,23 @@ PROGRAM_ZOO: tuple[ZooEntry, ...] = (
         ),
     ),
     ZooEntry(
+        name="tagged-edges",
+        source="""
+            Tag(x, y) :- S(x), L(y).
+            O(x, y) :- E(x, y), not Tag(x, y).
+        """,
+        fragment="stratified",
+        monotonicity="none",
+        description=(
+            "Edges not tagged by the S x L product: the Tag rule is "
+            "disconnected and Tag is negated, so no Figure-2 fragment "
+            "guarantees anything — yet the Tag rule is head-dominant "
+            "(its head keeps every body variable), so the per-stratum "
+            "optimizer certifies the query as Mdistinct and routes it "
+            "coordination-free (the optimizer showcase)."
+        ),
+    ),
+    ZooEntry(
         name="disconnected-product",
         source="""
             O(x, y) :- S(x), T(y).

@@ -158,6 +158,7 @@ def _validated(payload: dict[str, Any], config: ServiceConfig) -> dict[str, Any]
     if not isinstance(seed, int):
         raise _BadRequest("'seed' must be an integer")
     force_barrier = bool(payload.get("force_barrier", False))
+    optimize = bool(payload.get("optimize", False))
     ilog = bool(payload.get("ilog", False))
     check_pairs = payload.get("check_pairs", 0)
     if not isinstance(check_pairs, int) or not 0 <= check_pairs <= 500:
@@ -166,6 +167,13 @@ def _validated(payload: dict[str, Any], config: ServiceConfig) -> dict[str, Any]
         raise _BadRequest("ILOG programs run in mode 'eval' only")
     if ilog and force_barrier:
         raise _BadRequest("'force_barrier' does not combine with 'ilog'")
+    if optimize and ilog:
+        raise _BadRequest("'optimize' does not combine with 'ilog'")
+    if optimize and force_barrier:
+        raise _BadRequest(
+            "'optimize' does not combine with 'force_barrier' (the "
+            "optimizer's whole point is to avoid the barrier)"
+        )
     if ilog and check_pairs:
         raise _BadRequest(
             "'check_pairs' does not combine with 'ilog' (value invention "
@@ -181,6 +189,7 @@ def _validated(payload: dict[str, Any], config: ServiceConfig) -> dict[str, Any]
         "nodes": nodes,
         "seed": seed,
         "force_barrier": force_barrier,
+        "optimize": optimize,
         "ilog": ilog,
         "check_pairs": check_pairs,
     }
@@ -194,6 +203,31 @@ def _plan_and_certificate(request: dict[str, Any]):
         program = parse_ilog_program(request["program"])
         plan = plan_ilog_distribution(program)
         cert = ilog_certificate_for_plan(program, plan)
+    elif request["optimize"]:
+        from ..optimizer import plan_certificate, plan_optimized
+
+        program = parse_program(request["program"])
+        optimized = plan_optimized(program)
+        plan = optimized.plan
+        cert = plan_certificate(
+            program,
+            nodes=request["nodes"],
+            facts=len(Instance(parse_facts(request["facts"]))),
+            check_pairs=request["check_pairs"],
+            seed=request["seed"],
+        )
+        decision = {
+            "protocol": plan.transducer.name,
+            "requires_barrier": plan.requires_barrier,
+            "forced_barrier": False,
+            "model": plan.analysis.model,
+            "coordination_class": plan.analysis.coordination_class,
+            "reason": optimized.reason,
+            "optimized": True,
+            "effective_monotonicity": optimized.effective_monotonicity,
+            "upgraded": optimized.upgraded,
+        }
+        return plan, cert, decision
     else:
         program = parse_program(request["program"])
         plan = plan_distribution(
@@ -290,7 +324,14 @@ def execute_request(
         facts=request["facts"],
         options={
             key: request[key]
-            for key in ("nodes", "seed", "force_barrier", "ilog", "check_pairs")
+            for key in (
+                "nodes",
+                "seed",
+                "force_barrier",
+                "optimize",
+                "ilog",
+                "check_pairs",
+            )
         },
     )
     try:

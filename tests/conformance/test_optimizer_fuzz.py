@@ -1,0 +1,164 @@
+"""The fuzz harness's eighth dimension: optimizer-soundness conformance,
+including the planted-bug self-check that proves the harness can catch
+unsound coordination-free routing."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.conformance.fuzz import FuzzConfig, run_fuzz
+from repro.conformance.optimizer import check_optimizer, shrink_optimizer
+from repro.conformance.stacks import StackContext
+from repro.datalog import Instance, parse_facts, parse_program
+
+FAST_STACKS = ("naive", "kernel")
+
+#: Projection into the negation cone: honestly Mdisjoint, and the planted
+#: misclassification to Mdistinct is a claim the per-stratum evidence
+#: cannot support.
+PROJECTING = """
+    Seen(x) :- E(x, y).
+    O(x) :- V(x), not Seen(x).
+"""
+PROJECTING_FACTS = "E(1,2). V(1). V(2). V(3)."
+
+#: Fixed budget for the self-check (satellite acceptance): the harness
+#: must catch the planted bug well within this many iterations.
+SELF_CHECK_BUDGET = 12
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCheckOptimizer:
+    def test_honest_decision_passes(self):
+        violation = check_optimizer(
+            parse_program(PROJECTING),
+            Instance(parse_facts(PROJECTING_FACTS)),
+            random.Random(0),
+            StackContext(seed=0),
+        )
+        assert violation is None
+
+    def test_planted_bug_caught_by_evidence_audit(self):
+        """The mutation forges the class but not the per-stratum
+        head-dominance evidence, so the audit rejects deterministically —
+        no lucky counterexample search needed."""
+        violation = check_optimizer(
+            parse_program(PROJECTING),
+            Instance(parse_facts(PROJECTING_FACTS)),
+            random.Random(0),
+            StackContext(seed=0),
+            mutate="misclassify-stratum",
+        )
+        assert violation is not None
+        assert violation.reason == "unsupported-claim"
+        assert violation.claimed_monotonicity == "Mdistinct"
+        assert "head-dominant" in violation.detail
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError):
+            check_optimizer(
+                parse_program(PROJECTING),
+                Instance(parse_facts(PROJECTING_FACTS)),
+                random.Random(0),
+                StackContext(seed=0),
+                mutate="no-such-mutation",
+            )
+
+    def test_shrinker_prunes_rules_and_facts(self):
+        program = parse_program(
+            PROJECTING
+            + """
+            Extra(x, y) :- E(x, y).
+            More(x) :- V(x).
+            """
+        )
+        instance = Instance(parse_facts(PROJECTING_FACTS + " E(7,8). V(9)."))
+        context = StackContext(seed=0)
+        violation = check_optimizer(
+            program, instance, random.Random(0), context,
+            mutate="misclassify-stratum",
+        )
+        assert violation is not None
+        shrunk = shrink_optimizer(
+            violation, context, mutate="misclassify-stratum"
+        )
+        assert len(parse_program(shrunk.program_text)) < len(program)
+        # The shrunk case still fails for the same reason.
+        assert shrunk.reason == "unsupported-claim"
+
+
+class TestFuzzDimension:
+    def test_honest_sweep_is_clean(self):
+        report = run_fuzz(
+            FuzzConfig(seed=5, iterations=8, stacks=FAST_STACKS)
+        )
+        assert report["passed"] is True
+        assert report["optimizer_violations"] == []
+
+    def test_planted_bug_caught_within_budget(self):
+        """Satellite acceptance: a fixed seed and a fixed iteration
+        budget suffice for the harness to catch the misclassification."""
+        report = run_fuzz(
+            FuzzConfig(
+                seed=11,
+                iterations=SELF_CHECK_BUDGET,
+                stacks=FAST_STACKS,
+                mutate={"optimizer": "misclassify-stratum"},
+            )
+        )
+        assert report["passed"] is False
+        violations = report["optimizer_violations"]
+        assert violations
+        assert min(v["iteration"] for v in violations) < SELF_CHECK_BUDGET
+        assert all(
+            v["reason"] == "unsupported-claim" for v in violations
+        )
+
+    def test_dimension_can_be_disabled(self):
+        report = run_fuzz(
+            FuzzConfig(
+                seed=11,
+                iterations=SELF_CHECK_BUDGET,
+                stacks=FAST_STACKS,
+                mutate={"optimizer": "misclassify-stratum"},
+                optimizer=False,
+            )
+        )
+        assert report["passed"] is True
+        assert report["optimizer_violations"] == []
+
+
+class TestCli:
+    def test_mutated_fuzz_exits_nonzero(self):
+        code, text = run_cli(
+            "fuzz", "--seed", "11", "--iterations", str(SELF_CHECK_BUDGET),
+            "--stacks", "naive,kernel",
+            "--mutate", "optimizer=misclassify-stratum",
+        )
+        assert code == 1
+        assert "optimizer:" in text
+        assert "verdict:      FAIL" in text
+
+    def test_no_optimizer_flag_skips_the_dimension(self):
+        code, text = run_cli(
+            "fuzz", "--seed", "11", "--iterations", "4",
+            "--stacks", "naive,kernel", "--no-optimizer",
+        )
+        assert code == 0
+        assert "optimizer:    0 violation(s)" in text
+
+    def test_invalid_optimizer_mutation_rejected(self):
+        code, _ = run_cli(
+            "fuzz", "--iterations", "1",
+            "--mutate", "optimizer=no-such-mutation",
+        )
+        assert code == 1

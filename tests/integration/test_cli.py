@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -273,3 +274,46 @@ class TestIlogAnalyze:
         assert code == 0
         assert "unsafe-ilog" in text
         assert "barrier" in text
+
+
+TAGGED = 'Tag(x, y) :- S(x), L(y).\nO(x, y) :- E(x, y), not Tag(x, y).\n'
+TAGGED_FACTS = 'E("a","b"). E("b","c"). E("c","a"). S("a"). S("c"). L("b").\n'
+
+
+class TestOptimize:
+    def test_plain_output_shows_upgrade_and_strata(self, tmp_path):
+        program = tmp_path / "tagged.dl"
+        program.write_text(TAGGED)
+        code, text = run_cli("optimize", str(program))
+        assert code == 0
+        assert "effective:" in text and "Mdistinct" in text
+        assert "[upgraded]" in text
+        assert "stratum 1" in text and "stratum 2" in text
+
+    def test_json_certificate_and_execution(self, tmp_path):
+        program = tmp_path / "tagged.dl"
+        program.write_text(TAGGED)
+        facts = tmp_path / "facts.dl"
+        facts.write_text(TAGGED_FACTS)
+        code, text = run_cli("optimize", str(program), str(facts), "--json")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["effective"]["upgraded"] is True
+        assert doc["downward_consistent"] is True
+        comparison = doc["comparison"]
+        assert comparison["byte_identical"] is True
+        assert comparison["measured_cheaper"] is True
+
+    def test_monotone_program_reports_no_upgrade(self, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text("T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).")
+        code, text = run_cli("optimize", str(program))
+        assert code == 0
+        assert "[upgraded]" not in text
+        assert "broadcast" in text
+
+    def test_parse_error_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "bad.dl"
+        bad.write_text("O(x :- nope")
+        code, _ = run_cli("optimize", str(bad))
+        assert code == 1

@@ -1,0 +1,85 @@
+"""Satellite check: the fitted cost model's predicted (rounds,
+transitions) ordering agrees with the *measured* ordering recorded in the
+committed benchmark artifacts, for every scenario where both protocol
+arms actually ran."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.optimizer import DEFAULT_COST_MODEL, protocol_kind
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _latest_entry(name: str) -> dict | None:
+    path = REPO / name
+    if not path.exists():
+        return None
+    history = json.loads(path.read_text()).get("history", [])
+    return history[-1] if history else None
+
+
+def _predicted_key(protocol: str, *, nodes: int = 3, facts: int = 8):
+    return DEFAULT_COST_MODEL.predict(
+        protocol_kind(protocol), nodes=nodes, facts=facts
+    ).ordering_key()
+
+
+class TestCommittedServiceArtifact:
+    def test_prediction_matches_measured_ordering(self):
+        entry = _latest_entry("BENCH_service.json")
+        assert entry is not None, "BENCH_service.json must be committed"
+        rows = entry.get("coordination_comparison", [])
+        assert rows, "artifact carries no paired coordination runs"
+        for row in rows:
+            chosen, barrier = row["chosen"], row["barrier"]
+            if chosen["protocol"] == barrier["protocol"]:
+                continue
+            measured_cheaper = (
+                chosen["mean_rounds"],
+                chosen["mean_transitions"],
+            ) < (barrier["mean_rounds"], barrier["mean_transitions"])
+            predicted_cheaper = _predicted_key(
+                chosen["protocol"]
+            ) < _predicted_key(barrier["protocol"])
+            assert measured_cheaper == predicted_cheaper, (
+                f"{row['fragment']}: model predicts "
+                f"{'cheaper' if predicted_cheaper else 'not cheaper'} but "
+                f"measurement says the opposite "
+                f"({chosen['protocol']} vs {barrier['protocol']})"
+            )
+
+
+class TestCommittedOptimizerArtifact:
+    def test_sweep_recorded_agreement_holds(self):
+        entry = _latest_entry("BENCH_optimizer.json")
+        assert entry is not None, "BENCH_optimizer.json must be committed"
+        comparisons = entry["sweep"]["comparisons"]
+        assert comparisons
+        agree = sum(1 for c in comparisons if c["prediction_agrees"])
+        assert agree / len(comparisons) >= 0.85
+        assert all(c["byte_identical"] for c in comparisons)
+        upgraded = [c for c in comparisons if c["upgraded"]]
+        assert upgraded and all(c["measured_cheaper"] for c in upgraded)
+
+    def test_headline_targets_met(self):
+        entry = _latest_entry("BENCH_optimizer.json")
+        assert entry is not None
+        for metric, cell in entry["headline"].items():
+            assert cell["ok"], f"{metric} below target in committed artifact"
+
+
+class TestScenariosArtifactHasNoCostArms:
+    def test_gracefully_out_of_scope(self):
+        """BENCH_scenarios.json records streaming-scenario gates, not
+        paired protocol costs — nothing for the model to disagree with.
+        This pins that assumption so a future cost-bearing format is
+        noticed here."""
+        entry = _latest_entry("BENCH_scenarios.json")
+        if entry is None:
+            pytest.skip("no committed scenarios artifact")
+        assert "coordination_comparison" not in entry

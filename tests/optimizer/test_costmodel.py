@@ -1,0 +1,97 @@
+"""The fitted cost model: prediction shapes, protocol-kind mapping, and
+the least-squares fit itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer import (
+    DEFAULT_COST_MODEL,
+    CostVector,
+    calibration_observations,
+    fit_cost_model,
+    protocol_kind,
+)
+from repro.optimizer.costmodel import KIND_FOR_CLASS, PROTOCOL_KINDS
+
+
+class TestProtocolKind:
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("broadcast[datalog[T]]", "broadcast"),
+            ("distinct[datalog[O]]", "distinct"),
+            ("disjoint[wfs[O]]", "disjoint"),
+            ("barrier[datalog[O]]", "barrier"),
+            ("something-unknown", "barrier"),
+        ],
+    )
+    def test_kind_from_protocol_name(self, name, kind):
+        assert protocol_kind(name) == kind
+
+    def test_every_class_maps_to_a_kind(self):
+        assert set(KIND_FOR_CLASS.values()) <= set(PROTOCOL_KINDS)
+        assert KIND_FOR_CLASS[None] == "barrier"
+
+
+class TestCostVector:
+    def test_ordering_key_ignores_messages(self):
+        cheap = CostVector(rounds=3.0, messages=999.0, transitions=9.0)
+        dear = CostVector(rounds=4.0, messages=1.0, transitions=12.0)
+        assert cheap.cheaper_than(dear)
+        assert not dear.cheaper_than(cheap)
+
+    def test_tie_is_not_cheaper(self):
+        a = CostVector(rounds=8.0, messages=0.0, transitions=24.0)
+        b = CostVector(rounds=8.0, messages=5.0, transitions=24.0)
+        assert not a.cheaper_than(b)
+
+    def test_to_dict_shape(self):
+        d = CostVector(rounds=1.5, messages=2.0, transitions=4.5).to_dict()
+        assert set(d) == {"rounds", "messages", "transitions"}
+
+
+class TestDefaultModel:
+    def test_predictions_cover_every_kind(self):
+        for kind in PROTOCOL_KINDS:
+            vec = DEFAULT_COST_MODEL.predict(kind, nodes=3, facts=8)
+            assert vec.rounds >= 1.0
+            assert vec.messages >= 0.0
+            assert vec.transitions == pytest.approx(vec.rounds * 3)
+
+    def test_committed_ordering_at_benchmark_size(self):
+        """The ladder the optimizer exploits: every coordination-free
+        protocol predicts cheaper than the barrier at the benchmark's
+        network size."""
+        keys = {
+            kind: DEFAULT_COST_MODEL.predict(
+                kind, nodes=3, facts=8
+            ).ordering_key()
+            for kind in PROTOCOL_KINDS
+        }
+        assert keys["broadcast"] < keys["distinct"]
+        assert keys["distinct"] < keys["disjoint"]
+        assert keys["disjoint"] < keys["barrier"]
+
+    def test_rounds_floor_at_tiny_networks(self):
+        vec = DEFAULT_COST_MODEL.predict("distinct", nodes=0, facts=0)
+        assert vec.rounds >= 1.0
+
+
+class TestFit:
+    @pytest.mark.slow
+    def test_refit_recovers_the_committed_ordering(self):
+        observations = calibration_observations(
+            node_counts=(1, 3), edge_counts=(4, 8)
+        )
+        fitted = fit_cost_model(observations)
+        order = sorted(
+            PROTOCOL_KINDS,
+            key=lambda k: fitted.predict(k, nodes=3, facts=8).ordering_key(),
+        )
+        assert order == ["broadcast", "distinct", "disjoint", "barrier"]
+
+    def test_to_dict_round_trips_the_coefficients(self):
+        d = DEFAULT_COST_MODEL.to_dict()
+        assert set(d) == {"rounds", "messages"}
+        assert set(d["rounds"]) == set(PROTOCOL_KINDS)

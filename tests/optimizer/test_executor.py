@@ -1,0 +1,89 @@
+"""Paired execution: the optimized bundle vs the All-barrier baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import Instance, parse_facts
+from repro.optimizer import run_comparison
+from repro.queries.zoo import zoo_program
+
+TAGGED = zoo_program("tagged-edges")
+TAGGED_FACTS = "E(1,2). E(2,3). E(3,1). S(1). S(3). L(2)."
+
+
+def _instance(text: str) -> Instance:
+    return Instance(parse_facts(text))
+
+
+class TestFlagshipComparison:
+    def test_byte_identical_and_strictly_cheaper(self):
+        """The acceptance showcase: a mixed monotone/non-monotone
+        stratification executes coordination-free, byte-identical to the
+        barrier arm, and strictly cheaper on (rounds, transitions)."""
+        comparison = run_comparison(TAGGED, _instance(TAGGED_FACTS))
+        assert comparison.upgraded
+        assert comparison.byte_identical
+        assert (
+            comparison.optimized.fingerprint == comparison.barrier.fingerprint
+        )
+        assert comparison.measured_cheaper
+        assert (
+            comparison.optimized.measured.rounds
+            < comparison.barrier.measured.rounds
+        )
+        assert (
+            comparison.optimized.measured.transitions
+            < comparison.barrier.measured.transitions
+        )
+
+    def test_stable_across_seeds(self):
+        for seed in (0, 1, 2):
+            comparison = run_comparison(
+                TAGGED, _instance(TAGGED_FACTS), seed=seed
+            )
+            assert comparison.byte_identical, seed
+            assert comparison.measured_cheaper, seed
+
+    def test_to_dict_shape(self):
+        d = run_comparison(TAGGED, _instance(TAGGED_FACTS)).to_dict()
+        assert set(d) >= {
+            "optimized",
+            "barrier",
+            "byte_identical",
+            "measured_cheaper",
+            "predicted_cheaper",
+            "prediction_agrees",
+            "upgraded",
+        }
+        for arm in ("optimized", "barrier"):
+            assert set(d[arm]) >= {
+                "protocol",
+                "fingerprint",
+                "output_facts",
+                "measured",
+                "predicted",
+            }
+
+
+class TestHonestBarrierArm:
+    def test_mutated_comparison_keeps_the_barrier_honest(self):
+        """Even under the planted bug the barrier arm classifies
+        honestly, so divergence (if any) is attributable to the
+        optimizer's routing alone.  On the distinct-safe flagship the
+        mutated claim happens to be true, so the outputs still agree."""
+        comparison = run_comparison(
+            TAGGED, _instance(TAGGED_FACTS), mutate="misclassify-stratum"
+        )
+        assert comparison.barrier.protocol.startswith("barrier")
+        assert comparison.byte_identical
+
+    def test_non_upgraded_program_ties_or_beats_nothing(self):
+        """A program the optimizer leaves on the barrier compares the
+        barrier against itself: identical outputs, no saving."""
+        program = zoo_program("example51-p2")
+        facts = "E(1,2). E(2,3). Adom(1). Adom(2). Adom(3)."
+        comparison = run_comparison(program, _instance(facts))
+        assert not comparison.upgraded
+        assert comparison.byte_identical
+        assert not comparison.measured_cheaper

@@ -1,0 +1,141 @@
+"""Optimized plans and their PlanCertificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.optimizer import (
+    OPTIMIZER_MUTATIONS,
+    PLAN_CERTIFICATE_VERSION,
+    downward_consistent,
+    plan_certificate,
+    plan_optimized,
+)
+from repro.optimizer.strata import CLASS_STRENGTH
+from repro.queries.zoo import zoo_entries, zoo_program
+
+TAGGED = zoo_program("tagged-edges")
+
+
+class TestPlanOptimized:
+    def test_flagship_upgrade_routes_distinct(self):
+        optimized = plan_optimized(TAGGED)
+        assert optimized.baseline.requires_barrier
+        assert optimized.effective_monotonicity == "Mdistinct"
+        assert optimized.upgraded
+        assert optimized.kind == "distinct"
+        assert not optimized.plan.requires_barrier
+
+    def test_no_downgrade_across_the_zoo(self):
+        """The optimizer only ever strengthens the analyzer's routing."""
+        for entry in zoo_entries():
+            optimized = plan_optimized(entry.program())
+            assert (
+                CLASS_STRENGTH[optimized.effective_monotonicity]
+                >= CLASS_STRENGTH[optimized.baseline.analysis.monotonicity]
+            ), entry.name
+
+    def test_unchanged_class_reuses_the_baseline_plan(self):
+        optimized = plan_optimized(zoo_program("tc"))
+        assert not optimized.upgraded
+        assert optimized.plan is optimized.baseline
+
+    def test_force_barrier_is_never_an_upgrade(self):
+        optimized = plan_optimized(TAGGED, force_barrier=True)
+        assert not optimized.upgraded
+        assert optimized.plan.requires_barrier
+        assert optimized.kind == "barrier"
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError):
+            plan_optimized(TAGGED, mutate="no-such-mutation")
+        assert "misclassify-stratum" in OPTIMIZER_MUTATIONS
+
+
+class TestDownwardConsistency:
+    def test_holds_across_the_zoo(self):
+        for entry in zoo_entries():
+            assert downward_consistent(plan_optimized(entry.program())), (
+                entry.name
+            )
+
+    def test_holds_under_the_planted_bug_on_safe_programs(self):
+        """The mutation forges the *claim*, not the per-stratum evidence;
+        on genuinely safe programs both stay consistent."""
+        assert downward_consistent(
+            plan_optimized(TAGGED, mutate="misclassify-stratum")
+        )
+
+
+class TestPlanCertificate:
+    def test_schema(self):
+        cert = plan_certificate(TAGGED)
+        assert cert["version"] == PLAN_CERTIFICATE_VERSION
+        assert set(cert) >= {
+            "rules",
+            "edb",
+            "output",
+            "fragment",
+            "memberships",
+            "baseline",
+            "effective",
+            "protocol",
+            "strata",
+            "downward_consistent",
+            "cost",
+        }
+        assert set(cert["baseline"]) == {"monotonicity", "protocol", "reason"}
+        assert set(cert["effective"]) == {
+            "monotonicity",
+            "reason",
+            "upgraded",
+            "mutation",
+        }
+        assert set(cert["cost"]) == {
+            "nodes",
+            "facts",
+            "predicted",
+            "barrier",
+            "cheaper_than_barrier",
+        }
+        for stratum in cert["strata"]:
+            assert set(stratum) == {
+                "index",
+                "heads",
+                "rules",
+                "fragment",
+                "memberships",
+                "monotonicity",
+                "connected",
+                "head_dominant",
+                "in_negation_cone",
+                "negates",
+                "role",
+                "pays_coordination",
+            }
+
+    def test_flagship_predicts_cheaper_than_barrier(self):
+        cert = plan_certificate(TAGGED, nodes=3, facts=8)
+        assert cert["effective"]["upgraded"] is True
+        assert cert["cost"]["cheaper_than_barrier"] is True
+        assert (
+            cert["cost"]["predicted"]["rounds"]
+            < cert["cost"]["barrier"]["rounds"]
+        )
+
+    def test_barrier_residue_predicts_no_saving(self):
+        cert = plan_certificate(zoo_program("example51-p2"))
+        assert cert["effective"]["monotonicity"] is None
+        assert cert["cost"]["cheaper_than_barrier"] is False
+
+    def test_empirical_section_on_request(self):
+        cert = plan_certificate(TAGGED, check_pairs=6)
+        assert cert["empirical"]["holds"] is True
+
+    def test_mutation_recorded_in_certificate(self):
+        cert = plan_certificate(
+            zoo_program("isolated-vertices"), mutate="misclassify-stratum"
+        )
+        assert cert["effective"]["mutation"] == "misclassify-stratum"
+        assert cert["effective"]["monotonicity"] == "Mdistinct"

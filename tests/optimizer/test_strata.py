@@ -1,0 +1,153 @@
+"""The per-stratum analyzer: negation cones, head-dominance, the
+effective-class ladder, and the stratum certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.datalog import parse_program
+from repro.optimizer import (
+    effective_class,
+    is_distinct_safe,
+    is_head_dominant,
+    negation_feeders,
+    stratum_breakdown,
+)
+from repro.optimizer.strata import CLASS_STRENGTH
+from repro.queries.zoo import zoo_entries, zoo_program
+
+TAGGED = """
+    Tag(x, y) :- S(x), L(y).
+    O(x, y) :- E(x, y), not Tag(x, y).
+"""
+COTC = """
+    T(x, y) :- E(x, y).
+    T(x, z) :- T(x, y), E(y, z).
+    O(x, y) :- Adom(x), Adom(y), not T(x, y).
+"""
+PROJECTING = """
+    Seen(x) :- E(x, y).
+    O(x) :- V(x), not Seen(x).
+"""
+
+
+class TestNegationFeeders:
+    def test_positive_program_has_empty_cone(self):
+        program = parse_program("T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).")
+        assert negation_feeders(program) == frozenset()
+
+    def test_cone_is_backward_closed(self):
+        """The cone follows precedence edges transitively: everything T
+        depends on — including itself — feeds the negated atom."""
+        program = parse_program(COTC)
+        assert "T" in negation_feeders(program)
+
+    def test_edb_only_negation_has_empty_cone(self):
+        """Semi-positive negation targets edb relations, which no rule
+        heads, so the *idb* cone is empty."""
+        program = parse_program("O(x,y) :- E(x,y), not Mark(y).")
+        assert negation_feeders(program) == frozenset()
+
+
+class TestHeadDominance:
+    def test_product_rule_is_head_dominant(self):
+        (rule,) = parse_program("Tag(x, y) :- S(x), L(y).")
+        assert is_head_dominant(rule)
+
+    def test_projection_is_not_head_dominant(self):
+        (rule,) = parse_program("Seen(x) :- E(x, y).")
+        assert not is_head_dominant(rule)
+
+    def test_constants_in_body_break_dominance(self):
+        """A constant-bearing atom matches old-domain facts even under a
+        fresh-valued addition, so dominance cannot be claimed."""
+        (rule,) = parse_program('Tag(x) :- S(x), L("pinned").')
+        assert not is_head_dominant(rule)
+
+
+class TestDistinctSafe:
+    def test_flagship_is_distinct_safe(self):
+        assert is_distinct_safe(parse_program(TAGGED))
+
+    def test_semi_positive_is_distinct_safe(self):
+        """Empty cone subsumes all of SP-Datalog."""
+        assert is_distinct_safe(parse_program("O(x,y) :- E(x,y), not Mark(y)."))
+
+    def test_projection_into_negation_is_not_safe(self):
+        assert not is_distinct_safe(parse_program(PROJECTING))
+
+    def test_unstratifiable_is_not_safe(self):
+        assert not is_distinct_safe(
+            parse_program("Win(x) :- Move(x, y), not Win(y).")
+        )
+
+
+class TestEffectiveClass:
+    def test_never_weaker_than_analyzer_over_zoo(self):
+        for entry in zoo_entries():
+            program = entry.program()
+            effective, _reason = effective_class(program)
+            baseline = analyze(program).monotonicity
+            assert CLASS_STRENGTH[effective] >= CLASS_STRENGTH[baseline], (
+                entry.name
+            )
+
+    def test_flagship_upgrades_past_figure_2(self):
+        effective, reason = effective_class(parse_program(TAGGED))
+        assert effective == "Mdistinct"
+        assert "head-dominant" in reason
+        assert analyze(parse_program(TAGGED)).monotonicity is None
+
+    def test_mutation_misclassifies_the_projection_cone(self):
+        """The planted bug certifies Mdistinct without the dominance
+        check; the honest path refuses."""
+        program = parse_program(PROJECTING)
+        honest, _ = effective_class(program)
+        mutated, reason = effective_class(program, mutate="misclassify-stratum")
+        assert honest == "Mdisjoint"
+        assert mutated == "Mdistinct"
+        assert "PLANTED BUG" in reason
+
+    def test_mutation_cannot_touch_unstratifiable_programs(self):
+        program = parse_program("Win(x) :- Move(x, y), not Win(y).")
+        honest, _ = effective_class(program)
+        mutated, _ = effective_class(program, mutate="misclassify-stratum")
+        assert mutated == honest
+
+
+class TestStratumBreakdown:
+    def test_unstratifiable_yields_empty_tuple(self):
+        assert stratum_breakdown(zoo_program("win-move")) == ()
+
+    def test_flagship_roles_and_evidence(self):
+        strata = stratum_breakdown(parse_program(TAGGED))
+        assert [s.role for s in strata] == ["monotone", "guarded"]
+        tag, out = strata
+        assert tag.heads == ("Tag",) and tag.head_dominant
+        assert tag.in_negation_cone and not tag.negates
+        assert out.negates == ("Tag",)
+        assert not any(s.pays_coordination for s in strata)
+
+    def test_residue_pays_coordination(self):
+        strata = stratum_breakdown(zoo_program("example51-p2"))
+        assert strata[-1].role == "residue"
+        assert strata[-1].pays_coordination
+
+    def test_dominance_evidence_is_mutation_proof(self):
+        """The per-stratum ``head_dominant`` booleans are computed from
+        the rules directly — the planted bug cannot forge the evidence
+        the conformance audit checks claims against."""
+        program = parse_program(PROJECTING)
+        honest = stratum_breakdown(program)
+        mutated = stratum_breakdown(program, mutate="misclassify-stratum")
+        assert [s.head_dominant for s in honest] == [
+            s.head_dominant for s in mutated
+        ]
+        assert not honest[0].head_dominant
+
+    def test_indices_are_one_based_and_ordered(self):
+        strata = stratum_breakdown(parse_program(COTC))
+        assert [s.index for s in strata] == list(
+            range(1, len(strata) + 1)
+        )

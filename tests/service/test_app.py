@@ -129,6 +129,82 @@ class TestExecuteRequest:
             assert body["decision"]["requires_barrier"] is expected_barrier, entry.name
 
 
+TAGGED = 'Tag(x, y) :- S(x), L(y). O(x, y) :- E(x, y), not Tag(x, y).'
+TAGGED_FACTS = "E(1,2). E(2,3). E(3,1). S(1). S(3). L(2)."
+
+
+class TestOptimizeFlag:
+    def test_optimized_run_upgrades_and_matches_direct_output(self):
+        store = RunStore(":memory:")
+        status, body = execute_request(
+            store,
+            {
+                "tenant": "t",
+                "program": TAGGED,
+                "facts": TAGGED_FACTS,
+                "optimize": True,
+            },
+        )
+        assert status == 200
+        decision = body["decision"]
+        assert decision["optimized"] is True
+        assert decision["upgraded"] is True
+        assert decision["effective_monotonicity"] == "Mdistinct"
+        assert decision["requires_barrier"] is False
+        assert decision["protocol"].startswith("distinct")
+        # Rerouting never changes the answer.
+        assert body["output_fingerprint"] == _direct_fingerprint(
+            TAGGED, TAGGED_FACTS
+        )
+
+    def test_optimized_certificate_carries_cost_and_strata(self):
+        store = RunStore(":memory:")
+        status, body = execute_request(
+            store,
+            {
+                "tenant": "t",
+                "program": TAGGED,
+                "facts": TAGGED_FACTS,
+                "optimize": True,
+            },
+        )
+        assert status == 200
+        cert = body["certificate"]
+        assert cert["effective"]["upgraded"] is True
+        assert cert["cost"]["cheaper_than_barrier"] is True
+        assert [s["role"] for s in cert["strata"]] == ["monotone", "guarded"]
+
+    def test_optimize_on_monotone_program_is_a_no_op(self):
+        store = RunStore(":memory:")
+        status, body = execute_request(
+            store,
+            {"tenant": "t", "program": TC, "facts": TC_FACTS, "optimize": True},
+        )
+        assert status == 200
+        assert body["decision"]["upgraded"] is False
+        assert body["decision"]["requires_barrier"] is False
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            {"ilog": True},
+            {"force_barrier": True},
+        ],
+    )
+    def test_optimize_rejects_contradictory_flags(self, extra):
+        status, body = execute_request(
+            RunStore(":memory:"),
+            {
+                "tenant": "t",
+                "program": TAGGED,
+                "facts": TAGGED_FACTS,
+                "optimize": True,
+                **extra,
+            },
+        )
+        assert status == 400 and "error" in body
+
+
 class TestRateLimiter:
     def test_admits_until_limit_then_defers(self):
         limiter = RateLimiter(3, 60.0)

@@ -14,7 +14,7 @@ from repro.core.certificate import (
 )
 from repro.datalog import parse_program
 from repro.ilog import parse_ilog_program
-from repro.queries import zoo_entries
+from repro.queries import zoo_entries, zoo_program
 
 
 class TestMemberships:
@@ -130,3 +130,60 @@ class TestAnalyzeJsonCLI:
         code, text = self._run(["analyze", str(path)])
         assert code == 0
         assert "fragment:" in text and "{" not in text
+
+
+STRATUM_KEYS = {
+    "index",
+    "heads",
+    "rules",
+    "fragment",
+    "memberships",
+    "monotonicity",
+    "connected",
+    "head_dominant",
+    "in_negation_cone",
+    "negates",
+    "role",
+    "pays_coordination",
+}
+
+
+class TestStrataSection:
+    """The per-stratum breakdown attached to every certificate."""
+
+    def test_every_zoo_certificate_carries_strata(self):
+        for entry in zoo_entries():
+            cert = certificate(entry.program())
+            assert "strata" in cert, entry.name
+            for stratum in cert["strata"]:
+                assert set(stratum) == STRATUM_KEYS, entry.name
+
+    def test_unstratifiable_program_has_empty_strata(self):
+        cert = certificate(zoo_program("win-move"))
+        assert cert["strata"] == []
+
+    def test_flagship_roles(self):
+        cert = certificate(zoo_program("tagged-edges"))
+        roles = [s["role"] for s in cert["strata"]]
+        assert roles == ["monotone", "guarded"]
+        tag = cert["strata"][0]
+        assert tag["heads"] == ["Tag"]
+        assert tag["head_dominant"] is True
+        assert tag["in_negation_cone"] is True
+
+    def test_residue_marked_on_unguaranteed_programs(self):
+        cert = certificate(zoo_program("example51-p2"))
+        last = cert["strata"][-1]
+        assert last["role"] == "residue"
+        assert last["pays_coordination"] is True
+
+    def test_analyze_json_exposes_strata(self, tmp_path):
+        path = tmp_path / "tagged.dl"
+        path.write_text(
+            "Tag(x, y) :- S(x), L(y). O(x, y) :- E(x, y), not Tag(x, y)."
+        )
+        out = io.StringIO()
+        code = main(["analyze", str(path), "--json"], out=out)
+        assert code == 0
+        cert = json.loads(out.getvalue())
+        assert [s["role"] for s in cert["strata"]] == ["monotone", "guarded"]

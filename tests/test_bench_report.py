@@ -193,3 +193,57 @@ class TestScalingSuite:
     def test_scaling_target_floor(self):
         """The committed acceptance floor: >=2x at four workers."""
         assert bench_report.SCALING_TARGETS["scaling_speedup_4w"] == 2.0
+
+
+class TestOptimizerSuite:
+    """The BENCH_optimizer.json variant of the history machinery."""
+
+    HEADLINE = {
+        "optimizer_byte_identical": {"speedup": 1.0, "target": 1.0, "ok": True},
+        "optimizer_upgraded_cheaper": {"speedup": 1.0, "target": 1.0, "ok": True},
+        "optimizer_prediction_agreement": {
+            "speedup": 0.88,
+            "target": 0.85,
+            "ok": True,
+        },
+    }
+
+    def test_targets_pin_the_acceptance_floors(self):
+        assert bench_report.OPTIMIZER_TARGETS == {
+            "optimizer_byte_identical": 1.0,
+            "optimizer_upgraded_cheaper": 1.0,
+            "optimizer_prediction_agreement": 0.85,
+        }
+
+    def test_optimizer_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_optimizer.json"
+        entry = {"date": "2026-08-08", "mode": "full", "headline": self.HEADLINE}
+        report = bench_report.load_history(path, suite="bench_optimizer")
+        assert report["suite"] == "bench_optimizer"
+        report["history"] = bench_report.upsert_history(report["history"], entry)
+        path.write_text(json.dumps(report))
+        again = bench_report.load_history(path, suite="bench_optimizer")
+        assert again["history"] == [entry]
+
+    def test_compare_baseline_regression(self, tmp_path):
+        path = tmp_path / "BENCH_optimizer.json"
+        entry = {"date": "2026-08-07", "mode": "full", "headline": self.HEADLINE}
+        path.write_text(
+            json.dumps({"suite": "bench_optimizer", "history": [entry]})
+        )
+        current = {
+            metric: dict(cell) for metric, cell in self.HEADLINE.items()
+        }
+        current["optimizer_prediction_agreement"] = {"speedup": 0.5}
+        failures = bench_report.compare_baseline(
+            path, current, suite="bench_optimizer"
+        )
+        assert len(failures) == 1
+        assert "optimizer_prediction_agreement" in failures[0]
+
+    def test_committed_artifact_matches_the_suite(self):
+        committed = json.loads((REPO / "BENCH_optimizer.json").read_text())
+        assert committed["suite"] == "bench_optimizer"
+        latest = committed["history"][-1]
+        for metric in bench_report.OPTIMIZER_TARGETS:
+            assert latest["headline"][metric]["ok"], metric
